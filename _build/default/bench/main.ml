@@ -1,0 +1,294 @@
+(* Benchmark harness: regenerates every experiment of EXPERIMENTS.md
+   (E1..E15, one per theorem of the paper — the paper itself has no
+   measured tables, so the experiments are the executable content of its
+   results; see DESIGN.md section 4).
+
+   For each experiment we print a table comparing, per request, the cost
+   of: the first-order program (the paper's construction, run by the
+   generic FO evaluator), the native dynamic data structure, and the
+   recompute-from-scratch static baseline. The wall-clock shape to
+   observe is dynamic << static as n grows, and the FO-work column grows
+   polynomially with the arity of the update formulas.
+
+   A Bechamel suite (one Test.make per experiment) follows the tables. *)
+
+open Dynfo
+open Dynfo_programs
+
+let monotonic_ns () = Monotonic_clock.now ()
+
+(* average cost per request (apply + query) over a workload, in
+   microseconds *)
+let us_per_request (d : Dyn.t) ~size reqs =
+  let inst = d.create size () in
+  let t0 = monotonic_ns () in
+  List.iter
+    (fun r ->
+      inst.apply r;
+      ignore (inst.query ()))
+    reqs;
+  let t1 = monotonic_ns () in
+  Int64.to_float (Int64.sub t1 t0) /. 1e3 /. float (List.length reqs)
+
+let fo_work_per_request program ~size reqs =
+  let state = ref (Runner.init program ~size) in
+  Dynfo_logic.Eval.reset_work ();
+  List.iter
+    (fun r ->
+      state := Runner.step !state r;
+      ignore (Runner.query !state))
+    reqs;
+  Dynfo_logic.Eval.work () / List.length reqs
+
+let header () =
+  Printf.printf "  %6s %12s %12s %12s %14s %10s\n" "n" "fo(us)" "native(us)"
+    "static(us)" "fo-work" "nat/stat"
+
+let row ~size ~fo ~native ~static ~work =
+  let ratio =
+    match (native, static) with
+    | Some n, Some s when n > 0. -> Printf.sprintf "%.2fx" (s /. n)
+    | _ -> "-"
+  in
+  let f = function Some v -> Printf.sprintf "%.2f" v | None -> "-" in
+  Printf.printf "  %6d %12s %12s %12s %14s %10s\n" size (f fo) (f native)
+    (f static)
+    (match work with Some w -> string_of_int w | None -> "-")
+    ratio
+
+(* one experiment: FO measured on [fo_sizes], native/static additionally
+   on [scale_sizes] *)
+let experiment ?scale_length ~id ~title (e : Registry.entry) ~fo_sizes
+    ~scale_sizes ~length () =
+  Printf.printf "\n== %s: %s (%s) ==\n" id title e.paper_ref;
+  header ();
+  List.iter
+    (fun size ->
+      let rng = Random.State.make [| 42; size |] in
+      let reqs = e.workload rng ~size ~length in
+      if reqs <> [] then begin
+        let fo = us_per_request (Dyn.of_program e.program) ~size reqs in
+        let native = Option.map (fun d -> us_per_request d ~size reqs) e.native in
+        let static = Option.map (fun d -> us_per_request d ~size reqs) e.static in
+        let work = fo_work_per_request e.program ~size reqs in
+        row ~size ~fo:(Some fo) ~native ~static ~work:(Some work)
+      end)
+    fo_sizes;
+  let scale_length = Option.value ~default:(fun _ -> length) scale_length in
+  List.iter
+    (fun size ->
+      let rng = Random.State.make [| 42; size |] in
+      let reqs = e.workload rng ~size ~length:(scale_length size) in
+      if reqs <> [] && (e.native <> None || e.static <> None) then begin
+        let native = Option.map (fun d -> us_per_request d ~size reqs) e.native in
+        let static = Option.map (fun d -> us_per_request d ~size reqs) e.static in
+        row ~size ~fo:None ~native ~static ~work:None
+      end)
+    scale_sizes
+
+let graph_sizes = ([ 5; 7; 9 ], [ 16; 32; 64; 128 ])
+
+let () =
+  print_endline "Dyn-FO benchmark suite — one experiment per paper result";
+  print_endline "(fo = paper's FO program on the generic evaluator;";
+  print_endline " native = hand-coded dynamic structure; static = full";
+  print_endline " recomputation per request; fo-work = FO atom evaluations";
+  print_endline " per request, the CRAM[1] work measure of Corollary 5.7)";
+
+  let reg = Registry.find in
+  let fo_g, sc_g = graph_sizes in
+
+  experiment ~id:"E1" ~title:"PARITY" (reg "parity")
+    ~fo_sizes:[ 16; 64; 256 ] ~scale_sizes:[ 1024; 4096 ] ~length:300
+    ~scale_length:(fun n -> n) ();
+
+  experiment ~id:"E2" ~title:"undirected reachability REACH_u"
+    (reg "reach_u") ~fo_sizes:fo_g ~scale_sizes:sc_g ~length:80
+    ~scale_length:(fun n -> 4 * n) ();
+
+  (* E2b: sequential state of the art — HDT O(log^2 n) vs the O(n+m)
+     forest native vs BFS recomputation, on dense churn *)
+  Printf.printf
+    "\n== E2b: dynamic connectivity scaling (HDT vs forest vs BFS) ==\n";
+  Printf.printf "  %6s %12s %12s %12s\n" "n" "hdt(us)" "forest(us)"
+    "static(us)";
+  List.iter
+    (fun size ->
+      let rng = Random.State.make [| 42; size |] in
+      let reqs = Reach_u.workload rng ~size ~length:(6 * size) in
+      let m d = us_per_request d ~size reqs in
+      Printf.printf "  %6d %12.2f %12.2f %12.2f\n" size
+        (m Reach_u.native_hdt) (m Reach_u.native) (m Reach_u.static))
+    [ 32; 64; 128; 256; 512 ];
+
+  experiment ~id:"E3" ~title:"acyclic reachability" (reg "reach_acyclic")
+    ~fo_sizes:fo_g ~scale_sizes:sc_g ~length:80
+    ~scale_length:(fun n -> 4 * n) ();
+
+  experiment ~id:"E4" ~title:"transitive reduction" (reg "trans_reduction")
+    ~fo_sizes:[ 5; 7; 9 ] ~scale_sizes:[] ~length:60 ();
+
+  experiment ~id:"E5" ~title:"minimum spanning forest" (reg "msf")
+    ~fo_sizes:[ 5; 6; 7 ] ~scale_sizes:[ 16; 32; 64 ] ~length:60
+    ~scale_length:(fun n -> 4 * n) ();
+
+  experiment ~id:"E6" ~title:"bipartiteness" (reg "bipartite")
+    ~fo_sizes:[ 5; 6; 7 ] ~scale_sizes:[ 16; 32; 64 ] ~length:60
+    ~scale_length:(fun n -> 4 * n) ();
+
+  experiment ~id:"E7" ~title:"k-edge connectivity (k=1)" (reg "k_edge_1")
+    ~fo_sizes:[ 4; 5; 6 ] ~scale_sizes:[] ~length:30 ();
+
+  (* E7b: the composed query grows exponentially in k while its
+     quantifier depth stays linear — the "constant k" tradeoff *)
+  Printf.printf "\n== E7b: k-fold composed query growth (Theorem 4.5(2)) ==\n";
+  Printf.printf "  %4s %14s %18s\n" "k" "formula size" "quantifier depth";
+  List.iter
+    (fun k ->
+      let q = K_edge.query_formula k in
+      Printf.printf "  %4d %14d %18d\n" k
+        (Dynfo_logic.Formula.size q)
+        (Dynfo_logic.Formula.quantifier_depth q))
+    [ 0; 1; 2; 3 ];
+
+  experiment ~id:"E8" ~title:"maximal matching" (reg "matching")
+    ~fo_sizes:fo_g ~scale_sizes:sc_g ~length:80
+    ~scale_length:(fun n -> 4 * n) ();
+
+  experiment ~id:"E9" ~title:"lowest common ancestor" (reg "lca")
+    ~fo_sizes:[ 5; 7; 9 ] ~scale_sizes:[] ~length:60 ();
+
+  experiment ~id:"E10" ~title:"regular language membership" (reg "regular")
+    ~fo_sizes:[ 6; 9; 12 ] ~scale_sizes:[ 64; 256; 1024 ] ~length:80
+    ~scale_length:(fun n -> n) ();
+
+  experiment ~id:"E11" ~title:"multiplication" (reg "mult")
+    ~fo_sizes:[ 6; 9; 12 ] ~scale_sizes:[ 16; 32; 62 ] ~length:80
+    ~scale_length:(fun n -> 2 * n) ();
+
+  experiment ~id:"E12" ~title:"Dyck language D_2" (reg "dyck_2")
+    ~fo_sizes:[ 6; 9; 12 ] ~scale_sizes:[] ~length:60 ();
+
+  experiment ~id:"E15" ~title:"PAD(REACH_a)" (reg "pad_reach_a")
+    ~fo_sizes:[ 4; 5; 6 ] ~scale_sizes:[] ~length:8 ();
+
+  experiment ~id:"E16" ~title:"Eulerian circuits (derived)" (reg "eulerian")
+    ~fo_sizes:[ 5; 6; 7 ] ~scale_sizes:[ 16; 32; 64 ] ~length:60
+    ~scale_length:(fun n -> 4 * n) ();
+
+  experiment ~id:"E17" ~title:"insert-only REACH (Dyn_s-FO)" (reg "semi_reach")
+    ~fo_sizes:[ 5; 7; 9 ] ~scale_sizes:[ 16; 32; 64 ] ~length:60
+    ~scale_length:(fun n -> 3 * n) ();
+
+  (* E13: REACH_d through the bfo reduction + transfer theorem *)
+  Printf.printf "\n== E13: REACH_d via bfo reduction (Example 2.1 + Prop 5.3) ==\n";
+  header ();
+  List.iter
+    (fun size ->
+      let rng = Random.State.make [| 42; size |] in
+      let reqs = Dynfo_reductions.Reach_d_to_u.workload rng ~size ~length:60 in
+      let via = us_per_request Dynfo_reductions.Transfer.reach_d ~size reqs in
+      let static =
+        us_per_request
+          (Dyn.static ~name:"reach_d-static"
+             ~input_vocab:Dynfo_reductions.Reach_d_to_u.graph_vocab
+             ~symmetric_rels:[] ~oracle:Dynfo_reductions.Reach_d_to_u.oracle)
+          ~size reqs
+      in
+      row ~size ~fo:(Some via) ~native:None ~static:(Some static) ~work:None)
+    [ 5; 7; 9 ];
+
+  (* E14: measured expansion of I_{d-u} (Definition 5.1) *)
+  Printf.printf "\n== E14: expansion of I_{d-u} (Definition 5.1) ==\n";
+  Printf.printf "  %6s %18s %18s\n" "n" "max edge-req exp" "max set-req exp";
+  List.iter
+    (fun size ->
+      let rng = Random.State.make [| 7; size |] in
+      let reqs = Dynfo_reductions.Reach_d_to_u.workload rng ~size ~length:150 in
+      let st =
+        ref
+          (Dynfo_logic.Structure.create ~size
+             Dynfo_reductions.Reach_d_to_u.graph_vocab)
+      in
+      let edge_max = ref 0 and set_max = ref 0 in
+      List.iter
+        (fun r ->
+          let e =
+            Dynfo_reductions.Expansion.expansion_of_request
+              Dynfo_reductions.Reach_d_to_u.interpretation !st r
+          in
+          (match r with
+          | Request.Set _ -> set_max := max !set_max e
+          | Request.Ins _ | Request.Del _ -> edge_max := max !edge_max e);
+          st := Dynfo_reductions.Expansion.apply_request !st r)
+        reqs;
+      Printf.printf "  %6d %18d %18d\n" size !edge_max !set_max)
+    [ 6; 10; 14; 18 ];
+  print_endline "  (bounded in n: the reduction is bounded-expansion)";
+
+  (* --- Bechamel micro-benchmarks: one Test per experiment -------------- *)
+  print_endline "\n== Bechamel micro-benchmarks (one Test.make per experiment) ==";
+  let open Bechamel in
+  let replay (d : Dyn.t) ~size reqs =
+    Staged.stage (fun () ->
+        let inst = d.create size () in
+        List.iter
+          (fun r ->
+            inst.apply r;
+            ignore (inst.query ()))
+          reqs)
+  in
+  let tests =
+    List.filter_map
+      (fun (id, name, sz, len) ->
+        match Registry.find name with
+        | e ->
+            let rng = Random.State.make [| 13; sz |] in
+            let reqs = e.workload rng ~size:sz ~length:len in
+            if reqs = [] then None
+            else
+              Some
+                (Test.make
+                   ~name:(Printf.sprintf "%s_%s_fo_n%d" id name sz)
+                   (replay (Dyn.of_program e.program) ~size:sz reqs))
+        | exception Not_found -> None)
+      [
+        ("e1", "parity", 64, 50);
+        ("e2", "reach_u", 7, 30);
+        ("e3", "reach_acyclic", 8, 30);
+        ("e4", "trans_reduction", 7, 30);
+        ("e5", "msf", 6, 30);
+        ("e6", "bipartite", 6, 30);
+        ("e7", "k_edge_1", 5, 15);
+        ("e8", "matching", 8, 30);
+        ("e9", "lca", 8, 30);
+        ("e10", "regular", 10, 30);
+        ("e11", "mult", 10, 30);
+        ("e12", "dyck_2", 9, 30);
+        ("e15", "pad_reach_a", 5, 5);
+      ]
+  in
+  let benchmark test =
+    let quota = Time.second 0.25 in
+    Benchmark.all (Benchmark.cfg ~limit:500 ~quota ~kde:None ())
+      Toolkit.Instance.[ monotonic_clock ]
+      test
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun t ->
+      let results = benchmark t in
+      let results =
+        Analyze.all ols Toolkit.Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+              Printf.printf "  %-28s %12.0f ns/replay\n" name est
+          | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+        results)
+    tests;
+  print_endline "\nbench suite complete"

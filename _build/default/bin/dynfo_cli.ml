@@ -1,0 +1,162 @@
+(* Command-line driver for the Dyn-FO programs.
+
+   dynfo_cli list
+   dynfo_cli stats reach_u
+   dynfo_cli run reach_u -n 8 --script requests.txt
+   dynfo_cli check reach_u -n 8 --length 200 --seed 7 *)
+
+open Cmdliner
+open Dynfo
+open Dynfo_programs
+
+let entry_conv =
+  let parse s =
+    match Registry.find s with
+    | e -> Ok e
+    | exception Not_found ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown problem %S; try `dynfo_cli list'" s))
+  in
+  let print ppf (e : Registry.entry) = Format.pp_print_string ppf e.name in
+  Arg.conv (parse, print)
+
+let problem_arg =
+  Arg.(
+    required
+    & pos 0 (some entry_conv) None
+    & info [] ~docv:"PROBLEM" ~doc:"Problem name (see $(b,list)).")
+
+let size_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "n"; "size" ] ~docv:"N"
+        ~doc:"Universe size (default: the problem's preferred size).")
+
+(* --- list ---------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-16s %-22s %s\n" "NAME" "PAPER" "IMPLEMENTATIONS";
+    List.iter
+      (fun (e : Registry.entry) ->
+        let impls =
+          [ Some "fo"; Option.map (fun _ -> "native") e.native;
+            Option.map (fun _ -> "static") e.static ]
+          |> List.filter_map Fun.id |> String.concat ", "
+        in
+        Printf.printf "%-16s %-22s %s\n" e.name e.paper_ref impls)
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the available dynamic problems.")
+    Term.(const run $ const ())
+
+(* --- stats --------------------------------------------------------------- *)
+
+let stats_cmd =
+  let run (e : Registry.entry) =
+    Printf.printf "%s (%s)\n" e.name e.paper_ref;
+    List.iter
+      (fun (k, v) -> Printf.printf "  %-22s %d\n" k v)
+      (Program.stats e.program);
+    Printf.printf "  %-22s %s\n" "query"
+      (Dynfo_logic.Formula.to_string e.program.query)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Show the FO program's formula statistics.")
+    Term.(const run $ problem_arg)
+
+(* --- run ----------------------------------------------------------------- *)
+
+let script_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "script" ] ~docv:"FILE"
+        ~doc:
+          "Request script, one request per line (e.g. 'ins E (0,1)'); \
+           reads stdin when omitted.")
+
+let read_lines = function
+  | Some file ->
+      let ic = open_in file in
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file ->
+            close_in ic;
+            List.rev acc
+      in
+      go []
+  | None ->
+      let rec go acc =
+        match input_line stdin with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go []
+
+let run_cmd =
+  let run (e : Registry.entry) size_opt script =
+    let size = Option.value ~default:e.default_size size_opt in
+    let state = ref (Runner.init e.program ~size) in
+    let lines =
+      read_lines script
+      |> List.filter (fun l ->
+             let l = String.trim l in
+             l <> "" && l.[0] <> '#')
+    in
+    List.iter
+      (fun line ->
+        match
+          let req = Request.parse line in
+          Runner.step !state req
+        with
+        | next ->
+            state := next;
+            Printf.printf "%-20s query = %b\n" line (Runner.query !state)
+        | exception (Failure m | Invalid_argument m) ->
+            Printf.printf "%-20s error: %s\n" line m)
+      lines
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run a request script through a problem's FO program.")
+    Term.(const run $ problem_arg $ size_arg $ script_arg)
+
+(* --- check --------------------------------------------------------------- *)
+
+let check_cmd =
+  let length_arg =
+    Arg.(value & opt int 200 & info [ "length" ] ~docv:"L"
+           ~doc:"Number of random requests.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")
+  in
+  let run (e : Registry.entry) size_opt length seed =
+    let size = Option.value ~default:e.default_size size_opt in
+    let rng = Random.State.make [| seed |] in
+    let reqs = e.workload rng ~size ~length in
+    Printf.printf "checking %s at n=%d over %d requests (seed %d): %!"
+      e.name size (List.length reqs) seed;
+    match Harness.compare_all ~size (Registry.impls e) reqs with
+    | Harness.Ok n ->
+        Printf.printf "ok (%d checkpoints, %d implementations)\n" n
+          (List.length (Registry.impls e))
+    | m ->
+        Format.printf "%a@." Harness.pp_outcome m;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Cross-check all implementations of a problem on a random \
+          workload.")
+    Term.(const run $ problem_arg $ size_arg $ length_arg $ seed_arg)
+
+let () =
+  let doc = "Dyn-FO: dynamic first-order programs from Patnaik & Immerman" in
+  let info = Cmd.info "dynfo_cli" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; stats_cmd; run_cmd; check_cmd ]))

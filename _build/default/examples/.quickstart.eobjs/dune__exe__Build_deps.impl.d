@@ -1,0 +1,1 @@
+examples/build_deps.ml: Array Dynfo Dynfo_graph Dynfo_logic Dynfo_programs List Printf Reach_acyclic Relation Request Runner String Structure Trans_reduction

@@ -1,0 +1,1 @@
+examples/build_deps.mli:

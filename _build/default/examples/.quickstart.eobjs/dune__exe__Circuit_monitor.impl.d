@@ -1,0 +1,1 @@
+examples/circuit_monitor.ml: Alternating Array Dynfo Dynfo_graph Dynfo_programs List Printf Request Runner

@@ -1,0 +1,1 @@
+examples/log_monitor.ml: Dfa Dyn Dynfo Dynfo_automata Dynfo_programs Format Harness Printf Random Regex Regular Request

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dynfo Dynfo_logic Dynfo_programs List Parser Printf Program Reach_u Request Runner Structure Vocab

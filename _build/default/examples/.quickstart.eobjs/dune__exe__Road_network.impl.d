@@ -1,0 +1,1 @@
+examples/road_network.ml: Array Dynfo Dynfo_logic Dynfo_programs List Msf Printf Relation Request Result Runner String Structure

@@ -1,0 +1,1 @@
+examples/social_network.ml: Bipartite_prog Dyn Dynfo Dynfo_logic Dynfo_programs List Printf Random Reach_u Request

@@ -1,0 +1,77 @@
+(* Monitoring an edited line against a regular-language policy
+   (Theorem 4.6): the "document" is a buffer of character positions that
+   an editor changes one position at a time, and after each keystroke we
+   ask whether the current content matches a regex — maintained
+   dynamically instead of re-scanned.
+
+   Policy here: the line must consist of 'a'/'b' blocks and must not
+   contain the forbidden factor "bb". We compile the regex to a DFA, let
+   the library derive the Dyn-FO program and the paper's log-n tree, and
+   drive both with the same edits.
+
+   Run with: dune exec examples/log_monitor.exe *)
+
+open Dynfo
+open Dynfo_programs
+open Dynfo_automata
+
+let buffer_len = 12
+
+let () =
+  let alphabet = [ 'a'; 'b' ] in
+  (* "no two consecutive b's": complement of .*bb.* *)
+  let forbidden = Regex.compile ~alphabet ".*bb.*" in
+  let policy =
+    Dfa.make ~n_states:forbidden.Dfa.n_states ~alphabet
+      ~delta:forbidden.Dfa.delta ~start:forbidden.Dfa.start
+      ~accepting:(fun q -> not (forbidden.Dfa.accepting q))
+  in
+  Printf.printf "Policy: no \"bb\" factor; buffer of %d positions\n\n"
+    buffer_len;
+
+  let fo = (Dyn.of_program (Regular.program policy)).create buffer_len () in
+  let tree = (Regular.native policy).create buffer_len () in
+
+  let type_char p c =
+    let r = Request.ins (Regular.rel_of_char policy c) [ p ] in
+    fo.apply r;
+    tree.apply r
+  in
+  let erase p c =
+    let r = Request.del (Regular.rel_of_char policy c) [ p ] in
+    fo.apply r;
+    tree.apply r
+  in
+  let show action =
+    let ok_fo = fo.query () and ok_tree = tree.query () in
+    assert (ok_fo = ok_tree);
+    Printf.printf "  %-28s policy %s\n" action
+      (if ok_fo then "OK" else "VIOLATED")
+  in
+
+  show "(empty buffer)";
+  type_char 0 'a'; show "type 'a' at 0";
+  type_char 1 'b'; show "type 'b' at 1";
+  type_char 2 'b'; show "type 'b' at 2   <- bb!";
+  erase 1 'b'; show "erase position 1";
+  type_char 1 'a'; show "type 'a' at 1";
+  (* empty positions do not separate: the string is the concatenation
+     of the non-empty positions, so 'b' at 5 lands right after the 'b'
+     at 2 *)
+  type_char 5 'b'; show "type 'b' at 5   <- bb across gap!";
+  type_char 4 'a'; show "type 'a' at 4 (separates)";
+  erase 4 'a'; show "erase position 4 <- bb again";
+
+  print_endline "\nRandomised soak: FO program vs log-n tree vs full rescan";
+  let rng = Random.State.make [| 99 |] in
+  let reqs = Regular.workload policy rng ~size:buffer_len ~length:400 in
+  match
+    Harness.compare_all ~size:buffer_len
+      [ Dyn.of_program (Regular.program policy); Regular.native policy;
+        Regular.static policy ]
+      reqs
+  with
+  | Harness.Ok n -> Printf.printf "agreed on all %d checkpoints\n" n
+  | m ->
+      Format.printf "%a@." Harness.pp_outcome m;
+      exit 1

@@ -1,0 +1,68 @@
+(* Maintaining a minimum spanning forest of a road network (Theorem 4.4)
+   while roads open and close: the MSF gives the cheapest backbone that
+   keeps every reachable pair of towns connected.
+
+   The example builds a small grid of towns, opens weighted roads, then
+   closes and re-opens some — after every change the dynamically
+   maintained forest is compared against a from-scratch Kruskal run.
+
+   Run with: dune exec examples/road_network.exe *)
+
+open Dynfo_logic
+open Dynfo
+open Dynfo_programs
+
+let n_towns = 7
+
+let () =
+  Printf.printf "Road network on %d towns (weights are travel costs)\n\n"
+    n_towns;
+  let state = ref (Runner.init Msf.program ~size:n_towns) in
+  let backbone () =
+    let f = Structure.rel (Runner.structure !state) "F" in
+    Relation.fold
+      (fun t acc -> if t.(0) < t.(1) then (t.(0), t.(1)) :: acc else acc)
+      f []
+    |> List.rev
+  in
+  let kruskal_check () =
+    match Msf.msf_invariant !state with
+    | Result.Ok () -> "matches Kruskal"
+    | Error m -> "MISMATCH: " ^ m
+  in
+  let event description reqs =
+    List.iter (fun r -> state := Runner.step !state (Request.parse r)) reqs;
+    Printf.printf "%-42s backbone: %s (%s)\n" description
+      (String.concat " "
+         (List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) (backbone ())))
+      (kruskal_check ())
+  in
+  event "open road 0-1 (cost 2)" [ "ins E (0,1,2)" ];
+  event "open road 1-2 (cost 3)" [ "ins E (1,2,3)" ];
+  event "open road 0-2 (cost 1): swaps out 1-2" [ "ins E (0,2,1)" ];
+  event "open roads to town 3" [ "ins E (2,3,2)"; "ins E (1,3,5)" ];
+  event "close cheap road 0-2: 1-2 returns" [ "del E (0,2,1)" ];
+  event "open far towns 4,5,6" [ "ins E (4,5,1)"; "ins E (5,6,1)" ];
+  event "bridge the two regions (cost 6)" [ "ins E (3,4,6)" ];
+  event "cheaper bridge (cost 2) replaces it" [ "ins E (2,4,2)" ];
+  event "close road 1-2: reroute via 1-3?" [ "del E (1,2,3)" ];
+
+  (* total backbone cost *)
+  let weight_of u v =
+    let e = Structure.rel (Runner.structure !state) "E" in
+    Relation.fold
+      (fun t acc -> if t.(0) = u && t.(1) = v then t.(2) else acc)
+      e 0
+  in
+  let total =
+    List.fold_left (fun acc (u, v) -> acc + weight_of u v) 0 (backbone ())
+  in
+  Printf.printf "\nfinal backbone cost: %d\n" total;
+
+  (* sanity: connectivity questions on the maintained forest *)
+  List.iter
+    (fun (s, t) ->
+      state := Runner.step !state (Request.Set ("s", s));
+      state := Runner.step !state (Request.Set ("t", t));
+      Printf.printf "is %d-%d a backbone road? %b\n" s t (Runner.query !state))
+    [ (0, 1); (1, 2); (2, 4) ]

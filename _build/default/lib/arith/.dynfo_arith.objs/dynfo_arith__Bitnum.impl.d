@@ -1,0 +1,1 @@
+lib/arith/bitnum.ml: Array Format List Sys

@@ -1,0 +1,1 @@
+lib/arith/bitnum.mli: Format

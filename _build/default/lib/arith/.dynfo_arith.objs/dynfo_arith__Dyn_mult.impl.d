@@ -1,0 +1,1 @@
+lib/arith/dyn_mult.ml: Bitnum

@@ -1,0 +1,65 @@
+type t = bool array
+
+let zero ~width =
+  if width <= 0 then invalid_arg "Bitnum.zero: width must be positive";
+  Array.make width false
+
+let of_int ~width v =
+  Array.init width (fun i ->
+      if i < Sys.int_size - 1 then (v asr i) land 1 = 1 else v < 0)
+
+let to_int x =
+  if Array.length x >= Sys.int_size then
+    invalid_arg "Bitnum.to_int: too wide";
+  Array.to_list x
+  |> List.rev
+  |> List.fold_left (fun acc b -> (acc * 2) + if b then 1 else 0) 0
+
+let equal = ( = )
+let get x i = x.(i)
+
+let set x i b =
+  let y = Array.copy x in
+  y.(i) <- b;
+  y
+
+(* carry-lookahead, as in the FO formula for addition: carry.(i) holds iff
+   exists j < i with (x_j and y_j) and forall k, j < k < i implies
+   (x_k or y_k). *)
+let add x y =
+  let w = Array.length x in
+  if Array.length y <> w then invalid_arg "Bitnum.add: width mismatch";
+  let carry = Array.make (w + 1) false in
+  for i = 1 to w do
+    let gen = x.(i - 1) && y.(i - 1) in
+    let prop = (x.(i - 1) || y.(i - 1)) && carry.(i - 1) in
+    carry.(i) <- gen || prop
+  done;
+  Array.init w (fun i -> x.(i) <> y.(i) <> carry.(i))
+
+let neg x =
+  let w = Array.length x in
+  let flipped = Array.map not x in
+  add flipped (of_int ~width:w 1)
+
+let sub x y = add x (neg y)
+
+let shift_left x i =
+  let w = Array.length x in
+  if i < 0 then invalid_arg "Bitnum.shift_left: negative shift";
+  Array.init w (fun j -> j >= i && x.(j - i))
+
+let mul x y =
+  let w = Array.length x in
+  if Array.length y <> w then invalid_arg "Bitnum.mul: width mismatch";
+  let acc = ref (zero ~width:w) in
+  for i = 0 to w - 1 do
+    if x.(i) then acc := add !acc (shift_left y i)
+  done;
+  !acc
+
+let pp ppf x =
+  let w = Array.length x in
+  for i = w - 1 downto 0 do
+    Format.pp_print_char ppf (if x.(i) then '1' else '0')
+  done

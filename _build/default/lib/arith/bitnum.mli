@@ -1,0 +1,43 @@
+(** Fixed-width binary numbers as bit arrays — the substrate for
+    Proposition 4.7 (multiplication is in Dyn-FO).
+
+    A [t] is an array of [width] bits, least significant first. All
+    arithmetic is modulo [2^width] (two's complement), which is exactly
+    what the proposition's update formulas compute: "adding the 2's
+    complement of the resulting number". The carry-lookahead formulation
+    used by {!add} mirrors the classic FO formula for addition: a carry
+    enters position [i] iff some position [j < i] generates a carry and
+    every position strictly between propagates it. *)
+
+type t = bool array
+
+val zero : width:int -> t
+val of_int : width:int -> int -> t
+(** Two's complement encoding; negative values allowed. *)
+
+val to_int : t -> int
+(** Interprets as an unsigned number. Raises [Invalid_argument] if the
+    value exceeds [max_int]. *)
+
+val equal : t -> t -> bool
+val get : t -> int -> bool
+val set : t -> int -> bool -> t
+(** Persistent update. *)
+
+val add : t -> t -> t
+(** Modulo [2^width], via carry lookahead. *)
+
+val neg : t -> t
+(** Two's complement negation. *)
+
+val sub : t -> t -> t
+
+val shift_left : t -> int -> t
+(** [shift_left x i] multiplies by [2^i], dropping overflowing bits. *)
+
+val mul : t -> t -> t
+(** Schoolbook multiplication modulo [2^width]; the static oracle for the
+    dynamic product. *)
+
+val pp : Format.formatter -> t -> unit
+(** Most significant bit first. *)

@@ -1,0 +1,27 @@
+type t = { x : Bitnum.t; y : Bitnum.t; product : Bitnum.t }
+
+let create ~width =
+  let z = Bitnum.zero ~width in
+  { x = z; y = z; product = z }
+
+let x t = t.x
+let y t = t.y
+let product t = t.product
+
+let set_x t i b =
+  if Bitnum.get t.x i = b then t
+  else
+    let shifted = Bitnum.shift_left t.y i in
+    let product =
+      if b then Bitnum.add t.product shifted else Bitnum.sub t.product shifted
+    in
+    { t with x = Bitnum.set t.x i b; product }
+
+let set_y t i b =
+  if Bitnum.get t.y i = b then t
+  else
+    let shifted = Bitnum.shift_left t.x i in
+    let product =
+      if b then Bitnum.add t.product shifted else Bitnum.sub t.product shifted
+    in
+    { t with y = Bitnum.set t.y i b; product }

@@ -1,0 +1,21 @@
+(** The native dynamic multiplication of Proposition 4.7.
+
+    Maintains the product [P = X * Y] (modulo [2^width]) under single-bit
+    changes to [X] or [Y]. Changing bit [i] of [X] from 0 to 1 adds
+    [Y << i] to [P]; changing it from 1 to 0 adds the two's complement of
+    [Y << i] — each a single FO-expressible addition, exactly as in the
+    paper. The FO form of the same program lives in
+    [Dynfo_programs.Mult_prog]. *)
+
+type t
+
+val create : width:int -> t
+val x : t -> Bitnum.t
+val y : t -> Bitnum.t
+val product : t -> Bitnum.t
+
+val set_x : t -> int -> bool -> t
+(** Set bit [i] of [X]; O(width) work (one addition). No-op if the bit
+    already has that value. *)
+
+val set_y : t -> int -> bool -> t

@@ -1,0 +1,1 @@
+lib/automata/dfa_ops.mli: Dfa

@@ -1,0 +1,1 @@
+lib/automata/dyck.ml: Array List Random

@@ -1,0 +1,1 @@
+lib/automata/monoid.ml: Array Dfa Format

@@ -1,0 +1,1 @@
+lib/automata/monoid.mli: Dfa Format

@@ -1,0 +1,1 @@
+lib/automata/regex.ml: Format List Nfa Printf String

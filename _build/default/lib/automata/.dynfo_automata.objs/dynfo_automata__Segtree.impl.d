@@ -1,0 +1,1 @@
+lib/automata/segtree.ml: Array Buffer Dfa Monoid

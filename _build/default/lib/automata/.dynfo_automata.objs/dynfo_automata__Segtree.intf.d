@@ -1,0 +1,1 @@
+lib/automata/segtree.mli: Dfa Monoid

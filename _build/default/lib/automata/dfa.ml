@@ -1,0 +1,87 @@
+type t = {
+  n_states : int;
+  alphabet : char list;
+  delta : int -> char -> int;
+  start : int;
+  accepting : int -> bool;
+}
+
+let make ~n_states ~alphabet ~delta ~start ~accepting =
+  if n_states <= 0 then invalid_arg "Dfa.make: no states";
+  if start < 0 || start >= n_states then invalid_arg "Dfa.make: bad start";
+  for q = 0 to n_states - 1 do
+    List.iter
+      (fun c ->
+        let q' = delta q c in
+        if q' < 0 || q' >= n_states then
+          invalid_arg "Dfa.make: delta out of range")
+      alphabet
+  done;
+  { n_states; alphabet; delta; start; accepting }
+
+let step d q c =
+  if not (List.mem c d.alphabet) then
+    invalid_arg (Printf.sprintf "Dfa: character %C not in alphabet" c);
+  d.delta q c
+
+let run d s =
+  let q = ref d.start in
+  String.iter (fun c -> q := step d !q c) s;
+  !q
+
+let accepts d s = d.accepting (run d s)
+
+let accepts_chars d cs =
+  d.accepting (List.fold_left (fun q c -> step d q c) d.start cs)
+
+let even_zeros =
+  make ~n_states:2 ~alphabet:[ '0'; '1' ]
+    ~delta:(fun q c -> if c = '0' then 1 - q else q)
+    ~start:0
+    ~accepting:(fun q -> q = 0)
+
+let mod_k k =
+  if k <= 0 then invalid_arg "Dfa.mod_k: k must be positive";
+  make ~n_states:k ~alphabet:[ '0'; '1' ]
+    ~delta:(fun q c -> ((2 * q) + if c = '1' then 1 else 0) mod k)
+    ~start:0
+    ~accepting:(fun q -> q = 0)
+
+let contains pat ~alphabet =
+  let m = String.length pat in
+  if m = 0 then invalid_arg "Dfa.contains: empty pattern";
+  (* state q < m: longest prefix of pat matched; state m: found *)
+  let rec shift q c =
+    (* longest suffix of pat[0..q-1]c that is a prefix of pat *)
+    if q = 0 then if pat.[0] = c then 1 else 0
+    else if pat.[q] = c then q + 1
+    else
+      (* standard KMP fallback computed by brute force: fine for the
+         short patterns used here *)
+      let rec best k =
+        if k = 0 then shift 0 c
+        else
+          let cand = String.sub pat (q - k + 1) (k - 1) ^ String.make 1 c in
+          if String.length cand <= q + 1 && cand = String.sub pat 0 k then k
+          else best (k - 1)
+      in
+      best q
+  in
+  make ~n_states:(m + 1) ~alphabet
+    ~delta:(fun q c -> if q = m then m else shift q c)
+    ~start:0
+    ~accepting:(fun q -> q = m)
+
+let no_double_one =
+  (* state 2 = dead *)
+  make ~n_states:3 ~alphabet:[ '0'; '1' ]
+    ~delta:(fun q c ->
+      match (q, c) with
+      | 2, _ -> 2
+      | 0, '1' -> 1
+      | 0, _ -> 0
+      | 1, '1' -> 2
+      | 1, _ -> 0
+      | _ -> 0)
+    ~start:0
+    ~accepting:(fun q -> q <> 2)

@@ -1,0 +1,43 @@
+(** Deterministic finite automata over small char alphabets — the [D] of
+    Theorem 4.6.
+
+    States are [0 .. n_states-1]; the transition function is total. *)
+
+type t = {
+  n_states : int;
+  alphabet : char list;
+  delta : int -> char -> int;
+  start : int;
+  accepting : int -> bool;
+}
+
+val make :
+  n_states:int ->
+  alphabet:char list ->
+  delta:(int -> char -> int) ->
+  start:int ->
+  accepting:(int -> bool) ->
+  t
+(** Validates that [delta] stays in range on the given alphabet. *)
+
+val run : t -> string -> int
+(** State after reading the whole string. Raises [Invalid_argument] on
+    characters outside the alphabet. *)
+
+val accepts : t -> string -> bool
+
+val accepts_chars : t -> char list -> bool
+
+(* Some classic automata used in tests and benchmarks. *)
+
+val even_zeros : t
+(** Over ['0';'1']: strings with an even number of ['0']s. *)
+
+val mod_k : int -> t
+(** Over ['0';'1']: binary numbers divisible by [k] (msb first). *)
+
+val contains : string -> alphabet:char list -> t
+(** Strings containing the given factor (KMP automaton). *)
+
+val no_double_one : t
+(** Over ['0';'1']: strings with no two consecutive ['1']s. *)

@@ -1,0 +1,130 @@
+let check_alphabets (a : Dfa.t) (b : Dfa.t) =
+  if List.sort compare a.alphabet <> List.sort compare b.alphabet then
+    invalid_arg "Dfa_ops: alphabets differ"
+
+(* explore the reachable product states, numbering them on discovery *)
+let product op (a : Dfa.t) (b : Dfa.t) =
+  check_alphabets a b;
+  let tbl = Hashtbl.create 64 in
+  let states = ref [] in
+  let count = ref 0 in
+  let intern pair =
+    match Hashtbl.find_opt tbl pair with
+    | Some i -> i
+    | None ->
+        let i = !count in
+        incr count;
+        Hashtbl.add tbl pair i;
+        states := pair :: !states;
+        i
+  in
+  let transitions = Hashtbl.create 64 in
+  let rec explore pair =
+    let i = intern pair in
+    List.iter
+      (fun c ->
+        let qa, qb = pair in
+        let dst = (a.delta qa c, b.delta qb c) in
+        if not (Hashtbl.mem transitions (i, c)) then begin
+          (* reserve the slot before recursing to cut cycles *)
+          Hashtbl.replace transitions (i, c) (-1);
+          explore dst;
+          Hashtbl.replace transitions (i, c) (intern dst)
+        end)
+      a.alphabet
+  in
+  let start_pair = (a.start, b.start) in
+  explore start_pair;
+  let state_arr = Array.of_list (List.rev !states) in
+  Dfa.make ~n_states:!count ~alphabet:a.alphabet
+    ~delta:(fun q c ->
+      match Hashtbl.find_opt transitions (q, c) with
+      | Some j when j >= 0 -> j
+      | _ -> q)
+    ~start:(intern start_pair)
+    ~accepting:(fun q ->
+      let qa, qb = state_arr.(q) in
+      op (a.accepting qa) (b.accepting qb))
+
+let intersect = product ( && )
+let union = product ( || )
+let difference = product (fun x y -> x && not y)
+
+let complement (d : Dfa.t) =
+  Dfa.make ~n_states:d.n_states ~alphabet:d.alphabet ~delta:d.delta
+    ~start:d.start
+    ~accepting:(fun q -> not (d.accepting q))
+
+let reachable_states (d : Dfa.t) =
+  let seen = Array.make d.n_states false in
+  let rec go q =
+    if not seen.(q) then begin
+      seen.(q) <- true;
+      List.iter (fun c -> go (d.delta q c)) d.alphabet
+    end
+  in
+  go d.start;
+  seen
+
+let minimise (d : Dfa.t) =
+  let reach = reachable_states d in
+  (* Moore: refine the accepting/rejecting partition until stable.
+     class_of.(q) is the current block id of q. *)
+  let class_of =
+    Array.init d.n_states (fun q -> if d.accepting q then 1 else 0)
+  in
+  let stable = ref false in
+  while not !stable do
+    (* signature of a state: its class plus classes of its successors *)
+    let signature q =
+      (class_of.(q), List.map (fun c -> class_of.(d.delta q c)) d.alphabet)
+    in
+    let tbl = Hashtbl.create 16 in
+    let next = ref 0 in
+    let new_class = Array.make d.n_states 0 in
+    for q = 0 to d.n_states - 1 do
+      if reach.(q) then begin
+        let s = signature q in
+        match Hashtbl.find_opt tbl s with
+        | Some i -> new_class.(q) <- i
+        | None ->
+            Hashtbl.add tbl s !next;
+            new_class.(q) <- !next;
+            incr next
+      end
+    done;
+    stable := true;
+    for q = 0 to d.n_states - 1 do
+      if reach.(q) && new_class.(q) <> class_of.(q) then stable := false
+    done;
+    if not !stable then
+      Array.iteri (fun q c -> if reach.(q) then class_of.(q) <- c) new_class
+  done;
+  (* renumber blocks densely *)
+  let ids = Hashtbl.create 16 in
+  let count = ref 0 in
+  for q = 0 to d.n_states - 1 do
+    if reach.(q) && not (Hashtbl.mem ids class_of.(q)) then begin
+      Hashtbl.add ids class_of.(q) !count;
+      incr count
+    end
+  done;
+  let block q = Hashtbl.find ids class_of.(q) in
+  (* a representative per block for delta/accepting *)
+  let repr = Array.make !count (-1) in
+  for q = d.n_states - 1 downto 0 do
+    if reach.(q) then repr.(block q) <- q
+  done;
+  Dfa.make ~n_states:!count ~alphabet:d.alphabet
+    ~delta:(fun b c -> block (d.delta repr.(b) c))
+    ~start:(block d.start)
+    ~accepting:(fun b -> d.accepting repr.(b))
+
+let is_empty (d : Dfa.t) =
+  let reach = reachable_states d in
+  let rec go q =
+    q >= d.n_states || ((not (reach.(q) && d.accepting q)) && go (q + 1))
+  in
+  go 0
+
+let equivalent a b = is_empty (product ( <> ) a b)

@@ -1,0 +1,28 @@
+(** Constructions on DFAs: boolean combinations, minimisation and
+    equivalence — used to build the automata that Theorem 4.6's dynamic
+    programs maintain, and to validate them (two DFAs accepted by the
+    harness must be the {e same language}, which equivalence decides).
+
+    All constructions require the operands to share an alphabet. *)
+
+val product : (bool -> bool -> bool) -> Dfa.t -> Dfa.t -> Dfa.t
+(** Product automaton with the given boolean combination of acceptance;
+    the state space is the reachable part of the product (at most
+    [n1 * n2] states). *)
+
+val intersect : Dfa.t -> Dfa.t -> Dfa.t
+val union : Dfa.t -> Dfa.t -> Dfa.t
+val difference : Dfa.t -> Dfa.t -> Dfa.t
+
+val complement : Dfa.t -> Dfa.t
+
+val minimise : Dfa.t -> Dfa.t
+(** Moore's partition-refinement minimisation of the reachable part;
+    the result is the canonical minimal DFA for the language. *)
+
+val equivalent : Dfa.t -> Dfa.t -> bool
+(** Language equivalence, decided by product reachability: no reachable
+    pair may disagree on acceptance. *)
+
+val is_empty : Dfa.t -> bool
+(** No reachable accepting state. *)

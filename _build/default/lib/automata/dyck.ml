@@ -1,0 +1,68 @@
+type paren = { left : bool; ptype : int }
+
+let well_formed ps =
+  let rec go stack = function
+    | [] -> stack = []
+    | { left = true; ptype } :: rest -> go (ptype :: stack) rest
+    | { left = false; ptype } :: rest -> (
+        match stack with
+        | t :: stack' when t = ptype -> go stack' rest
+        | _ -> false)
+  in
+  go [] ps
+
+let levels ps =
+  let rec go lefts rights = function
+    | [] -> []
+    | { left = true; _ } :: rest ->
+        (lefts + 1 - rights) :: go (lefts + 1) rights rest
+    | { left = false; _ } :: rest ->
+        (lefts - rights) :: go lefts (rights + 1) rest
+  in
+  go 0 0 ps
+
+let matches_of ps =
+  let arr = Array.of_list ps in
+  let lev = Array.of_list (levels ps) in
+  let n = Array.length arr in
+  let pairs = ref [] in
+  for i = 0 to n - 1 do
+    if arr.(i).left then begin
+      (* closest right parenthesis to the right on the same level *)
+      let rec find j =
+        if j >= n then None
+        else if (not arr.(j).left) && lev.(j) = lev.(i) then Some j
+        else if (not arr.(j).left) && lev.(j) < lev.(i) then None
+        else find (j + 1)
+      in
+      match find (i + 1) with
+      | Some j -> pairs := (i, j) :: !pairs
+      | None -> ()
+    end
+  done;
+  List.rev !pairs
+
+let random rng ~k ~len ~p_valid =
+  if Random.State.float rng 1.0 < p_valid then begin
+    (* stack process that closes everything by the end *)
+    let rec go stack remaining acc =
+      if remaining = 0 then
+        List.rev_append acc
+          (List.map (fun t -> { left = false; ptype = t }) stack)
+      else if
+        stack <> []
+        && (List.length stack >= remaining || Random.State.bool rng)
+      then
+        match stack with
+        | t :: stack' ->
+            go stack' (remaining - 1) ({ left = false; ptype = t } :: acc)
+        | [] -> assert false
+      else
+        let t = Random.State.int rng k in
+        go (t :: stack) (remaining - 1) ({ left = true; ptype = t } :: acc)
+    in
+    go [] len []
+  end
+  else
+    List.init len (fun _ ->
+        { left = Random.State.bool rng; ptype = Random.State.int rng k })

@@ -1,0 +1,21 @@
+type t = int array
+
+let identity k = Array.init k (fun q -> q)
+
+let of_char (d : Dfa.t) c = Array.init d.n_states (fun q -> d.delta q c)
+
+let compose f g =
+  if Array.length f <> Array.length g then
+    invalid_arg "Monoid.compose: size mismatch";
+  Array.map (fun q' -> g.(q')) f
+
+let apply f q = f.(q)
+
+let equal = ( = )
+
+let pp ppf f =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ' ')
+       Format.pp_print_int)
+    (Array.to_list f)

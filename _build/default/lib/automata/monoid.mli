@@ -1,0 +1,25 @@
+(** The transition monoid of a DFA: total functions [Q -> Q] under
+    composition.
+
+    Theorem 4.6 stores one such element per tree node ("at each internal
+    node of the tree we store the composition of the functions of its two
+    children"). Elements are arrays [f] with [f.(q)] the state reached
+    from [q]. *)
+
+type t = int array
+
+val identity : int -> t
+(** Identity on [{0..k-1}]. *)
+
+val of_char : Dfa.t -> char -> t
+(** The function [delta(., c)]. *)
+
+val compose : t -> t -> t
+(** [compose f g] is "first [f], then [g]": [(compose f g).(q) =
+    g.(f.(q))] — matching left-to-right reading of a string. *)
+
+val apply : t -> int -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

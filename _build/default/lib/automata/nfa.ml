@@ -1,0 +1,93 @@
+module Iset = Set.Make (Int)
+
+type t = {
+  n_states : int;
+  alphabet : char list;
+  transitions : (int * char option * int) list;
+  start : int;
+  accepting : int list;
+}
+
+let make ~n_states ~alphabet ~transitions ~start ~accepting =
+  let check q =
+    if q < 0 || q >= n_states then invalid_arg "Nfa.make: state out of range"
+  in
+  check start;
+  List.iter check accepting;
+  List.iter
+    (fun (q, _, q') ->
+      check q;
+      check q')
+    transitions;
+  { n_states; alphabet; transitions; start; accepting }
+
+let eps_closure nfa set =
+  let rec go frontier acc =
+    if Iset.is_empty frontier then acc
+    else
+      let next =
+        List.fold_left
+          (fun nxt (q, c, q') ->
+            if c = None && Iset.mem q frontier && not (Iset.mem q' acc) then
+              Iset.add q' nxt
+            else nxt)
+          Iset.empty nfa.transitions
+      in
+      go next (Iset.union acc next)
+  in
+  go set set
+
+let move nfa set c =
+  List.fold_left
+    (fun acc (q, lbl, q') ->
+      if lbl = Some c && Iset.mem q set then Iset.add q' acc else acc)
+    Iset.empty nfa.transitions
+
+let accepts nfa s =
+  let cur = ref (eps_closure nfa (Iset.singleton nfa.start)) in
+  String.iter (fun c -> cur := eps_closure nfa (move nfa !cur c)) s;
+  List.exists (fun q -> Iset.mem q !cur) nfa.accepting
+
+let to_dfa nfa =
+  let tbl = Hashtbl.create 64 in
+  let states = ref [] in
+  let n = ref 0 in
+  let intern set =
+    let key = Iset.elements set in
+    match Hashtbl.find_opt tbl key with
+    | Some i -> (i, false)
+    | None ->
+        let i = !n in
+        incr n;
+        Hashtbl.add tbl key i;
+        states := set :: !states;
+        (i, true)
+  in
+  let transitions = Hashtbl.create 64 in
+  let rec explore set =
+    let i, fresh = intern set in
+    if fresh then
+      List.iter
+        (fun c ->
+          let dst = eps_closure nfa (move nfa set c) in
+          explore dst;
+          let j, _ = intern dst in
+          Hashtbl.replace transitions (i, c) j)
+        nfa.alphabet
+    else ignore i
+  in
+  let start_set = eps_closure nfa (Iset.singleton nfa.start) in
+  explore start_set;
+  let state_arr = Array.of_list (List.rev !states) in
+  let accepting_arr =
+    Array.map
+      (fun set -> List.exists (fun q -> Iset.mem q set) nfa.accepting)
+      state_arr
+  in
+  Dfa.make ~n_states:!n ~alphabet:nfa.alphabet
+    ~delta:(fun q c ->
+      match Hashtbl.find_opt transitions (q, c) with
+      | Some j -> j
+      | None -> q (* unreachable: construction is total *))
+    ~start:(fst (intern start_set))
+    ~accepting:(fun q -> accepting_arr.(q))

@@ -1,0 +1,27 @@
+(** Nondeterministic finite automata with epsilon transitions, and the
+    subset construction to {!Dfa.t}. Substrate for compiling regular
+    expressions into the automata that Theorem 4.6 maintains. *)
+
+type t = {
+  n_states : int;
+  alphabet : char list;
+  transitions : (int * char option * int) list;  (** [None] = epsilon *)
+  start : int;
+  accepting : int list;
+}
+
+val make :
+  n_states:int ->
+  alphabet:char list ->
+  transitions:(int * char option * int) list ->
+  start:int ->
+  accepting:int list ->
+  t
+
+val accepts : t -> string -> bool
+(** Direct NFA simulation (epsilon-closure based). *)
+
+val to_dfa : t -> Dfa.t
+(** Subset construction. The resulting DFA has at most [2^n_states]
+    states (in practice far fewer; states are numbered in discovery
+    order). *)

@@ -1,0 +1,157 @@
+type t =
+  | Empty
+  | Eps
+  | Chr of char
+  | Any
+  | Alt of t * t
+  | Seq of t * t
+  | Star of t
+
+exception Parse_error of string
+
+(* recursive descent: alt := seq ('|' seq)*; seq := post+; post :=
+   atom ('*'|'+'|'?')*; atom := char | '.' | '(' alt ')' *)
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec alt () =
+    let lhs = ref (seq ()) in
+    while peek () = Some '|' do
+      advance ();
+      lhs := Alt (!lhs, seq ())
+    done;
+    !lhs
+  and seq () =
+    let rec go acc =
+      match peek () with
+      | None | Some ')' | Some '|' -> acc
+      | _ -> go (Seq (acc, post ()))
+    in
+    match peek () with
+    | None | Some ')' | Some '|' -> Eps
+    | _ ->
+        let first = post () in
+        go first
+  and post () =
+    let a = ref (atom ()) in
+    let continue = ref true in
+    while !continue do
+      (match peek () with
+      | Some '*' ->
+          advance ();
+          a := Star !a
+      | Some '+' ->
+          advance ();
+          a := Seq (!a, Star !a)
+      | Some '?' ->
+          advance ();
+          a := Alt (!a, Eps)
+      | _ -> continue := false)
+    done;
+    !a
+  and atom () =
+    match peek () with
+    | Some '(' ->
+        advance ();
+        let r = alt () in
+        if peek () <> Some ')' then raise (Parse_error "expected )");
+        advance ();
+        r
+    | Some '.' ->
+        advance ();
+        Any
+    | Some c when c <> '*' && c <> '+' && c <> '?' && c <> ')' && c <> '|' ->
+        advance ();
+        Chr c
+    | Some c -> raise (Parse_error (Printf.sprintf "unexpected %C" c))
+    | None -> raise (Parse_error "unexpected end of pattern")
+  in
+  let r = alt () in
+  if !pos <> n then raise (Parse_error "trailing input");
+  r
+
+let to_nfa ~alphabet re =
+  (* Thompson construction with a state counter; collect transitions *)
+  let transitions = ref [] in
+  let counter = ref 0 in
+  let fresh () =
+    let q = !counter in
+    incr counter;
+    q
+  in
+  let edge q lbl q' = transitions := (q, lbl, q') :: !transitions in
+  (* returns (entry, exit) *)
+  let rec build = function
+    | Empty ->
+        let i = fresh () and f = fresh () in
+        (i, f)
+    | Eps ->
+        let i = fresh () and f = fresh () in
+        edge i None f;
+        (i, f)
+    | Chr c ->
+        let i = fresh () and f = fresh () in
+        edge i (Some c) f;
+        (i, f)
+    | Any ->
+        let i = fresh () and f = fresh () in
+        List.iter (fun c -> edge i (Some c) f) alphabet;
+        (i, f)
+    | Alt (a, b) ->
+        let i = fresh () and f = fresh () in
+        let ia, fa = build a and ib, fb = build b in
+        edge i None ia;
+        edge i None ib;
+        edge fa None f;
+        edge fb None f;
+        (i, f)
+    | Seq (a, b) ->
+        let ia, fa = build a and ib, fb = build b in
+        edge fa None ib;
+        (ia, fb)
+    | Star a ->
+        let i = fresh () and f = fresh () in
+        let ia, fa = build a in
+        edge i None ia;
+        edge i None f;
+        edge fa None ia;
+        edge fa None f;
+        (i, f)
+  in
+  let start, accept = build re in
+  Nfa.make ~n_states:!counter ~alphabet ~transitions:!transitions ~start
+    ~accepting:[ accept ]
+
+let compile ~alphabet src = Nfa.to_dfa (to_nfa ~alphabet (parse src))
+
+let rec nullable = function
+  | Empty | Chr _ | Any -> false
+  | Eps | Star _ -> true
+  | Alt (a, b) -> nullable a || nullable b
+  | Seq (a, b) -> nullable a && nullable b
+
+let rec deriv c = function
+  | Empty | Eps -> Empty
+  | Chr c' -> if c = c' then Eps else Empty
+  | Any -> Eps
+  | Alt (a, b) -> Alt (deriv c a, deriv c b)
+  | Seq (a, b) ->
+      let d = Seq (deriv c a, b) in
+      if nullable a then Alt (d, deriv c b) else d
+  | Star a -> Seq (deriv c a, Star a)
+
+let matches ~alphabet re s =
+  let ok = String.for_all (fun c -> List.mem c alphabet) s in
+  if not ok then invalid_arg "Regex.matches: character outside alphabet";
+  nullable (String.fold_left (fun r c -> deriv c r) re s)
+
+let rec pp ppf = function
+  | Empty -> Format.pp_print_string ppf "[]"
+  | Eps -> Format.pp_print_string ppf "()"
+  | Chr c -> Format.pp_print_char ppf c
+  | Any -> Format.pp_print_char ppf '.'
+  | Alt (a, b) -> Format.fprintf ppf "(%a|%a)" pp a pp b
+  | Seq (a, b) -> Format.fprintf ppf "%a%a" pp a pp b
+  | Star a -> Format.fprintf ppf "(%a)*" pp a

@@ -1,0 +1,30 @@
+(** Regular expressions: parser, Thompson construction to {!Nfa.t}, and a
+    Brzozowski-derivative matcher used as an independent oracle in tests.
+
+    Concrete syntax: literals, [|] (alternation), juxtaposition
+    (concatenation), [*], [+], [?] (postfix), parentheses, [.] (any
+    alphabet character). *)
+
+type t =
+  | Empty  (** matches nothing *)
+  | Eps  (** matches the empty string *)
+  | Chr of char
+  | Any
+  | Alt of t * t
+  | Seq of t * t
+  | Star of t
+
+exception Parse_error of string
+
+val parse : string -> t
+
+val to_nfa : alphabet:char list -> t -> Nfa.t
+(** Thompson construction. [Any] expands over the given alphabet. *)
+
+val compile : alphabet:char list -> string -> Dfa.t
+(** [parse |> to_nfa |> Nfa.to_dfa]. *)
+
+val matches : alphabet:char list -> t -> string -> bool
+(** Brzozowski derivatives — no automaton involved; the oracle. *)
+
+val pp : Format.formatter -> t -> unit

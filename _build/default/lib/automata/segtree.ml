@@ -1,0 +1,55 @@
+type t = {
+  dfa : Dfa.t;
+  n : int;  (** number of positions *)
+  base : int;  (** leaves live at indices base .. base + n - 1 *)
+  nodes : Monoid.t array;
+  chars : char option array;
+}
+
+let create dfa n =
+  if n <= 0 then invalid_arg "Segtree.create: n must be positive";
+  let base =
+    let rec go b = if b >= n then b else go (2 * b) in
+    go 1
+  in
+  let id = Monoid.identity dfa.Dfa.n_states in
+  {
+    dfa;
+    n;
+    base;
+    nodes = Array.make (2 * base) id;
+    chars = Array.make n None;
+  }
+
+let length t = t.n
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Segtree: position out of range"
+
+let set t i c =
+  check t i;
+  t.chars.(i) <- c;
+  let leaf =
+    match c with
+    | None -> Monoid.identity t.dfa.Dfa.n_states
+    | Some ch -> Monoid.of_char t.dfa ch
+  in
+  let v = ref (t.base + i) in
+  t.nodes.(!v) <- leaf;
+  while !v > 1 do
+    v := !v / 2;
+    t.nodes.(!v) <- Monoid.compose t.nodes.(2 * !v) t.nodes.((2 * !v) + 1)
+  done
+
+let get t i =
+  check t i;
+  t.chars.(i)
+
+let root t = t.nodes.(1)
+
+let accepts t = t.dfa.Dfa.accepting (Monoid.apply (root t) t.dfa.Dfa.start)
+
+let to_string t =
+  let buf = Buffer.create t.n in
+  Array.iter (function Some c -> Buffer.add_char buf c | None -> ()) t.chars;
+  Buffer.contents buf

@@ -1,0 +1,32 @@
+(** The complete binary tree of Theorem 4.6: leaves hold the transition
+    function of the character at each input position (identity for empty
+    positions), internal nodes the composition of their children. A
+    change to one position updates the [log n] nodes on the leaf-to-root
+    path; membership is read off the root in constant time.
+
+    This is the {e native} dynamic algorithm for regular languages; the
+    FO program in [Dynfo_programs.Regular] maintains interval relations
+    instead, and tests check the two agree. *)
+
+type t
+
+val create : Dfa.t -> int -> t
+(** [create d n]: tree over [n] positions, all initially empty. *)
+
+val length : t -> int
+
+val set : t -> int -> char option -> unit
+(** [set tree i c] places character [c] (or empties) position [i];
+    O(log n) monoid compositions. *)
+
+val get : t -> int -> char option
+
+val root : t -> Monoid.t
+(** The transition function of the whole current string. *)
+
+val accepts : t -> bool
+(** Is the current string (the concatenation of non-empty positions) in
+    the DFA's language? *)
+
+val to_string : t -> string
+(** The current string, skipping empty positions. *)

@@ -1,0 +1,1 @@
+lib/core/dyn.ml: Array Dynfo_logic List Program Request Runner Structure

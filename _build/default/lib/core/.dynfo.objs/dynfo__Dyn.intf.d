@@ -1,0 +1,1 @@
+lib/core/dyn.mli: Dynfo_logic Program Request

@@ -1,0 +1,1 @@
+lib/core/harness.ml: Dyn Format List Program Request

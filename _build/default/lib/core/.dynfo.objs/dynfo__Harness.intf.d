@@ -1,0 +1,1 @@
+lib/core/harness.mli: Dyn Dynfo_logic Format Program Request

@@ -1,0 +1,1 @@
+lib/core/program.ml: Dynfo_logic Formula List Parser Printf Structure Vocab

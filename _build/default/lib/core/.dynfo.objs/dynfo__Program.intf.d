@@ -1,0 +1,1 @@
+lib/core/program.mli: Dynfo_logic Formula Structure Vocab

@@ -1,0 +1,1 @@
+lib/core/request.ml: Array Dynfo_logic Format List Printf String Tuple Vocab

@@ -1,0 +1,1 @@
+lib/core/runner.ml: Array Dynfo_logic Eval List Printf Program Request Structure

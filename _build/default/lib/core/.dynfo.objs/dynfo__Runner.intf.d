@@ -1,0 +1,1 @@
+lib/core/runner.mli: Dynfo_logic Program Request Structure

@@ -1,0 +1,48 @@
+open Dynfo_logic
+
+type t = { name : string; create : int -> unit -> instance }
+and instance = { apply : Request.t -> unit; query : unit -> bool }
+
+let of_program (p : Program.t) =
+  let create n () =
+    let state = ref (Runner.init p ~size:n) in
+    {
+      apply = (fun req -> state := Runner.step !state req);
+      query = (fun () -> Runner.query !state);
+    }
+  in
+  { name = p.name; create }
+
+let of_fun ~name ~create ~apply ~query =
+  let create n () =
+    let state = ref (create n) in
+    {
+      apply = (fun req -> state := apply !state req);
+      query = (fun () -> query !state);
+    }
+  in
+  { name; create }
+
+let static ~name ~input_vocab ~symmetric_rels ~oracle =
+  let create n () =
+    let st = ref (Structure.create ~size:n input_vocab) in
+    let flip tup =
+      Array.init (Array.length tup) (fun i ->
+          if i = 0 then tup.(1) else if i = 1 then tup.(0) else tup.(i))
+    in
+    {
+      apply =
+        (fun req ->
+          st :=
+            (match req with
+            | Request.Ins (r, tup) when List.mem r symmetric_rels ->
+                Structure.add_tuple (Structure.add_tuple !st r tup) r (flip tup)
+            | Request.Del (r, tup) when List.mem r symmetric_rels ->
+                Structure.del_tuple (Structure.del_tuple !st r tup) r (flip tup)
+            | Request.Ins (r, tup) -> Structure.add_tuple !st r tup
+            | Request.Del (r, tup) -> Structure.del_tuple !st r tup
+            | Request.Set (c, a) -> Structure.with_const !st c a));
+      query = (fun () -> oracle !st);
+    }
+  in
+  { name; create }

@@ -1,0 +1,49 @@
+type outcome = Ok of int | Mismatch of mismatch
+
+and mismatch = {
+  at : int;
+  request : Request.t;
+  answers : (string * bool) list;
+}
+
+let compare_all ~size (impls : Dyn.t list) reqs =
+  let instances =
+    List.map (fun (d : Dyn.t) -> (d.name, d.create size ())) impls
+  in
+  let rec go i = function
+    | [] -> Ok i
+    | req :: rest ->
+        List.iter (fun (_, (inst : Dyn.instance)) -> inst.apply req) instances;
+        let answers =
+          List.map
+            (fun (name, (inst : Dyn.instance)) -> (name, inst.query ()))
+            instances
+        in
+        let agree =
+          match answers with
+          | [] | [ _ ] -> true
+          | (_, a) :: rest -> List.for_all (fun (_, b) -> b = a) rest
+        in
+        if agree then go (i + 1) rest
+        else Mismatch { at = i; request = req; answers }
+  in
+  go 0 reqs
+
+let pp_outcome ppf = function
+  | Ok n -> Format.fprintf ppf "ok (%d checkpoints)" n
+  | Mismatch m ->
+      Format.fprintf ppf "mismatch after request #%d (%a): %a" m.at Request.pp
+        m.request
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           (fun ppf (name, b) -> Format.fprintf ppf "%s=%b" name b))
+        m.answers
+
+let check_program ?name ?(symmetric_rels = []) ~size ~oracle
+    (p : Program.t) reqs =
+  let oracle_name = match name with Some n -> n | None -> "oracle" in
+  let baseline =
+    Dyn.static ~name:oracle_name ~input_vocab:p.input_vocab ~symmetric_rels
+      ~oracle
+  in
+  compare_all ~size [ Dyn.of_program p; baseline ] reqs

@@ -1,0 +1,36 @@
+(** Cross-checking harness: the executable statement of each membership
+    theorem.
+
+    For a problem [S], the paper's proof exhibits a dynamic program whose
+    query answers [eval(r) in S] after every request prefix [r]. The
+    harness replays a request sequence through any number of
+    implementations ({!Dyn.t} values — the FO program, a native dynamic
+    structure, the static recompute baseline) and reports the first
+    divergence, if any. *)
+
+type outcome = Ok of int  (** number of checkpoints compared *) | Mismatch of mismatch
+
+and mismatch = {
+  at : int;  (** index of the request after which answers diverged *)
+  request : Request.t;
+  answers : (string * bool) list;  (** per-implementation answers *)
+}
+
+val compare_all :
+  size:int -> Dyn.t list -> Request.t list -> outcome
+(** Run the sequence through every implementation, comparing boolean query
+    answers after every request. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val check_program :
+  ?name:string ->
+  ?symmetric_rels:string list ->
+  size:int ->
+  oracle:(Dynfo_logic.Structure.t -> bool) ->
+  Program.t ->
+  Request.t list ->
+  outcome
+(** Convenience wrapper: FO program vs. oracle-on-input-structure. The
+    oracle sees exactly the input restriction of the program state, so the
+    comparison is on-the-nose with Definition 3.1(1). *)

@@ -1,0 +1,129 @@
+open Dynfo_logic
+
+type rule = { target : string; vars : string list; body : Formula.t }
+
+type update = { params : string list; temps : rule list; rules : rule list }
+
+type t = {
+  name : string;
+  input_vocab : Vocab.t;
+  aux_vocab : Vocab.t;
+  init : int -> Structure.t;
+  on_ins : (string * update) list;
+  on_del : (string * update) list;
+  on_set : (string * update) list;
+  query : Formula.t;
+  queries : (string * string list * Formula.t) list;
+}
+
+let vocab p = Vocab.union p.input_vocab p.aux_vocab
+
+let rule target vars body = { target; vars; body }
+let rule_s target vars src = { target; vars; body = Parser.parse src }
+
+let update ?(temps = []) ~params rules = { params; temps; rules }
+
+let validate p =
+  let voc = vocab p in
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  let check_rule ?(is_temp = false) ~where ~params ~temps r =
+    (if not is_temp then
+       match Vocab.arity_of voc r.target with
+       | arity ->
+           if arity <> List.length r.vars then
+             fail "%s/%s: rule for %s has %d vars, arity is %d" p.name where
+               r.target (List.length r.vars) arity
+       | exception Not_found ->
+           fail "%s/%s: rule targets unknown relation %s" p.name where r.target);
+    let temp_names = List.map (fun (t : rule) -> t.target) temps in
+    List.iter
+      (fun x ->
+        let known =
+          List.mem x r.vars || List.mem x params
+          || Vocab.mem_const voc x || Vocab.mem_rel voc x
+          || List.mem x temp_names
+        in
+        if not known then
+          fail "%s/%s: rule for %s has unbound free variable %s" p.name where
+            r.target x)
+      (Formula.free_vars r.body)
+  in
+  let check_update ~kind (relname, u) =
+    let where = Printf.sprintf "%s(%s)" kind relname in
+    if kind <> "set" && not (Vocab.mem_rel p.input_vocab relname) then
+      fail "%s/%s: update key is not an input relation" p.name where;
+    if kind = "set" && not (Vocab.mem_const voc relname) then
+      fail "%s/%s: set-update key is not a constant" p.name where;
+    if kind <> "set" then begin
+      let arity = Vocab.arity_of p.input_vocab relname in
+      if List.length u.params <> arity then
+        fail "%s/%s: %d params for arity-%d relation" p.name where
+          (List.length u.params) arity
+    end;
+    (* temps see only earlier temps *)
+    let rec temps_ok earlier = function
+      | [] -> ()
+      | t :: rest ->
+          check_rule ~is_temp:true ~where ~params:u.params ~temps:earlier t;
+          temps_ok (earlier @ [ t ]) rest
+    in
+    temps_ok [] u.temps;
+    List.iter (check_rule ~where ~params:u.params ~temps:u.temps) u.rules
+  in
+  List.iter (check_update ~kind:"ins") p.on_ins;
+  List.iter (check_update ~kind:"del") p.on_del;
+  List.iter (check_update ~kind:"set") p.on_set;
+  List.iter
+    (fun x ->
+      if not (Vocab.mem_const voc x || Vocab.mem_rel voc x) then
+        fail "%s/query: unbound free variable %s" p.name x)
+    (Formula.free_vars p.query);
+  List.iter
+    (fun (qname, qvars, body) ->
+      List.iter
+        (fun x ->
+          if
+            not
+              (List.mem x qvars || Vocab.mem_const voc x || Vocab.mem_rel voc x)
+          then fail "%s/query %s: unbound free variable %s" p.name qname x)
+        (Formula.free_vars body))
+    p.queries
+
+let make ~name ~input_vocab ~aux_vocab ~init ?(on_ins = []) ?(on_del = [])
+    ?(on_set = []) ?(queries = []) ~query () =
+  let p =
+    {
+      name;
+      input_vocab;
+      aux_vocab;
+      init;
+      on_ins;
+      on_del;
+      on_set;
+      query;
+      queries;
+    }
+  in
+  validate p;
+  p
+
+let stats p =
+  let rules =
+    List.concat_map
+      (fun (_, u) -> u.temps @ u.rules)
+      (p.on_ins @ p.on_del @ p.on_set)
+  in
+  let bodies = p.query :: List.map (fun r -> r.body) rules in
+  let maxd = List.fold_left (fun m f -> max m (Formula.quantifier_depth f)) 0 bodies in
+  let maxs = List.fold_left (fun m f -> max m (Formula.size f)) 0 bodies in
+  let max_arity =
+    List.fold_left
+      (fun m (s : Vocab.sym) -> max m s.arity)
+      0 (Vocab.relations p.aux_vocab)
+  in
+  [
+    ("rules", List.length rules);
+    ("max_quantifier_depth", maxd);
+    ("max_formula_size", maxs);
+    ("max_aux_arity", max_arity);
+  ]

@@ -1,0 +1,80 @@
+(** Dynamic first-order programs — the [(f_n, g_n, T)] of Section 3.1.
+
+    A program maintains a combined structure holding both the input
+    relations and the auxiliary ("data structure") relations. Each kind of
+    request carries an {!update}: a block of first-order redefinitions that
+    is applied {e synchronously} — every rule body is evaluated against the
+    pre-update structure, exactly as the primed relations [R'] of the paper
+    are defined from the unprimed ones. Temporary relations ([temps]) model
+    the paper's intermediate definitions (the [T] and [New] of Theorem
+    4.1): they are evaluated in order, each seeing the pre-state plus the
+    earlier temporaries, and are discarded after the update.
+
+    The membership claim [S in Dyn-FO] is witnessed by such a program: the
+    query and every rule body are first-order formulas. *)
+
+open Dynfo_logic
+
+type rule = {
+  target : string;  (** relation being redefined (may be 0-ary: a boolean) *)
+  vars : string list;  (** tuple variables; length = arity of [target] *)
+  body : Formula.t;
+      (** free variables ⊆ [vars] ∪ update parameters ∪ constants *)
+}
+
+type update = {
+  params : string list;
+      (** names bound to the components of the inserted/deleted tuple,
+          e.g. [["a"; "b"]] for an edge update *)
+  temps : rule list;  (** sequential let-style temporary definitions *)
+  rules : rule list;  (** simultaneous redefinitions *)
+}
+
+type t = {
+  name : string;
+  input_vocab : Vocab.t;
+  aux_vocab : Vocab.t;
+  init : int -> Structure.t;
+      (** [f_n(empty)]: the initial combined structure for universe size
+          [n]; must have vocabulary [Vocab.union input_vocab aux_vocab]. *)
+  on_ins : (string * update) list;  (** per input relation *)
+  on_del : (string * update) list;
+  on_set : (string * update) list;
+      (** reaction to [set c a]; the constant itself is always updated
+          first, then the update (if any) runs with no parameters. *)
+  query : Formula.t;  (** the boolean query: a sentence over the state *)
+  queries : (string * string list * Formula.t) list;
+      (** additional named queries with parameters, e.g. LCA's
+          ["lca", ["x"; "y"; "a"], phi] *)
+}
+
+val vocab : t -> Vocab.t
+(** The combined input+aux vocabulary. *)
+
+val make :
+  name:string ->
+  input_vocab:Vocab.t ->
+  aux_vocab:Vocab.t ->
+  init:(int -> Structure.t) ->
+  ?on_ins:(string * update) list ->
+  ?on_del:(string * update) list ->
+  ?on_set:(string * update) list ->
+  ?queries:(string * string list * Formula.t) list ->
+  query:Formula.t ->
+  unit ->
+  t
+(** Smart constructor; validates that rule targets exist with matching
+    arity, that update keys are input relations, and that every rule
+    body's free variables are covered by tuple variables, parameters and
+    constants. Raises [Invalid_argument] otherwise. *)
+
+val rule : string -> string list -> Formula.t -> rule
+val rule_s : string -> string list -> string -> rule
+(** [rule_s target vars src] parses [src] with {!Parser.parse}. *)
+
+val update : ?temps:rule list -> params:string list -> rule list -> update
+
+val stats : t -> (string * int) list
+(** Descriptive statistics used in EXPERIMENTS.md: number of rules, max
+    quantifier depth over all rule bodies, max formula size — the
+    "parallel time" profile of the program. *)

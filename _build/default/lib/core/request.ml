@@ -1,0 +1,52 @@
+open Dynfo_logic
+
+type t =
+  | Ins of string * Tuple.t
+  | Del of string * Tuple.t
+  | Set of string * int
+
+let ins name xs = Ins (name, Array.of_list xs)
+let del name xs = Del (name, Array.of_list xs)
+let set name a = Set (name, a)
+
+let valid vocab ~size = function
+  | Ins (name, tup) | Del (name, tup) ->
+      Vocab.mem_rel vocab name
+      && (try Vocab.arity_of vocab name = Array.length tup
+          with Not_found -> false)
+      && Tuple.in_universe ~size tup
+  | Set (name, a) -> Vocab.mem_const vocab name && 0 <= a && a < size
+
+let pp ppf = function
+  | Ins (name, tup) -> Format.fprintf ppf "ins %s %a" name Tuple.pp tup
+  | Del (name, tup) -> Format.fprintf ppf "del %s %a" name Tuple.pp tup
+  | Set (name, a) -> Format.fprintf ppf "set %s %d" name a
+
+let to_string r = Format.asprintf "%a" pp r
+
+let parse line =
+  let fail () = failwith (Printf.sprintf "Request.parse: malformed %S" line) in
+  let line = String.trim line in
+  match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+  | [ "set"; name; a ] -> (
+      match int_of_string_opt a with Some a -> Set (name, a) | None -> fail ())
+  | kind :: name :: rest when (kind = "ins" || kind = "del") && rest <> [] -> (
+      let tup = String.trim (String.concat "" rest) in
+      let len = String.length tup in
+      if len < 2 || tup.[0] <> '(' || tup.[len - 1] <> ')' then fail ()
+      else
+        let inner = String.sub tup 1 (len - 2) in
+        let comps =
+          if String.trim inner = "" then []
+          else
+            List.map
+              (fun s ->
+                match int_of_string_opt (String.trim s) with
+                | Some i -> i
+                | None -> fail ())
+              (String.split_on_char ',' inner)
+        in
+        match kind with
+        | "ins" -> ins name comps
+        | _ -> del name comps)
+  | _ -> fail ()

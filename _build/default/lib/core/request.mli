@@ -1,0 +1,27 @@
+(** Requests to a dynamic structure (Equation 3.1 of the paper):
+
+    [R_{n,sigma} = { ins(i, a), del(i, a), set(j, a) }]
+
+    — insert tuple [a] into relation [R_i], delete it, or set constant
+    [c_j] to [a]. *)
+
+type t =
+  | Ins of string * Dynfo_logic.Tuple.t
+  | Del of string * Dynfo_logic.Tuple.t
+  | Set of string * int
+
+val ins : string -> int list -> t
+val del : string -> int list -> t
+val set : string -> int -> t
+
+val valid : Dynfo_logic.Vocab.t -> size:int -> t -> bool
+(** Does the request name a symbol of the vocabulary, with the right arity,
+    and components inside the universe? *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val parse : string -> t
+(** Inverse of {!pp}: accepts ["ins R (1,2)"], ["del E (0,3)"],
+    ["set s 4"]. Raises [Failure] on malformed input. Used by the CLI to
+    read request scripts. *)

@@ -1,0 +1,94 @@
+open Dynfo_logic
+
+type state = { program : Program.t; structure : Structure.t }
+
+let init (p : Program.t) ~size =
+  let st = p.init size in
+  (* sanity: the initial structure must expose the whole vocabulary *)
+  ignore (Structure.restrict st (Program.vocab p));
+  { program = p; structure = st }
+
+let structure s = s.structure
+let input s = Structure.restrict s.structure s.program.input_vocab
+let program s = s.program
+
+let apply_update st (u : Program.update) (args : int list) =
+  let env = List.combine u.params args in
+  (* temporaries: sequential, visible to later temps and to rules *)
+  let with_temps =
+    List.fold_left
+      (fun acc (r : Program.rule) ->
+        let rel = Eval.define acc ~vars:r.vars ~env r.body in
+        Structure.declare_rel acc r.target rel)
+      st u.temps
+  in
+  (* rules: all evaluated against the pre-state (+temps), then installed *)
+  let new_rels =
+    List.map
+      (fun (r : Program.rule) ->
+        (r.target, Eval.define with_temps ~vars:r.vars ~env r.body))
+      u.rules
+  in
+  List.fold_left (fun acc (name, rel) -> Structure.with_rel acc name rel) st
+    new_rels
+
+let step s req =
+  let p = s.program in
+  let size = Structure.size s.structure in
+  if not (Request.valid p.input_vocab ~size req) then
+    invalid_arg
+      (Printf.sprintf "Runner.step: invalid request %s for program %s"
+         (Request.to_string req) p.name);
+  let structure =
+    match req with
+    | Request.Ins (name, tup) ->
+        let st =
+          match List.assoc_opt name p.on_ins with
+          | Some u -> apply_update s.structure u (Array.to_list tup)
+          | None -> s.structure
+        in
+        (* default maintenance of the input relation itself *)
+        let handled =
+          match List.assoc_opt name p.on_ins with
+          | Some u -> List.exists (fun (r : Program.rule) -> r.target = name) u.rules
+          | None -> false
+        in
+        if handled then st else Structure.add_tuple st name tup
+    | Request.Del (name, tup) ->
+        let st =
+          match List.assoc_opt name p.on_del with
+          | Some u -> apply_update s.structure u (Array.to_list tup)
+          | None -> s.structure
+        in
+        let handled =
+          match List.assoc_opt name p.on_del with
+          | Some u -> List.exists (fun (r : Program.rule) -> r.target = name) u.rules
+          | None -> false
+        in
+        if handled then st else Structure.del_tuple st name tup
+    | Request.Set (name, a) ->
+        let st = Structure.with_const s.structure name a in
+        (match List.assoc_opt name p.on_set with
+        | Some u -> apply_update st u []
+        | None -> st)
+  in
+  { s with structure }
+
+let run s reqs = List.fold_left step s reqs
+
+let query s = Eval.holds s.structure s.program.query
+
+let query_named s name args =
+  match
+    List.find_opt (fun (n, _, _) -> n = name) s.program.queries
+  with
+  | None -> raise Not_found
+  | Some (_, vars, body) ->
+      if List.length vars <> List.length args then
+        invalid_arg "Runner.query_named: arity mismatch";
+      Eval.holds s.structure ~env:(List.combine vars args) body
+
+let step_work s req =
+  Eval.reset_work ();
+  let s' = step s req in
+  (s', Eval.work ())

@@ -1,0 +1,45 @@
+(** Executing a dynamic program: the evaluation map [g_n] of Section 3.1.
+
+    A {!state} couples a program with its current combined structure. Each
+    {!step} applies the update block for the request: temporaries are
+    evaluated sequentially, then all rules are evaluated against the
+    pre-update structure (plus temporaries) and installed simultaneously.
+    If the program has no rule redefining the updated input relation
+    itself, the tuple is inserted/deleted directly (the common case where
+    maintaining the input is "trivial", as the paper puts it). *)
+
+open Dynfo_logic
+
+type state
+
+val init : Program.t -> size:int -> state
+(** [f_n(empty)] — the initial state for universe [{0..size-1}]. *)
+
+val structure : state -> Structure.t
+(** The full combined structure (input + auxiliary relations). *)
+
+val input : state -> Structure.t
+(** The input structure only — what [eval_{n,sigma}] of the paper denotes;
+    this is what oracles judge. *)
+
+val program : state -> Program.t
+
+val step : state -> Request.t -> state
+(** Apply one request. Raises [Invalid_argument] for requests that are not
+    valid for the input vocabulary/universe. Requests that do not change
+    the input (inserting a present tuple, deleting an absent one) are still
+    processed through the update formulas — the paper's programs are
+    written to be no-ops in that case, and tests check they are. *)
+
+val run : state -> Request.t list -> state
+
+val query : state -> bool
+(** Evaluate the program's boolean query sentence. *)
+
+val query_named : state -> string -> int list -> bool
+(** Evaluate a named parameterised query. Raises [Not_found] for unknown
+    query names, [Invalid_argument] on arity mismatch. *)
+
+val step_work : state -> Request.t -> state * int
+(** Like {!step} but also returns the number of atomic FO evaluations the
+    update performed (see {!Dynfo_logic.Eval.work}). *)

@@ -1,0 +1,68 @@
+
+type spec = {
+  rels : (string * int) list;
+  consts : string list;
+  p_ins : float;
+  p_del : float;
+  symmetric : bool;
+}
+
+let spec ?(consts = []) ?(p_ins = 0.5) ?(p_del = 0.4) ?(symmetric = false)
+    rels =
+  if rels = [] && consts = [] then invalid_arg "Workload.spec: empty spec";
+  { rels; consts; p_ins; p_del; symmetric }
+
+let random_tuple rng ~size ~arity ~symmetric =
+  let t = Array.init arity (fun _ -> Random.State.int rng size) in
+  if symmetric && arity = 2 && size > 1 then
+    while t.(0) = t.(1) do
+      t.(1) <- Random.State.int rng size
+    done;
+  t
+
+let generate rng ~size ~length sp =
+  (* live tuples per relation, to bias deletes toward present tuples *)
+  let live = Hashtbl.create 16 in
+  let key name tup = (name, Array.to_list tup) in
+  let pick_rel () =
+    List.nth sp.rels (Random.State.int rng (List.length sp.rels))
+  in
+  let reqs = ref [] in
+  for _ = 1 to length do
+    let r = Random.State.float rng 1.0 in
+    let req =
+      if sp.rels <> [] && r < sp.p_ins then begin
+        let name, arity = pick_rel () in
+        let tup = random_tuple rng ~size ~arity ~symmetric:sp.symmetric in
+        Hashtbl.replace live (key name tup) (name, tup);
+        Request.Ins (name, tup)
+      end
+      else if sp.rels <> [] && (r < sp.p_ins +. sp.p_del || sp.consts = [])
+      then begin
+        let present = Hashtbl.fold (fun _ v acc -> v :: acc) live [] in
+        if present <> [] && Random.State.float rng 1.0 < 0.8 then begin
+          let name, tup =
+            List.nth present (Random.State.int rng (List.length present))
+          in
+          Hashtbl.remove live (key name tup);
+          Request.Del (name, tup)
+        end
+        else
+          let name, arity = pick_rel () in
+          let tup = random_tuple rng ~size ~arity ~symmetric:sp.symmetric in
+          Hashtbl.remove live (key name tup);
+          Request.Del (name, tup)
+      end
+      else
+        let c =
+          List.nth sp.consts (Random.State.int rng (List.length sp.consts))
+        in
+        Request.Set (c, Random.State.int rng size)
+    in
+    reqs := req :: !reqs
+  done;
+  List.rev !reqs
+
+let edge_churn rng ~size ~length ?(rel = "E") ?(p_ins = 0.55) () =
+  generate rng ~size ~length
+    (spec ~p_ins ~p_del:(1.0 -. p_ins) ~symmetric:true [ (rel, 2) ])

@@ -1,0 +1,40 @@
+(** Random request-sequence generators used by tests and benchmarks.
+
+    The generator tracks the simulated input structure so that deletions
+    mostly target tuples that are actually present — a uniform-random
+    delete on a sparse relation would almost always be a no-op and would
+    exercise nothing. *)
+
+type spec = {
+  rels : (string * int) list;  (** updatable relations: name, arity *)
+  consts : string list;  (** settable constants *)
+  p_ins : float;  (** probability of an insert (default 0.5) *)
+  p_del : float;  (** probability of a delete; remainder are [set]s *)
+  symmetric : bool;
+      (** generate distinct endpoints for binary tuples (no self-loops);
+          used for the undirected-graph problems *)
+}
+
+val spec :
+  ?consts:string list ->
+  ?p_ins:float ->
+  ?p_del:float ->
+  ?symmetric:bool ->
+  (string * int) list ->
+  spec
+
+val generate :
+  Random.State.t -> size:int -> length:int -> spec -> Request.t list
+(** A random request sequence. Deletions target a currently-present tuple
+    with probability 0.8 (when one exists). *)
+
+val edge_churn :
+  Random.State.t ->
+  size:int ->
+  length:int ->
+  ?rel:string ->
+  ?p_ins:float ->
+  unit ->
+  Request.t list
+(** Specialised generator for graph problems: inserts/deletes on a binary
+    relation (default ["E"]) with no self-loops. *)

@@ -1,0 +1,1 @@
+lib/graph/alternating.ml: Array Graph List

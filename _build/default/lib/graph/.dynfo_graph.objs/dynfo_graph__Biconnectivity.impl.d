@@ -1,0 +1,1 @@
+lib/graph/biconnectivity.ml: Array Fun Graph List Traversal

@@ -1,0 +1,1 @@
+lib/graph/biconnectivity.mli: Graph

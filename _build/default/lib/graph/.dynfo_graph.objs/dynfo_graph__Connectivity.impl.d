@@ -1,0 +1,1 @@
+lib/graph/connectivity.ml: Array Fun Graph List Queue Traversal

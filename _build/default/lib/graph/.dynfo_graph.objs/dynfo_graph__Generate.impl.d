@@ -1,0 +1,1 @@
+lib/graph/generate.ml: Alternating Array Graph List Random

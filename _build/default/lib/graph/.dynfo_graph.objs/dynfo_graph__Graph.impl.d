@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Array Dynfo_logic Format Int List Relation Set Structure

@@ -1,0 +1,1 @@
+lib/graph/hdt.ml: Array Ett Graph Hashtbl Int List Printf Result Set Traversal

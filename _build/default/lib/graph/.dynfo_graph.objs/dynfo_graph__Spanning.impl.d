@@ -1,0 +1,1 @@
+lib/graph/spanning.ml: Array Graph List Queue Traversal Union_find

@@ -1,0 +1,1 @@
+lib/graph/spanning.mli: Graph

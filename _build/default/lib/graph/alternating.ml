@@ -1,0 +1,74 @@
+type t = { graph : Graph.t; universal : bool array }
+
+let make graph ~universal =
+  if Array.length universal <> Graph.n_vertices graph then
+    invalid_arg "Alternating.make: marker length mismatch";
+  { graph; universal }
+
+let step g ~target a =
+  let n = Graph.n_vertices g.graph in
+  Array.init n (fun x ->
+      x = target
+      ||
+      let succs = Graph.succ g.graph x in
+      if g.universal.(x) then
+        succs <> [] && List.for_all (fun z -> a.(z)) succs
+      else List.exists (fun z -> a.(z)) succs)
+
+let reach_set g y =
+  let n = Graph.n_vertices g.graph in
+  let a = ref (Array.init n (fun x -> x = y)) in
+  let continue = ref true in
+  while !continue do
+    let a' = step g ~target:y !a in
+    if a' = !a then continue := false else a := a'
+  done;
+  !a
+
+let reach_a g x y = (reach_set g y).(x)
+
+type gate = Input of bool | And of int list | Or of int list
+
+type circuit = gate array
+
+let cval (c : circuit) root =
+  let n = Array.length c in
+  if root < 0 || root >= n then invalid_arg "Alternating.cval: bad gate";
+  (* 0 = unvisited, 1 = in progress, 2 = done *)
+  let state = Array.make n 0 in
+  let value = Array.make n false in
+  let rec eval g =
+    if g < 0 || g >= n then invalid_arg "Alternating.cval: bad wire";
+    match state.(g) with
+    | 1 -> invalid_arg "Alternating.cval: cyclic circuit"
+    | 2 -> value.(g)
+    | _ ->
+        state.(g) <- 1;
+        let v =
+          match c.(g) with
+          | Input b -> b
+          | And ws -> ws <> [] && List.for_all eval ws
+          | Or ws -> List.exists eval ws
+        in
+        state.(g) <- 2;
+        value.(g) <- v;
+        v
+  in
+  eval root
+
+let circuit_to_alternating (c : circuit) =
+  let n = Array.length c in
+  let tt = n in
+  let g = Graph.create (n + 1) in
+  let universal = Array.make (n + 1) false in
+  Array.iteri
+    (fun i gate ->
+      match gate with
+      | Input true -> Graph.add_edge g i tt
+      | Input false -> ()
+      | And ws ->
+          universal.(i) <- true;
+          List.iter (fun w -> Graph.add_edge g i w) ws
+      | Or ws -> List.iter (fun w -> Graph.add_edge g i w) ws)
+    c;
+  (make g ~universal, tt)

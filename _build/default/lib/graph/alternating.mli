@@ -1,0 +1,41 @@
+(** Alternating graphs and REACH_a, the P-complete problem of Section 5,
+    together with the monotone circuit value problem (CVAL) and its
+    encoding into REACH_a.
+
+    In an alternating graph each vertex is existential or universal.
+    [reach_a g x y] holds iff: [x = y]; or [x] is existential and some
+    successor alternately reaches [y]; or [x] is universal, has at least
+    one successor, and {e all} successors alternately reach [y]. *)
+
+type t = { graph : Graph.t; universal : bool array }
+
+val make : Graph.t -> universal:bool array -> t
+
+val reach_set : t -> int -> bool array
+(** [reach_set g y] marks every [x] with [reach_a x y]; computed by
+    fixpoint iteration (at most [n] rounds — the FO[n] computation that
+    Theorem 5.14 replays one step per padded request). *)
+
+val reach_a : t -> int -> int -> bool
+
+val step : t -> target:int -> bool array -> bool array
+(** One round of the inductive definition: from an under-approximation
+    [A] to [A']. [reach_set] is the least fixpoint of [step] above the
+    base [{target}]. Exposed so the PAD(REACH_a) dynamic program can run
+    exactly one round per request. *)
+
+(** Monotone boolean circuits. Gates are numbered; inputs carry a
+    constant. *)
+type gate = Input of bool | And of int list | Or of int list
+
+type circuit = gate array
+
+val cval : circuit -> int -> bool
+(** Value of a gate, by memoised recursion. Raises [Invalid_argument] on
+    cyclic circuits or out-of-range wires. *)
+
+val circuit_to_alternating : circuit -> t * int
+(** The standard encoding: AND gates become universal vertices, OR gates
+    and inputs existential; an extra "true" terminal [tt] is appended and
+    every true input points at it. Gate [g] evaluates to true iff
+    [reach_a g tt]. Returns the graph and [tt]. *)

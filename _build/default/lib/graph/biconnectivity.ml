@@ -1,0 +1,69 @@
+(* Tarjan lowpoint DFS, iterative over an explicit stack to stay safe on
+   long paths. *)
+
+type dfs = {
+  disc : int array;
+  low : int array;
+  parent : int array;
+  mutable timer : int;
+}
+
+let run_dfs g =
+  let n = Graph.n_vertices g in
+  let st = { disc = Array.make n (-1); low = Array.make n 0; parent = Array.make n (-1); timer = 0 } in
+  let bridges = ref [] in
+  let artics = Array.make n false in
+  for root = 0 to n - 1 do
+    if st.disc.(root) = -1 then begin
+      (* stack of (vertex, remaining successors) *)
+      let stack = ref [ (root, ref (Graph.succ g root)) ] in
+      st.disc.(root) <- st.timer;
+      st.low.(root) <- st.timer;
+      st.timer <- st.timer + 1;
+      let root_children = ref 0 in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (v, succs) :: rest -> (
+            match !succs with
+            | [] ->
+                stack := rest;
+                (match rest with
+                | (p, _) :: _ ->
+                    st.low.(p) <- min st.low.(p) st.low.(v);
+                    if st.low.(v) >= st.disc.(p) && p <> root then
+                      artics.(p) <- true;
+                    if st.low.(v) > st.disc.(p) then
+                      bridges := (min p v, max p v) :: !bridges
+                | [] -> ())
+            | w :: ws ->
+                succs := ws;
+                if st.disc.(w) = -1 then begin
+                  st.parent.(w) <- v;
+                  if v = root then incr root_children;
+                  st.disc.(w) <- st.timer;
+                  st.low.(w) <- st.timer;
+                  st.timer <- st.timer + 1;
+                  stack := (w, ref (Graph.succ g w)) :: !stack
+                end
+                else if w <> st.parent.(v) then
+                  st.low.(v) <- min st.low.(v) st.disc.(w))
+      done;
+      if !root_children >= 2 then artics.(root) <- true
+    end
+  done;
+  (List.sort_uniq compare !bridges, artics)
+
+let bridges g = fst (run_dfs g)
+
+let articulation_points g =
+  let _, artics = run_dfs g in
+  List.filter (fun v -> artics.(v)) (List.init (Graph.n_vertices g) Fun.id)
+
+let is_bridge g u v = List.mem (min u v, max u v) (bridges g)
+
+let two_edge_connected_components g =
+  let brs = bridges g in
+  let g' = Graph.copy g in
+  List.iter (fun (u, v) -> Graph.remove_uedge g' u v) brs;
+  Traversal.components g'

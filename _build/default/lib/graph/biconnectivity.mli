@@ -1,0 +1,21 @@
+(** Bridges and articulation points of symmetric graphs (Tarjan's
+    lowpoint algorithm) — the static side of the fully dynamic
+    biconnectivity line of work the paper cites ([F91], [R94]).
+
+    A {e bridge} is an edge whose removal disconnects its endpoints; an
+    {e articulation point} is a vertex whose removal increases the
+    number of connected components. Cross-checked in the tests against
+    brute-force removal and against the k-edge-connectivity machinery
+    (an edge is a bridge iff the graph is not 2-edge-connected "at"
+    it). *)
+
+val bridges : Graph.t -> (int * int) list
+(** Normalised [(u, v)], [u < v], in lexicographic order. *)
+
+val articulation_points : Graph.t -> int list
+
+val is_bridge : Graph.t -> int -> int -> bool
+
+val two_edge_connected_components : Graph.t -> int array
+(** [c.(v)] is the least vertex of [v]'s 2-edge-connected component
+    (bridges removed). *)

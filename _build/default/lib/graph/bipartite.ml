@@ -1,0 +1,38 @@
+let colour g =
+  let n = Graph.n_vertices g in
+  let col = Array.make n (-1) in
+  let conflict = ref None in
+  for root = 0 to n - 1 do
+    if col.(root) = -1 && !conflict = None then begin
+      col.(root) <- 0;
+      let q = Queue.create () in
+      Queue.add root q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        List.iter
+          (fun v ->
+            if col.(v) = -1 then begin
+              col.(v) <- 1 - col.(u);
+              Queue.add v q
+            end
+            else if col.(v) = col.(u) && !conflict = None then
+              conflict := Some (u, v))
+          (Graph.succ g u)
+      done
+    end
+  done;
+  (col, !conflict)
+
+let is_bipartite g = snd (colour g) = None
+
+let odd_cycle g =
+  match snd (colour g) with
+  | None -> None
+  | Some (u, v) ->
+      (* path u..v through BFS tree + edge (v,u) closes an odd cycle; we
+         recover it with a direct search for an odd-length closed walk *)
+      let forest = Spanning.spanning_forest g in
+      let n = Graph.n_vertices g in
+      (match Spanning.forest_path ~n forest u v with
+      | Some p -> Some (p @ [ u ])
+      | None -> Some [ u; v; u ])

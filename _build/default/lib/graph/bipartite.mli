@@ -1,0 +1,8 @@
+(** Bipartiteness of symmetric graphs — static oracle for Theorem 4.5(1). *)
+
+val is_bipartite : Graph.t -> bool
+(** Two-colourability, checked by BFS; equivalently, no odd cycle. *)
+
+val odd_cycle : Graph.t -> int list option
+(** A witness odd cycle (as a vertex sequence, first = last) when the
+    graph is not bipartite. *)

@@ -1,0 +1,65 @@
+let transitive_closure g =
+  let n = Graph.n_vertices g in
+  let reach = Array.make_matrix n n false in
+  List.iter (fun (u, v) -> reach.(u).(v) <- true) (Graph.edges g);
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      if reach.(i).(k) then
+        for j = 0 to n - 1 do
+          if reach.(k).(j) then reach.(i).(j) <- true
+        done
+    done
+  done;
+  let tc = Graph.create n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if reach.(i).(j) then Graph.add_edge tc i j
+    done
+  done;
+  tc
+
+let path g u v = u = v || Traversal.reaches g u v
+
+let is_acyclic g =
+  let tc = transitive_closure g in
+  let n = Graph.n_vertices g in
+  let rec check v = v >= n || ((not (Graph.has_edge tc v v)) && check (v + 1)) in
+  check 0
+
+let topological_sort g =
+  let n = Graph.n_vertices g in
+  let indeg = Array.make n 0 in
+  List.iter (fun (_, v) -> indeg.(v) <- indeg.(v) + 1) (Graph.edges g);
+  let q = Queue.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Queue.add v q
+  done;
+  let order = ref [] in
+  let count = ref 0 in
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    order := u :: !order;
+    incr count;
+    List.iter
+      (fun v ->
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then Queue.add v q)
+      (Graph.succ g u)
+  done;
+  if !count = n then Some (List.rev !order) else None
+
+let transitive_reduction g =
+  if not (is_acyclic g) then
+    invalid_arg "Closure.transitive_reduction: graph has a cycle";
+  let tr = Graph.create (Graph.n_vertices g) in
+  List.iter
+    (fun (u, v) ->
+      (* (u,v) is redundant iff some other successor w of u reaches v *)
+      let redundant =
+        List.exists
+          (fun w -> w <> v && Traversal.reaches g w v)
+          (Graph.succ g u)
+      in
+      if not redundant then Graph.add_edge tr u v)
+    (Graph.edges g);
+  tr

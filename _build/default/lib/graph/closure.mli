@@ -1,0 +1,21 @@
+(** Transitive closure, acyclicity and transitive reduction of DAGs —
+    static oracles for Theorem 4.2 and Corollary 4.3. *)
+
+val transitive_closure : Graph.t -> Graph.t
+(** Reflexive-free transitive closure: arc [u -> v] iff there is a
+    nonempty directed path. Warshall's algorithm. *)
+
+val path : Graph.t -> int -> int -> bool
+(** Nonempty-or-trivial path: [u = v] or a directed path exists. Matches
+    the paper's [P(x,y)] ("there is a path from x to y"), which includes
+    the trivial path. *)
+
+val is_acyclic : Graph.t -> bool
+
+val topological_sort : Graph.t -> int list option
+(** [None] if the graph has a cycle. *)
+
+val transitive_reduction : Graph.t -> Graph.t
+(** For a DAG: the minimal subgraph with the same transitive closure
+    (unique for DAGs). An arc [u -> v] survives iff there is no other path
+    from [u] to [v]. Raises [Invalid_argument] on cyclic inputs. *)

@@ -1,0 +1,64 @@
+let rec subsets k = function
+  | _ when k = 0 -> [ [] ]
+  | [] -> []
+  | x :: rest ->
+      List.map (fun s -> x :: s) (subsets (k - 1) rest) @ subsets k rest
+
+let survives_removal g k =
+  let edges = Graph.uedges g in
+  let kill = List.concat_map (fun i -> subsets i edges) (List.init (k + 1) Fun.id) in
+  List.for_all
+    (fun removed ->
+      let g' = Graph.copy g in
+      List.iter (fun (u, v) -> Graph.remove_uedge g' u v) removed;
+      Traversal.connected g')
+    kill
+
+let max_flow g s t =
+  if s = t then invalid_arg "Connectivity.max_flow: s = t";
+  let n = Graph.n_vertices g in
+  let cap = Array.make_matrix n n 0 in
+  List.iter (fun (u, v) -> cap.(u).(v) <- 1) (Graph.edges g);
+  let flow = ref 0 in
+  let rec augment () =
+    (* BFS for an augmenting path in the residual graph *)
+    let parent = Array.make n (-1) in
+    parent.(s) <- s;
+    let q = Queue.create () in
+    Queue.add s q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      for v = 0 to n - 1 do
+        if parent.(v) = -1 && cap.(u).(v) > 0 then begin
+          parent.(v) <- u;
+          Queue.add v q
+        end
+      done
+    done;
+    if parent.(t) <> -1 then begin
+      let rec push v =
+        if v <> s then begin
+          let u = parent.(v) in
+          cap.(u).(v) <- cap.(u).(v) - 1;
+          cap.(v).(u) <- cap.(v).(u) + 1;
+          push u
+        end
+      in
+      push t;
+      incr flow;
+      augment ()
+    end
+  in
+  augment ();
+  !flow
+
+let edge_connectivity g =
+  let n = Graph.n_vertices g in
+  if n = 1 then max_int
+  else if not (Traversal.connected g) then 0
+  else
+    let best = ref max_int in
+    for t = 1 to n - 1 do
+      best := min !best (max_flow g 0 t)
+    done;
+    !best

@@ -1,0 +1,25 @@
+(** Edge connectivity — static oracle for Theorem 4.5(2).
+
+    The paper's dynamic query for "k-edge connectivity" universally
+    quantifies over k edges and checks that every pair of vertices is
+    still joined after those edges are deleted. We expose exactly that
+    predicate, plus a max-flow-based edge-connectivity computation used to
+    cross-check it. *)
+
+val survives_removal : Graph.t -> int -> bool
+(** [survives_removal g k]: for every set of at most [k] undirected edges,
+    the graph minus that set is still connected (single component over all
+    of [{0..n-1}]). Checked by exhaustive enumeration — exponential in
+    [k], fine for the constant [k] of the theorem. *)
+
+val edge_connectivity : Graph.t -> int
+(** Global edge connectivity of a symmetric graph: the minimum number of
+    undirected edges whose removal disconnects it, computed as
+    [min over t <> 0 of maxflow(0, t)] with unit capacities
+    (Edmonds-Karp). By convention returns [0] for a disconnected graph
+    and [n_vertices - 1 >= ...] bounds apply; for a single-vertex graph
+    returns [max_int] (nothing can disconnect it). *)
+
+val max_flow : Graph.t -> int -> int -> int
+(** Unit-capacity max flow between two vertices of a symmetric graph:
+    the number of pairwise edge-disjoint paths (Menger). *)

@@ -1,0 +1,299 @@
+(* Euler tour trees over treaps with parent pointers. The treap is
+   ordered implicitly by tour position: all navigation is structural
+   (split at a node handle, merge whole trees), never by key. *)
+
+type node = {
+  id : int * int;
+  prio : int;
+  mutable left : node option;
+  mutable right : node option;
+  mutable parent : node option;
+  mutable vmark : bool;
+  mutable emark : bool;
+  mutable sub_vmark : bool;
+  mutable sub_emark : bool;
+  mutable vcount : int;  (* loop nodes in subtree *)
+  mutable tsize : int;  (* all nodes in subtree *)
+}
+
+let is_loop n = fst n.id = snd n.id
+
+let sub_vmark = function None -> false | Some n -> n.sub_vmark
+let sub_emark = function None -> false | Some n -> n.sub_emark
+let vcount = function None -> 0 | Some n -> n.vcount
+let tsize = function None -> 0 | Some n -> n.tsize
+
+let pull n =
+  n.sub_vmark <- n.vmark || sub_vmark n.left || sub_vmark n.right;
+  n.sub_emark <- n.emark || sub_emark n.left || sub_emark n.right;
+  n.vcount <- (if is_loop n then 1 else 0) + vcount n.left + vcount n.right;
+  n.tsize <- 1 + tsize n.left + tsize n.right
+
+let set_parent child p =
+  match child with Some c -> c.parent <- p | None -> ()
+
+let rec root_of n = match n.parent with None -> n | Some p -> root_of p
+
+(* merge two whole trees, [a] entirely before [b] *)
+let rec merge a b =
+  match (a, b) with
+  | None, t | t, None -> t
+  | Some x, Some y ->
+      if x.prio > y.prio then begin
+        let r = merge x.right b in
+        x.right <- r;
+        set_parent r (Some x);
+        pull x;
+        Some x
+      end
+      else begin
+        let l = merge a y.left in
+        y.left <- l;
+        set_parent l (Some y);
+        pull y;
+        Some y
+      end
+
+let join a b =
+  let r = merge a b in
+  set_parent r None;
+  r
+
+(* split the tree containing [n] into (strictly before n, n and after) *)
+let split_before n =
+  let left = ref n.left in
+  set_parent !left None;
+  n.left <- None;
+  pull n;
+  let right = ref (Some n) in
+  let child = ref n in
+  let p = ref n.parent in
+  n.parent <- None;
+  while !p <> None do
+    let pr = match !p with Some x -> x | None -> assert false in
+    let next = pr.parent in
+    pr.parent <- None;
+    let from_left =
+      match pr.left with Some c when c == !child -> true | _ -> false
+    in
+    if from_left then begin
+      pr.left <- None;
+      pull pr;
+      right := join !right (Some pr)
+    end
+    else begin
+      pr.right <- None;
+      pull pr;
+      left := join (Some pr) !left
+    end;
+    child := pr;
+    p := next
+  done;
+  set_parent !left None;
+  set_parent !right None;
+  (!left, !right)
+
+(* split into (n and before, strictly after n) *)
+let split_after n =
+  let right = ref n.right in
+  set_parent !right None;
+  n.right <- None;
+  pull n;
+  let left = ref (Some n) in
+  let child = ref n in
+  let p = ref n.parent in
+  n.parent <- None;
+  while !p <> None do
+    let pr = match !p with Some x -> x | None -> assert false in
+    let next = pr.parent in
+    pr.parent <- None;
+    let from_left =
+      match pr.left with Some c when c == !child -> true | _ -> false
+    in
+    if from_left then begin
+      pr.left <- None;
+      pull pr;
+      right := join !right (Some pr)
+    end
+    else begin
+      pr.right <- None;
+      pull pr;
+      left := join (Some pr) !left
+    end;
+    child := pr;
+    p := next
+  done;
+  set_parent !left None;
+  set_parent !right None;
+  (!left, !right)
+
+(* in-order position, used to order the two arcs of an edge; O(log n)
+   thanks to the subtree-size aggregate *)
+let index n =
+  let pos = ref (tsize n.left) in
+  let cur = ref n in
+  let continue = ref true in
+  while !continue do
+    match !cur.parent with
+    | None -> continue := false
+    | Some p ->
+        (match p.right with
+        | Some c when c == !cur -> pos := !pos + 1 + tsize p.left
+        | _ -> ());
+        cur := p
+  done;
+  !pos
+
+(* fix aggregates on the path from a modified node to its root *)
+let rec update_path n =
+  pull n;
+  match n.parent with Some p -> update_path p | None -> ()
+
+type t = {
+  n : int;
+  rng : Random.State.t;
+  loops : node array;
+  arcs : (int * int, node) Hashtbl.t;
+}
+
+let fresh_node rng id =
+  {
+    id;
+    prio = Random.State.bits rng;
+    left = None;
+    right = None;
+    parent = None;
+    vmark = false;
+    emark = false;
+    sub_vmark = false;
+    sub_emark = false;
+    vcount = (if fst id = snd id then 1 else 0);
+    tsize = 1;
+  }
+
+let fresh t id = fresh_node t.rng id
+
+let create n =
+  if n <= 0 then invalid_arg "Ett.create: n must be positive";
+  let rng = Random.State.make [| 0x9e3779b9; n |] in
+  {
+    n;
+    rng;
+    loops = Array.init n (fun v -> fresh_node rng (v, v));
+    arcs = Hashtbl.create 64;
+  }
+
+let n_vertices t = t.n
+
+let check t v =
+  if v < 0 || v >= t.n then invalid_arg "Ett: vertex out of range"
+
+let connected t u v =
+  check t u;
+  check t v;
+  u = v || root_of t.loops.(u) == root_of t.loops.(v)
+
+let has_edge t u v = Hashtbl.mem t.arcs (u, v)
+
+(* rotate the tour of v's tree to start at (v,v) *)
+let reroot t v =
+  let l, r = split_before t.loops.(v) in
+  ignore (join r l)
+
+let link t u v =
+  check t u;
+  check t v;
+  if u = v then invalid_arg "Ett.link: self loop";
+  if connected t u v then invalid_arg "Ett.link: already connected";
+  reroot t u;
+  reroot t v;
+  let auv = fresh t (u, v) and avu = fresh t (v, u) in
+  Hashtbl.replace t.arcs (u, v) auv;
+  Hashtbl.replace t.arcs (v, u) avu;
+  let tu = Some (root_of t.loops.(u)) in
+  let tv = Some (root_of t.loops.(v)) in
+  ignore (join (join (join tu (Some auv)) tv) (Some avu))
+
+let cut t u v =
+  check t u;
+  check t v;
+  let a =
+    match Hashtbl.find_opt t.arcs (u, v) with
+    | Some a -> a
+    | None -> invalid_arg "Ett.cut: no such tree edge"
+  in
+  let b = Hashtbl.find t.arcs (v, u) in
+  Hashtbl.remove t.arcs (u, v);
+  Hashtbl.remove t.arcs (v, u);
+  let a, b = if index a <= index b then (a, b) else (b, a) in
+  (* tour: P a M b S — M is the severed subtree, P@S the remainder *)
+  let p, rest = split_before a in
+  let upto_b, s = split_after b in
+  ignore rest;
+  (* upto_b = a M b: peel a off the front and b off the back, leaving
+     the severed component's tour M as its own tree *)
+  ignore upto_b;
+  let a_alone, m_and_b = split_after a in
+  ignore a_alone;
+  ignore m_and_b;
+  let m, b_alone = split_before b in
+  ignore m;
+  ignore b_alone;
+  ignore (join p s)
+
+let tree_size t v =
+  check t v;
+  (root_of t.loops.(v)).vcount
+
+let tree_vertices t v =
+  check t v;
+  let acc = ref [] in
+  let rec walk = function
+    | None -> ()
+    | Some n ->
+        walk n.right;
+        if is_loop n then acc := fst n.id :: !acc;
+        walk n.left
+  in
+  walk (Some (root_of t.loops.(v)));
+  !acc
+
+let set_vertex_mark t v b =
+  check t v;
+  let n = t.loops.(v) in
+  n.vmark <- b;
+  update_path n
+
+let vertex_mark t v =
+  check t v;
+  t.loops.(v).vmark
+
+let set_edge_mark t u v b =
+  match Hashtbl.find_opt t.arcs (min u v, max u v) with
+  | Some n ->
+      n.emark <- b;
+      update_path n
+  | None -> invalid_arg "Ett.set_edge_mark: no such tree edge"
+
+let find_marked_vertex t v =
+  check t v;
+  let rec descend n =
+    if n.vmark && is_loop n then Some (fst n.id)
+    else if sub_vmark n.left then descend (Option.get n.left)
+    else if n.vmark then Some (fst n.id)
+    else if sub_vmark n.right then descend (Option.get n.right)
+    else None
+  in
+  let r = root_of t.loops.(v) in
+  if r.sub_vmark then descend r else None
+
+let find_marked_edge t v =
+  check t v;
+  let rec descend n =
+    if n.emark then Some n.id
+    else if sub_emark n.left then descend (Option.get n.left)
+    else if sub_emark n.right then descend (Option.get n.right)
+    else None
+  in
+  let r = root_of t.loops.(v) in
+  if r.sub_emark then descend r else None

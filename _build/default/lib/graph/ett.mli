@@ -1,0 +1,54 @@
+(** Euler tour trees: fully dynamic forests with O(log n) link, cut and
+    connectivity, the building block of polylogarithmic dynamic
+    connectivity ({!Hdt}).
+
+    The Euler tour of each tree is kept as a balanced search tree (a
+    treap ordered implicitly by tour position, navigated through parent
+    pointers). Every vertex [v] owns a permanent loop node [(v,v)]; a
+    tree edge [{u,v}] contributes the two arc nodes [(u,v)] and [(v,u)].
+
+    Nodes carry two kinds of marks used by {!Hdt}'s search for
+    replacement edges, both aggregated (OR) over subtrees so that a
+    marked node inside a tree can be located in O(log n):
+    - a {e vertex mark} on loop nodes ("this vertex has non-tree edges
+      at this level"),
+    - an {e edge mark} on arc nodes ("this tree edge has exactly this
+      level"). *)
+
+type t
+
+val create : int -> t
+(** [create n]: a forest of [n] isolated vertices. *)
+
+val n_vertices : t -> int
+
+val connected : t -> int -> int -> bool
+
+val link : t -> int -> int -> unit
+(** Join two trees with the edge [{u,v}]. Raises [Invalid_argument] if
+    already connected (would create a cycle) or on a self-loop. *)
+
+val cut : t -> int -> int -> unit
+(** Remove the tree edge [{u,v}]. Raises [Invalid_argument] if it is
+    not present. *)
+
+val has_edge : t -> int -> int -> bool
+(** Is [{u,v}] a tree edge of this forest? *)
+
+val tree_size : t -> int -> int
+(** Number of vertices in [v]'s tree. *)
+
+val tree_vertices : t -> int -> int list
+(** All vertices of [v]'s tree (O(size)). *)
+
+val set_vertex_mark : t -> int -> bool -> unit
+val vertex_mark : t -> int -> bool
+
+val set_edge_mark : t -> int -> int -> bool -> unit
+(** Mark/unmark a tree edge; raises if the edge is absent. *)
+
+val find_marked_vertex : t -> int -> int option
+(** Some marked vertex in [v]'s tree, if any; O(log n). *)
+
+val find_marked_edge : t -> int -> (int * int) option
+(** Some marked tree edge in [v]'s tree, if any; O(log n). *)

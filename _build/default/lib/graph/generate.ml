@@ -1,0 +1,126 @@
+let gnp rng ~n ~p ~directed =
+  let g = Graph.create n in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      let consider = if directed then u <> v else u < v in
+      if consider && Random.State.float rng 1.0 < p then
+        if directed then Graph.add_edge g u v else Graph.add_uedge g u v
+    done
+  done;
+  g
+
+let gnm rng ~n ~m ~directed =
+  let g = Graph.create n in
+  let target = if directed then m else 2 * m in
+  let attempts = ref 0 in
+  let limit = 20 * (m + 1) * (m + 1) in
+  while Graph.n_edges g < target && !attempts < limit do
+    incr attempts;
+    let u = Random.State.int rng n and v = Random.State.int rng n in
+    if u <> v then
+      if directed then Graph.add_edge g u v else Graph.add_uedge g u v
+  done;
+  g
+
+let path n =
+  let g = Graph.create n in
+  for i = 0 to n - 2 do
+    Graph.add_uedge g i (i + 1)
+  done;
+  g
+
+let cycle n =
+  let g = path n in
+  if n > 2 then Graph.add_uedge g (n - 1) 0;
+  g
+
+let grid rows cols =
+  let g = Graph.create (rows * cols) in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      let v = (i * cols) + j in
+      if j + 1 < cols then Graph.add_uedge g v (v + 1);
+      if i + 1 < rows then Graph.add_uedge g v (v + cols)
+    done
+  done;
+  g
+
+let star n =
+  let g = Graph.create n in
+  for v = 1 to n - 1 do
+    Graph.add_uedge g 0 v
+  done;
+  g
+
+let complete n =
+  let g = Graph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      Graph.add_uedge g u v
+    done
+  done;
+  g
+
+let random_tree rng ~n =
+  let g = Graph.create n in
+  for v = 1 to n - 1 do
+    Graph.add_uedge g v (Random.State.int rng v)
+  done;
+  g
+
+let random_forest rng ~n ~p_root =
+  let g = Graph.create n in
+  for v = 1 to n - 1 do
+    if Random.State.float rng 1.0 >= p_root then
+      Graph.add_edge g (Random.State.int rng v) v
+  done;
+  g
+
+let random_dag rng ~n ~p =
+  let g = Graph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float rng 1.0 < p then Graph.add_edge g u v
+    done
+  done;
+  g
+
+let random_function_graph rng ~n ~p_edge =
+  let g = Graph.create n in
+  for u = 0 to n - 1 do
+    if Random.State.float rng 1.0 < p_edge then begin
+      let v = Random.State.int rng n in
+      if v <> u then Graph.add_edge g u v
+    end
+  done;
+  g
+
+let random_alternating rng ~n ~p ~p_universal =
+  let g = gnp rng ~n ~p ~directed:true in
+  let universal =
+    Array.init n (fun _ -> Random.State.float rng 1.0 < p_universal)
+  in
+  Alternating.make g ~universal
+
+let random_circuit rng ~n_inputs ~n_gates : Alternating.circuit =
+  let total = n_inputs + n_gates in
+  Array.init total (fun i ->
+      if i < n_inputs then Alternating.Input (Random.State.bool rng)
+      else begin
+        (* wires point to strictly smaller indices: acyclic by
+           construction *)
+        let fan = 1 + Random.State.int rng (min 3 i) in
+        let ws = List.init fan (fun _ -> Random.State.int rng i) in
+        if Random.State.bool rng then Alternating.And ws else Alternating.Or ws
+      end)
+
+let random_weight_matrix rng ~n ~max_w =
+  let w = Array.make_matrix n n 0 in
+  for u = 0 to n - 1 do
+    for v = u to n - 1 do
+      let x = Random.State.int rng (max 1 max_w) in
+      w.(u).(v) <- x;
+      w.(v).(u) <- x
+    done
+  done;
+  fun u v -> w.(u).(v)

@@ -1,0 +1,50 @@
+(** Random and structured graph generators for tests and workloads. All
+    randomised functions are deterministic in the supplied
+    [Random.State.t]. *)
+
+val gnp : Random.State.t -> n:int -> p:float -> directed:bool -> Graph.t
+(** Erdős–Rényi: each (ordered or unordered) pair independently with
+    probability [p]; no self-loops. Undirected graphs are symmetric. *)
+
+val gnm : Random.State.t -> n:int -> m:int -> directed:bool -> Graph.t
+(** Exactly [m] distinct edges (or as many as fit). *)
+
+val path : int -> Graph.t
+(** Undirected path 0 - 1 - ... - (n-1). *)
+
+val cycle : int -> Graph.t
+
+val grid : int -> int -> Graph.t
+(** Undirected [rows x cols] grid; vertex [(i,j)] is [i*cols + j]. *)
+
+val star : int -> Graph.t
+(** Undirected star centred at 0. *)
+
+val complete : int -> Graph.t
+
+val random_tree : Random.State.t -> n:int -> Graph.t
+(** Undirected uniform random recursive tree (each vertex attaches to a
+    random earlier vertex). *)
+
+val random_forest : Random.State.t -> n:int -> p_root:float -> Graph.t
+(** Directed forest, arcs parent -> child: each vertex is a fresh root
+    with probability [p_root], otherwise a child of a random earlier
+    vertex. *)
+
+val random_dag : Random.State.t -> n:int -> p:float -> Graph.t
+(** Arcs only from smaller to larger vertices. *)
+
+val random_function_graph : Random.State.t -> n:int -> p_edge:float -> Graph.t
+(** Out-degree at most one per vertex (inputs of REACH_d whose every
+    vertex is deterministic). *)
+
+val random_alternating :
+  Random.State.t -> n:int -> p:float -> p_universal:float -> Alternating.t
+
+val random_circuit :
+  Random.State.t -> n_inputs:int -> n_gates:int -> Alternating.circuit
+
+val random_weight_matrix :
+  Random.State.t -> n:int -> max_w:int -> int -> int -> int
+(** A symmetric weight function on vertex pairs, values in
+    [{0..max_w-1}]. *)

@@ -1,0 +1,99 @@
+module Iset = Set.Make (Int)
+
+type t = { n : int; mutable m : int; adj : Iset.t array }
+
+let create n =
+  if n <= 0 then invalid_arg "Graph.create: n must be positive";
+  { n; m = 0; adj = Array.make n Iset.empty }
+
+let n_vertices g = g.n
+let n_edges g = g.m
+
+let check g u =
+  if u < 0 || u >= g.n then invalid_arg "Graph: vertex out of range"
+
+let has_edge g u v =
+  check g u;
+  check g v;
+  Iset.mem v g.adj.(u)
+
+let add_edge g u v =
+  check g u;
+  check g v;
+  if not (Iset.mem v g.adj.(u)) then begin
+    g.adj.(u) <- Iset.add v g.adj.(u);
+    g.m <- g.m + 1
+  end
+
+let remove_edge g u v =
+  check g u;
+  check g v;
+  if Iset.mem v g.adj.(u) then begin
+    g.adj.(u) <- Iset.remove v g.adj.(u);
+    g.m <- g.m - 1
+  end
+
+let add_uedge g u v =
+  add_edge g u v;
+  add_edge g v u
+
+let remove_uedge g u v =
+  remove_edge g u v;
+  remove_edge g v u
+
+let succ g u =
+  check g u;
+  Iset.elements g.adj.(u)
+
+let pred g v =
+  check g v;
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    if Iset.mem v g.adj.(u) then acc := u :: !acc
+  done;
+  !acc
+
+let edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    Iset.iter (fun v -> acc := (u, v) :: !acc) g.adj.(u)
+  done;
+  List.sort compare !acc
+
+let uedges g = List.filter (fun (u, v) -> u < v) (edges g)
+
+let out_degree g u =
+  check g u;
+  Iset.cardinal g.adj.(u)
+
+let copy g = { g with adj = Array.copy g.adj }
+
+let is_symmetric g =
+  List.for_all (fun (u, v) -> Iset.mem u g.adj.(v)) (edges g)
+
+let of_structure st name =
+  let open Dynfo_logic in
+  let g = create (Structure.size st) in
+  Relation.iter
+    (fun t ->
+      if Array.length t <> 2 then
+        invalid_arg "Graph.of_structure: relation is not binary";
+      add_edge g t.(0) t.(1))
+    (Structure.rel st name);
+  g
+
+let to_structure st name g =
+  let open Dynfo_logic in
+  let r =
+    List.fold_left
+      (fun acc (u, v) -> Relation.add acc [| u; v |])
+      (Relation.empty ~arity:2) (edges g)
+  in
+  Structure.with_rel st name r
+
+let pp ppf g =
+  Format.fprintf ppf "graph(n=%d): %a" g.n
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       (fun ppf (u, v) -> Format.fprintf ppf "%d->%d" u v))
+    (edges g)

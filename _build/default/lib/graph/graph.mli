@@ -1,0 +1,58 @@
+(** Mutable directed graphs on the vertex set [{0, ..., n-1}].
+
+    The substrate for all static graph algorithms (the oracles the
+    dynamic programs are checked against). Undirected graphs are
+    represented by storing each edge in both directions, matching the
+    paper's convention that "insert(E,a,b) does the operation on both
+    (a,b) and (b,a)". *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty graph on [n] vertices. *)
+
+val n_vertices : t -> int
+
+val n_edges : t -> int
+(** Number of directed arcs. *)
+
+val has_edge : t -> int -> int -> bool
+
+val add_edge : t -> int -> int -> unit
+(** Insert arc [u -> v]; no-op if present. Raises [Invalid_argument] on
+    out-of-range vertices. *)
+
+val remove_edge : t -> int -> int -> unit
+
+val add_uedge : t -> int -> int -> unit
+(** Insert both [u -> v] and [v -> u]. *)
+
+val remove_uedge : t -> int -> int -> unit
+
+val succ : t -> int -> int list
+(** Successors in increasing order. *)
+
+val pred : t -> int -> int list
+(** Predecessors in increasing order (computed by scan). *)
+
+val edges : t -> (int * int) list
+(** All arcs in lexicographic order. *)
+
+val uedges : t -> (int * int) list
+(** Arcs [(u, v)] with [u < v] — the undirected edge list of a symmetric
+    graph. *)
+
+val out_degree : t -> int -> int
+
+val copy : t -> t
+
+val is_symmetric : t -> bool
+
+val of_structure : Dynfo_logic.Structure.t -> string -> t
+(** Build a graph from a binary relation of a structure. *)
+
+val to_structure :
+  Dynfo_logic.Structure.t -> string -> t -> Dynfo_logic.Structure.t
+(** Replace the named binary relation with this graph's arcs. *)
+
+val pp : Format.formatter -> t -> unit

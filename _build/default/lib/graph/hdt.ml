@@ -1,0 +1,187 @@
+module Iset = Set.Make (Int)
+
+type t = {
+  n : int;
+  max_level : int;
+  forests : Ett.t array;  (* forests.(i) = F_i, tree edges of level >= i *)
+  nontree : Iset.t array array;  (* nontree.(i).(v): level-i non-tree nbrs *)
+  level : (int * int, int) Hashtbl.t;  (* all edges, by normalised pair *)
+  tree : (int * int, bool) Hashtbl.t;
+}
+
+let key u v = (min u v, max u v)
+
+let create n =
+  if n <= 0 then invalid_arg "Hdt.create: n must be positive";
+  let max_level =
+    let rec go l acc = if acc >= n then l else go (l + 1) (acc * 2) in
+    go 0 1
+  in
+  {
+    n;
+    max_level;
+    forests = Array.init (max_level + 1) (fun _ -> Ett.create n);
+    nontree = Array.init (max_level + 1) (fun _ -> Array.make n Iset.empty);
+    level = Hashtbl.create 64;
+    tree = Hashtbl.create 64;
+  }
+
+let n_vertices t = t.n
+let connected t u v = Ett.connected t.forests.(0) u v
+let has_edge t u v = Hashtbl.mem t.level (key u v)
+
+let refresh_vertex_mark t i v =
+  Ett.set_vertex_mark t.forests.(i) v (not (Iset.is_empty t.nontree.(i).(v)))
+
+let add_nontree t i u v =
+  t.nontree.(i).(u) <- Iset.add v t.nontree.(i).(u);
+  t.nontree.(i).(v) <- Iset.add u t.nontree.(i).(v);
+  refresh_vertex_mark t i u;
+  refresh_vertex_mark t i v
+
+let remove_nontree t i u v =
+  t.nontree.(i).(u) <- Iset.remove v t.nontree.(i).(u);
+  t.nontree.(i).(v) <- Iset.remove u t.nontree.(i).(v);
+  refresh_vertex_mark t i u;
+  refresh_vertex_mark t i v
+
+let insert t u v =
+  if u = v then invalid_arg "Hdt.insert: self loop";
+  if not (has_edge t u v) then
+    if not (connected t u v) then begin
+      (* new tree edge at level 0 *)
+      Hashtbl.replace t.level (key u v) 0;
+      Hashtbl.replace t.tree (key u v) true;
+      Ett.link t.forests.(0) u v;
+      Ett.set_edge_mark t.forests.(0) u v true
+    end
+    else begin
+      Hashtbl.replace t.level (key u v) 0;
+      Hashtbl.replace t.tree (key u v) false;
+      add_nontree t 0 u v
+    end
+
+(* search for a replacement edge after cutting a level-l tree edge *)
+let replace t l u v =
+  let found = ref None in
+  let i = ref l in
+  while !found = None && !i >= 0 do
+    let fi = t.forests.(!i) in
+    (* work on the smaller side; the paper's amortisation needs it *)
+    let side = if Ett.tree_size fi u <= Ett.tree_size fi v then u else v in
+    (* 1. promote all level-i tree edges of the small tree to i+1 *)
+    let rec promote_tree_edges () =
+      match Ett.find_marked_edge fi side with
+      | None -> ()
+      | Some (x, y) ->
+          Ett.set_edge_mark fi x y false;
+          Hashtbl.replace t.level (key x y) (!i + 1);
+          Ett.link t.forests.(!i + 1) x y;
+          Ett.set_edge_mark t.forests.(!i + 1) x y true;
+          promote_tree_edges ()
+    in
+    promote_tree_edges ();
+    (* 2. scan level-i non-tree edges incident to the small tree *)
+    let rec scan () =
+      match Ett.find_marked_vertex fi side with
+      | None -> ()
+      | Some x ->
+          let rec try_neighbours () =
+            match Iset.choose_opt t.nontree.(!i).(x) with
+            | None -> refresh_vertex_mark t !i x
+            | Some y ->
+                if Ett.connected fi x y && Ett.connected fi y side then begin
+                  (* both endpoints inside the small tree: promote *)
+                  remove_nontree t !i x y;
+                  Hashtbl.replace t.level (key x y) (!i + 1);
+                  add_nontree t (!i + 1) x y;
+                  try_neighbours ()
+                end
+                else begin
+                  (* crosses the cut: this is the replacement *)
+                  remove_nontree t !i x y;
+                  Hashtbl.replace t.tree (key x y) true;
+                  for j = 0 to !i do
+                    Ett.link t.forests.(j) x y
+                  done;
+                  Ett.set_edge_mark fi x y true;
+                  found := Some (x, y)
+                end
+          in
+          try_neighbours ();
+          if !found = None then scan ()
+    in
+    scan ();
+    if !found = None then decr i
+  done
+
+let delete t u v =
+  match Hashtbl.find_opt t.level (key u v) with
+  | None -> ()
+  | Some l ->
+      let was_tree = Hashtbl.find t.tree (key u v) in
+      Hashtbl.remove t.level (key u v);
+      Hashtbl.remove t.tree (key u v);
+      if not was_tree then remove_nontree t l u v
+      else begin
+        Ett.set_edge_mark t.forests.(l) u v false;
+        for j = 0 to l do
+          Ett.cut t.forests.(j) u v
+        done;
+        replace t l u v
+      end
+
+let n_components t =
+  let seen = Hashtbl.create 16 in
+  let count = ref 0 in
+  for v = 0 to t.n - 1 do
+    let vs = Ett.tree_vertices t.forests.(0) v in
+    let repr = List.fold_left min v vs in
+    if not (Hashtbl.mem seen repr) then begin
+      Hashtbl.add seen repr ();
+      incr count
+    end
+  done;
+  !count
+
+let check_invariants t =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let g = Graph.create t.n in
+  Hashtbl.iter (fun (u, v) _ -> Graph.add_uedge g u v) t.level;
+  (* F_0 connectivity must equal graph connectivity *)
+  let comp = Traversal.components g in
+  let rec pairs u v =
+    if u >= t.n then Result.Ok ()
+    else if v >= t.n then pairs (u + 1) 0
+    else if connected t u v <> (comp.(u) = comp.(v)) then
+      err "connectivity of (%d,%d) disagrees with BFS" u v
+    else pairs u (v + 1)
+  in
+  Result.bind (pairs 0 0) (fun () ->
+      (* level-i size bound: trees in F_i have <= n / 2^i vertices *)
+      let rec levels i =
+        if i > t.max_level then Result.Ok ()
+        else begin
+          let bound = max 1 (t.n lsr i) in
+          let rec verts v =
+            if v >= t.n then levels (i + 1)
+            else if Ett.tree_size t.forests.(i) v > bound then
+              err "level-%d tree of %d has %d vertices (bound %d)" i v
+                (Ett.tree_size t.forests.(i) v)
+                bound
+            else verts (v + 1)
+          in
+          verts 0
+        end
+      in
+      Result.bind (levels 1) (fun () ->
+          (* every non-tree edge is connected at its level *)
+          Hashtbl.fold
+            (fun (u, v) lvl acc ->
+              Result.bind acc (fun () ->
+                  if Hashtbl.find t.tree (u, v) then Result.Ok ()
+                  else if not (Ett.connected t.forests.(lvl) u v) then
+                    err "non-tree edge (%d,%d) not connected at level %d" u v
+                      lvl
+                  else Result.Ok ()))
+            t.level (Result.Ok ())))

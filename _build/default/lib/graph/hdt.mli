@@ -1,0 +1,42 @@
+(** Fully dynamic connectivity in O(log^2 n) amortised time per update —
+    Holm, de Lichtenberg & Thorup's algorithm, built on {!Ett}.
+
+    This is the modern sequential comparator for Theorem 4.1: where the
+    paper's REACH_u program spends one first-order step (constant
+    parallel time, polynomial work) per update and our simple native
+    forest spends O(n + m), HDT answers connectivity queries in
+    O(log n) and processes edge updates in amortised O(log^2 n).
+
+    Structure: a hierarchy of forests F_0 ⊇ F_1 ⊇ ... where every edge
+    carries a level; F_i spans the components of the subgraph of edges
+    with level >= i, and level-i trees have at most n / 2^i vertices.
+    Deleting a tree edge at level l searches levels l..0 for a
+    replacement, promoting the smaller side's tree edges and failed
+    non-tree candidates one level up — the amortisation argument charges
+    each edge O(log n) promotions. *)
+
+type t
+
+val create : int -> t
+
+val n_vertices : t -> int
+
+val connected : t -> int -> int -> bool
+(** O(log n). *)
+
+val insert : t -> int -> int -> unit
+(** Insert undirected edge [{u,v}]; no-op if present. Raises
+    [Invalid_argument] on self-loops. *)
+
+val delete : t -> int -> int -> unit
+(** Delete [{u,v}]; no-op if absent. *)
+
+val has_edge : t -> int -> int -> bool
+
+val n_components : t -> int
+
+val check_invariants : t -> (unit, string) result
+(** Whitebox validation used by tests: spanning forest at level 0 spans
+    exactly the graph's components; level-i trees respect the size
+    bound; every non-tree edge connects vertices already connected at
+    its level. *)

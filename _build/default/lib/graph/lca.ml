@@ -1,0 +1,29 @@
+let is_directed_forest g =
+  let n = Graph.n_vertices g in
+  let indeg = Array.make n 0 in
+  List.iter (fun (_, v) -> indeg.(v) <- indeg.(v) + 1) (Graph.edges g);
+  Array.for_all (fun d -> d <= 1) indeg && Closure.is_acyclic g
+
+let ancestors g x =
+  let n = Graph.n_vertices g in
+  let anc = Array.make n false in
+  for a = 0 to n - 1 do
+    if Closure.path g a x then anc.(a) <- true
+  done;
+  anc
+
+let lca g x y =
+  let n = Graph.n_vertices g in
+  let ax = ancestors g x and ay = ancestors g y in
+  let common = Array.init n (fun a -> ax.(a) && ay.(a)) in
+  (* the LCA is the common ancestor that every common ancestor reaches *)
+  let rec find a =
+    if a >= n then None
+    else if
+      common.(a)
+      && Array.for_all (fun z -> z)
+           (Array.init n (fun z -> (not common.(z)) || Closure.path g z a))
+    then Some a
+    else find (a + 1)
+  in
+  find 0

@@ -1,0 +1,18 @@
+(** Lowest common ancestors in directed forests — static oracle for
+    Theorem 4.5(4).
+
+    A directed forest has arcs from parents to children: every vertex has
+    in-degree at most one and there are no cycles. [a] is an ancestor of
+    [x] when there is a (possibly empty) directed path from [a] to [x]. *)
+
+val is_directed_forest : Graph.t -> bool
+
+val ancestors : Graph.t -> int -> bool array
+(** [ancestors g x] marks every [a] with a path [a ->* x] (including
+    [x]). *)
+
+val lca : Graph.t -> int -> int -> int option
+(** The deepest common ancestor of two vertices, [None] when they are in
+    different trees. Matches the paper's characterisation: [a] is the LCA
+    of [x] and [y] iff [P(a,x) & P(a,y) & all z ((P(z,x) & P(z,y)) ->
+    P(z,a))]. *)

@@ -1,0 +1,42 @@
+let normalise edges = List.map (fun (u, v) -> (min u v, max u v)) edges
+
+let is_matching g edges =
+  let edges = normalise edges in
+  let n = Graph.n_vertices g in
+  let used = Array.make n false in
+  List.for_all
+    (fun (u, v) ->
+      u <> v
+      && Graph.has_edge g u v
+      && (not used.(u))
+      && not used.(v)
+      &&
+      (used.(u) <- true;
+       used.(v) <- true;
+       true))
+    edges
+
+let is_maximal g edges =
+  is_matching g edges
+  &&
+  let n = Graph.n_vertices g in
+  let used = Array.make n false in
+  List.iter
+    (fun (u, v) ->
+      used.(u) <- true;
+      used.(v) <- true)
+    (normalise edges);
+  List.for_all (fun (u, v) -> used.(u) || used.(v)) (Graph.uedges g)
+
+let greedy g =
+  let n = Graph.n_vertices g in
+  let used = Array.make n false in
+  List.filter
+    (fun (u, v) ->
+      if used.(u) || used.(v) then false
+      else begin
+        used.(u) <- true;
+        used.(v) <- true;
+        true
+      end)
+    (Graph.uedges g)

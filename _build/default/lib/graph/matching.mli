@@ -1,0 +1,16 @@
+(** Maximal matching — static oracle for Theorem 4.5(3).
+
+    The paper maintains a {e maximal} matching (no edge can be added), not
+    a maximum one. The oracle notion is therefore a checker, plus a
+    deterministic greedy construction used by baselines. *)
+
+val is_matching : Graph.t -> (int * int) list -> bool
+(** Edges are present in the graph, undirected ([u < v] normalised), and
+    pairwise vertex-disjoint. *)
+
+val is_maximal : Graph.t -> (int * int) list -> bool
+(** [is_matching] and no graph edge has both endpoints unmatched. *)
+
+val greedy : Graph.t -> (int * int) list
+(** Scan undirected edges in lexicographic order, keeping each edge whose
+    endpoints are both free. Deterministic. *)

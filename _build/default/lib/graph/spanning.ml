@@ -1,0 +1,76 @@
+let spanning_forest g =
+  let n = Graph.n_vertices g in
+  let seen = Array.make n false in
+  let forest = ref [] in
+  for root = 0 to n - 1 do
+    if not seen.(root) then begin
+      seen.(root) <- true;
+      let q = Queue.create () in
+      Queue.add root q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        List.iter
+          (fun v ->
+            if not seen.(v) then begin
+              seen.(v) <- true;
+              forest := (min u v, max u v) :: !forest;
+              Queue.add v q
+            end)
+          (Graph.succ g u)
+      done
+    end
+  done;
+  List.sort compare !forest
+
+let is_spanning_forest g edges =
+  let n = Graph.n_vertices g in
+  let uf = Union_find.create n in
+  let ok =
+    List.for_all
+      (fun (u, v) -> Graph.has_edge g u v && Union_find.union uf u v)
+      edges
+  in
+  ok && List.length edges = n - Traversal.n_components g
+
+let minimum_spanning_forest g ~weight =
+  let edges =
+    List.sort
+      (fun (u1, v1) (u2, v2) ->
+        compare (weight u1 v1, u1, v1) (weight u2 v2, u2, v2))
+      (Graph.uedges g)
+  in
+  let uf = Union_find.create (Graph.n_vertices g) in
+  List.sort compare
+    (List.filter (fun (u, v) -> Union_find.union uf u v) edges)
+
+let forest_weight ~weight edges =
+  List.fold_left (fun acc (u, v) -> acc + weight u v) 0 edges
+
+let forest_path ~n edges s t =
+  let g = Graph.create n in
+  List.iter (fun (u, v) -> Graph.add_uedge g u v) edges;
+  if s = t then Some [ s ]
+  else begin
+    (* BFS with parent tracking *)
+    let parent = Array.make n (-1) in
+    let seen = Array.make n false in
+    let q = Queue.create () in
+    seen.(s) <- true;
+    Queue.add s q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun v ->
+          if not seen.(v) then begin
+            seen.(v) <- true;
+            parent.(v) <- u;
+            Queue.add v q
+          end)
+        (Graph.succ g u)
+    done;
+    if not seen.(t) then None
+    else begin
+      let rec build v acc = if v = s then s :: acc else build parent.(v) (v :: acc) in
+      Some (build t [])
+    end
+  end

@@ -1,0 +1,25 @@
+(** Spanning forests and minimum spanning forests — static oracles for
+    Theorems 4.1 and 4.4.
+
+    All functions expect a symmetric graph and work with undirected edges
+    [(u, v)], [u < v]. *)
+
+val spanning_forest : Graph.t -> (int * int) list
+(** A BFS spanning forest, one tree per connected component. *)
+
+val is_spanning_forest : Graph.t -> (int * int) list -> bool
+(** Are the given edges a subset of the graph's edges, cycle-free, and
+    spanning every component (i.e. [#edges = n - #components])? *)
+
+val minimum_spanning_forest :
+  Graph.t -> weight:(int -> int -> int) -> (int * int) list
+(** Kruskal's algorithm. Ties are broken by lexicographic edge order, the
+    same deterministic rule the paper uses ("if there is more than one
+    such minimum edge, then we break the tie with the ordering"), which
+    makes the MSF unique and the dynamic program memoryless. *)
+
+val forest_weight : weight:(int -> int -> int) -> (int * int) list -> int
+
+val forest_path : n:int -> (int * int) list -> int -> int -> int list option
+(** The unique path between two vertices in a forest given by its edge
+    list, as a vertex sequence; [None] if they are in different trees. *)

@@ -1,0 +1,49 @@
+let reachable g s =
+  let n = Graph.n_vertices g in
+  let seen = Array.make n false in
+  let q = Queue.create () in
+  seen.(s) <- true;
+  Queue.add s q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun v ->
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          Queue.add v q
+        end)
+      (Graph.succ g u)
+  done;
+  seen
+
+let reaches g s t = (reachable g s).(t)
+
+let components g =
+  let n = Graph.n_vertices g in
+  let comp = Array.make n (-1) in
+  for v = 0 to n - 1 do
+    if comp.(v) = -1 then begin
+      let seen = reachable g v in
+      Array.iteri (fun u b -> if b && comp.(u) = -1 then comp.(u) <- v) seen
+    end
+  done;
+  comp
+
+let n_components g =
+  let comp = components g in
+  Array.to_list comp |> List.sort_uniq compare |> List.length
+
+let connected g = n_components g <= 1
+
+let deterministic_reaches g s t =
+  (* follow edges only out of vertices with out-degree exactly one *)
+  let n = Graph.n_vertices g in
+  let rec go u steps =
+    if u = t then true
+    else if steps > n then false
+    else
+      match Graph.succ g u with
+      | [ v ] -> go v (steps + 1)
+      | _ -> false
+  in
+  go s 0

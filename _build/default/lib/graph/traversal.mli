@@ -1,0 +1,22 @@
+(** Static reachability and components: the baseline algorithms that a
+    non-dynamic system would rerun after every update. *)
+
+val reachable : Graph.t -> int -> bool array
+(** Vertices reachable from the source by directed paths (including the
+    source). *)
+
+val reaches : Graph.t -> int -> int -> bool
+(** [reaches g s t] — is there a directed path from [s] to [t]? This is
+    the REACH query; on symmetric graphs it is REACH_u. *)
+
+val components : Graph.t -> int array
+(** For a symmetric graph: [c.(v)] is the smallest vertex of [v]'s
+    connected component. *)
+
+val n_components : Graph.t -> int
+
+val connected : Graph.t -> bool
+
+val deterministic_reaches : Graph.t -> int -> int -> bool
+(** REACH_d (Example 2.1): a deterministic path may only leave a vertex
+    with out-degree exactly one. *)

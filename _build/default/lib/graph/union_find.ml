@@ -1,0 +1,30 @@
+type t = { parent : int array; rank : int array; mutable classes : int }
+
+let create n =
+  { parent = Array.init n (fun i -> i); rank = Array.make n 0; classes = n }
+
+let rec find uf x =
+  let p = uf.parent.(x) in
+  if p = x then x
+  else begin
+    let r = find uf p in
+    uf.parent.(x) <- r;
+    r
+  end
+
+let union uf a b =
+  let ra = find uf a and rb = find uf b in
+  if ra = rb then false
+  else begin
+    (if uf.rank.(ra) < uf.rank.(rb) then uf.parent.(ra) <- rb
+     else if uf.rank.(ra) > uf.rank.(rb) then uf.parent.(rb) <- ra
+     else begin
+       uf.parent.(rb) <- ra;
+       uf.rank.(ra) <- uf.rank.(ra) + 1
+     end);
+    uf.classes <- uf.classes - 1;
+    true
+  end
+
+let same uf a b = find uf a = find uf b
+let n_classes uf = uf.classes

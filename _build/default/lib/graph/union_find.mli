@@ -1,0 +1,13 @@
+(** Union-find with path compression and union by rank. Used by the
+    Kruskal oracle and as an independent check of BFS components. *)
+
+type t
+
+val create : int -> t
+val find : t -> int -> int
+val union : t -> int -> int -> bool
+(** [union uf a b] merges the classes of [a] and [b]; returns [false] if
+    they were already the same class. *)
+
+val same : t -> int -> int -> bool
+val n_classes : t -> int

@@ -1,0 +1,1 @@
+lib/logic/ef_game.ml: Array List Relation Structure Vocab

@@ -1,0 +1,1 @@
+lib/logic/equiv.ml: Array Eval List Relation Seq Structure Vocab

@@ -1,0 +1,1 @@
+lib/logic/equiv.mli: Formula Seq Structure Vocab

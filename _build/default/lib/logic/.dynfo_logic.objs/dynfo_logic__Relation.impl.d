@@ -1,0 +1,1 @@
+lib/logic/relation.ml: Array Format List Printf Set Tuple

@@ -1,0 +1,1 @@
+lib/logic/structure.ml: Format Int List Map Printf Relation String Tuple Vocab

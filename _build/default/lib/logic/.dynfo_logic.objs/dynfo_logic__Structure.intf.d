@@ -1,0 +1,1 @@
+lib/logic/structure.mli: Format Relation Tuple Vocab

@@ -1,0 +1,1 @@
+lib/logic/tuple.ml: Array Format Hashtbl Stdlib

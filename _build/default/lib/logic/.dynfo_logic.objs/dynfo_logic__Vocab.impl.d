@@ -1,0 +1,1 @@
+lib/logic/vocab.ml: Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/logic/vocab.mli: Format

@@ -1,0 +1,95 @@
+let same_vocab a b =
+  let va = Structure.vocab a and vb = Structure.vocab b in
+  let sorted v =
+    List.sort compare
+      (List.map (fun (s : Vocab.sym) -> (s.name, s.arity)) (Vocab.relations v))
+  in
+  sorted va = sorted vb
+  && List.sort compare (Vocab.constants va)
+     = List.sort compare (Vocab.constants vb)
+
+(* Does extending the pebble lists with (x, y) preserve being a partial
+   isomorphism? Only atoms involving the new pair need checking. *)
+let extension_ok a b pairs x y =
+  (* equality pattern *)
+  List.for_all (fun (u, v) -> u = x = (v = y)) pairs
+  &&
+  let all_pairs = (x, y) :: pairs in
+  let rels = Vocab.relations (Structure.vocab a) in
+  List.for_all
+    (fun (sym : Vocab.sym) ->
+      let ra = Structure.rel a sym.name and rb = Structure.rel b sym.name in
+      (* enumerate all tuples over the pebbled pairs; only those that
+         mention the new pair can have changed *)
+      let rec go k (ta : int list) (tb : int list) involves_new =
+        if k = 0 then
+          (not involves_new)
+          || Relation.mem ra (Array.of_list (List.rev ta))
+             = Relation.mem rb (Array.of_list (List.rev tb))
+        else
+          List.for_all
+            (fun (u, v) ->
+              go (k - 1) (u :: ta) (v :: tb) (involves_new || (u = x && v = y)))
+            all_pairs
+      in
+      go sym.arity [] [] false)
+    rels
+
+let equivalent ~rounds a b =
+  if not (same_vocab a b) then
+    invalid_arg "Ef_game.equivalent: different vocabularies";
+  if rounds < 0 then invalid_arg "Ef_game.equivalent: negative rounds";
+  let consts = Vocab.constants (Structure.vocab a) in
+  (* constants are pre-played pebbles; validate them pairwise first *)
+  let rec seed pairs = function
+    | [] -> Some pairs
+    | c :: rest ->
+        let x = Structure.const a c and y = Structure.const b c in
+        if extension_ok a b pairs x y then seed ((x, y) :: pairs) rest
+        else None
+  in
+  match seed [] consts with
+  | None -> rounds = -1 (* never: constants already distinguish *)
+  | Some pairs ->
+      let na = Structure.size a and nb = Structure.size b in
+      let rec win rounds pairs =
+        rounds = 0
+        || (* Spoiler plays in A: Duplicator must answer in B *)
+        (let spoiler_a =
+           let rec all_x x =
+             x >= na
+             || ((let rec try_y y =
+                    y < nb
+                    && ((extension_ok a b pairs x y
+                        && win (rounds - 1) ((x, y) :: pairs))
+                       || try_y (y + 1))
+                  in
+                  try_y 0)
+                && all_x (x + 1))
+           in
+           all_x 0
+         in
+         spoiler_a
+         &&
+         let rec all_y y =
+           y >= nb
+           || ((let rec try_x x =
+                  x < na
+                  && ((extension_ok a b pairs x y
+                      && win (rounds - 1) ((x, y) :: pairs))
+                     || try_x (x + 1))
+                in
+                try_x 0)
+              && all_y (y + 1))
+         in
+         all_y 0)
+      in
+      win rounds pairs
+
+let distinguishing_rounds ?(max_rounds = 4) a b =
+  let rec go r =
+    if r > max_rounds then None
+    else if not (equivalent ~rounds:r a b) then Some r
+    else go (r + 1)
+  in
+  go 0

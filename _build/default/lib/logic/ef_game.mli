@@ -1,0 +1,28 @@
+(** Ehrenfeucht–Fraïssé games: the classical tool behind the paper's
+    repeated refrain that reachability, bipartiteness etc. are {e not}
+    static first-order (and the tool Dong and Su use in [DS95] for arity
+    lower bounds on Dyn-FO itself).
+
+    [equivalent ~rounds a b] decides whether Duplicator wins the
+    [rounds]-round EF game on the two structures, i.e. whether [a] and
+    [b] satisfy the same FO sentences of quantifier rank at most
+    [rounds] — over the {e declared} vocabulary only. The built-in
+    numeric predicates ([<=], [BIT]) are deliberately ignored: the game
+    characterises plain FO over the vocabulary, which is the setting of
+    the classical inexpressibility results the paper appeals to
+    ([CH82]). Constants count as pre-played pebbles.
+
+    The implementation searches the full game tree with incremental
+    partial-isomorphism pruning; fine for the small structures used in
+    tests (the point is demonstrations — e.g. a connected cycle and a
+    disjoint pair of cycles that no sentence of rank 2 can tell apart —
+    not performance). *)
+
+val equivalent : rounds:int -> Structure.t -> Structure.t -> bool
+(** Same vocabulary required (checked by name/arity); raises
+    [Invalid_argument] otherwise. *)
+
+val distinguishing_rounds :
+  ?max_rounds:int -> Structure.t -> Structure.t -> int option
+(** Least number of rounds Spoiler needs, up to [max_rounds] (default
+    4); [None] if Duplicator survives them all. *)

@@ -1,0 +1,57 @@
+let structures ~max_size vocab =
+  let rec sizes n () =
+    if n > max_size then Seq.Nil
+    else Seq.Cons (n, sizes (n + 1))
+  in
+  let tuples n arity =
+    (* all tuples of {0..n-1}^arity *)
+    let rec go k =
+      if k = 0 then Seq.return []
+      else
+        Seq.concat_map
+          (fun rest -> Seq.init n (fun v -> v :: rest))
+          (go (k - 1))
+    in
+    go arity
+  in
+  let rel_contents n arity =
+    (* all subsets of the tuple space, as a sequence of Relation.t *)
+    let all = List.of_seq (tuples n arity) in
+    let rec go = function
+      | [] -> Seq.return (Relation.empty ~arity)
+      | t :: rest ->
+          Seq.concat_map
+            (fun r -> List.to_seq [ r; Relation.add r (Array.of_list t) ])
+            (go rest)
+    in
+    go all
+  in
+  Seq.concat_map
+    (fun n ->
+      let base = Structure.create ~size:n vocab in
+      let with_rels =
+        List.fold_left
+          (fun acc (sym : Vocab.sym) ->
+            Seq.concat_map
+              (fun st ->
+                Seq.map
+                  (fun r -> Structure.with_rel st sym.name r)
+                  (rel_contents n sym.arity))
+              acc)
+          (Seq.return base) (Vocab.relations vocab)
+      in
+      List.fold_left
+        (fun acc c ->
+          Seq.concat_map
+            (fun st -> Seq.init n (fun v -> Structure.with_const st c v))
+            acc)
+        with_rels (Vocab.constants vocab))
+    (sizes 1)
+
+let counterexample ~max_size vocab f g =
+  Seq.find
+    (fun st -> Eval.holds st f <> Eval.holds st g)
+    (structures ~max_size vocab)
+
+let equivalent ~max_size vocab f g =
+  counterexample ~max_size vocab f g = None

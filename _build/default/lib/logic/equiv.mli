@@ -1,0 +1,22 @@
+(** Bounded semantic equivalence of formulas: exhaustive checking over
+    all structures of a vocabulary up to a universe size.
+
+    Used by the tests to certify formula-level claims — e.g. that a
+    guarded repair of one of the paper's update formulas agrees with the
+    original wherever the original's implicit precondition holds. This
+    is decision-by-enumeration (doubly exponential in the vocabulary),
+    so keep vocabularies and sizes small. *)
+
+val structures : max_size:int -> Vocab.t -> Structure.t Seq.t
+(** Every structure with universe size 1..[max_size]: all relation
+    contents, all constant values. The count is
+    [sum over n of 2^(sum n^arity) * n^#consts] — explosive; intended
+    for vocabularies with a couple of low-arity symbols. *)
+
+val equivalent :
+  max_size:int -> Vocab.t -> Formula.t -> Formula.t -> bool
+(** Same truth value as sentences on every generated structure. *)
+
+val counterexample :
+  max_size:int -> Vocab.t -> Formula.t -> Formula.t -> Structure.t option
+(** A structure where the two sentences differ, if any. *)

@@ -1,0 +1,187 @@
+exception Unbound_variable of string
+exception Arity_error of string
+
+let work_counter = ref 0
+let work () = !work_counter
+let reset_work () = work_counter := 0
+
+(* Compile [f] to a closure over a slot array. [env] maps bound variable
+   names to slots; [next] is the next free slot. Compilation resolves
+   relation symbols against [st] once. *)
+let compile st env next f =
+  let n = Structure.size st in
+  let term env (t : Formula.term) : int array -> int =
+    match t with
+    | Formula.Var x -> (
+        match List.assoc_opt x env with
+        | Some slot -> fun a -> a.(slot)
+        | None -> (
+            match Structure.const st x with
+            | c -> fun _ -> c
+            | exception Invalid_argument _ -> raise (Unbound_variable x)))
+    | Formula.Num i -> fun _ -> i
+    | Formula.Min -> fun _ -> 0
+    | Formula.Max -> fun _ -> n - 1
+  in
+  let rec go env (f : Formula.t) : int array -> bool =
+    match f with
+    | True -> fun _ -> true
+    | False -> fun _ -> false
+    | Rel (name, ts) ->
+        let r =
+          try Structure.rel st name
+          with Invalid_argument _ -> raise (Unbound_variable name)
+        in
+        let arity = Relation.arity r in
+        if List.length ts <> arity then
+          raise
+            (Arity_error
+               (Printf.sprintf "%s expects %d arguments, got %d" name arity
+                  (List.length ts)));
+        let getters = Array.of_list (List.map (term env) ts) in
+        let buf = Array.make arity 0 in
+        fun a ->
+          incr work_counter;
+          for i = 0 to arity - 1 do
+            buf.(i) <- getters.(i) a
+          done;
+          Relation.mem r buf
+    | Eq (x, y) ->
+        let gx = term env x and gy = term env y in
+        fun a ->
+          incr work_counter;
+          gx a = gy a
+    | Le (x, y) ->
+        let gx = term env x and gy = term env y in
+        fun a ->
+          incr work_counter;
+          gx a <= gy a
+    | Lt (x, y) ->
+        let gx = term env x and gy = term env y in
+        fun a ->
+          incr work_counter;
+          gx a < gy a
+    | Bit (x, y) ->
+        let gx = term env x and gy = term env y in
+        fun a ->
+          incr work_counter;
+          let vx = gx a and vy = gy a in
+          vy < Sys.int_size && (vx lsr vy) land 1 = 1
+    | Not g ->
+        let cg = go env g in
+        fun a -> not (cg a)
+    | And (g, h) ->
+        let cg = go env g and ch = go env h in
+        fun a -> cg a && ch a
+    | Or (g, h) ->
+        let cg = go env g and ch = go env h in
+        fun a -> cg a || ch a
+    | Implies (g, h) ->
+        let cg = go env g and ch = go env h in
+        fun a -> (not (cg a)) || ch a
+    | Iff (g, h) ->
+        let cg = go env g and ch = go env h in
+        fun a -> cg a = ch a
+    | Exists (vs, g) -> quant ~univ:false env vs g
+    | Forall (vs, g) -> quant ~univ:true env vs g
+  and quant ~univ env vs g =
+    let slots =
+      List.map
+        (fun x ->
+          let s = !next in
+          incr next;
+          (x, s))
+        vs
+    in
+    let body = go (slots @ env) g in
+    let slot_arr = Array.of_list (List.map snd slots) in
+    let k = Array.length slot_arr in
+    if univ then
+      fun a ->
+        let rec loop i =
+          if i = k then body a
+          else
+            let s = slot_arr.(i) in
+            let rec try_ v =
+              v >= n
+              || (a.(s) <- v;
+                  loop (i + 1) && try_ (v + 1))
+            in
+            try_ 0
+        in
+        loop 0
+    else
+      fun a ->
+        let rec loop i =
+          if i = k then body a
+          else
+            let s = slot_arr.(i) in
+            let rec try_ v =
+              v < n
+              && ((a.(s) <- v;
+                   loop (i + 1))
+                 || try_ (v + 1))
+            in
+            try_ 0
+        in
+        loop 0
+  in
+  go env f
+
+let prepare st env f =
+  let next = ref 0 in
+  let slots =
+    List.map
+      (fun (x, _) ->
+        let s = !next in
+        incr next;
+        (x, s))
+      env
+  in
+  let fn = compile st slots next f in
+  let a = Array.make (max 1 !next) 0 in
+  List.iter2 (fun (_, s) (_, v) -> a.(s) <- v) slots env;
+  (a, fn)
+
+let holds st ?(env = []) f =
+  let a, fn = prepare st env f in
+  fn a
+
+let define st ~vars ?(env = []) f =
+  let n = Structure.size st in
+  let arity = List.length vars in
+  let next = ref 0 in
+  let var_slots =
+    List.map
+      (fun x ->
+        let s = !next in
+        incr next;
+        (x, s))
+      vars
+  in
+  let env_slots =
+    List.map
+      (fun (x, _) ->
+        let s = !next in
+        incr next;
+        (x, s))
+      env
+  in
+  let fn = compile st (var_slots @ env_slots) next f in
+  let a = Array.make (max 1 !next) 0 in
+  List.iter2 (fun (_, s) (_, v) -> a.(s) <- v) env_slots env;
+  let result = ref (Relation.empty ~arity) in
+  let rec enum i =
+    if i = arity then begin
+      if fn a then
+        result :=
+          Relation.add !result (Array.init arity (fun j -> a.(j)))
+    end
+    else
+      for v = 0 to n - 1 do
+        a.(i) <- v;
+        enum (i + 1)
+      done
+  in
+  enum 0;
+  !result

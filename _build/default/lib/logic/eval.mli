@@ -1,0 +1,46 @@
+(** Evaluation of first-order formulas over finite structures.
+
+    Formulas are compiled once into closures (variable names are resolved
+    to slots of a mutable environment array, relation symbols to the
+    structure's relations), then evaluated by enumerating quantifier
+    witnesses over the universe with short-circuiting.
+
+    Identifier resolution: an identifier is a variable if it is bound by an
+    enclosing quantifier or listed in the supplied environment; otherwise it
+    must be a constant symbol of the structure. Anything else raises
+    {!Unbound_variable} at compile time.
+
+    A global {e work counter} counts atomic-formula evaluations. Since
+    FO = CRAM[1] (uniform CRCW-PRAM with polynomial hardware, constant
+    time), this counter is the sequential simulation cost of the parallel
+    evaluation — the resource that the paper's Corollary 5.7 relates to
+    [CRAM[n]]. Benchmarks report it alongside wall-clock time. *)
+
+exception Unbound_variable of string
+(** An identifier is neither a bound variable, an environment entry, nor a
+    constant symbol of the structure. *)
+
+exception Arity_error of string
+(** A relation atom's argument count differs from the symbol's declared
+    arity. *)
+
+val holds : Structure.t -> ?env:(string * int) list -> Formula.t -> bool
+(** [holds st ~env f] — truth of [f] in [st] under the assignment [env]
+    for its free variables. *)
+
+val define :
+  Structure.t ->
+  vars:string list ->
+  ?env:(string * int) list ->
+  Formula.t ->
+  Relation.t
+(** [define st ~vars ~env f] is the relation
+    [{ (x1,...,xk) | st |= f(x1,...,xk) }] where [vars = [x1;...;xk]].
+    Extra free variables of [f] must be covered by [env] or by constant
+    symbols. This is how a dynamic program computes the new value of an
+    auxiliary relation from an update formula. *)
+
+val work : unit -> int
+(** Atomic evaluations performed since the last {!reset_work}. *)
+
+val reset_work : unit -> unit

@@ -1,0 +1,227 @@
+type term = Var of string | Num of int | Min | Max
+
+type t =
+  | True
+  | False
+  | Rel of string * term list
+  | Eq of term * term
+  | Le of term * term
+  | Lt of term * term
+  | Bit of term * term
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Iff of t * t
+  | Exists of string list * t
+  | Forall of string list * t
+
+let v x = Var x
+let rel name ts = Rel (name, ts)
+let rel_v name xs = Rel (name, List.map v xs)
+
+let conj = function
+  | [] -> True
+  | f :: fs -> List.fold_left (fun acc g -> And (acc, g)) f fs
+
+let disj = function
+  | [] -> False
+  | f :: fs -> List.fold_left (fun acc g -> Or (acc, g)) f fs
+
+let neq a b = Not (Eq (a, b))
+
+let exists vs f = match vs with [] -> f | _ -> Exists (vs, f)
+let forall vs f = match vs with [] -> f | _ -> Forall (vs, f)
+
+let term_vars = function Var x -> [ x ] | Num _ | Min | Max -> []
+
+let free_vars f =
+  (* first-occurrence order, no duplicates *)
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let note bound x =
+    if (not (List.mem x bound)) && not (Hashtbl.mem seen x) then begin
+      Hashtbl.add seen x ();
+      acc := x :: !acc
+    end
+  in
+  let rec go bound = function
+    | True | False -> ()
+    | Rel (_, ts) -> List.iter (fun t -> List.iter (note bound) (term_vars t)) ts
+    | Eq (a, b) | Le (a, b) | Lt (a, b) | Bit (a, b) ->
+        List.iter (note bound) (term_vars a);
+        List.iter (note bound) (term_vars b)
+    | Not g -> go bound g
+    | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) ->
+        go bound a;
+        go bound b
+    | Exists (vs, g) | Forall (vs, g) -> go (vs @ bound) g
+  in
+  go [] f;
+  List.rev !acc
+
+let rec quantifier_depth = function
+  | True | False | Rel _ | Eq _ | Le _ | Lt _ | Bit _ -> 0
+  | Not g -> quantifier_depth g
+  | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) ->
+      max (quantifier_depth a) (quantifier_depth b)
+  | Exists (vs, g) | Forall (vs, g) -> List.length vs + quantifier_depth g
+
+let rec size = function
+  | True | False | Rel _ | Eq _ | Le _ | Lt _ | Bit _ -> 1
+  | Not g -> 1 + size g
+  | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) -> 1 + size a + size b
+  | Exists (_, g) | Forall (_, g) -> 1 + size g
+
+let fresh_counter = ref 0
+
+let fresh prefix =
+  incr fresh_counter;
+  Printf.sprintf "%s%d" prefix !fresh_counter
+
+let subst sigma f =
+  let subst_term sigma = function
+    | Var x as t -> ( match List.assoc_opt x sigma with Some u -> u | None -> t)
+    | t -> t
+  in
+  let sigma_vars sigma =
+    List.concat_map (fun (_, t) -> term_vars t) sigma
+  in
+  let rec go sigma f =
+    match f with
+    | True | False -> f
+    | Rel (name, ts) -> Rel (name, List.map (subst_term sigma) ts)
+    | Eq (a, b) -> Eq (subst_term sigma a, subst_term sigma b)
+    | Le (a, b) -> Le (subst_term sigma a, subst_term sigma b)
+    | Lt (a, b) -> Lt (subst_term sigma a, subst_term sigma b)
+    | Bit (a, b) -> Bit (subst_term sigma a, subst_term sigma b)
+    | Not g -> Not (go sigma g)
+    | And (a, b) -> And (go sigma a, go sigma b)
+    | Or (a, b) -> Or (go sigma a, go sigma b)
+    | Implies (a, b) -> Implies (go sigma a, go sigma b)
+    | Iff (a, b) -> Iff (go sigma a, go sigma b)
+    | Exists (vs, g) -> quant (fun vs g -> Exists (vs, g)) sigma vs g
+    | Forall (vs, g) -> quant (fun vs g -> Forall (vs, g)) sigma vs g
+  and quant mk sigma vs g =
+    (* drop bindings shadowed by vs; rename vs that would capture *)
+    let sigma = List.filter (fun (x, _) -> not (List.mem x vs)) sigma in
+    let clash = sigma_vars sigma in
+    let renaming =
+      List.filter_map
+        (fun x -> if List.mem x clash then Some (x, Var (fresh x)) else None)
+        vs
+    in
+    if renaming = [] then mk vs (go sigma g)
+    else
+      let vs' =
+        List.map
+          (fun x ->
+            match List.assoc_opt x renaming with
+            | Some (Var y) -> y
+            | _ -> x)
+          vs
+      in
+      mk vs' (go sigma (go renaming g))
+  in
+  if sigma = [] then f else go sigma f
+
+let substitute_rel mapping f =
+  let rec go f =
+    match f with
+    | True | False | Eq _ | Le _ | Lt _ | Bit _ -> f
+    | Rel (name, ts) -> (
+        match List.assoc_opt name mapping with
+        | None -> f
+        | Some (vars, body) ->
+            if List.length vars <> List.length ts then
+              invalid_arg
+                (Printf.sprintf
+                   "Formula.substitute_rel: %s applied to %d args, template \
+                    has %d"
+                   name (List.length ts) (List.length vars));
+            subst (List.combine vars ts) body)
+    | Not g -> Not (go g)
+    | And (a, b) -> And (go a, go b)
+    | Or (a, b) -> Or (go a, go b)
+    | Implies (a, b) -> Implies (go a, go b)
+    | Iff (a, b) -> Iff (go a, go b)
+    | Exists (vs, g) -> Exists (vs, go g)
+    | Forall (vs, g) -> Forall (vs, go g)
+  in
+  go f
+
+let rename_bound ~prefix f =
+  let rec go f =
+    match f with
+    | True | False | Rel _ | Eq _ | Le _ | Lt _ | Bit _ -> f
+    | Not g -> Not (go g)
+    | And (a, b) -> And (go a, go b)
+    | Or (a, b) -> Or (go a, go b)
+    | Implies (a, b) -> Implies (go a, go b)
+    | Iff (a, b) -> Iff (go a, go b)
+    | Exists (vs, g) ->
+        let sigma = List.map (fun x -> (x, Var (fresh prefix))) vs in
+        let vs' = List.map (function _, Var y -> y | _ -> assert false) sigma in
+        Exists (vs', go (subst sigma g))
+    | Forall (vs, g) ->
+        let sigma = List.map (fun x -> (x, Var (fresh prefix))) vs in
+        let vs' = List.map (function _, Var y -> y | _ -> assert false) sigma in
+        Forall (vs', go (subst sigma g))
+  in
+  go f
+
+let equal = Stdlib.( = )
+
+let pp_term ppf = function
+  | Var x -> Format.pp_print_string ppf x
+  | Num i -> Format.pp_print_int ppf i
+  | Min -> Format.pp_print_string ppf "min"
+  | Max -> Format.pp_print_string ppf "max"
+
+(* precedence: iff 1, implies 2, or 3, and 4, not/quant 5, atom 6 *)
+let pp ppf f =
+  let rec go prec ppf f =
+    let paren p body =
+      if prec > p then Format.fprintf ppf "(%t)" body else body ppf
+    in
+    match f with
+    | True -> Format.pp_print_string ppf "true"
+    | False -> Format.pp_print_string ppf "false"
+    | Rel (name, ts) ->
+        Format.fprintf ppf "%s(%a)" name
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+             pp_term)
+          ts
+    | Eq (a, b) -> Format.fprintf ppf "%a = %a" pp_term a pp_term b
+    | Not (Eq (a, b)) -> Format.fprintf ppf "%a != %a" pp_term a pp_term b
+    | Le (a, b) -> Format.fprintf ppf "%a <= %a" pp_term a pp_term b
+    | Lt (a, b) -> Format.fprintf ppf "%a < %a" pp_term a pp_term b
+    | Bit (a, b) -> Format.fprintf ppf "BIT(%a, %a)" pp_term a pp_term b
+    | Not g -> paren 5 (fun ppf -> Format.fprintf ppf "~%a" (go 5) g)
+    | And (a, b) ->
+        paren 4 (fun ppf -> Format.fprintf ppf "%a & %a" (go 4) a (go 5) b)
+    | Or (a, b) ->
+        paren 3 (fun ppf -> Format.fprintf ppf "%a | %a" (go 3) a (go 4) b)
+    | Implies (a, b) ->
+        paren 2 (fun ppf -> Format.fprintf ppf "%a -> %a" (go 3) a (go 2) b)
+    | Iff (a, b) ->
+        paren 1 (fun ppf -> Format.fprintf ppf "%a <-> %a" (go 2) a (go 1) b)
+    | Exists (vs, g) ->
+        paren 5 (fun ppf ->
+            Format.fprintf ppf "ex %a (%a)"
+              (Format.pp_print_list
+                 ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ' ')
+                 Format.pp_print_string)
+              vs (go 0) g)
+    | Forall (vs, g) ->
+        paren 5 (fun ppf ->
+            Format.fprintf ppf "all %a (%a)"
+              (Format.pp_print_list
+                 ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ' ')
+                 Format.pp_print_string)
+              vs (go 0) g)
+  in
+  go 0 ppf f
+
+let to_string f = Format.asprintf "%a" pp f

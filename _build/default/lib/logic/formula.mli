@@ -1,0 +1,89 @@
+(** First-order formulas over a vocabulary, with the numeric predicates of
+    descriptive complexity.
+
+    The language [L(tau)] of Section 2: relation atoms, [=], [<=], [BIT],
+    the numeric constants [min]/[max], boolean connectives and quantifiers.
+    Identifiers are resolved at evaluation time: an identifier bound by a
+    quantifier (or supplied as a free-variable assignment) is a variable;
+    otherwise it must name a constant symbol of the structure (such as [s]
+    and [t] in the reachability query). *)
+
+type term =
+  | Var of string  (** variable or structure-constant symbol *)
+  | Num of int  (** numeric literal, for tests and generated formulas *)
+  | Min  (** the least universe element, 0 *)
+  | Max  (** the greatest universe element, n-1 *)
+
+type t =
+  | True
+  | False
+  | Rel of string * term list  (** relation atom [R(t1,...,tk)] *)
+  | Eq of term * term
+  | Le of term * term  (** the built-in total order [<=] *)
+  | Lt of term * term
+  | Bit of term * term  (** [BIT(x,y)]: bit [y] of [x] is one *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Iff of t * t
+  | Exists of string list * t
+  | Forall of string list * t
+
+val v : string -> term
+(** [v x] is [Var x]. *)
+
+val rel : string -> term list -> t
+val rel_v : string -> string list -> t
+(** [rel_v "R" ["x"; "y"]] is [Rel ("R", [Var "x"; Var "y"])]. *)
+
+val conj : t list -> t
+(** Conjunction of a list; [conj []] is [True]. *)
+
+val disj : t list -> t
+(** Disjunction of a list; [disj []] is [False]. *)
+
+val neq : term -> term -> t
+
+val exists : string list -> t -> t
+val forall : string list -> t -> t
+
+val free_vars : t -> string list
+(** All identifiers with a free occurrence, in first-occurrence order.
+    Structure-constant symbols appear here too; they are resolved by the
+    evaluator. *)
+
+val quantifier_depth : t -> int
+(** Maximum nesting of quantifiers — the descriptive analogue of parallel
+    time. A block [Exists [x;y]] counts its variables individually. *)
+
+val size : t -> int
+(** Number of AST nodes. *)
+
+val subst : (string * term) list -> t -> t
+(** Capture-avoiding simultaneous substitution of terms for free variables.
+    Bound variables that would capture a substituted name are renamed. *)
+
+val substitute_rel : (string * (string list * t)) list -> t -> t
+(** [substitute_rel [R, (vars, body); ...] f] replaces every atom
+    [R(t1,...,tk)] of [f] by [body] with [vars] simultaneously
+    substituted by [t1,...,tk] (capture-avoiding with respect to [body]'s
+    own bound variables). Free variables of [body] other than [vars] are
+    inserted literally, so they {e can} be captured by quantifiers of [f]
+    enclosing the atom — this is deliberate and is how the k-fold
+    composition of update formulas (Theorem 4.5(2)) binds the deleted
+    edge variables of the inlined single-deletion formula. *)
+
+val rename_bound : prefix:string -> t -> t
+(** Rename every bound variable to a fresh name built from [prefix]; used
+    when composing formulas (e.g. k-fold composition for k-edge
+    connectivity) to avoid accidental shadowing. *)
+
+val equal : t -> t -> bool
+
+val pp_term : Format.formatter -> term -> unit
+val pp : Format.formatter -> t -> unit
+(** Prints in the concrete syntax accepted by {!Parser} ([&], [|], [~],
+    [->], [<->], [ex x y (...)], [all x y (...)]). *)
+
+val to_string : t -> string

@@ -1,0 +1,312 @@
+exception Parse_error of string
+
+type token =
+  | IDENT of string
+  | NUM of int
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | AMP
+  | BAR
+  | TILDE
+  | ARROW
+  | IFF_TOK
+  | EQ_TOK
+  | NEQ_TOK
+  | LE_TOK
+  | LT_TOK
+  | KW_TRUE
+  | KW_FALSE
+  | KW_EX
+  | KW_ALL
+  | KW_MIN
+  | KW_MAX
+  | KW_BIT
+  | EOF
+
+let pp_token = function
+  | IDENT s -> s
+  | NUM i -> string_of_int i
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | AMP -> "&"
+  | BAR -> "|"
+  | TILDE -> "~"
+  | ARROW -> "->"
+  | IFF_TOK -> "<->"
+  | EQ_TOK -> "="
+  | NEQ_TOK -> "!="
+  | LE_TOK -> "<="
+  | LT_TOK -> "<"
+  | KW_TRUE -> "true"
+  | KW_FALSE -> "false"
+  | KW_EX -> "ex"
+  | KW_ALL -> "all"
+  | KW_MIN -> "min"
+  | KW_MAX -> "max"
+  | KW_BIT -> "BIT"
+  | EOF -> "<eof>"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c >= '0' && c <= '9' then begin
+      let j = ref !i in
+      while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do
+        incr j
+      done;
+      emit (NUM (int_of_string (String.sub s !i (!j - !i))));
+      i := !j
+    end
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char s.[!j] do
+        incr j
+      done;
+      let word = String.sub s !i (!j - !i) in
+      i := !j;
+      emit
+        (match word with
+        | "true" -> KW_TRUE
+        | "false" -> KW_FALSE
+        | "ex" -> KW_EX
+        | "all" -> KW_ALL
+        | "min" -> KW_MIN
+        | "max" -> KW_MAX
+        | "BIT" -> KW_BIT
+        | _ -> IDENT word)
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub s !i 2 else "" in
+      let three = if !i + 2 < n then String.sub s !i 3 else "" in
+      if three = "<->" then begin
+        emit IFF_TOK;
+        i := !i + 3
+      end
+      else if two = "->" then begin
+        emit ARROW;
+        i := !i + 2
+      end
+      else if two = "!=" then begin
+        emit NEQ_TOK;
+        i := !i + 2
+      end
+      else if two = "<=" then begin
+        emit LE_TOK;
+        i := !i + 2
+      end
+      else begin
+        (match c with
+        | '(' -> emit LPAREN
+        | ')' -> emit RPAREN
+        | ',' -> emit COMMA
+        | '&' -> emit AMP
+        | '|' -> emit BAR
+        | '~' -> emit TILDE
+        | '=' -> emit EQ_TOK
+        | '<' -> emit LT_TOK
+        | _ ->
+            raise
+              (Parse_error
+                 (Printf.sprintf "unexpected character %C at offset %d" c !i)));
+        incr i
+      end
+    end
+  done;
+  emit EOF;
+  List.rev !toks
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> EOF | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    raise
+      (Parse_error
+         (Printf.sprintf "expected %s, found %s" (pp_token tok)
+            (pp_token (peek st))))
+
+let parse_term_tok st : Formula.term =
+  match peek st with
+  | IDENT x ->
+      advance st;
+      Formula.Var x
+  | NUM i ->
+      advance st;
+      Formula.Num i
+  | KW_MIN ->
+      advance st;
+      Formula.Min
+  | KW_MAX ->
+      advance st;
+      Formula.Max
+  | t -> raise (Parse_error (Printf.sprintf "expected a term, found %s" (pp_token t)))
+
+let rec parse_formula st = parse_iff st
+
+and parse_iff st =
+  let lhs = parse_implies st in
+  if peek st = IFF_TOK then begin
+    advance st;
+    let rhs = parse_implies st in
+    parse_iff_rest (Formula.Iff (lhs, rhs)) st
+  end
+  else lhs
+
+and parse_iff_rest acc st =
+  if peek st = IFF_TOK then begin
+    advance st;
+    let rhs = parse_implies st in
+    parse_iff_rest (Formula.Iff (acc, rhs)) st
+  end
+  else acc
+
+and parse_implies st =
+  let lhs = parse_or st in
+  if peek st = ARROW then begin
+    advance st;
+    let rhs = parse_implies st in
+    Formula.Implies (lhs, rhs)
+  end
+  else lhs
+
+and parse_or st =
+  let lhs = ref (parse_and st) in
+  while peek st = BAR do
+    advance st;
+    lhs := Formula.Or (!lhs, parse_and st)
+  done;
+  !lhs
+
+and parse_and st =
+  let lhs = ref (parse_unary st) in
+  while peek st = AMP do
+    advance st;
+    lhs := Formula.And (!lhs, parse_unary st)
+  done;
+  !lhs
+
+and parse_unary st =
+  match peek st with
+  | TILDE ->
+      advance st;
+      Formula.Not (parse_unary st)
+  | KW_EX ->
+      advance st;
+      parse_quant st (fun vs f -> Formula.Exists (vs, f))
+  | KW_ALL ->
+      advance st;
+      parse_quant st (fun vs f -> Formula.Forall (vs, f))
+  | _ -> parse_atom st
+
+and parse_quant st mk =
+  let rec vars acc =
+    match peek st with
+    | IDENT x ->
+        advance st;
+        vars (x :: acc)
+    | LPAREN when acc <> [] -> List.rev acc
+    | t ->
+        raise
+          (Parse_error
+             (Printf.sprintf "expected quantified variables, found %s"
+                (pp_token t)))
+  in
+  let vs = vars [] in
+  expect st LPAREN;
+  let body = parse_formula st in
+  expect st RPAREN;
+  mk vs body
+
+and parse_atom st =
+  match peek st with
+  | KW_TRUE ->
+      advance st;
+      Formula.True
+  | KW_FALSE ->
+      advance st;
+      Formula.False
+  | LPAREN ->
+      advance st;
+      let f = parse_formula st in
+      expect st RPAREN;
+      f
+  | KW_BIT ->
+      advance st;
+      expect st LPAREN;
+      let a = parse_term_tok st in
+      expect st COMMA;
+      let b = parse_term_tok st in
+      expect st RPAREN;
+      Formula.Bit (a, b)
+  | IDENT name when (match st.toks with _ :: LPAREN :: _ -> true | _ -> false)
+    ->
+      advance st;
+      advance st;
+      if peek st = RPAREN then begin
+        advance st;
+        Formula.Rel (name, [])
+      end
+      else
+      let rec args acc =
+        let t = parse_term_tok st in
+        match peek st with
+        | COMMA ->
+            advance st;
+            args (t :: acc)
+        | RPAREN ->
+            advance st;
+            List.rev (t :: acc)
+        | tok ->
+            raise
+              (Parse_error
+                 (Printf.sprintf "expected , or ) in argument list, found %s"
+                    (pp_token tok)))
+      in
+      Formula.Rel (name, args [])
+  | IDENT _ | NUM _ | KW_MIN | KW_MAX ->
+      let a = parse_term_tok st in
+      let mk =
+        match peek st with
+        | EQ_TOK -> fun x y -> Formula.Eq (x, y)
+        | NEQ_TOK -> fun x y -> Formula.Not (Formula.Eq (x, y))
+        | LE_TOK -> fun x y -> Formula.Le (x, y)
+        | LT_TOK -> fun x y -> Formula.Lt (x, y)
+        | t ->
+            raise
+              (Parse_error
+                 (Printf.sprintf "expected comparison operator, found %s"
+                    (pp_token t)))
+      in
+      advance st;
+      let b = parse_term_tok st in
+      mk a b
+  | t -> raise (Parse_error (Printf.sprintf "expected an atom, found %s" (pp_token t)))
+
+let parse s =
+  let st = { toks = tokenize s } in
+  let f = parse_formula st in
+  expect st EOF;
+  f
+
+let parse_term s =
+  let st = { toks = tokenize s } in
+  let t = parse_term_tok st in
+  expect st EOF;
+  t

@@ -1,0 +1,22 @@
+(** Parser for the concrete first-order syntax.
+
+    Grammar (precedence low to high): [<->], [->] (right-assoc), [|], [&],
+    [~] / quantifiers, atoms. Quantifiers are written [ex x y (phi)] and
+    [all x y (phi)]. Atoms are [R(t1, ..., tk)], [t1 = t2], [t1 != t2],
+    [t1 <= t2], [t1 < t2], [BIT(t1, t2)], [true], [false]. Terms are
+    identifiers, numerals, [min], [max]. The keywords are [ex], [all],
+    [min], [max], [true], [false], [BIT].
+
+    Example — the formula of Example 2.1 of the paper:
+
+    {[ parse "E(x, y) & x != t & all z (E(x, z) -> z = y)" ]}
+
+    {!Formula.pp} prints formulas back in this same syntax, and parsing is
+    a left inverse of printing. *)
+
+exception Parse_error of string
+(** Raised with a message containing the offending position/token. *)
+
+val parse : string -> Formula.t
+
+val parse_term : string -> Formula.term

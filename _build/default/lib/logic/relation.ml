@@ -1,0 +1,71 @@
+module Tset = Set.Make (struct
+  type t = Tuple.t
+
+  let compare = Tuple.compare
+end)
+
+type t = { arity : int; tuples : Tset.t }
+
+let empty ~arity =
+  if arity < 0 then invalid_arg "Relation.empty: negative arity";
+  { arity; tuples = Tset.empty }
+
+let arity r = r.arity
+
+let check r tup =
+  if Array.length tup <> r.arity then
+    invalid_arg
+      (Printf.sprintf "Relation: tuple arity %d, relation arity %d"
+         (Array.length tup) r.arity)
+
+let mem r tup =
+  check r tup;
+  Tset.mem tup r.tuples
+
+let add r tup =
+  check r tup;
+  { r with tuples = Tset.add tup r.tuples }
+
+let remove r tup =
+  check r tup;
+  { r with tuples = Tset.remove tup r.tuples }
+
+let cardinal r = Tset.cardinal r.tuples
+let is_empty r = Tset.is_empty r.tuples
+
+let of_list ~arity tuples =
+  List.fold_left add (empty ~arity) tuples
+
+let to_list r = Tset.elements r.tuples
+let iter f r = Tset.iter f r.tuples
+let fold f r init = Tset.fold f r.tuples init
+let filter p r = { r with tuples = Tset.filter p r.tuples }
+
+let check_same a b =
+  if a.arity <> b.arity then invalid_arg "Relation: arity mismatch"
+
+let union a b =
+  check_same a b;
+  { a with tuples = Tset.union a.tuples b.tuples }
+
+let inter a b =
+  check_same a b;
+  { a with tuples = Tset.inter a.tuples b.tuples }
+
+let diff a b =
+  check_same a b;
+  { a with tuples = Tset.diff a.tuples b.tuples }
+
+let equal a b = a.arity = b.arity && Tset.equal a.tuples b.tuples
+let subset a b = a.arity = b.arity && Tset.subset a.tuples b.tuples
+
+let symmetric_closure r =
+  if r.arity <> 2 then invalid_arg "Relation.symmetric_closure: arity <> 2";
+  fold (fun t acc -> add acc [| t.(1); t.(0) |]) r r
+
+let pp ppf r =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       Tuple.pp)
+    (to_list r)

@@ -1,0 +1,56 @@
+(** Finite relations: immutable sets of {!Tuple.t} of a fixed arity.
+
+    A relation [R] of arity [a] over a structure of size [n] is a subset of
+    [{0,...,n-1}^a]. Relations are persistent; the dynamic-program runner
+    produces a fresh relation for each update, matching the synchronous
+    semantics of the paper's update formulas. *)
+
+type t
+
+val empty : arity:int -> t
+(** The empty relation of the given arity. [arity] must be >= 0; a 0-ary
+    relation is a boolean (it contains at most the empty tuple). *)
+
+val arity : t -> int
+
+val mem : t -> Tuple.t -> bool
+(** [mem r t] — membership test; raises [Invalid_argument] on arity
+    mismatch. *)
+
+val add : t -> Tuple.t -> t
+(** Insert a tuple (no-op if already present). *)
+
+val remove : t -> Tuple.t -> t
+(** Delete a tuple (no-op if absent). *)
+
+val cardinal : t -> int
+
+val is_empty : t -> bool
+
+val of_list : arity:int -> Tuple.t list -> t
+
+val to_list : t -> Tuple.t list
+(** Tuples in increasing lexicographic order. *)
+
+val iter : (Tuple.t -> unit) -> t -> unit
+
+val fold : (Tuple.t -> 'a -> 'a) -> t -> 'a -> 'a
+
+val filter : (Tuple.t -> bool) -> t -> t
+
+val union : t -> t -> t
+
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+
+val equal : t -> t -> bool
+
+val subset : t -> t -> bool
+
+val symmetric_closure : t -> t
+(** For a binary relation, adds [(y,x)] for every [(x,y)]. Raises
+    [Invalid_argument] on non-binary relations. Used for the undirected
+    graphs of Section 4 where every edge is stored in both directions. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,101 @@
+module Smap = Map.Make (String)
+
+type t = {
+  size : int;
+  vocab : Vocab.t;
+  rels : Relation.t Smap.t;
+  consts : int Smap.t;
+}
+
+let create ~size vocab =
+  if size <= 0 then invalid_arg "Structure.create: size must be positive";
+  let rels =
+    List.fold_left
+      (fun m (s : Vocab.sym) ->
+        Smap.add s.name (Relation.empty ~arity:s.arity) m)
+      Smap.empty (Vocab.relations vocab)
+  in
+  let consts =
+    List.fold_left (fun m c -> Smap.add c 0 m) Smap.empty
+      (Vocab.constants vocab)
+  in
+  { size; vocab; rels; consts }
+
+let size s = s.size
+let vocab s = s.vocab
+
+let rel s name =
+  match Smap.find_opt name s.rels with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Structure.rel: unknown relation %S" name)
+
+let const s name =
+  match Smap.find_opt name s.consts with
+  | Some v -> v
+  | None ->
+      invalid_arg (Printf.sprintf "Structure.const: unknown constant %S" name)
+
+let with_rel s name r =
+  let old = rel s name in
+  if Relation.arity old <> Relation.arity r then
+    invalid_arg
+      (Printf.sprintf "Structure.with_rel: arity mismatch for %S" name);
+  { s with rels = Smap.add name r s.rels }
+
+let with_const s name v =
+  if not (Smap.mem name s.consts) then
+    invalid_arg
+      (Printf.sprintf "Structure.with_const: unknown constant %S" name);
+  if v < 0 || v >= s.size then
+    invalid_arg "Structure.with_const: value outside universe";
+  { s with consts = Smap.add name v s.consts }
+
+let check_tuple s tup =
+  if not (Tuple.in_universe ~size:s.size tup) then
+    invalid_arg "Structure: tuple component outside universe"
+
+let add_tuple s name tup =
+  check_tuple s tup;
+  with_rel s name (Relation.add (rel s name) tup)
+
+let del_tuple s name tup =
+  check_tuple s tup;
+  with_rel s name (Relation.remove (rel s name) tup)
+
+let mem s name tup = Relation.mem (rel s name) tup
+
+let declare_rel s name r =
+  if Smap.mem name s.rels || Smap.mem name s.consts then
+    invalid_arg (Printf.sprintf "Structure.declare_rel: %S already exists" name);
+  let v = Vocab.make ~rels:[ (name, Relation.arity r) ] ~consts:[] in
+  { s with vocab = Vocab.union s.vocab v; rels = Smap.add name r s.rels }
+
+let restrict s v =
+  let rels =
+    List.fold_left
+      (fun m (sym : Vocab.sym) ->
+        let r = rel s sym.name in
+        if Relation.arity r <> sym.arity then
+          invalid_arg "Structure.restrict: arity mismatch";
+        Smap.add sym.name r m)
+      Smap.empty (Vocab.relations v)
+  in
+  let consts =
+    List.fold_left
+      (fun m c -> Smap.add c (const s c) m)
+      Smap.empty (Vocab.constants v)
+  in
+  { size = s.size; vocab = v; rels; consts }
+
+let equal a b =
+  a.size = b.size
+  && Smap.equal Relation.equal a.rels b.rels
+  && Smap.equal Int.equal a.consts b.consts
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>universe: {0..%d}@," (s.size - 1);
+  Smap.iter
+    (fun name r -> Format.fprintf ppf "%s = %a@," name Relation.pp r)
+    s.rels;
+  Smap.iter (fun name v -> Format.fprintf ppf "%s = %d@," name v) s.consts;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,55 @@
+(** Finite logical structures, i.e. relational database instances
+    (Section 2).
+
+    A structure has a universe [{0, ..., size-1}], one {!Relation.t} per
+    relation symbol of its vocabulary, and one universe element per constant
+    symbol. Structures are persistent: all update operations return a new
+    structure. *)
+
+type t
+
+val create : size:int -> Vocab.t -> t
+(** [create ~size vocab] is the structure with all relations empty and all
+    constants set to [0] — this is [A_0^n] of Section 2 apart from the
+    active-domain relation, which callers initialise themselves when they
+    need it. Raises [Invalid_argument] if [size <= 0]. *)
+
+val size : t -> int
+
+val vocab : t -> Vocab.t
+
+val rel : t -> string -> Relation.t
+(** Raises [Invalid_argument] on unknown relation symbols. *)
+
+val const : t -> string -> int
+(** Raises [Invalid_argument] on unknown constant symbols. *)
+
+val with_rel : t -> string -> Relation.t -> t
+(** Replace a relation wholesale (arity must match the vocabulary). *)
+
+val with_const : t -> string -> int -> t
+(** Set a constant; raises [Invalid_argument] if the value is outside the
+    universe. *)
+
+val add_tuple : t -> string -> Tuple.t -> t
+(** Insert a tuple into a relation; validates range and arity. *)
+
+val del_tuple : t -> string -> Tuple.t -> t
+
+val mem : t -> string -> Tuple.t -> bool
+
+val declare_rel : t -> string -> Relation.t -> t
+(** Add a brand-new relation symbol to the structure (and its vocabulary).
+    Used for the temporary relations of update programs, e.g. the [T] and
+    [New] of Theorem 4.1's delete case. Raises [Invalid_argument] if the
+    name is taken. *)
+
+val restrict : t -> Vocab.t -> t
+(** [restrict s v] keeps only the symbols of [v] (which must all exist in
+    [s] with matching arities). Used to extract the input structure from a
+    dynamic program's combined input+auxiliary state. *)
+
+val equal : t -> t -> bool
+(** Same size, same vocabulary symbols, same relations and constants. *)
+
+val pp : Format.formatter -> t -> unit

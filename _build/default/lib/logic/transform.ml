@@ -1,0 +1,71 @@
+open Formula
+
+let rec nnf f =
+  match f with
+  | True | False | Rel _ | Eq _ | Le _ | Lt _ | Bit _ -> f
+  | And (a, b) -> And (nnf a, nnf b)
+  | Or (a, b) -> Or (nnf a, nnf b)
+  | Implies (a, b) -> Or (nnf (Not a), nnf b)
+  | Iff (a, b) -> And (nnf (Implies (a, b)), nnf (Implies (b, a)))
+  | Exists (vs, g) -> Exists (vs, nnf g)
+  | Forall (vs, g) -> Forall (vs, nnf g)
+  | Not g -> (
+      match g with
+      | True -> False
+      | False -> True
+      | Rel _ | Eq _ | Le _ | Lt _ | Bit _ -> Not g
+      | Not h -> nnf h
+      | And (a, b) -> Or (nnf (Not a), nnf (Not b))
+      | Or (a, b) -> And (nnf (Not a), nnf (Not b))
+      | Implies (a, b) -> And (nnf a, nnf (Not b))
+      | Iff (a, b) ->
+          Or
+            ( And (nnf a, nnf (Not b)),
+              And (nnf (Not a), nnf b) )
+      | Exists (vs, h) -> Forall (vs, nnf (Not h))
+      | Forall (vs, h) -> Exists (vs, nnf (Not h)))
+
+let rec is_quantifier_free = function
+  | True | False | Rel _ | Eq _ | Le _ | Lt _ | Bit _ -> true
+  | Not g -> is_quantifier_free g
+  | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) ->
+      is_quantifier_free a && is_quantifier_free b
+  | Exists _ | Forall _ -> false
+
+(* pull quantifiers out of an NNF formula whose bound variables are all
+   distinct (ensured by rename_bound): returns (prefix, matrix) *)
+let rec pull f =
+  match f with
+  | True | False | Rel _ | Eq _ | Le _ | Lt _ | Bit _ | Not _ -> ([], f)
+  | And (a, b) ->
+      let pa, ma = pull a and pb, mb = pull b in
+      (pa @ pb, And (ma, mb))
+  | Or (a, b) ->
+      let pa, ma = pull a and pb, mb = pull b in
+      (pa @ pb, Or (ma, mb))
+  | Exists (vs, g) ->
+      let p, m = pull g in
+      (List.map (fun v -> (`Exists, v)) vs @ p, m)
+  | Forall (vs, g) ->
+      let p, m = pull g in
+      (List.map (fun v -> (`Forall, v)) vs @ p, m)
+  | Implies _ | Iff _ -> assert false (* removed by nnf *)
+
+let prenex f =
+  let f = rename_bound ~prefix:"pnx" (nnf f) in
+  let prefix, m = pull f in
+  List.fold_right
+    (fun (q, v) acc ->
+      match q with
+      | `Exists -> Exists ([ v ], acc)
+      | `Forall -> Forall ([ v ], acc))
+    prefix m
+
+let rec prefix = function
+  | Exists (vs, g) -> List.map (fun v -> (`Exists, v)) vs @ prefix g
+  | Forall (vs, g) -> List.map (fun v -> (`Forall, v)) vs @ prefix g
+  | _ -> []
+
+let rec matrix = function
+  | Exists (_, g) | Forall (_, g) -> matrix g
+  | f -> f

@@ -1,0 +1,28 @@
+(** Normal forms for first-order formulas.
+
+    Used by the analysis side of the library: negation normal form makes
+    quantifier structure explicit, and prenex normal form turns
+    quantifier depth into a literal prefix — the measure that descriptive
+    complexity reads as parallel time (Section 2: "parallel time is
+    linearly related to quantifier-depth"). Both transformations
+    preserve semantics, which the property tests verify through
+    {!Eval}. *)
+
+val nnf : Formula.t -> Formula.t
+(** Negation normal form: negations only on atoms; [->] and [<->]
+    expanded. *)
+
+val prenex : Formula.t -> Formula.t
+(** Prenex normal form: a block of quantifiers over a quantifier-free
+    matrix. Bound variables are freshened first, so no capture can
+    occur. The input is put into NNF on the way. *)
+
+val is_quantifier_free : Formula.t -> bool
+
+val prefix : Formula.t -> ([ `Exists | `Forall ] * string) list
+(** The quantifier prefix of a prenex formula (empty for quantifier-free
+    ones; inner quantifiers below connectives are not collected — apply
+    {!prenex} first). *)
+
+val matrix : Formula.t -> Formula.t
+(** The quantifier-free part under the prefix. *)

@@ -1,0 +1,52 @@
+type t = int array
+
+let arity = Array.length
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else
+    let rec go i =
+      if i = la then 0
+      else
+        let c = Stdlib.compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+
+let equal a b = compare a b = 0
+
+let hash (a : t) = Hashtbl.hash (Array.to_list a)
+
+let in_universe ~size t = Array.for_all (fun u -> 0 <= u && u < size) t
+
+let encode ~size t =
+  if not (in_universe ~size t) then
+    invalid_arg "Tuple.encode: component out of range";
+  Array.fold_left
+    (fun acc u ->
+      if acc > (max_int - u) / size then invalid_arg "Tuple.encode: overflow"
+      else (acc * size) + u)
+    0 t
+
+let decode ~size ~arity code =
+  if code < 0 then invalid_arg "Tuple.decode: negative code";
+  let t = Array.make arity 0 in
+  let rec go i code =
+    if i < 0 then (if code <> 0 then invalid_arg "Tuple.decode: code too large")
+    else begin
+      t.(i) <- code mod size;
+      go (i - 1) (code / size)
+    end
+  in
+  go (arity - 1) code;
+  t
+
+let pp ppf t =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+       Format.pp_print_int)
+    t
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,36 @@
+(** Tuples over a finite universe [{0, ..., n-1}].
+
+    A tuple is a fixed-length vector of universe elements. Tuples are the
+    elements of the relations of a finite structure (Section 2 of the
+    paper). *)
+
+type t = int array
+
+val arity : t -> int
+(** [arity t] is the number of components of [t]. *)
+
+val compare : t -> t -> int
+(** Total lexicographic order on tuples. Tuples of smaller arity come
+    first. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val in_universe : size:int -> t -> bool
+(** [in_universe ~size t] holds iff every component of [t] lies in
+    [{0, ..., size-1}]. *)
+
+val encode : size:int -> t -> int
+(** [encode ~size [|u1; ...; uk|]] is the pairing function
+    [u_k + u_{k-1}*n + ... + u_1*n^{k-1}] used by k-ary first-order
+    reductions (Definition 2.2). Raises [Invalid_argument] if the result
+    would overflow or a component is out of range. *)
+
+val decode : size:int -> arity:int -> int -> t
+(** Inverse of {!encode} for the given arity. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [(u1,...,uk)]. *)
+
+val to_string : t -> string

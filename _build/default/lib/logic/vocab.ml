@@ -1,0 +1,75 @@
+type sym = { name : string; arity : int }
+
+type t = { rels : sym list; consts : string list }
+
+let make ~rels ~consts =
+  let seen = Hashtbl.create 16 in
+  let declare name =
+    if Hashtbl.mem seen name then
+      invalid_arg (Printf.sprintf "Vocab.make: duplicate symbol %S" name);
+    Hashtbl.add seen name ()
+  in
+  let rels =
+    List.map
+      (fun (name, arity) ->
+        if arity < 0 then
+          invalid_arg (Printf.sprintf "Vocab.make: %S has negative arity" name);
+        declare name;
+        { name; arity })
+      rels
+  in
+  List.iter declare consts;
+  { rels; consts }
+
+let relations v = v.rels
+let constants v = v.consts
+let mem_rel v name = List.exists (fun s -> s.name = name) v.rels
+let mem_const v name = List.mem name v.consts
+
+let arity_of v name =
+  match List.find_opt (fun s -> s.name = name) v.rels with
+  | Some s -> s.arity
+  | None -> raise Not_found
+
+let union a b =
+  let rels =
+    List.fold_left
+      (fun acc s ->
+        match List.find_opt (fun s' -> s'.name = s.name) acc with
+        | Some s' when s'.arity = s.arity -> acc
+        | Some _ ->
+            invalid_arg
+              (Printf.sprintf "Vocab.union: %S redeclared with another arity"
+                 s.name)
+        | None ->
+            if List.mem s.name a.consts || List.mem s.name b.consts then
+              invalid_arg
+                (Printf.sprintf "Vocab.union: %S is both relation and constant"
+                   s.name)
+            else acc @ [ s ])
+      a.rels b.rels
+  in
+  let consts =
+    List.fold_left
+      (fun acc c ->
+        if List.mem c acc then acc
+        else if List.exists (fun s -> s.name = c) rels then
+          invalid_arg
+            (Printf.sprintf "Vocab.union: %S is both relation and constant" c)
+        else acc @ [ c ])
+      a.consts b.consts
+  in
+  { rels; consts }
+
+let pp ppf v =
+  let pp_rel ppf s = Format.fprintf ppf "%s^%d" s.name s.arity in
+  Format.fprintf ppf "<%a%s%a>"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_rel)
+    v.rels
+    (if v.rels <> [] && v.consts <> [] then ", " else "")
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_string)
+    v.consts

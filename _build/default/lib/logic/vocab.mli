@@ -1,0 +1,28 @@
+(** Vocabularies: the relation and constant symbols of a class of finite
+    structures (Section 2: [tau = <R_1^{a_1}, ..., R_r^{a_r}, c_1, ..., c_s>]). *)
+
+type sym = { name : string; arity : int }
+
+type t
+
+val make : rels:(string * int) list -> consts:string list -> t
+(** [make ~rels ~consts] builds a vocabulary. Raises [Invalid_argument] on
+    duplicate names, negative arities, or a name shared between a relation
+    and a constant. *)
+
+val relations : t -> sym list
+val constants : t -> string list
+
+val mem_rel : t -> string -> bool
+val mem_const : t -> string -> bool
+
+val arity_of : t -> string -> int
+(** Arity of a relation symbol. Raises [Not_found] for unknown symbols. *)
+
+val union : t -> t -> t
+(** Disjoint union of two vocabularies; used to join the input vocabulary
+    with the auxiliary ("data structure") vocabulary of a dynamic program.
+    Raises [Invalid_argument] if a symbol occurs in both with different
+    kind/arity; identical duplicate declarations are merged. *)
+
+val pp : Format.formatter -> t -> unit

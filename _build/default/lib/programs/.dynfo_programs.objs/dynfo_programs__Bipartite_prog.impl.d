@@ -1,0 +1,1 @@
+lib/programs/bipartite_prog.ml: Array Common Dyn Dynfo Dynfo_graph Dynfo_logic Formula List Parser Program Queue Relation Request Structure Vocab

@@ -1,0 +1,1 @@
+lib/programs/bipartite_prog.mli: Dynfo Dynfo_logic Random

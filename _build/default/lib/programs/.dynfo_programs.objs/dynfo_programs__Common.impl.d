@@ -1,0 +1,1 @@
+lib/programs/common.ml: Dynfo Dynfo_logic Formula Vocab

@@ -1,0 +1,1 @@
+lib/programs/common.mli: Dynfo Dynfo_logic Formula Random Vocab

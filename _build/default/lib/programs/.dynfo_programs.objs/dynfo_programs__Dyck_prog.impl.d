@@ -1,0 +1,1 @@
+lib/programs/dyck_prog.ml: Array Dyn Dynfo Dynfo_automata Dynfo_logic Formula Fun List Printf Program Random Relation Request Structure Vocab

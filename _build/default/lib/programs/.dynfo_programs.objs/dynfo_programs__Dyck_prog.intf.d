@@ -1,0 +1,1 @@
+lib/programs/dyck_prog.mli: Dynfo Dynfo_logic Random

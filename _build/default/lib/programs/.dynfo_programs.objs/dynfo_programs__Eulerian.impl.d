@@ -1,0 +1,1 @@
+lib/programs/eulerian.ml: Array Dyn Dynfo Dynfo_graph Dynfo_logic Formula Fun List Parser Program Random Reach_u Relation Request Structure Vocab

@@ -1,0 +1,1 @@
+lib/programs/eulerian.mli: Dynfo Dynfo_logic Random

@@ -1,0 +1,1 @@
+lib/programs/k_edge.ml: Common Dyn Dynfo Dynfo_graph Dynfo_logic Formula List Printf Program Reach_u Relation Structure Vocab Workload

@@ -1,0 +1,1 @@
+lib/programs/k_edge.mli: Dynfo Dynfo_logic Random

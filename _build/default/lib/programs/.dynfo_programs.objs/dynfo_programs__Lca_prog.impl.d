@@ -1,0 +1,1 @@
+lib/programs/lca_prog.ml: Dyn Dynfo Dynfo_graph Dynfo_logic List Parser Program Random Relation Request Runner Structure Vocab

@@ -1,0 +1,1 @@
+lib/programs/lca_prog.mli: Dynfo Dynfo_logic Random

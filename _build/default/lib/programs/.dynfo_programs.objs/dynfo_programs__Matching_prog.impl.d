@@ -1,0 +1,1 @@
+lib/programs/matching_prog.ml: Array Common Dyn Dynfo Dynfo_graph Dynfo_logic Formula List Parser Program Relation Request Result Runner Structure Vocab

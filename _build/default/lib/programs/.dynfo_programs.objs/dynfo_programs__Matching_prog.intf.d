@@ -1,0 +1,1 @@
+lib/programs/matching_prog.mli: Dynfo Random

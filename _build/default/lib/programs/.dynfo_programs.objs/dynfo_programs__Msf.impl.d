@@ -1,0 +1,1 @@
+lib/programs/msf.ml: Array Common Dyn Dynfo Dynfo_graph Dynfo_logic Formula Hashtbl List Parser Printf Program Random Relation Request Result Runner Structure Vocab

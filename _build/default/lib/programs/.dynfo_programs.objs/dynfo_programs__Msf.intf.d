@@ -1,0 +1,1 @@
+lib/programs/msf.mli: Dynfo Dynfo_logic Random

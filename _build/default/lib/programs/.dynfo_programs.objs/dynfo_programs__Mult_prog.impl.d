@@ -1,0 +1,1 @@
+lib/programs/mult_prog.ml: Array Bitnum Dyn Dyn_mult Dynfo Dynfo_arith Dynfo_logic Formula Parser Program Request Structure Vocab Workload

@@ -1,0 +1,1 @@
+lib/programs/mult_prog.mli: Dynfo Dynfo_logic Random

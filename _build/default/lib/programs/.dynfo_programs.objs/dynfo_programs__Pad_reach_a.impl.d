@@ -1,0 +1,1 @@
+lib/programs/pad_reach_a.ml: Array Dyn Dynfo Dynfo_graph Dynfo_logic Formula Fun List Program Random Relation Request Structure Vocab

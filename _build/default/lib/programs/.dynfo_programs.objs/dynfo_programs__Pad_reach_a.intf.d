@@ -1,0 +1,1 @@
+lib/programs/pad_reach_a.mli: Dynfo Dynfo_logic Random

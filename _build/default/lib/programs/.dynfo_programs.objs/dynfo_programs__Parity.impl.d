@@ -1,0 +1,1 @@
+lib/programs/parity.ml: Array Dyn Dynfo Dynfo_logic Parser Program Relation Request Structure Vocab Workload

@@ -1,0 +1,1 @@
+lib/programs/parity.mli: Dynfo Dynfo_logic Random

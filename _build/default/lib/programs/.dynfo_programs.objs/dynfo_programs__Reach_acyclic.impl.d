@@ -1,0 +1,1 @@
+lib/programs/reach_acyclic.ml: Array Dyn Dynfo Dynfo_graph Dynfo_logic Hashtbl List Parser Printf Program Random Relation Request Result Runner Structure Vocab

@@ -1,0 +1,1 @@
+lib/programs/reach_acyclic.mli: Dynfo Dynfo_logic Random

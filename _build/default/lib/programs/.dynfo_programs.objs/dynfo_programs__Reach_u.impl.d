@@ -1,0 +1,1 @@
+lib/programs/reach_u.ml: Array Common Dyn Dynfo Dynfo_graph Dynfo_logic Formula List Parser Printf Program Relation Request Result Runner Structure Vocab

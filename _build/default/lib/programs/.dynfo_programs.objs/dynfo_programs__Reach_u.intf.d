@@ -1,0 +1,1 @@
+lib/programs/reach_u.mli: Dynfo Dynfo_logic Random

@@ -1,0 +1,1 @@
+lib/programs/regular.ml: Array Buffer Dyn Dynfo Dynfo_automata Dynfo_logic Formula Fun List Printf Program Random Relation Request String Structure Vocab

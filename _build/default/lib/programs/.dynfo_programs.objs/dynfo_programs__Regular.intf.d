@@ -1,0 +1,1 @@
+lib/programs/regular.mli: Dynfo Dynfo_automata Dynfo_logic Random

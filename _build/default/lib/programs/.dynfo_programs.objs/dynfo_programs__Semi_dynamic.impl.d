@@ -1,0 +1,1 @@
+lib/programs/semi_dynamic.ml: Array Dyn Dynfo Dynfo_graph Dynfo_logic List Parser Program Random Relation Request Structure Vocab

@@ -1,0 +1,1 @@
+lib/programs/semi_dynamic.mli: Dynfo Dynfo_logic Random

@@ -1,0 +1,1 @@
+lib/programs/trans_reduction.ml: Dyn Dynfo Dynfo_graph Dynfo_logic List Parser Printf Program Reach_acyclic Relation Result Runner Structure Vocab

@@ -1,0 +1,1 @@
+lib/programs/trans_reduction.mli: Dynfo Dynfo_logic Random

@@ -1,0 +1,1 @@
+lib/programs/vertex_cover.ml: Dynfo Dynfo_graph Dynfo_logic Fun List Matching_prog Parser Printf Program Relation Result Runner Structure

@@ -1,0 +1,1 @@
+lib/programs/vertex_cover.mli: Dynfo Dynfo_graph Random

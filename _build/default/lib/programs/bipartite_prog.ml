@@ -1,0 +1,236 @@
+open Dynfo_logic
+open Dynfo
+open Formula
+open Common
+
+let input_vocab = Vocab.make ~rels:[ ("E", 2) ] ~consts:[ "s"; "t" ]
+
+let aux_vocab =
+  Vocab.make ~rels:[ ("F", 2); ("PV", 3); ("Odd", 2) ] ~consts:[]
+
+(* parity of the concatenation x..u + (u,v) + v..y: odd iff the halves
+   have equal parity *)
+let same_parity odd_rel x u v y =
+  Or
+    ( And (rel_v odd_rel [ x; u ], rel_v odd_rel [ v; y ]),
+      And (Not (rel_v odd_rel [ x; u ]), Not (rel_v odd_rel [ v; y ])) )
+
+let insert_update =
+  let e' = Or (rel_v "E" [ "x"; "y" ], eq2 "x" "y" "a" "b") in
+  let f' =
+    Or (rel_v "F" [ "x"; "y" ], And (eq2 "x" "y" "a" "b", Not (p "a" "b")))
+  in
+  let pv' =
+    Or
+      ( rel_v "PV" [ "x"; "y"; "z" ],
+        And
+          ( Not (p "a" "b"),
+            exists [ "u"; "v" ]
+              (conj
+                 [
+                   eq2 "u" "v" "a" "b";
+                   p "x" "u";
+                   p "v" "y";
+                   Or (pv_seg "x" "u" "z", pv_seg "v" "y" "z");
+                 ]) ) )
+  in
+  let odd' =
+    Or
+      ( rel_v "Odd" [ "x"; "y" ],
+        And
+          ( Not (p "a" "b"),
+            exists [ "u"; "v" ]
+              (conj
+                 [
+                   eq2 "u" "v" "a" "b";
+                   p "x" "u";
+                   p "v" "y";
+                   same_parity "Odd" "x" "u" "v" "y";
+                 ]) ) )
+  in
+  Program.update ~params:[ "a"; "b" ]
+    [
+      Program.rule "E" [ "x"; "y" ] e';
+      Program.rule "F" [ "x"; "y" ] f';
+      Program.rule "PV" [ "x"; "y"; "z" ] pv';
+      Program.rule "Odd" [ "x"; "y" ] odd';
+    ]
+
+let delete_update =
+  let t_def =
+    And
+      ( rel_v "PV" [ "x"; "y"; "z" ],
+        Not (And (rel_v "PV" [ "x"; "y"; "a" ], rel_v "PV" [ "x"; "y"; "b" ]))
+      )
+  in
+  let cand x y =
+    conj
+      [
+        rel_v "E" [ x; y ];
+        Not (eq2 x y "a" "b");
+        t_conn x "a";
+        t_conn y "b";
+      ]
+  in
+  let new_def =
+    And
+      ( cand "x" "y",
+        forall [ "u"; "v" ]
+          (Implies
+             ( cand "u" "v",
+               Or
+                 ( Lt (Var "x", Var "u"),
+                   And (Eq (Var "x", Var "u"), Le (Var "y", Var "v")) ) )) )
+  in
+  (* parity restricted to pairs surviving the split *)
+  let todd_def =
+    And (rel_v "Odd" [ "x"; "y" ], t_conn "x" "y")
+  in
+  let fab = rel_v "F" [ "a"; "b" ] in
+  let e' = And (rel_v "E" [ "x"; "y" ], Not (eq2 "x" "y" "a" "b")) in
+  let f' =
+    Or
+      ( And (rel_v "F" [ "x"; "y" ], Not (eq2 "x" "y" "a" "b")),
+        And (fab, Or (rel_v "New" [ "x"; "y" ], rel_v "New" [ "y"; "x" ])) )
+  in
+  let reconnect_pv =
+    exists [ "u"; "v" ]
+      (conj
+         [
+           Or (rel_v "New" [ "u"; "v" ], rel_v "New" [ "v"; "u" ]);
+           t_conn "x" "u";
+           t_conn "v" "y";
+           Or (t_seg "x" "u" "z", t_seg "v" "y" "z");
+         ])
+  in
+  let pv' =
+    Or
+      ( And (Not fab, rel_v "PV" [ "x"; "y"; "z" ]),
+        And (fab, Or (rel_v "T" [ "x"; "y"; "z" ], reconnect_pv)) )
+  in
+  let reconnect_odd =
+    exists [ "u"; "v" ]
+      (conj
+         [
+           Or (rel_v "New" [ "u"; "v" ], rel_v "New" [ "v"; "u" ]);
+           t_conn "x" "u";
+           t_conn "v" "y";
+           same_parity "TOdd" "x" "u" "v" "y";
+         ])
+  in
+  let odd' =
+    Or
+      ( And (Not fab, rel_v "Odd" [ "x"; "y" ]),
+        And (fab, Or (rel_v "TOdd" [ "x"; "y" ], reconnect_odd)) )
+  in
+  Program.update ~params:[ "a"; "b" ]
+    ~temps:
+      [
+        Program.rule "T" [ "x"; "y"; "z" ] t_def;
+        Program.rule "TOdd" [ "x"; "y" ] todd_def;
+        Program.rule "New" [ "x"; "y" ] new_def;
+      ]
+    [
+      Program.rule "E" [ "x"; "y" ] e';
+      Program.rule "F" [ "x"; "y" ] f';
+      Program.rule "PV" [ "x"; "y"; "z" ] pv';
+      Program.rule "Odd" [ "x"; "y" ] odd';
+    ]
+
+let program =
+  Program.make ~name:"bipartite-fo" ~input_vocab ~aux_vocab
+    ~init:(fun n -> Structure.create ~size:n (Vocab.union input_vocab aux_vocab))
+    ~on_ins:[ ("E", insert_update) ]
+    ~on_del:[ ("E", delete_update) ]
+    ~query:(Parser.parse "all x y (E(x, y) -> Odd(x, y))")
+    ()
+
+let oracle st =
+  let sym = Relation.symmetric_closure (Structure.rel st "E") in
+  let g = Dynfo_graph.Graph.of_structure (Structure.with_rel st "E" sym) "E" in
+  Dynfo_graph.Bipartite.is_bipartite g
+
+let static =
+  Dyn.static ~name:"bipartite-static" ~input_vocab ~symmetric_rels:[ "E" ]
+    ~oracle
+
+(* Native: forest plus parity from each vertex to its tree root. *)
+
+module G = Dynfo_graph.Graph
+module Trav = Dynfo_graph.Traversal
+
+type nat = { graph : G.t; forest : G.t }
+
+(* parity.(v) relative to BFS roots of the forest; recomputed on demand *)
+let parities st =
+  let n = G.n_vertices st.forest in
+  let par = Array.make n 0 in
+  let comp = Array.make n (-1) in
+  for root = 0 to n - 1 do
+    if comp.(root) = -1 then begin
+      comp.(root) <- root;
+      let q = Queue.create () in
+      Queue.add root q;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        List.iter
+          (fun v ->
+            if comp.(v) = -1 then begin
+              comp.(v) <- root;
+              par.(v) <- 1 - par.(u);
+              Queue.add v q
+            end)
+          (G.succ st.forest u)
+      done
+    end
+  done;
+  (comp, par)
+
+let nat_bipartite st =
+  let comp, par = parities st in
+  List.for_all
+    (fun (u, v) -> comp.(u) <> comp.(v) || par.(u) <> par.(v))
+    (G.uedges st.graph)
+
+let nat_insert st a b =
+  if a <> b && not (G.has_edge st.graph a b) then begin
+    let connected = (Trav.reachable st.forest a).(b) in
+    G.add_uedge st.graph a b;
+    if not connected then G.add_uedge st.forest a b
+  end
+  else G.add_uedge st.graph a b
+
+let nat_delete st a b =
+  if G.has_edge st.graph a b then begin
+    G.remove_uedge st.graph a b;
+    if G.has_edge st.forest a b then begin
+      G.remove_uedge st.forest a b;
+      let a_side = Trav.reachable st.forest a in
+      let b_side = Trav.reachable st.forest b in
+      let best = ref None in
+      List.iter
+        (fun (u, v) ->
+          if a_side.(u) && b_side.(v) then
+            match !best with
+            | Some (bu, bv) when (bu, bv) <= (u, v) -> ()
+            | _ -> best := Some (u, v))
+        (G.edges st.graph);
+      match !best with
+      | Some (u, v) -> G.add_uedge st.forest u v
+      | None -> ()
+    end
+  end
+
+let native =
+  Dyn.of_fun ~name:"bipartite-native"
+    ~create:(fun n -> { graph = G.create n; forest = G.create n })
+    ~apply:(fun st req ->
+      (match req with
+      | Request.Ins ("E", [| a; b |]) -> nat_insert st a b
+      | Request.Del ("E", [| a; b |]) -> nat_delete st a b
+      | Request.Set _ -> ()
+      | _ -> invalid_arg "bipartite-native: bad request");
+      st)
+    ~query:nat_bipartite
+
+let workload = graph_workload

@@ -1,0 +1,23 @@
+(** Theorem 4.5(1): bipartiteness is in Dyn-FO.
+
+    Extends the REACH_u program (same [F], [PV] maintenance) with
+    [Odd(x,y)]: "the unique forest path from x to y has odd length". The
+    graph is bipartite iff every edge joins vertices at odd forest
+    distance: [all x y (E(x,y) -> Odd(x,y))].
+
+    Parity bookkeeping on reconnection follows the paper: the new path
+    through an inserted forest edge (u,v) is odd iff the two half-paths
+    have equal parity. *)
+
+val program : Dynfo.Program.t
+
+val oracle : Dynfo_logic.Structure.t -> bool
+(** BFS two-colouring of the symmetrised input graph. *)
+
+val static : Dynfo.Dyn.t
+
+val native : Dynfo.Dyn.t
+(** Forest + parity-to-root implementation, O(n + m) per update. *)
+
+val workload :
+  Random.State.t -> size:int -> length:int -> Dynfo.Request.t list

@@ -1,0 +1,25 @@
+open Dynfo_logic
+open Formula
+
+let eq2 x y c d =
+  Or
+    ( And (Eq (Var x, Var c), Eq (Var y, Var d)),
+      And (Eq (Var x, Var d), Eq (Var y, Var c)) )
+
+let p x y = Or (Eq (Var x, Var y), rel_v "PV" [ x; y; x ])
+
+let pv_seg x u z =
+  Or (And (Eq (Var x, Var u), Eq (Var z, Var x)), rel_v "PV" [ x; u; z ])
+
+let t_conn x y = Or (Eq (Var x, Var y), rel_v "T" [ x; y; x ])
+
+let t_seg x u z =
+  Or (And (Eq (Var x, Var u), Eq (Var z, Var x)), rel_v "T" [ x; u; z ])
+
+let graph_vocab = Vocab.make ~rels:[ ("E", 2) ] ~consts:[ "s"; "t" ]
+
+let graph_workload rng ~size ~length =
+  Dynfo.Workload.generate rng ~size ~length
+    (Dynfo.Workload.spec ~consts:[ "s"; "t" ] ~p_ins:0.45 ~p_del:0.35
+       ~symmetric:true
+       [ ("E", 2) ])

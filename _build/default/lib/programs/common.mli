@@ -1,0 +1,27 @@
+(** Shared formula abbreviations used throughout Section 4's programs. *)
+
+open Dynfo_logic
+
+val eq2 : string -> string -> string -> string -> Formula.t
+(** The paper's [Eq(x,y,c,d)]: [(x = c & y = d) | (x = d & y = c)]. *)
+
+val p : string -> string -> Formula.t
+(** The paper's [P(x,y)] abbreviation for "connected in the forest":
+    [x = y | PV(x,y,x)]. *)
+
+val pv_seg : string -> string -> string -> Formula.t
+(** [pv_seg x u z]: [z] lies on the (possibly trivial) forest path from
+    [x] to [u]: [(x = u & z = x) | PV(x,u,z)]. *)
+
+val t_conn : string -> string -> Formula.t
+(** Like {!p} but over the temporary relation [T] of the delete case. *)
+
+val t_seg : string -> string -> string -> Formula.t
+
+val graph_vocab : Vocab.t
+(** [<E^2, s, t>] — the input vocabulary shared by the Section 4 graph
+    problems. *)
+
+val graph_workload :
+  Random.State.t -> size:int -> length:int -> Dynfo.Request.t list
+(** Edge churn on [E] plus occasional [set s]/[set t] requests. *)

@@ -1,0 +1,257 @@
+open Dynfo_logic
+open Dynfo
+open Formula
+
+let lrel i = Printf.sprintf "L%d" i
+let rrel i = Printf.sprintf "R%d" i
+
+let input_vocab k =
+  Vocab.make
+    ~rels:
+      (List.concat_map
+         (fun i -> [ (lrel i, 1); (rrel i, 1) ])
+         (List.init k (fun i -> i + 1)))
+    ~consts:[]
+
+let aux_vocab = Vocab.make ~rels:[ ("LevP", 2); ("LevN", 2) ] ~consts:[]
+
+let succf m l =
+  And
+    ( Lt (Var m, Var l),
+      Not (exists [ "sr" ] (And (Lt (Var m, Var "sr"), Lt (Var "sr", Var l))))
+    )
+
+let occupied k p =
+  disj
+    (List.concat_map
+       (fun i -> [ rel (lrel i) [ Var p ]; rel (rrel i) [ Var p ] ])
+       (List.init k (fun i -> i + 1)))
+
+(* balance shift for positions >= p; [up] selects +1 versus -1 *)
+let levp_shift ~up =
+  let shifted =
+    if up then
+      Or
+        ( exists [ "m" ] (And (succf "m" "l", rel_v "LevP" [ "q"; "m" ])),
+          And (Eq (Var "l", Num 0), rel "LevN" [ Var "q"; Num 1 ]) )
+    else exists [ "m" ] (And (succf "l" "m", rel_v "LevP" [ "q"; "m" ]))
+  in
+  Or
+    ( And (Lt (Var "q", Var "p"), rel_v "LevP" [ "q"; "l" ]),
+      And (Le (Var "p", Var "q"), shifted) )
+
+let levn_shift ~up =
+  let shifted =
+    if up then
+      (* -m + 1 = -l needs l >= 1: level -1 moves to LevP(q,0) instead *)
+      And
+        ( neq (Var "l") (Num 0),
+          exists [ "m" ] (And (succf "l" "m", rel_v "LevN" [ "q"; "m" ])) )
+    else
+      Or
+        ( And (Eq (Var "l", Num 1), rel "LevP" [ Var "q"; Num 0 ]),
+          exists [ "m" ] (And (succf "m" "l", rel_v "LevN" [ "q"; "m" ])) )
+  in
+  Or
+    ( And (Lt (Var "q", Var "p"), rel_v "LevN" [ "q"; "l" ]),
+      And (Le (Var "p", Var "q"), shifted) )
+
+let guarded guard changed unchanged = Or (And (guard, changed), And (Not guard, unchanged))
+
+(* insertion of the parenthesis [relname] at position p *)
+let paren_insert k relname ~up =
+  let effective = And (Not (occupied k "p"), neq (Var "p") Max) in
+  Program.update ~params:[ "p" ]
+    [
+      Program.rule relname [ "x" ]
+        (Or (rel_v relname [ "x" ], And (Eq (Var "x", Var "p"), effective)));
+      Program.rule "LevP" [ "q"; "l" ]
+        (guarded effective (levp_shift ~up) (rel_v "LevP" [ "q"; "l" ]));
+      Program.rule "LevN" [ "q"; "l" ]
+        (guarded effective (levn_shift ~up) (rel_v "LevN" [ "q"; "l" ]));
+    ]
+
+let paren_delete relname ~up =
+  let effective = rel_v relname [ "p" ] in
+  Program.update ~params:[ "p" ]
+    [
+      Program.rule relname [ "x" ]
+        (And (rel_v relname [ "x" ], neq (Var "x") (Var "p")));
+      Program.rule "LevP" [ "q"; "l" ]
+        (guarded effective (levp_shift ~up) (rel_v "LevP" [ "q"; "l" ]));
+      Program.rule "LevN" [ "q"; "l" ]
+        (guarded effective (levn_shift ~up) (rel_v "LevN" [ "q"; "l" ]));
+    ]
+
+let query k =
+  let types = List.init k (fun i -> i + 1) in
+  let lany p = disj (List.map (fun i -> rel (lrel i) [ Var p ]) types) in
+  let rany p = disj (List.map (fun i -> rel (rrel i) [ Var p ]) types) in
+  let nonneg = forall [ "q" ] (Not (exists [ "l" ] (rel_v "LevN" [ "q"; "l" ]))) in
+  let zero_end = rel "LevP" [ Max; Num 0 ] in
+  (* D(r) = D(p) - 1 *)
+  let one_below p r =
+    exists [ "bl"; "bm" ]
+      (conj
+         [ succf "bm" "bl"; rel_v "LevP" [ p; "bl" ]; rel_v "LevP" [ r; "bm" ] ])
+  in
+  let match_pq p q =
+    conj
+      [
+        Lt (Var p, Var q);
+        rany q;
+        one_below p q;
+        forall [ "r" ]
+          (Implies
+             ( And (Lt (Var p, Var "r"), Lt (Var "r", Var q)),
+               Not (And (rany "r", one_below p "r")) ));
+      ]
+  in
+  let typed p q =
+    disj (List.map (fun i -> And (rel (lrel i) [ Var p ], rel (rrel i) [ Var q ])) types)
+  in
+  conj
+    [
+      nonneg;
+      zero_end;
+      forall [ "p" ]
+        (Implies
+           ( lany "p",
+             exists [ "q" ] (And (match_pq "p" "q", typed "p" "q")) ));
+      forall [ "q" ]
+        (Implies
+           ( rany "q",
+             exists [ "p" ] (And (match_pq "p" "q", typed "p" "q")) ));
+    ]
+
+let program ~k =
+  let input_vocab = input_vocab k in
+  let init n =
+    let st = Structure.create ~size:n (Vocab.union input_vocab aux_vocab) in
+    let levp = ref (Relation.empty ~arity:2) in
+    for q = 0 to n - 1 do
+      levp := Relation.add !levp [| q; 0 |]
+    done;
+    Structure.with_rel st "LevP" !levp
+  in
+  let types = List.init k (fun i -> i + 1) in
+  Program.make
+    ~name:(Printf.sprintf "dyck_%d-fo" k)
+    ~input_vocab ~aux_vocab ~init
+    ~on_ins:
+      (List.concat_map
+         (fun i ->
+           [
+             (lrel i, paren_insert k (lrel i) ~up:true);
+             (rrel i, paren_insert k (rrel i) ~up:false);
+           ])
+         types)
+    ~on_del:
+      (List.concat_map
+         (fun i ->
+           [
+             (lrel i, paren_delete (lrel i) ~up:false);
+             (rrel i, paren_delete (rrel i) ~up:true);
+           ])
+         types)
+    ~query:(query k) ()
+
+let parens_of ~k st =
+  let n = Structure.size st in
+  let out = ref [] in
+  for p = n - 1 downto 0 do
+    for i = 1 to k do
+      if Structure.mem st (lrel i) [| p |] then
+        out := { Dynfo_automata.Dyck.left = true; ptype = i } :: !out;
+      if Structure.mem st (rrel i) [| p |] then
+        out := { Dynfo_automata.Dyck.left = false; ptype = i } :: !out
+    done
+  done;
+  !out
+
+let oracle ~k st = Dynfo_automata.Dyck.well_formed (parens_of ~k st)
+
+let static ~k =
+  Dyn.static
+    ~name:(Printf.sprintf "dyck_%d-static" k)
+    ~input_vocab:(input_vocab k) ~symmetric_rels:[] ~oracle:(oracle ~k)
+
+let workload ~k rng ~size ~length =
+  (* track occupancy so requests respect the one-paren-per-position and
+     last-position-empty disciplines *)
+  let slots = Array.make size None in
+  let reqs = ref [] in
+  let emitted = ref 0 in
+  let attempts = ref 0 in
+  let empty_positions () =
+    List.filter (fun p -> slots.(p) = None) (List.init (size - 1) Fun.id)
+  in
+  while !emitted < length && !attempts < 60 * length do
+    incr attempts;
+    let r = Random.State.float rng 1.0 in
+    if r < 0.45 then begin
+      (* insert a balanced block into consecutive empty positions *)
+      match empty_positions () with
+      | [] -> ()
+      | empties ->
+          let start = List.nth empties (Random.State.int rng (List.length empties)) in
+          let run =
+            let rec extend p acc =
+              if p < size - 1 && slots.(p) = None && List.length acc < 6 then
+                extend (p + 1) (p :: acc)
+              else List.rev acc
+            in
+            extend start []
+          in
+          let len = List.length run - (List.length run mod 2) in
+          if len >= 2 then begin
+            let ps =
+              Dynfo_automata.Dyck.random rng ~k ~len ~p_valid:1.0
+            in
+            List.iteri
+              (fun idx (p0 : Dynfo_automata.Dyck.paren) ->
+                (* Dyck.random types are 0-based; relations are 1-based *)
+                let paren = { p0 with Dynfo_automata.Dyck.ptype = p0.ptype + 1 } in
+                if idx < len then begin
+                  let pos = List.nth run idx in
+                  slots.(pos) <- Some paren;
+                  let relname =
+                    if paren.left then lrel paren.ptype else rrel paren.ptype
+                  in
+                  reqs := Request.ins relname [ pos ] :: !reqs;
+                  incr emitted
+                end)
+              ps
+          end
+    end
+    else if r < 0.7 then begin
+      (* insert a single random parenthesis *)
+      match empty_positions () with
+      | [] -> ()
+      | empties ->
+          let pos = List.nth empties (Random.State.int rng (List.length empties)) in
+          let left = Random.State.bool rng in
+          let ptype = 1 + Random.State.int rng k in
+          slots.(pos) <- Some { Dynfo_automata.Dyck.left; ptype };
+          let relname = if left then lrel ptype else rrel ptype in
+          reqs := Request.ins relname [ pos ] :: !reqs;
+          incr emitted
+    end
+    else begin
+      let occupied =
+        List.filter (fun p -> slots.(p) <> None) (List.init size Fun.id)
+      in
+      match occupied with
+      | [] -> ()
+      | _ ->
+          let pos = List.nth occupied (Random.State.int rng (List.length occupied)) in
+          (match slots.(pos) with
+          | Some { Dynfo_automata.Dyck.left; ptype } ->
+              let relname = if left then lrel ptype else rrel ptype in
+              reqs := Request.del relname [ pos ] :: !reqs;
+              incr emitted
+          | None -> ());
+          slots.(pos) <- None
+    end
+  done;
+  List.rev !reqs

@@ -1,0 +1,36 @@
+(** Proposition 4.8: the Dyck language D_k on k parenthesis types is in
+    Dyn-FO.
+
+    Input vocabulary: unary relations [L1..Lk], [R1..Rk] — position [p]
+    holds that parenthesis (at most one per position; positions may be
+    empty, and the string is the concatenation of non-empty positions).
+
+    Following the paper's "level trick", the program maintains the
+    running balance [D(p)] = #left parens at positions <= p minus #right
+    parens at positions <= p, split into two relations because balances
+    can be negative through ill-formed intermediate states:
+    [LevP(p, l)] for [D(p) = l] and [LevN(p, l)] for [D(p) = -l]
+    ([l >= 1]). Inserting a left parenthesis at [p] shifts every balance
+    at positions [>= p] up by one; a right parenthesis shifts down —
+    each a first-order successor computation.
+
+    Membership: all balances non-negative, total balance zero, and every
+    left parenthesis's matching right parenthesis (the nearest one to
+    its right on the same level, recovered first-order from [LevP]) has
+    the same type.
+
+    Restriction: the last position [max] must stay empty (the supplied
+    {!workload} honours it) — it acts as the end-of-string sentinel, and
+    keeps balances within the universe ([|D| <= n-1]). *)
+
+val program : k:int -> Dynfo.Program.t
+
+val oracle : k:int -> Dynfo_logic.Structure.t -> bool
+
+val static : k:int -> Dynfo.Dyn.t
+
+val workload :
+  k:int -> Random.State.t -> size:int -> length:int -> Dynfo.Request.t list
+(** Parenthesis churn: inserts only on empty positions below [max],
+    deletes of present parentheses; occasionally replays a balanced
+    prefix to make well-formed states common. *)

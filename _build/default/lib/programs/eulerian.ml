@@ -1,0 +1,177 @@
+open Dynfo_logic
+open Dynfo
+open Formula
+
+let input_vocab = Vocab.make ~rels:[ ("E", 2) ] ~consts:[ "s"; "t" ]
+
+let aux_vocab =
+  Vocab.make ~rels:[ ("F", 2); ("PV", 3); ("OddDeg", 1) ] ~consts:[]
+
+(* degree parity toggles exactly when the edge status of {a,b} flips;
+   [present] is the pre-state edge test *)
+let odd_toggle ~on_insert =
+  let flips =
+    if on_insert then
+      (* effective only when the edge was absent; self-loops never
+         change degree parity *)
+      And (Not (rel_v "E" [ "a"; "b" ]), neq (Var "a") (Var "b"))
+    else And (rel_v "E" [ "a"; "b" ], neq (Var "a") (Var "b"))
+  in
+  Or
+    ( And (Not flips, rel_v "OddDeg" [ "x" ]),
+      And
+        ( flips,
+          Or
+            ( And
+                ( Or (Eq (Var "x", Var "a"), Eq (Var "x", Var "b")),
+                  Not (rel_v "OddDeg" [ "x" ]) ),
+              And
+                ( Not (Or (Eq (Var "x", Var "a"), Eq (Var "x", Var "b"))),
+                  rel_v "OddDeg" [ "x" ] ) ) ) )
+
+let with_odd (u : Program.update) ~on_insert =
+  {
+    u with
+    Program.rules =
+      u.Program.rules @ [ Program.rule "OddDeg" [ "x" ] (odd_toggle ~on_insert) ];
+  }
+
+let query =
+  Parser.parse
+    "all x (~OddDeg(x)) & all x y ((ex z (E(x, z))) & (ex z (E(y, z))) -> (x \
+     = y | PV(x, y, x)))"
+
+let program =
+  Program.make ~name:"eulerian-fo" ~input_vocab ~aux_vocab
+    ~init:(fun n -> Structure.create ~size:n (Vocab.union input_vocab aux_vocab))
+    ~on_ins:[ ("E", with_odd Reach_u.insert_update ~on_insert:true) ]
+    ~on_del:[ ("E", with_odd Reach_u.delete_update ~on_insert:false) ]
+    ~query ()
+
+let oracle st =
+  let sym = Relation.symmetric_closure (Structure.rel st "E") in
+  let g = Dynfo_graph.Graph.of_structure (Structure.with_rel st "E" sym) "E" in
+  let n = Dynfo_graph.Graph.n_vertices g in
+  let even_degrees =
+    List.for_all
+      (fun v -> Dynfo_graph.Graph.out_degree g v mod 2 = 0)
+      (List.init n Fun.id)
+  in
+  let comp = Dynfo_graph.Traversal.components g in
+  let support = List.filter (fun v -> Dynfo_graph.Graph.succ g v <> []) (List.init n Fun.id) in
+  let one_component =
+    match support with
+    | [] -> true
+    | v0 :: rest -> List.for_all (fun v -> comp.(v) = comp.(v0)) rest
+  in
+  even_degrees && one_component
+
+let static =
+  Dyn.static ~name:"eulerian-static" ~input_vocab ~symmetric_rels:[ "E" ]
+    ~oracle
+
+module G = Dynfo_graph.Graph
+
+type nat = { graph : G.t; forest : G.t; odd : bool array }
+
+let nat_apply st req =
+  (match req with
+  | Request.Ins ("E", [| a; b |]) when a <> b && not (G.has_edge st.graph a b)
+    ->
+      let connected = (Dynfo_graph.Traversal.reachable st.forest a).(b) in
+      G.add_uedge st.graph a b;
+      if not connected then G.add_uedge st.forest a b;
+      st.odd.(a) <- not st.odd.(a);
+      st.odd.(b) <- not st.odd.(b)
+  | Request.Ins ("E", _) -> ()
+  | Request.Del ("E", [| a; b |]) when G.has_edge st.graph a b ->
+      G.remove_uedge st.graph a b;
+      st.odd.(a) <- not st.odd.(a);
+      st.odd.(b) <- not st.odd.(b);
+      if G.has_edge st.forest a b then begin
+        G.remove_uedge st.forest a b;
+        let a_side = Dynfo_graph.Traversal.reachable st.forest a in
+        let b_side = Dynfo_graph.Traversal.reachable st.forest b in
+        let best = ref None in
+        List.iter
+          (fun (u, v) ->
+            if a_side.(u) && b_side.(v) then
+              match !best with
+              | Some (bu, bv) when (bu, bv) <= (u, v) -> ()
+              | _ -> best := Some (u, v))
+          (G.edges st.graph);
+        match !best with
+        | Some (u, v) -> G.add_uedge st.forest u v
+        | None -> ()
+      end
+  | Request.Del ("E", _) -> ()
+  | Request.Set _ -> ()
+  | _ -> invalid_arg "eulerian-native: bad request");
+  st
+
+let native =
+  Dyn.of_fun ~name:"eulerian-native"
+    ~create:(fun n ->
+      { graph = G.create n; forest = G.create n; odd = Array.make n false })
+    ~apply:nat_apply
+    ~query:(fun st ->
+      Array.for_all not st.odd
+      &&
+      let support =
+        List.filter
+          (fun v -> G.succ st.graph v <> [])
+          (List.init (G.n_vertices st.graph) Fun.id)
+      in
+      match support with
+      | [] -> true
+      | v0 :: rest ->
+          let reach = Dynfo_graph.Traversal.reachable st.forest v0 in
+          List.for_all (fun v -> reach.(v)) rest)
+
+(* churn biased towards closing trails: half the time extend or close a
+   walk at a vertex of odd degree *)
+let workload rng ~size ~length =
+  let g = G.create size in
+  let reqs = ref [] in
+  let emitted = ref 0 in
+  let attempts = ref 0 in
+  while !emitted < length && !attempts < 50 * length do
+    incr attempts;
+    let odd_vertices =
+      List.filter
+        (fun v -> G.out_degree g v mod 2 = 1)
+        (List.init size Fun.id)
+    in
+    let r = Random.State.float rng 1.0 in
+    if r < 0.5 && odd_vertices <> [] then begin
+      (* connect two odd vertices if possible, evening both out *)
+      let a =
+        List.nth odd_vertices (Random.State.int rng (List.length odd_vertices))
+      in
+      let bs = List.filter (fun b -> b <> a && not (G.has_edge g a b)) odd_vertices in
+      match bs with
+      | [] -> ()
+      | _ ->
+          let b = List.nth bs (Random.State.int rng (List.length bs)) in
+          G.add_uedge g a b;
+          reqs := Request.ins "E" [ a; b ] :: !reqs;
+          incr emitted
+    end
+    else if r < 0.75 then begin
+      let a = Random.State.int rng size and b = Random.State.int rng size in
+      if a <> b && not (G.has_edge g a b) then begin
+        G.add_uedge g a b;
+        reqs := Request.ins "E" [ a; b ] :: !reqs;
+        incr emitted
+      end
+    end
+    else
+      match G.uedges g with
+      | [] -> ()
+      | edges ->
+          let a, b = List.nth edges (Random.State.int rng (List.length edges)) in
+          G.remove_uedge g a b;
+          reqs := Request.del "E" [ a; b ] :: !reqs;
+          incr emitted
+  done;
+  List.rev !reqs

@@ -1,0 +1,27 @@
+(** Eulerian-circuit existence is in Dyn-FO — a corollary composed from
+    the paper's building blocks, in the spirit of Section 4.
+
+    A multigraph-free graph has an Eulerian circuit iff every vertex has
+    even degree and all edges lie in one connected component. Neither
+    conjunct is static first-order (parity and reachability), but both
+    are dynamic first-order: degree parity is per-vertex PARITY
+    (Example 3.2) and connectivity is Theorem 4.1. The program maintains
+    the REACH_u forest [F]/[PV] plus a unary relation [OddDeg], and the
+    query is the conjunction
+
+    [all x (~OddDeg(x)) &
+     all x y ((ex z E(x,z)) & (ex z E(y,z)) -> P(x,y))]. *)
+
+val program : Dynfo.Program.t
+
+val oracle : Dynfo_logic.Structure.t -> bool
+
+val static : Dynfo.Dyn.t
+
+val native : Dynfo.Dyn.t
+(** Forest + degree-parity counters. *)
+
+val workload :
+  Random.State.t -> size:int -> length:int -> Dynfo.Request.t list
+(** Edge churn biased towards closing trails, so Eulerian states are
+    actually visited. *)

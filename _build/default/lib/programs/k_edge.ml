@@ -1,0 +1,131 @@
+open Dynfo_logic
+open Dynfo
+open Formula
+open Common
+
+let input_vocab = graph_vocab
+let aux_vocab = Vocab.make ~rels:[ ("F", 2); ("PV", 3) ] ~consts:[]
+
+(* --- the single-deletion transform, temporaries inlined ---------------- *)
+
+(* All templates take the deleted edge as free variables [pa], [pb]. *)
+
+let t_body =
+  (* T(tx,ty,tz) after deleting forest edge (pa,pb) *)
+  And
+    ( rel_v "PV" [ "tx"; "ty"; "tz" ],
+      Not
+        (And (rel_v "PV" [ "tx"; "ty"; "pa" ], rel_v "PV" [ "tx"; "ty"; "pb" ]))
+    )
+
+let inline_t f =
+  substitute_rel [ ("T", ([ "tx"; "ty"; "tz" ], t_body)) ] f
+
+let cand x y =
+  inline_t
+    (conj
+       [
+         rel_v "E" [ x; y ];
+         Not (eq2 x y "pa" "pb");
+         t_conn x "pa";
+         t_conn y "pb";
+       ])
+
+let new_body =
+  And
+    ( cand "nx" "ny",
+      forall [ "cu"; "cv" ]
+        (Implies
+           ( cand "cu" "cv",
+             Or
+               ( Lt (Var "nx", Var "cu"),
+                 And (Eq (Var "nx", Var "cu"), Le (Var "ny", Var "cv")) ) ))
+    )
+
+let inline_new f = substitute_rel [ ("New", ([ "nx"; "ny" ], new_body)) ] f
+
+let e_del_body = And (rel_v "E" [ "dx"; "dy" ], Not (eq2 "dx" "dy" "pa" "pb"))
+
+let f_del_body =
+  inline_new
+    (Or
+       ( And (rel_v "F" [ "dx"; "dy" ], Not (eq2 "dx" "dy" "pa" "pb")),
+         And
+           ( rel_v "F" [ "pa"; "pb" ],
+             Or (rel_v "New" [ "dx"; "dy" ], rel_v "New" [ "dy"; "dx" ]) ) ))
+
+let pv_del_body =
+  let reconnect =
+    exists [ "ju"; "jv" ]
+      (conj
+         [
+           Or (rel_v "New" [ "ju"; "jv" ], rel_v "New" [ "jv"; "ju" ]);
+           Or (Eq (Var "dx", Var "ju"), rel_v "T" [ "dx"; "ju"; "dx" ]);
+           Or (Eq (Var "jv", Var "dy"), rel_v "T" [ "jv"; "dy"; "jv" ]);
+           Or
+             ( Or
+                 ( And (Eq (Var "dx", Var "ju"), Eq (Var "dz", Var "dx")),
+                   rel_v "T" [ "dx"; "ju"; "dz" ] ),
+               Or
+                 ( And (Eq (Var "jv", Var "dy"), Eq (Var "dz", Var "jv")),
+                   rel_v "T" [ "jv"; "dy"; "dz" ] ) );
+         ])
+  in
+  inline_new
+    (inline_t
+       (Or
+          ( And (Not (rel_v "F" [ "pa"; "pb" ]), rel_v "PV" [ "dx"; "dy"; "dz" ]),
+            And
+              ( rel_v "F" [ "pa"; "pb" ],
+                Or (rel_v "T" [ "dx"; "dy"; "dz" ], reconnect) ) )))
+
+(* one level of "delete edge (xi, yi)": rewrite E/F/PV atoms *)
+let delete_level i f =
+  let xi = Printf.sprintf "kx%d" i and yi = Printf.sprintf "ky%d" i in
+  let instantiate body =
+    subst [ ("pa", Var xi); ("pb", Var yi) ] body
+  in
+  substitute_rel
+    [
+      ("E", ([ "dx"; "dy" ], instantiate e_del_body));
+      ("F", ([ "dx"; "dy" ], instantiate f_del_body));
+      ("PV", ([ "dx"; "dy"; "dz" ], instantiate pv_del_body));
+    ]
+    f
+
+let query_formula k =
+  let base =
+    forall [ "qx"; "qy" ]
+      (Or (Eq (Var "qx", Var "qy"), rel_v "PV" [ "qx"; "qy"; "qx" ]))
+  in
+  let rec compose i f = if i = 0 then f else compose (i - 1) (delete_level i f) in
+  let body = compose k base in
+  let edge_vars =
+    List.concat_map
+      (fun i -> [ Printf.sprintf "kx%d" i; Printf.sprintf "ky%d" i ])
+      (List.init k (fun i -> i + 1))
+  in
+  forall edge_vars body
+
+let program ~k =
+  Program.make
+    ~name:(Printf.sprintf "k_edge_%d-fo" k)
+    ~input_vocab ~aux_vocab
+    ~init:(fun n -> Structure.create ~size:n (Vocab.union input_vocab aux_vocab))
+    ~on_ins:[ ("E", Reach_u.insert_update) ]
+    ~on_del:[ ("E", Reach_u.delete_update) ]
+    ~query:(query_formula k) ()
+
+let oracle ~k st =
+  let sym = Relation.symmetric_closure (Structure.rel st "E") in
+  let g = Dynfo_graph.Graph.of_structure (Structure.with_rel st "E" sym) "E" in
+  Dynfo_graph.Connectivity.survives_removal g k
+
+let static ~k =
+  Dyn.static
+    ~name:(Printf.sprintf "k_edge_%d-static" k)
+    ~input_vocab ~symmetric_rels:[ "E" ] ~oracle:(oracle ~k)
+
+let workload rng ~size ~length =
+  Workload.generate rng ~size ~length
+    (Workload.spec ~p_ins:0.6 ~p_del:0.4 ~symmetric:true [ ("E", 2) ])

@@ -1,0 +1,28 @@
+(** Theorem 4.5(2): k-edge connectivity is in Dyn-FO, for constant k.
+
+    The auxiliary structure is exactly REACH_u's forest ([F], [PV]); the
+    work happens in the {e query}: universally quantify over k edges
+    [(x1,y1) ... (xk,yk)] and check that every pair of vertices is still
+    joined after those edges are deleted, "by composing the Dyn-FO
+    formula (for a single deletion) k times". We realise the composition
+    syntactically: {!Dynfo_logic.Formula.substitute_rel} inlines the
+    single-deletion update formulas for [E], [F] and [PV] (temporaries
+    expanded) k times, producing one first-order sentence whose size is
+    exponential in k but independent of n — k is a constant, as in the
+    paper.
+
+    [query_formula 0] is plain connectivity of the whole universe. *)
+
+val program : k:int -> Dynfo.Program.t
+(** The maintained relations with the k-fold composed query. *)
+
+val query_formula : int -> Dynfo_logic.Formula.t
+
+val oracle : k:int -> Dynfo_logic.Structure.t -> bool
+(** Exhaustive removal of every edge subset of size <= k. *)
+
+val static : k:int -> Dynfo.Dyn.t
+
+val workload :
+  Random.State.t -> size:int -> length:int -> Dynfo.Request.t list
+(** Dense-ish churn (no [set] requests — the query has no parameters). *)

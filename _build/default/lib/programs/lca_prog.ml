@@ -1,0 +1,91 @@
+open Dynfo_logic
+open Dynfo
+
+let input_vocab = Vocab.make ~rels:[ ("E", 2) ] ~consts:[ "s"; "t" ]
+let aux_vocab = Vocab.make ~rels:[ ("P", 2) ] ~consts:[]
+
+let init n =
+  let st = Structure.create ~size:n (Vocab.union input_vocab aux_vocab) in
+  let p = ref (Relation.empty ~arity:2) in
+  for x = 0 to n - 1 do
+    p := Relation.add !p [| x; x |]
+  done;
+  Structure.with_rel st "P" !p
+
+let insert_update =
+  Program.update ~params:[ "a"; "b" ]
+    [ Program.rule_s "P" [ "x"; "y" ] "P(x, y) | (P(x, a) & P(b, y))" ]
+
+let delete_update =
+  Program.update ~params:[ "a"; "b" ]
+    [
+      Program.rule_s "P" [ "x"; "y" ]
+        "P(x, y) & (~P(x, a) | ~P(b, y) | ex u v (P(x, u) & P(u, a) & E(u, \
+         v) & ~P(v, a) & P(v, y) & (v != b | u != a)))";
+    ]
+
+let lca_formula =
+  Parser.parse
+    "P(a, x) & P(a, y) & all z ((P(z, x) & P(z, y)) -> P(z, a))"
+
+let program =
+  Program.make ~name:"lca-fo" ~input_vocab ~aux_vocab ~init
+    ~on_ins:[ ("E", insert_update) ]
+    ~on_del:[ ("E", delete_update) ]
+    ~queries:[ ("lca", [ "x"; "y"; "a" ], lca_formula) ]
+    ~query:
+      (Parser.parse "ex a (P(a, s) & P(a, t))")
+    ()
+
+let oracle st =
+  let g = Dynfo_graph.Graph.of_structure st "E" in
+  Dynfo_graph.Lca.lca g (Structure.const st "s") (Structure.const st "t")
+  <> None
+
+let static =
+  Dyn.static ~name:"lca-static" ~input_vocab ~symmetric_rels:[] ~oracle
+
+let lca_of state x y =
+  let n = Structure.size (Runner.structure state) in
+  let rec go a =
+    if a >= n then None
+    else if Runner.query_named state "lca" [ x; y; a ] then Some a
+    else go (a + 1)
+  in
+  go 0
+
+(* Forest-preserving workload: insert u->v only when v is parentless and
+   u is not a descendant of v. *)
+let workload rng ~size ~length =
+  let g = Dynfo_graph.Graph.create size in
+  let reqs = ref [] in
+  let attempts = ref 0 in
+  while List.length !reqs < length && !attempts < 50 * length do
+    incr attempts;
+    let r = Random.State.float rng 1.0 in
+    if r < 0.12 then
+      reqs :=
+        Request.Set
+          ( (if Random.State.bool rng then "s" else "t"),
+            Random.State.int rng size )
+        :: !reqs
+    else if r < 0.62 then begin
+      let u = Random.State.int rng size and v = Random.State.int rng size in
+      if
+        u <> v
+        && Dynfo_graph.Graph.pred g v = []
+        && not (Dynfo_graph.Closure.path g v u)
+      then begin
+        Dynfo_graph.Graph.add_edge g u v;
+        reqs := Request.ins "E" [ u; v ] :: !reqs
+      end
+    end
+    else
+      match Dynfo_graph.Graph.edges g with
+      | [] -> ()
+      | edges ->
+          let u, v = List.nth edges (Random.State.int rng (List.length edges)) in
+          Dynfo_graph.Graph.remove_edge g u v;
+          reqs := Request.del "E" [ u; v ] :: !reqs
+  done;
+  List.rev !reqs

@@ -1,0 +1,23 @@
+(** Theorem 4.5(4): lowest common ancestors in directed forests.
+
+    Maintains [P] exactly as Theorem 4.2 (directed forests are acyclic).
+    [a] is the LCA of [x] and [y] iff
+    [P(a,x) & P(a,y) & all z ((P(z,x) & P(z,y)) -> P(z,a))] — the paper's
+    characterisation, exposed as the named query ["lca"]. The boolean
+    query asks whether [s] and [t] have any common ancestor. *)
+
+val program : Dynfo.Program.t
+
+val oracle : Dynfo_logic.Structure.t -> bool
+(** Do [s] and [t] lie in the same tree (equivalently, have an LCA)? *)
+
+val static : Dynfo.Dyn.t
+
+val lca_of : Dynfo.Runner.state -> int -> int -> int option
+(** Evaluate the named query over all candidate ancestors; used by tests
+    to compare with {!Dynfo_graph.Lca.lca}. *)
+
+val workload :
+  Random.State.t -> size:int -> length:int -> Dynfo.Request.t list
+(** Forest-preserving churn: an arc [u -> v] is only inserted when [v]
+    currently has no parent and [u] does not descend from [v]. *)

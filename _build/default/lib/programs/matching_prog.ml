@@ -1,0 +1,166 @@
+open Dynfo_logic
+open Dynfo
+open Formula
+open Common
+
+let input_vocab = Vocab.make ~rels:[ ("E", 2) ] ~consts:[ "s"; "t" ]
+let aux_vocab = Vocab.make ~rels:[ ("Match", 2) ] ~consts:[]
+
+let mp v = exists [ "mz" ] (rel_v "Match" [ v; "mz" ])
+
+let insert_update =
+  let e' = Or (rel_v "E" [ "x"; "y" ], eq2 "x" "y" "a" "b") in
+  let match' =
+    Or
+      ( rel_v "Match" [ "x"; "y" ],
+        conj
+          [ eq2 "x" "y" "a" "b"; neq (Var "a") (Var "b"); Not (mp "a"); Not (mp "b") ]
+      )
+  in
+  Program.update ~params:[ "a"; "b" ]
+    [
+      Program.rule "E" [ "x"; "y" ] e';
+      Program.rule "Match" [ "x"; "y" ] match';
+    ]
+
+let delete_update =
+  let matched = rel_v "Match" [ "a"; "b" ] in
+  (* the matching minus the deleted edge *)
+  let m0 x y = And (rel_v "Match" [ x; y ], Not (eq2 x y "a" "b")) in
+  let free v = Not (exists [ "mz" ] (And (rel_v "Match" [ v; "mz" ],
+                                          Not (eq2 v "mz" "a" "b")))) in
+  (* candidates to re-match with a: unmatched surviving neighbours *)
+  let cand_a x =
+    conj
+      [
+        matched;
+        rel_v "E" [ "a"; x ];
+        neq (Var x) (Var "a");
+        neq (Var x) (Var "b");
+        free x;
+      ]
+  in
+  let new_a x =
+    And
+      ( rel_v "CandA" [ x ],
+        forall [ "cz" ]
+          (Implies (rel_v "CandA" [ "cz" ], Le (Var x, Var "cz"))) )
+  in
+  let cand_b y =
+    conj
+      [
+        matched;
+        rel_v "E" [ "b"; y ];
+        neq (Var y) (Var "a");
+        neq (Var y) (Var "b");
+        free y;
+        Not (rel_v "NewA" [ y ]);
+      ]
+  in
+  let new_b y =
+    And
+      ( rel_v "CandB" [ y ],
+        forall [ "cz" ]
+          (Implies (rel_v "CandB" [ "cz" ], Le (Var y, Var "cz"))) )
+  in
+  let e' = And (rel_v "E" [ "x"; "y" ], Not (eq2 "x" "y" "a" "b")) in
+  let match' =
+    Or
+      ( m0 "x" "y",
+        And
+          ( matched,
+            disj
+              [
+                And (Eq (Var "x", Var "a"), rel_v "NewA" [ "y" ]);
+                And (Eq (Var "y", Var "a"), rel_v "NewA" [ "x" ]);
+                And (Eq (Var "x", Var "b"), rel_v "NewB" [ "y" ]);
+                And (Eq (Var "y", Var "b"), rel_v "NewB" [ "x" ]);
+              ] ) )
+  in
+  Program.update ~params:[ "a"; "b" ]
+    ~temps:
+      [
+        Program.rule "CandA" [ "x" ] (cand_a "x");
+        Program.rule "NewA" [ "x" ] (new_a "x");
+        Program.rule "CandB" [ "y" ] (cand_b "y");
+        Program.rule "NewB" [ "y" ] (new_b "y");
+      ]
+    [
+      Program.rule "E" [ "x"; "y" ] e';
+      Program.rule "Match" [ "x"; "y" ] match';
+    ]
+
+let program =
+  Program.make ~name:"matching-fo" ~input_vocab ~aux_vocab
+    ~init:(fun n -> Structure.create ~size:n (Vocab.union input_vocab aux_vocab))
+    ~on_ins:[ ("E", insert_update) ]
+    ~on_del:[ ("E", delete_update) ]
+    ~queries:[ ("matched", [ "x"; "y" ], rel_v "Match" [ "x"; "y" ]) ]
+    ~query:(Parser.parse "Match(s, t)") ()
+
+(* native mirror of the same procedure *)
+
+module G = Dynfo_graph.Graph
+
+type nat = { graph : G.t; matching : G.t; mutable s : int; mutable t : int }
+
+let nat_matched st v = G.succ st.matching v <> []
+
+let nat_insert st a b =
+  G.add_uedge st.graph a b;
+  if a <> b && (not (nat_matched st a)) && not (nat_matched st b) then
+    G.add_uedge st.matching a b
+
+let nat_rematch st v forbid =
+  if not (nat_matched st v) then begin
+    let cands =
+      List.filter (fun x -> x <> v && x <> forbid && not (nat_matched st x))
+        (G.succ st.graph v)
+    in
+    match cands with [] -> () | x :: _ -> G.add_uedge st.matching v x
+  end
+
+let nat_delete st a b =
+  G.remove_uedge st.graph a b;
+  if G.has_edge st.matching a b then begin
+    G.remove_uedge st.matching a b;
+    nat_rematch st a b;
+    nat_rematch st b a
+  end
+
+let native =
+  Dyn.of_fun ~name:"matching-native"
+    ~create:(fun n ->
+      { graph = G.create n; matching = G.create n; s = 0; t = 0 })
+    ~apply:(fun st req ->
+      (match req with
+      | Request.Ins ("E", [| a; b |]) -> nat_insert st a b
+      | Request.Del ("E", [| a; b |]) -> nat_delete st a b
+      | Request.Set ("s", v) -> st.s <- v
+      | Request.Set ("t", v) -> st.t <- v
+      | _ -> invalid_arg "matching-native: bad request");
+      st)
+    ~query:(fun st -> G.has_edge st.matching st.s st.t)
+
+let matching_invariant state =
+  let st = Runner.structure state in
+  let g =
+    Dynfo_graph.Graph.of_structure
+      (Structure.with_rel st "E"
+         (Relation.symmetric_closure (Structure.rel st "E")))
+      "E"
+  in
+  let m = Structure.rel st "Match" in
+  if not (Relation.equal m (Relation.symmetric_closure m)) then
+    Error "Match not symmetric"
+  else
+    let edges =
+      Relation.fold
+        (fun t acc -> if t.(0) < t.(1) then (t.(0), t.(1)) :: acc else acc)
+        m []
+    in
+    if not (Dynfo_graph.Matching.is_maximal g edges) then
+      Error "Match is not a maximal matching"
+    else Result.Ok ()
+
+let workload = graph_workload

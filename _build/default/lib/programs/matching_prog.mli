@@ -1,0 +1,23 @@
+(** Theorem 4.5(3): maximal matching is in Dyn-FO.
+
+    Maintains [Match(x,y)] (symmetric). Insertion adds the new edge to
+    the matching when both endpoints are free. Deletion of a matched
+    edge re-matches each of its endpoints to its minimum unmatched
+    neighbour, [a] first and then [b] (so [b] cannot grab the vertex [a]
+    just took) — the paper's procedure verbatim, realised with temporary
+    relations for the two candidate sets.
+
+    Maximal matchings are {e not} memoryless — the maintained matching
+    depends on the request history — so the harness compares the FO
+    program against a native implementation of the same procedure, and
+    {!matching_invariant} checks maximality against the input graph. *)
+
+val program : Dynfo.Program.t
+
+val native : Dynfo.Dyn.t
+
+val matching_invariant : Dynfo.Runner.state -> (unit, string) result
+(** Whitebox: [Match] is a maximal matching of the current graph. *)
+
+val workload :
+  Random.State.t -> size:int -> length:int -> Dynfo.Request.t list

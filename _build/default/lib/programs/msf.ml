@@ -1,0 +1,423 @@
+open Dynfo_logic
+open Dynfo
+open Formula
+open Common
+
+let input_vocab = Vocab.make ~rels:[ ("E", 3) ] ~consts:[ "s"; "t" ]
+let aux_vocab = Vocab.make ~rels:[ ("F", 2); ("PV", 3) ] ~consts:[]
+
+(* --- quantifier-free comparison of unordered pairs ------------------- *)
+
+(* {x,y} and {u,v} compared lexicographically after normalising each to
+   (min, max); [strict] selects < versus <=. *)
+let norm_lex ~strict x y u v =
+  let vx = Var x and vy = Var y and vu = Var u and vv = Var v in
+  let mk_min_cmp cmp =
+    (* cmp(min(x,y), min(u,v)) as a case split *)
+    disj
+      [
+        conj [ Le (vx, vy); Le (vu, vv); cmp vx vu ];
+        conj [ Le (vx, vy); Lt (vv, vu); cmp vx vv ];
+        conj [ Lt (vy, vx); Le (vu, vv); cmp vy vu ];
+        conj [ Lt (vy, vx); Lt (vv, vu); cmp vy vv ];
+      ]
+  in
+  let mk_max_cmp cmp =
+    disj
+      [
+        conj [ Le (vx, vy); Le (vu, vv); cmp vy vv ];
+        conj [ Le (vx, vy); Lt (vv, vu); cmp vy vu ];
+        conj [ Lt (vy, vx); Le (vu, vv); cmp vx vv ];
+        conj [ Lt (vy, vx); Lt (vv, vu); cmp vx vu ];
+      ]
+  in
+  let min_lt = mk_min_cmp (fun a b -> Lt (a, b)) in
+  let min_eq = mk_min_cmp (fun a b -> Eq (a, b)) in
+  let max_cmp =
+    if strict then mk_max_cmp (fun a b -> Lt (a, b))
+    else mk_max_cmp (fun a b -> Le (a, b))
+  in
+  Or (min_lt, And (min_eq, max_cmp))
+
+(* --- insert ----------------------------------------------------------- *)
+
+(* forest edge on the a..b path, normalised orientation *)
+let path_edge c d =
+  conj
+    [
+      rel_v "F" [ c; d ];
+      Lt (Var c, Var d);
+      rel_v "PV" [ "a"; "b"; c ];
+      rel_v "PV" [ "a"; "b"; d ];
+    ]
+
+let insert_update =
+  (* Cut: the unique max-order edge on the cycle, if the new edge (a,b,w)
+     beats it. Normalised c < d. *)
+  let wmax =
+    And
+      ( path_edge "c" "d",
+        forall [ "u"; "v" ]
+          (Implies
+             ( path_edge "u" "v",
+               exists [ "w1"; "w2" ]
+                 (conj
+                    [
+                      rel_v "E" [ "u"; "v"; "w1" ];
+                      rel_v "E" [ "c"; "d"; "w2" ];
+                      Or
+                        ( Lt (Var "w1", Var "w2"),
+                          And
+                            ( Eq (Var "w1", Var "w2"),
+                              norm_lex ~strict:false "u" "v" "c" "d" ) );
+                    ]) )) )
+  in
+  let beats_new =
+    (* the path max (c,d) is strictly greater than the new edge under
+       (weight, norm-lex): swap it out *)
+    exists [ "w2" ]
+      (And
+         ( rel_v "E" [ "c"; "d"; "w2" ],
+           Or
+             ( Lt (Var "w", Var "w2"),
+               And (Eq (Var "w", Var "w2"), norm_lex ~strict:true "a" "b" "c" "d")
+             ) ))
+  in
+  let cut_def = conj [ p "a" "b"; wmax; beats_new ] in
+  let t2_def =
+    And
+      ( rel_v "PV" [ "x"; "y"; "z" ],
+        Not
+          (exists [ "c"; "d" ]
+             (conj
+                [
+                  rel_v "Cut" [ "c"; "d" ];
+                  rel_v "PV" [ "x"; "y"; "c" ];
+                  rel_v "PV" [ "x"; "y"; "d" ];
+                ])) )
+  in
+  let has_cut = exists [ "c"; "d" ] (rel_v "Cut" [ "c"; "d" ]) in
+  let join_on conn seg =
+    exists [ "u"; "v" ]
+      (conj
+         [
+           eq2 "u" "v" "a" "b";
+           conn "x" "u";
+           conn "v" "y";
+           Or (seg "x" "u" "z", seg "v" "y" "z");
+         ])
+  in
+  let t2_conn x y = Or (Eq (Var x, Var y), rel_v "T2" [ x; y; x ]) in
+  let t2_seg x u z =
+    Or (And (Eq (Var x, Var u), Eq (Var z, Var x)), rel_v "T2" [ x; u; z ])
+  in
+  let e' =
+    Or
+      ( rel_v "E" [ "x"; "y"; "v" ],
+        And (eq2 "x" "y" "a" "b", Eq (Var "v", Var "w")) )
+  in
+  let f' =
+    disj
+      [
+        And (Not (p "a" "b"), Or (rel_v "F" [ "x"; "y" ], eq2 "x" "y" "a" "b"));
+        conj [ p "a" "b"; Not has_cut; rel_v "F" [ "x"; "y" ] ];
+        conj
+          [
+            p "a" "b";
+            has_cut;
+            Or
+              ( And
+                  ( rel_v "F" [ "x"; "y" ],
+                    Not
+                      (exists [ "c"; "d" ]
+                         (And (rel_v "Cut" [ "c"; "d" ], eq2 "x" "y" "c" "d"))) ),
+                eq2 "x" "y" "a" "b" );
+          ];
+      ]
+  in
+  let pv' =
+    disj
+      [
+        And
+          ( Not (p "a" "b"),
+            Or (rel_v "PV" [ "x"; "y"; "z" ], join_on p pv_seg) );
+        conj [ p "a" "b"; Not has_cut; rel_v "PV" [ "x"; "y"; "z" ] ];
+        conj
+          [
+            p "a" "b";
+            has_cut;
+            Or (rel_v "T2" [ "x"; "y"; "z" ], join_on t2_conn t2_seg);
+          ];
+      ]
+  in
+  Program.update ~params:[ "a"; "b"; "w" ]
+    ~temps:
+      [
+        Program.rule "Cut" [ "c"; "d" ] cut_def;
+        Program.rule "T2" [ "x"; "y"; "z" ] t2_def;
+      ]
+    [
+      Program.rule "E" [ "x"; "y"; "v" ] e';
+      Program.rule "F" [ "x"; "y" ] f';
+      Program.rule "PV" [ "x"; "y"; "z" ] pv';
+    ]
+
+(* --- delete ----------------------------------------------------------- *)
+
+let delete_update =
+  let t_def =
+    And
+      ( rel_v "PV" [ "x"; "y"; "z" ],
+        Not (And (rel_v "PV" [ "x"; "y"; "a" ], rel_v "PV" [ "x"; "y"; "b" ]))
+      )
+  in
+  let cand x y =
+    conj
+      [
+        exists [ "cw" ] (rel_v "E" [ x; y; "cw" ]);
+        Not (eq2 x y "a" "b");
+        t_conn x "a";
+        t_conn y "b";
+      ]
+  in
+  (* minimum-order surviving candidate across the cut *)
+  let new_def =
+    And
+      ( cand "x" "y",
+        forall [ "u"; "v" ]
+          (Implies
+             ( cand "u" "v",
+               exists [ "w1"; "w2" ]
+                 (conj
+                    [
+                      rel_v "E" [ "x"; "y"; "w1" ];
+                      rel_v "E" [ "u"; "v"; "w2" ];
+                      Or
+                        ( Lt (Var "w1", Var "w2"),
+                          And
+                            ( Eq (Var "w1", Var "w2"),
+                              norm_lex ~strict:false "x" "y" "u" "v" ) );
+                    ]) )) )
+  in
+  (* the request only bites when the exact tuple is present and the edge
+     is in the forest *)
+  let live = And (rel_v "F" [ "a"; "b" ], rel_v "E" [ "a"; "b"; "w" ]) in
+  let e' =
+    And
+      ( rel_v "E" [ "x"; "y"; "v" ],
+        Not (And (eq2 "x" "y" "a" "b", Eq (Var "v", Var "w"))) )
+  in
+  let f' =
+    Or
+      ( And
+          ( rel_v "F" [ "x"; "y" ],
+            Or
+              ( Not live,
+                Not (eq2 "x" "y" "a" "b") ) ),
+        And (live, Or (rel_v "New" [ "x"; "y" ], rel_v "New" [ "y"; "x" ])) )
+  in
+  let reconnect =
+    exists [ "u"; "v" ]
+      (conj
+         [
+           Or (rel_v "New" [ "u"; "v" ], rel_v "New" [ "v"; "u" ]);
+           t_conn "x" "u";
+           t_conn "v" "y";
+           Or (t_seg "x" "u" "z", t_seg "v" "y" "z");
+         ])
+  in
+  let pv' =
+    Or
+      ( And (Not live, rel_v "PV" [ "x"; "y"; "z" ]),
+        And (live, Or (rel_v "T" [ "x"; "y"; "z" ], reconnect)) )
+  in
+  Program.update ~params:[ "a"; "b"; "w" ]
+    ~temps:
+      [
+        Program.rule "T" [ "x"; "y"; "z" ] t_def;
+        Program.rule "New" [ "x"; "y" ] new_def;
+      ]
+    [
+      Program.rule "E" [ "x"; "y"; "v" ] e';
+      Program.rule "F" [ "x"; "y" ] f';
+      Program.rule "PV" [ "x"; "y"; "z" ] pv';
+    ]
+
+let program =
+  Program.make ~name:"msf-fo" ~input_vocab ~aux_vocab
+    ~init:(fun n -> Structure.create ~size:n (Vocab.union input_vocab aux_vocab))
+    ~on_ins:[ ("E", insert_update) ]
+    ~on_del:[ ("E", delete_update) ]
+    ~query:(Parser.parse "F(s, t)") ()
+
+(* --- oracle and native ------------------------------------------------ *)
+
+let graph_and_weight st =
+  let g = Dynfo_graph.Graph.create (Structure.size st) in
+  let w = Hashtbl.create 64 in
+  Relation.iter
+    (fun t ->
+      Dynfo_graph.Graph.add_uedge g t.(0) t.(1);
+      Hashtbl.replace w (min t.(0) t.(1), max t.(0) t.(1)) t.(2))
+    (Structure.rel st "E");
+  (g, fun u v -> Hashtbl.find w (min u v, max u v))
+
+let kruskal st =
+  let g, weight = graph_and_weight st in
+  Dynfo_graph.Spanning.minimum_spanning_forest g ~weight
+
+let oracle st =
+  let s = Structure.const st "s" and t = Structure.const st "t" in
+  s <> t && List.mem (min s t, max s t) (kruskal st)
+
+let static =
+  Dyn.static ~name:"msf-static" ~input_vocab ~symmetric_rels:[ "E" ] ~oracle
+
+let msf_invariant state =
+  let input = Runner.input state in
+  let expected =
+    List.fold_left
+      (fun acc (u, v) ->
+        Relation.add (Relation.add acc [| u; v |]) [| v; u |])
+      (Relation.empty ~arity:2) (kruskal input)
+  in
+  let actual = Structure.rel (Runner.structure state) "F" in
+  if Relation.equal expected actual then Result.Ok ()
+  else
+    Error
+      (Printf.sprintf "F (%d tuples) differs from Kruskal (%d tuples)"
+         (Relation.cardinal actual)
+         (Relation.cardinal expected))
+
+(* native: weighted forest maintenance *)
+
+module G = Dynfo_graph.Graph
+
+type nat = {
+  graph : G.t;
+  forest : G.t;
+  weights : (int * int, int) Hashtbl.t;
+  mutable s : int;
+  mutable t : int;
+}
+
+let key u v = (min u v, max u v)
+
+(* total order on edges: (weight, normalised pair) *)
+let order st u v = (Hashtbl.find st.weights (key u v), key u v)
+
+let nat_insert st a b w =
+  if a <> b && not (G.has_edge st.graph a b) then begin
+    G.add_uedge st.graph a b;
+    Hashtbl.replace st.weights (key a b) w;
+    let reach = Dynfo_graph.Traversal.reachable st.forest a in
+    if not reach.(b) then G.add_uedge st.forest a b
+    else begin
+      let n = G.n_vertices st.forest in
+      match
+        Dynfo_graph.Spanning.forest_path ~n (G.uedges st.forest) a b
+      with
+      | None -> assert false
+      | Some path ->
+          let rec edges = function
+            | x :: (y :: _ as rest) -> (x, y) :: edges rest
+            | _ -> []
+          in
+          let path_edges = edges path in
+          let cmax =
+            List.fold_left
+              (fun acc (u, v) ->
+                match acc with
+                | None -> Some (u, v)
+                | Some (cu, cv) ->
+                    if order st u v > order st cu cv then Some (u, v) else acc)
+              None path_edges
+          in
+          (match cmax with
+          | Some (cu, cv) when order st cu cv > (w, key a b) ->
+              G.remove_uedge st.forest cu cv;
+              G.add_uedge st.forest a b
+          | _ -> ())
+    end
+  end
+
+let nat_delete st a b w =
+  match Hashtbl.find_opt st.weights (key a b) with
+  | Some w' when w' = w ->
+      G.remove_uedge st.graph a b;
+      Hashtbl.remove st.weights (key a b);
+      if G.has_edge st.forest a b then begin
+        G.remove_uedge st.forest a b;
+        let a_side = Dynfo_graph.Traversal.reachable st.forest a in
+        let b_side = Dynfo_graph.Traversal.reachable st.forest b in
+        let best = ref None in
+        List.iter
+          (fun (u, v) ->
+            if (a_side.(u) && b_side.(v)) || (a_side.(v) && b_side.(u)) then
+              match !best with
+              | Some (bu, bv) when order st bu bv <= order st u v -> ()
+              | _ -> best := Some (u, v))
+          (G.uedges st.graph);
+        match !best with
+        | Some (u, v) -> G.add_uedge st.forest u v
+        | None -> ()
+      end
+  | _ -> ()
+
+let native =
+  Dyn.of_fun ~name:"msf-native"
+    ~create:(fun n ->
+      {
+        graph = G.create n;
+        forest = G.create n;
+        weights = Hashtbl.create 64;
+        s = 0;
+        t = 0;
+      })
+    ~apply:(fun st req ->
+      (match req with
+      | Request.Ins ("E", [| a; b; w |]) -> nat_insert st a b w
+      | Request.Del ("E", [| a; b; w |]) -> nat_delete st a b w
+      | Request.Set ("s", v) -> st.s <- v
+      | Request.Set ("t", v) -> st.t <- v
+      | _ -> invalid_arg "msf-native: bad request");
+      st)
+    ~query:(fun st -> G.has_edge st.forest st.s st.t)
+
+(* weighted churn preserving one weight per unordered pair *)
+let workload rng ~size ~length =
+  let live = Hashtbl.create 32 in
+  let reqs = ref [] in
+  let emitted = ref 0 in
+  let attempts = ref 0 in
+  while !emitted < length && !attempts < 50 * length do
+    incr attempts;
+    let r = Random.State.float rng 1.0 in
+    if r < 0.1 then begin
+      reqs :=
+        Request.Set
+          ( (if Random.State.bool rng then "s" else "t"),
+            Random.State.int rng size )
+        :: !reqs;
+      incr emitted
+    end
+    else if r < 0.6 || Hashtbl.length live = 0 then begin
+      let u = Random.State.int rng size and v = Random.State.int rng size in
+      if u <> v && not (Hashtbl.mem live (key u v)) then begin
+        let w = Random.State.int rng size in
+        Hashtbl.replace live (key u v) w;
+        reqs := Request.ins "E" [ u; v; w ] :: !reqs;
+        incr emitted
+      end
+    end
+    else begin
+      let pairs = Hashtbl.fold (fun k w acc -> (k, w) :: acc) live [] in
+      let (u, v), w =
+        List.nth pairs (Random.State.int rng (List.length pairs))
+      in
+      Hashtbl.remove live (u, v);
+      reqs := Request.del "E" [ u; v; w ] :: !reqs;
+      incr emitted
+    end
+  done;
+  List.rev !reqs

@@ -1,0 +1,35 @@
+(** Theorem 4.4: minimum spanning forests are maintainable in Dyn-FO.
+
+    The input is a ternary relation [E(x,y,w)] — an undirected edge
+    [{x,y}] of weight [w] (a universe element), stored in both
+    orientations. The invariant, guaranteed by {!workload} and the
+    examples, is at most one weight per unordered pair at any time.
+
+    The program maintains the forest [F] and path-via relation [PV] of
+    Theorem 4.1, but keeps [F] the {e minimum} spanning forest under the
+    total order (weight, lexicographic-on-normalised-pair). As in the
+    paper: insertion into a connected pair swaps out the maximum-order
+    edge of the created cycle if the new edge beats it; deletion of a
+    forest edge reconnects through the minimum-order surviving edge
+    across the cut. Because the order is total, the MSF is unique and
+    the program is memoryless (the paper's closing remark on Theorem
+    4.4), which is exactly what lets us check [F] against a from-scratch
+    Kruskal run.
+
+    The boolean query is [F(s,t)] — "is {s,t} a minimum-spanning-forest
+    edge"; tests also compare the whole [F] relation with Kruskal's. *)
+
+val program : Dynfo.Program.t
+
+val oracle : Dynfo_logic.Structure.t -> bool
+
+val static : Dynfo.Dyn.t
+
+val native : Dynfo.Dyn.t
+
+val msf_invariant : Dynfo.Runner.state -> (unit, string) result
+(** Whitebox: [F] equals the Kruskal forest of the current input. *)
+
+val workload :
+  Random.State.t -> size:int -> length:int -> Dynfo.Request.t list
+(** Weighted edge churn preserving the one-weight-per-pair invariant. *)

@@ -1,0 +1,143 @@
+open Dynfo_logic
+open Dynfo
+open Formula
+
+let input_vocab = Vocab.make ~rels:[ ("X", 1); ("Y", 1) ] ~consts:[ "q" ]
+let aux_vocab = Vocab.make ~rels:[ ("Pd", 1) ] ~consts:[]
+
+let xor3 a b c =
+  disj
+    [
+      conj [ a; b; c ];
+      conj [ a; Not b; Not c ];
+      conj [ Not a; b; Not c ];
+      conj [ Not a; Not b; c ];
+    ]
+
+(* x + y = z on universe elements, from BIT and < alone: carry-lookahead
+   over the binary representations. *)
+let plus_formula x y z =
+  let vx = Var x and vy = Var y and vz = Var z in
+  let carry k =
+    exists [ "cj" ]
+      (conj
+         [
+           Lt (Var "cj", Var k);
+           Bit (vx, Var "cj");
+           Bit (vy, Var "cj");
+           forall [ "cm" ]
+             (Implies
+                ( And (Lt (Var "cj", Var "cm"), Lt (Var "cm", Var k)),
+                  Or (Bit (vx, Var "cm"), Bit (vy, Var "cm")) ));
+         ])
+  in
+  forall [ "ck" ]
+    (Iff (Bit (vz, Var "ck"), xor3 (Bit (vx, Var "ck")) (Bit (vy, Var "ck")) (carry "ck")))
+
+(* bit j of (other << i), as a temporary relation body; [other] is the
+   unchanged operand relation *)
+let shifted other =
+  exists [ "d" ] (And (plus_formula "d" "i" "j", rel_v other [ "d" ]))
+
+(* carry/borrow into position j when combining Pd with the temporary Z *)
+let carry_add =
+  exists [ "m" ]
+    (conj
+       [
+         Lt (Var "m", Var "j");
+         rel_v "Pd" [ "m" ];
+         rel_v "Z" [ "m" ];
+         forall [ "r" ]
+           (Implies
+              ( And (Lt (Var "m", Var "r"), Lt (Var "r", Var "j")),
+                Or (rel_v "Pd" [ "r" ], rel_v "Z" [ "r" ]) ));
+       ])
+
+let borrow =
+  exists [ "m" ]
+    (conj
+       [
+         Lt (Var "m", Var "j");
+         Not (rel_v "Pd" [ "m" ]);
+         rel_v "Z" [ "m" ];
+         forall [ "r" ]
+           (Implies
+              ( And (Lt (Var "m", Var "r"), Lt (Var "r", Var "j")),
+                Or (Not (rel_v "Pd" [ "r" ]), rel_v "Z" [ "r" ]) ));
+       ])
+
+let add_bit = xor3 (rel_v "Pd" [ "j" ]) (rel_v "Z" [ "j" ]) carry_add
+let sub_bit = xor3 (rel_v "Pd" [ "j" ]) (rel_v "Z" [ "j" ]) borrow
+
+(* one update block: [changed] is the relation receiving the request,
+   [other] the untouched operand *)
+let bit_update ~changed ~other ~kind =
+  let guard_noop, rel_rule, pd_core =
+    match kind with
+    | `Ins ->
+        ( rel_v changed [ "i" ],
+          Or (rel_v changed [ "x" ], Eq (Var "x", Var "i")),
+          add_bit )
+    | `Del ->
+        ( Not (rel_v changed [ "i" ]),
+          And (rel_v changed [ "x" ], neq (Var "x") (Var "i")),
+          sub_bit )
+  in
+  let pd' =
+    Or (And (guard_noop, rel_v "Pd" [ "j" ]), And (Not guard_noop, pd_core))
+  in
+  Program.update ~params:[ "i" ]
+    ~temps:[ Program.rule "Z" [ "j" ] (shifted other) ]
+    [
+      Program.rule changed [ "x" ] rel_rule;
+      Program.rule "Pd" [ "j" ] pd';
+    ]
+
+let program =
+  Program.make ~name:"mult-fo" ~input_vocab ~aux_vocab
+    ~init:(fun n -> Structure.create ~size:n (Vocab.union input_vocab aux_vocab))
+    ~on_ins:
+      [
+        ("X", bit_update ~changed:"X" ~other:"Y" ~kind:`Ins);
+        ("Y", bit_update ~changed:"Y" ~other:"X" ~kind:`Ins);
+      ]
+    ~on_del:
+      [
+        ("X", bit_update ~changed:"X" ~other:"Y" ~kind:`Del);
+        ("Y", bit_update ~changed:"Y" ~other:"X" ~kind:`Del);
+      ]
+    ~query:(Parser.parse "Pd(q)") ()
+
+let bits_of st name =
+  let n = Structure.size st in
+  Array.init n (fun i -> Structure.mem st name [| i |])
+
+let oracle st =
+  let open Dynfo_arith in
+  let x : Bitnum.t = bits_of st "X" and y : Bitnum.t = bits_of st "Y" in
+  let p = Bitnum.mul x y in
+  Bitnum.get p (Structure.const st "q")
+
+let static =
+  Dyn.static ~name:"mult-static" ~input_vocab ~symmetric_rels:[] ~oracle
+
+type nat = { mult : Dynfo_arith.Dyn_mult.t; q : int }
+
+let native =
+  Dyn.of_fun ~name:"mult-native"
+    ~create:(fun n -> { mult = Dynfo_arith.Dyn_mult.create ~width:n; q = 0 })
+    ~apply:(fun st req ->
+      let open Dynfo_arith in
+      match req with
+      | Request.Ins ("X", [| i |]) -> { st with mult = Dyn_mult.set_x st.mult i true }
+      | Request.Del ("X", [| i |]) -> { st with mult = Dyn_mult.set_x st.mult i false }
+      | Request.Ins ("Y", [| i |]) -> { st with mult = Dyn_mult.set_y st.mult i true }
+      | Request.Del ("Y", [| i |]) -> { st with mult = Dyn_mult.set_y st.mult i false }
+      | Request.Set ("q", v) -> { st with q = v }
+      | _ -> invalid_arg "mult-native: bad request")
+    ~query:(fun st ->
+      Dynfo_arith.Bitnum.get (Dynfo_arith.Dyn_mult.product st.mult) st.q)
+
+let workload rng ~size ~length =
+  Workload.generate rng ~size ~length
+    (Workload.spec ~consts:[ "q" ] ~p_ins:0.4 ~p_del:0.35 [ ("X", 1); ("Y", 1) ])

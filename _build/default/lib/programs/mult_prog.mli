@@ -1,0 +1,32 @@
+(** Proposition 4.7: multiplication is in Dyn-FO.
+
+    Input vocabulary [<X^1, Y^1, q>]: unary relations holding the bit
+    positions of two n-bit numbers (universe element [i] in [X] iff bit
+    [i] of [x] is one), and a constant [q] selecting the queried product
+    bit. The auxiliary relation [Pd] holds the bits of the product
+    [x * y mod 2^n].
+
+    Setting bit [i] of [x] from 0 to 1 adds [y << i] to the product;
+    clearing it subtracts (adds the two's complement) — each realised by
+    the classic first-order carry/borrow-lookahead formulas over the
+    stored bit relations. The shifted operand's bit [j] is
+    [ex d (PLUS(d, i, j) & Y(d))], where [PLUS] is the FO[BIT]-definable
+    addition on universe elements. The query is [Pd(q)].
+
+    All arithmetic is modulo [2^n], consistently in the program, the
+    native form ({!Dynfo_arith.Dyn_mult}) and the oracle. *)
+
+val program : Dynfo.Program.t
+
+val plus_formula : string -> string -> string -> Dynfo_logic.Formula.t
+(** [plus_formula x y z] defines [x + y = z] on universe elements from
+    [BIT] and [<=] alone — exported for the evaluator tests. *)
+
+val oracle : Dynfo_logic.Structure.t -> bool
+
+val static : Dynfo.Dyn.t
+
+val native : Dynfo.Dyn.t
+
+val workload :
+  Random.State.t -> size:int -> length:int -> Dynfo.Request.t list

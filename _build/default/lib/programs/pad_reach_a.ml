@@ -1,0 +1,175 @@
+open Dynfo_logic
+open Dynfo
+open Formula
+
+let input_vocab = Vocab.make ~rels:[ ("Ep", 3); ("Up", 2) ] ~consts:[]
+let aux_vocab = Vocab.make ~rels:[ ("A", 1) ] ~consts:[]
+
+let init n =
+  let st = Structure.create ~size:n (Vocab.union input_vocab aux_vocab) in
+  Structure.with_rel st "A" (Relation.of_list ~arity:1 [ [| 0 |] ])
+
+(* copy 0's arc relation after this request lands; [mode] says how the
+   request changes it (edge requests carry params c a b) *)
+let e0_after mode x y =
+  let base = rel "Ep" [ Min; Var x; Var y ] in
+  match mode with
+  | `Ins_edge ->
+      Or
+        ( base,
+          conj [ Eq (Var "c", Min); Eq (Var x, Var "a"); Eq (Var y, Var "b") ]
+        )
+  | `Del_edge ->
+      And
+        ( base,
+          Not
+            (conj
+               [ Eq (Var "c", Min); Eq (Var x, Var "a"); Eq (Var y, Var "b") ])
+        )
+  | `Unchanged -> base
+
+let u0_after mode x =
+  let base = rel "Up" [ Min; Var x ] in
+  match mode with
+  | `Ins_mark -> Or (base, And (Eq (Var "c", Min), Eq (Var x, Var "a")))
+  | `Del_mark ->
+      And (base, Not (And (Eq (Var "c", Min), Eq (Var x, Var "a"))))
+  | `Unchanged -> base
+
+(* one round of the inductive definition of "alternately reaches min",
+   applied to the set [prev] (a formula with one free variable) *)
+let step ~emode ~umode prev x =
+  disj
+    [
+      Eq (Var x, Min);
+      And
+        ( Not (u0_after umode x),
+          exists [ "sy" ] (And (e0_after emode x "sy", prev "sy")) );
+      conj
+        [
+          u0_after umode x;
+          exists [ "sy" ] (e0_after emode x "sy");
+          forall [ "sy" ] (Implies (e0_after emode x "sy", prev "sy"));
+        ];
+    ]
+
+(* restart the iterate only when copy 0 actually changes — a request
+   re-inserting a present tuple (or deleting an absent one) must advance
+   the iterate like any other padded request, otherwise a no-op sweep
+   would reset A without the padding ever being violated *)
+let changes_copy0 ~emode ~umode =
+  match (emode, umode) with
+  | `Ins_edge, _ ->
+      And (Eq (Var "c", Min), Not (rel "Ep" [ Min; Var "a"; Var "b" ]))
+  | `Del_edge, _ -> And (Eq (Var "c", Min), rel "Ep" [ Min; Var "a"; Var "b" ])
+  | _, `Ins_mark -> And (Eq (Var "c", Min), Not (rel "Up" [ Min; Var "a" ]))
+  | _, `Del_mark -> And (Eq (Var "c", Min), rel "Up" [ Min; Var "a" ])
+  | `Unchanged, `Unchanged -> False
+
+let a_rule ~emode ~umode =
+  let from_base = step ~emode ~umode (fun y -> Eq (Var y, Min)) "x" in
+  let from_iterate = step ~emode ~umode (fun y -> rel_v "A" [ y ]) "x" in
+  let restart = changes_copy0 ~emode ~umode in
+  Program.rule "A" [ "x" ]
+    (Or (And (restart, from_base), And (Not restart, from_iterate)))
+
+let edge_update kind =
+  let emode = match kind with `Ins -> `Ins_edge | `Del -> `Del_edge in
+  Program.update ~params:[ "c"; "a"; "b" ] [ a_rule ~emode ~umode:`Unchanged ]
+
+let mark_update kind =
+  let umode = match kind with `Ins -> `Ins_mark | `Del -> `Del_mark in
+  Program.update ~params:[ "c"; "a" ] [ a_rule ~emode:`Unchanged ~umode ]
+
+let padding_ok =
+  And
+    ( forall [ "c"; "x"; "y" ]
+        (Iff (rel_v "Ep" [ "c"; "x"; "y" ], rel "Ep" [ Min; Var "x"; Var "y" ])),
+      forall [ "c"; "x" ]
+        (Iff (rel_v "Up" [ "c"; "x" ], rel "Up" [ Min; Var "x" ])) )
+
+let program =
+  Program.make ~name:"pad_reach_a-fo" ~input_vocab ~aux_vocab ~init
+    ~on_ins:[ ("Ep", edge_update `Ins); ("Up", mark_update `Ins) ]
+    ~on_del:[ ("Ep", edge_update `Del); ("Up", mark_update `Del) ]
+    ~query:(And (padding_ok, rel "A" [ Max ]))
+    ()
+
+let copy0 st =
+  let n = Structure.size st in
+  let g = Dynfo_graph.Graph.create n in
+  Relation.iter
+    (fun t -> if t.(0) = 0 then Dynfo_graph.Graph.add_edge g t.(1) t.(2))
+    (Structure.rel st "Ep");
+  let universal = Array.make n false in
+  Relation.iter
+    (fun t -> if t.(0) = 0 then universal.(t.(1)) <- true)
+    (Structure.rel st "Up");
+  Dynfo_graph.Alternating.make g ~universal
+
+let oracle st =
+  let n = Structure.size st in
+  let copies_equal =
+    Relation.fold
+      (fun t acc -> acc && Relation.mem (Structure.rel st "Ep") [| 0; t.(1); t.(2) |])
+      (Structure.rel st "Ep") true
+    && Relation.fold
+         (fun t acc ->
+           acc
+           && List.for_all
+                (fun c -> Relation.mem (Structure.rel st "Ep") [| c; t.(1); t.(2) |])
+                (List.init n Fun.id))
+         (Structure.rel st "Ep") true
+    && Relation.fold
+         (fun t acc ->
+           acc
+           && List.for_all
+                (fun c -> Relation.mem (Structure.rel st "Up") [| c; t.(1) |])
+                (List.init n Fun.id))
+         (Structure.rel st "Up") true
+  in
+  copies_equal && Dynfo_graph.Alternating.reach_a (copy0 st) (n - 1) 0
+
+let static =
+  Dyn.static ~name:"pad_reach_a-static" ~input_vocab ~symmetric_rels:[]
+    ~oracle
+
+let workload rng ~size ~length =
+  let g = Dynfo_graph.Graph.create size in
+  let marks = Array.make size false in
+  let reqs = ref [] in
+  for _ = 1 to length do
+    let sweep req_of =
+      for c = 0 to size - 1 do
+        reqs := req_of c :: !reqs
+      done
+    in
+    let r = Random.State.float rng 1.0 in
+    if r < 0.45 || Dynfo_graph.Graph.n_edges g = 0 then begin
+      let a = Random.State.int rng size and b = Random.State.int rng size in
+      if a <> b then begin
+        Dynfo_graph.Graph.add_edge g a b;
+        sweep (fun c -> Request.ins "Ep" [ c; a; b ])
+      end
+    end
+    else if r < 0.7 then begin
+      match Dynfo_graph.Graph.edges g with
+      | [] -> ()
+      | edges ->
+          let a, b = List.nth edges (Random.State.int rng (List.length edges)) in
+          Dynfo_graph.Graph.remove_edge g a b;
+          sweep (fun c -> Request.del "Ep" [ c; a; b ])
+    end
+    else begin
+      let v = Random.State.int rng size in
+      if marks.(v) then begin
+        marks.(v) <- false;
+        sweep (fun c -> Request.del "Up" [ c; v ])
+      end
+      else begin
+        marks.(v) <- true;
+        sweep (fun c -> Request.ins "Up" [ c; v ])
+      end
+    end
+  done;
+  List.rev !reqs

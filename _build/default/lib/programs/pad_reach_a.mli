@@ -1,0 +1,33 @@
+(** Theorem 5.14: PAD(REACH_a) — a P-complete problem — is in Dyn-FO.
+
+    The padded encoding keeps [n] copies of an alternating graph:
+    [Ep(c,x,y)] ("copy c has arc x -> y") and [Up(c,x)] ("in copy c,
+    vertex x is universal"). A {e real} change to the underlying graph is
+    a sweep of [n] identical requests, one per copy, in copy order
+    [0, 1, ..., n-1] — exactly the observation behind the theorem: the
+    dynamic program gets [n] first-order steps per real change, enough to
+    replay the FO[n] fixpoint computation of alternating reachability.
+
+    The auxiliary relation [A] is the running fixpoint iterate of
+    "alternately reaches [min]". A request touching copy 0 restarts the
+    iterate from the base [{min}] (evaluated on copy 0's {e new} graph);
+    any other request advances it one step. After a complete sweep the
+    iterate has converged, and between sweeps the padding is violated, so
+    the membership query — "all copies agree and [A(max)]" — is correct
+    at {e every} checkpoint.
+
+    The query asks whether [max] alternately reaches [min] in copy 0. *)
+
+val program : Dynfo.Program.t
+
+val oracle : Dynfo_logic.Structure.t -> bool
+(** All copies equal, and [Alternating.reach_a] from [max] to [min] on
+    copy 0 (fixpoint computed from scratch). *)
+
+val static : Dynfo.Dyn.t
+
+val workload :
+  Random.State.t -> size:int -> length:int -> Dynfo.Request.t list
+(** Emits whole sweeps: each underlying change is replayed on every copy
+    in order. [length] counts underlying changes, so the returned list
+    has about [length * size] requests. *)

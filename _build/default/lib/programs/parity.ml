@@ -1,0 +1,57 @@
+open Dynfo_logic
+open Dynfo
+
+let input_vocab = Vocab.make ~rels:[ ("M", 1) ] ~consts:[]
+let aux_vocab = Vocab.make ~rels:[ ("b", 0) ] ~consts:[]
+
+let program =
+  Program.make ~name:"parity-fo" ~input_vocab ~aux_vocab
+    ~init:(fun n -> Structure.create ~size:n (Vocab.union input_vocab aux_vocab))
+    ~on_ins:
+      [
+        ( "M",
+          Program.update ~params:[ "a" ]
+            [
+              Program.rule_s "M" [ "x" ] "M(x) | x = a";
+              Program.rule_s "b" [] "(b() & M(a)) | (~b() & ~M(a))";
+            ] );
+      ]
+    ~on_del:
+      [
+        ( "M",
+          Program.update ~params:[ "a" ]
+            [
+              Program.rule_s "M" [ "x" ] "M(x) & x != a";
+              Program.rule_s "b" [] "(b() & ~M(a)) | (~b() & M(a))";
+            ] );
+      ]
+    ~query:(Parser.parse "b()") ()
+
+let oracle st = Relation.cardinal (Structure.rel st "M") mod 2 = 1
+
+let static =
+  Dyn.static ~name:"parity-static" ~input_vocab ~symmetric_rels:[] ~oracle
+
+type nat_state = { members : bool array; mutable odd : bool }
+
+let native =
+  Dyn.of_fun ~name:"parity-native"
+    ~create:(fun n -> { members = Array.make n false; odd = false })
+    ~apply:(fun st req ->
+      (match req with
+      | Request.Ins ("M", [| a |]) ->
+          if not st.members.(a) then begin
+            st.members.(a) <- true;
+            st.odd <- not st.odd
+          end
+      | Request.Del ("M", [| a |]) ->
+          if st.members.(a) then begin
+            st.members.(a) <- false;
+            st.odd <- not st.odd
+          end
+      | _ -> invalid_arg "parity-native: bad request");
+      st)
+    ~query:(fun st -> st.odd)
+
+let workload rng ~size ~length =
+  Workload.generate rng ~size ~length (Workload.spec [ ("M", 1) ])

@@ -1,0 +1,18 @@
+(** Example 3.2: PARITY is in Dyn-FO.
+
+    Input vocabulary [<M^1>]; auxiliary vocabulary [<b>] where [b] is a
+    boolean (0-ary relation). The update formulas are the paper's,
+    verbatim. *)
+
+val program : Dynfo.Program.t
+
+val oracle : Dynfo_logic.Structure.t -> bool
+(** Odd number of elements in [M]. *)
+
+val static : Dynfo.Dyn.t
+
+val native : Dynfo.Dyn.t
+(** Constant-time bit-toggling implementation. *)
+
+val workload :
+  Random.State.t -> size:int -> length:int -> Dynfo.Request.t list

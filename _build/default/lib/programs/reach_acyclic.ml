@@ -1,0 +1,146 @@
+open Dynfo_logic
+open Dynfo
+
+let input_vocab = Vocab.make ~rels:[ ("E", 2) ] ~consts:[ "s"; "t" ]
+let aux_vocab = Vocab.make ~rels:[ ("P", 2) ] ~consts:[]
+
+let init n =
+  let st = Structure.create ~size:n (Vocab.union input_vocab aux_vocab) in
+  (* P starts as the identity: trivial paths *)
+  let p = ref (Relation.empty ~arity:2) in
+  for x = 0 to n - 1 do
+    p := Relation.add !p [| x; x |]
+  done;
+  Structure.with_rel st "P" !p
+
+let insert_update =
+  Program.update ~params:[ "a"; "b" ]
+    [ Program.rule_s "P" [ "x"; "y" ] "P(x, y) | (P(x, a) & P(b, y))" ]
+
+let delete_update =
+  Program.update ~params:[ "a"; "b" ]
+    [
+      Program.rule_s "P" [ "x"; "y" ]
+        "P(x, y) & (~P(x, a) | ~P(b, y) | ex u v (P(x, u) & P(u, a) & E(u, \
+         v) & ~P(v, a) & P(v, y) & (v != b | u != a)))";
+    ]
+
+let program =
+  Program.make ~name:"reach_acyclic-fo" ~input_vocab ~aux_vocab ~init
+    ~on_ins:[ ("E", insert_update) ]
+    ~on_del:[ ("E", delete_update) ]
+    ~query:(Parser.parse "P(s, t)") ()
+
+let oracle st =
+  let g = Dynfo_graph.Graph.of_structure st "E" in
+  Dynfo_graph.Closure.path g (Structure.const st "s") (Structure.const st "t")
+
+let static =
+  Dyn.static ~name:"reach_acyclic-static" ~input_vocab ~symmetric_rels:[]
+    ~oracle
+
+(* Native form: reachability matrix updated by the same rules. *)
+
+type nat = {
+  n : int;
+  e : bool array array;
+  p : bool array array;
+  mutable s : int;
+  mutable t : int;
+}
+
+let nat_insert st a b =
+  st.e.(a).(b) <- true;
+  let old = Array.map Array.copy st.p in
+  for x = 0 to st.n - 1 do
+    for y = 0 to st.n - 1 do
+      if old.(x).(a) && old.(b).(y) then st.p.(x).(y) <- true
+    done
+  done
+
+let nat_delete st a b =
+  st.e.(a).(b) <- false;
+  let old = Array.map Array.copy st.p in
+  let witness x y =
+    let found = ref false in
+    for u = 0 to st.n - 1 do
+      if (not !found) && old.(x).(u) && old.(u).(a) then
+        for v = 0 to st.n - 1 do
+          if
+            (not !found)
+            && st.e.(u).(v)
+            && (not old.(v).(a))
+            && old.(v).(y)
+            && (v <> b || u <> a)
+          then found := true
+        done
+    done;
+    !found
+  in
+  for x = 0 to st.n - 1 do
+    for y = 0 to st.n - 1 do
+      if old.(x).(y) && old.(x).(a) && old.(b).(y) then
+        st.p.(x).(y) <- witness x y
+    done
+  done
+
+let native =
+  Dyn.of_fun ~name:"reach_acyclic-native"
+    ~create:(fun n ->
+      {
+        n;
+        e = Array.make_matrix n n false;
+        p = Array.init n (fun i -> Array.init n (fun j -> i = j));
+        s = 0;
+        t = 0;
+      })
+    ~apply:(fun st req ->
+      (match req with
+      | Request.Ins ("E", [| a; b |]) -> nat_insert st a b
+      | Request.Del ("E", [| a; b |]) -> nat_delete st a b
+      | Request.Set ("s", v) -> st.s <- v
+      | Request.Set ("t", v) -> st.t <- v
+      | _ -> invalid_arg "reach_acyclic-native: bad request");
+      st)
+    ~query:(fun st -> st.p.(st.s).(st.t))
+
+let path_invariant state =
+  let st = Runner.structure state in
+  let n = Structure.size st in
+  let g = Dynfo_graph.Graph.of_structure st "E" in
+  let p = Structure.rel st "P" in
+  let bad = ref None in
+  for x = 0 to n - 1 do
+    for y = 0 to n - 1 do
+      let expected = Dynfo_graph.Closure.path g x y in
+      if Relation.mem p [| x; y |] <> expected && !bad = None then
+        bad := Some (x, y, expected)
+    done
+  done;
+  match !bad with
+  | None -> Result.Ok ()
+  | Some (x, y, e) ->
+      Error (Printf.sprintf "P(%d,%d) should be %b" x y e)
+
+(* DAG-preserving workload: arcs only from smaller to larger vertices. *)
+let workload rng ~size ~length =
+  let live = Hashtbl.create 16 in
+  List.init length (fun _ ->
+      let r = Random.State.float rng 1.0 in
+      if r < 0.1 then
+        Request.Set
+          ((if Random.State.bool rng then "s" else "t"), Random.State.int rng size)
+      else if r < 0.55 || Hashtbl.length live = 0 then begin
+        let u = Random.State.int rng size and v = Random.State.int rng size in
+        let u, v = (min u v, max u v) in
+        let v = if u = v then (v + 1) mod size else v in
+        let u, v = (min u v, max u v) in
+        Hashtbl.replace live (u, v) ();
+        Request.ins "E" [ u; v ]
+      end
+      else begin
+        let pairs = Hashtbl.fold (fun k () acc -> k :: acc) live [] in
+        let u, v = List.nth pairs (Random.State.int rng (List.length pairs)) in
+        Hashtbl.remove live (u, v);
+        Request.del "E" [ u; v ]
+      end)

@@ -1,0 +1,29 @@
+(** Theorem 4.2 ([DS93]): REACH restricted to acyclic graphs is in
+    Dyn-FO.
+
+    The program maintains the (reflexive) path relation [P(x,y)]. The
+    promise is that the graph is acyclic during its entire history; the
+    supplied {!workload} only creates arcs from smaller to larger
+    vertices, which guarantees it. Update formulas are the paper's:
+
+    - insert: [P'(x,y) = P(x,y) | (P(x,a) & P(b,y))]
+    - delete: [P'(x,y) = P(x,y) & (~P(x,a) | ~P(b,y) |
+        ex u v (P(x,u) & P(u,a) & E(u,v) & ~P(v,a) & P(v,y) &
+                (v != b | u != a)))] *)
+
+val program : Dynfo.Program.t
+
+val oracle : Dynfo_logic.Structure.t -> bool
+(** Directed [s]-[t] reachability (trivial path included). *)
+
+val static : Dynfo.Dyn.t
+
+val native : Dynfo.Dyn.t
+(** Boolean-matrix implementation of the same update rules. *)
+
+val path_invariant : Dynfo.Runner.state -> (unit, string) result
+(** Whitebox check: [P] equals the reflexive transitive closure of [E]. *)
+
+val workload :
+  Random.State.t -> size:int -> length:int -> Dynfo.Request.t list
+(** DAG-preserving edge churn plus [set s]/[set t]. *)

@@ -1,0 +1,244 @@
+open Dynfo_logic
+open Dynfo
+open Formula
+open Common
+
+let input_vocab = graph_vocab
+let aux_vocab = Vocab.make ~rels:[ ("F", 2); ("PV", 3) ] ~consts:[]
+
+(* Insert(E, a, b) *)
+
+let insert_update =
+  let e' = Or (rel_v "E" [ "x"; "y" ], eq2 "x" "y" "a" "b") in
+  let f' =
+    Or (rel_v "F" [ "x"; "y" ], And (eq2 "x" "y" "a" "b", Not (p "a" "b")))
+  in
+  let pv' =
+    Or
+      ( rel_v "PV" [ "x"; "y"; "z" ],
+        And
+          ( Not (p "a" "b"),
+            exists [ "u"; "v" ]
+              (conj
+                 [
+                   eq2 "u" "v" "a" "b";
+                   p "x" "u";
+                   p "v" "y";
+                   Or (pv_seg "x" "u" "z", pv_seg "v" "y" "z");
+                 ]) ) )
+  in
+  Program.update ~params:[ "a"; "b" ]
+    [
+      Program.rule "E" [ "x"; "y" ] e';
+      Program.rule "F" [ "x"; "y" ] f';
+      Program.rule "PV" [ "x"; "y"; "z" ] pv';
+    ]
+
+(* Delete(E, a, b) *)
+
+let delete_update =
+  (* T: surviving path-via tuples once forest edge (a,b) is removed *)
+  let t_def =
+    And
+      ( rel_v "PV" [ "x"; "y"; "z" ],
+        Not (And (rel_v "PV" [ "x"; "y"; "a" ], rel_v "PV" [ "x"; "y"; "b" ]))
+      )
+  in
+  (* candidate replacement edges: from a's half to b's half *)
+  let cand x y =
+    conj
+      [
+        rel_v "E" [ x; y ];
+        Not (eq2 x y "a" "b");
+        t_conn x "a";
+        t_conn y "b";
+      ]
+  in
+  let new_def =
+    And
+      ( cand "x" "y",
+        forall [ "u"; "v" ]
+          (Implies
+             ( cand "u" "v",
+               Or
+                 ( Lt (Var "x", Var "u"),
+                   And (Eq (Var "x", Var "u"), Le (Var "y", Var "v")) ) )) )
+  in
+  let fab = rel_v "F" [ "a"; "b" ] in
+  let e' = And (rel_v "E" [ "x"; "y" ], Not (eq2 "x" "y" "a" "b")) in
+  let f' =
+    Or
+      ( And (rel_v "F" [ "x"; "y" ], Not (eq2 "x" "y" "a" "b")),
+        And (fab, Or (rel_v "New" [ "x"; "y" ], rel_v "New" [ "y"; "x" ])) )
+  in
+  let reconnect =
+    exists [ "u"; "v" ]
+      (conj
+         [
+           Or (rel_v "New" [ "u"; "v" ], rel_v "New" [ "v"; "u" ]);
+           t_conn "x" "u";
+           t_conn "v" "y";
+           Or (t_seg "x" "u" "z", t_seg "v" "y" "z");
+         ])
+  in
+  let pv' =
+    Or
+      ( And (Not fab, rel_v "PV" [ "x"; "y"; "z" ]),
+        And (fab, Or (rel_v "T" [ "x"; "y"; "z" ], reconnect)) )
+  in
+  Program.update ~params:[ "a"; "b" ]
+    ~temps:
+      [
+        Program.rule "T" [ "x"; "y"; "z" ] t_def;
+        Program.rule "New" [ "x"; "y" ] new_def;
+      ]
+    [
+      Program.rule "E" [ "x"; "y" ] e';
+      Program.rule "F" [ "x"; "y" ] f';
+      Program.rule "PV" [ "x"; "y"; "z" ] pv';
+    ]
+
+let program =
+  Program.make ~name:"reach_u-fo" ~input_vocab ~aux_vocab
+    ~init:(fun n -> Structure.create ~size:n (Vocab.union input_vocab aux_vocab))
+    ~on_ins:[ ("E", insert_update) ]
+    ~on_del:[ ("E", delete_update) ]
+    ~query:(Parser.parse "s = t | PV(s, t, s)")
+    ()
+
+(* The problem is undirected: the oracle reads E as a symmetric relation
+   (the FO program stores both directions itself; the static baseline's
+   input structure holds whichever single direction was inserted). *)
+let oracle st =
+  let sym = Relation.symmetric_closure (Structure.rel st "E") in
+  let g = Dynfo_graph.Graph.of_structure (Structure.with_rel st "E" sym) "E" in
+  Dynfo_graph.Traversal.reaches g (Structure.const st "s")
+    (Structure.const st "t")
+
+let static =
+  Dyn.static ~name:"reach_u-static" ~input_vocab ~symmetric_rels:[ "E" ]
+    ~oracle
+
+(* Native form: explicit forest maintenance, O(n + m) per update. *)
+
+module G = Dynfo_graph.Graph
+module Trav = Dynfo_graph.Traversal
+
+type nat = { graph : G.t; forest : G.t; mutable s : int; mutable t : int }
+
+let forest_reachable st v = Trav.reachable st.forest v
+
+let nat_insert st a b =
+  if a <> b && not (G.has_edge st.graph a b) then begin
+    let connected = (forest_reachable st a).(b) in
+    G.add_uedge st.graph a b;
+    if not connected then G.add_uedge st.forest a b
+  end
+  else G.add_uedge st.graph a b
+
+let nat_delete st a b =
+  if G.has_edge st.graph a b then begin
+    G.remove_uedge st.graph a b;
+    if G.has_edge st.forest a b then begin
+      G.remove_uedge st.forest a b;
+      let a_side = forest_reachable st a in
+      let b_side = forest_reachable st b in
+      (* lexicographically least surviving edge across the cut *)
+      let best = ref None in
+      List.iter
+        (fun (u, v) ->
+          if a_side.(u) && b_side.(v) then
+            match !best with
+            | Some (bu, bv) when (bu, bv) <= (u, v) -> ()
+            | _ -> best := Some (u, v))
+        (G.edges st.graph);
+      match !best with
+      | Some (u, v) -> G.add_uedge st.forest u v
+      | None -> ()
+    end
+  end
+
+let native =
+  Dyn.of_fun ~name:"reach_u-native"
+    ~create:(fun n -> { graph = G.create n; forest = G.create n; s = 0; t = 0 })
+    ~apply:(fun st req ->
+      (match req with
+      | Request.Ins ("E", [| a; b |]) -> nat_insert st a b
+      | Request.Del ("E", [| a; b |]) -> nat_delete st a b
+      | Request.Set ("s", v) -> st.s <- v
+      | Request.Set ("t", v) -> st.t <- v
+      | _ -> invalid_arg "reach_u-native: bad request");
+      st)
+    ~query:(fun st -> (forest_reachable st st.s).(st.t))
+
+type hdt_state = {
+  hdt : Dynfo_graph.Hdt.t;
+  mutable hs : int;
+  mutable ht : int;
+}
+
+let native_hdt =
+  Dyn.of_fun ~name:"reach_u-hdt"
+    ~create:(fun n -> { hdt = Dynfo_graph.Hdt.create n; hs = 0; ht = 0 })
+    ~apply:(fun st req ->
+      (match req with
+      | Request.Ins ("E", [| a; b |]) ->
+          if a <> b then Dynfo_graph.Hdt.insert st.hdt a b
+      | Request.Del ("E", [| a; b |]) ->
+          if a <> b then Dynfo_graph.Hdt.delete st.hdt a b
+      | Request.Set ("s", v) -> st.hs <- v
+      | Request.Set ("t", v) -> st.ht <- v
+      | _ -> invalid_arg "reach_u-hdt: bad request");
+      st)
+    ~query:(fun st -> Dynfo_graph.Hdt.connected st.hdt st.hs st.ht)
+
+(* Whitebox invariant for tests *)
+
+let forest_invariant state =
+  let st = Runner.structure state in
+  let n = Structure.size st in
+  let e = Structure.rel st "E" in
+  let f = Structure.rel st "F" in
+  let pv = Structure.rel st "PV" in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  if not (Relation.subset f e) then err "F not a subset of E"
+  else if not (Relation.equal f (Relation.symmetric_closure f)) then
+    err "F not symmetric"
+  else begin
+    let fg = G.create n in
+    Relation.iter (fun t -> G.add_edge fg t.(0) t.(1)) f;
+    let eg = G.create n in
+    Relation.iter (fun t -> G.add_edge eg t.(0) t.(1)) e;
+    let uf = Dynfo_graph.Union_find.create n in
+    let acyclic =
+      List.for_all
+        (fun (u, v) -> Dynfo_graph.Union_find.union uf u v)
+        (G.uedges fg)
+    in
+    if not acyclic then err "F has a cycle"
+    else if Trav.components fg <> Trav.components eg then
+      err "F does not span E's components"
+    else begin
+      (* PV must be exactly the path-via relation of the forest *)
+      let expected = ref (Relation.empty ~arity:3) in
+      let forest_edges = G.uedges fg in
+      for x = 0 to n - 1 do
+        for y = 0 to n - 1 do
+          if x <> y then
+            match Dynfo_graph.Spanning.forest_path ~n forest_edges x y with
+            | None -> ()
+            | Some path ->
+                List.iter
+                  (fun z -> expected := Relation.add !expected [| x; y; z |])
+                  path
+        done
+      done;
+      if Relation.equal pv !expected then Result.Ok ()
+      else
+        err "PV differs from forest paths (missing %d, extra %d)"
+          (Relation.cardinal (Relation.diff !expected pv))
+          (Relation.cardinal (Relation.diff pv !expected))
+    end
+  end
+
+let workload = graph_workload

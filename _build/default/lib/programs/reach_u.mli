@@ -1,0 +1,51 @@
+(** Theorem 4.1: undirected reachability (REACH_u) is in Dyn-FO.
+
+    The program maintains a spanning forest of the graph through two
+    auxiliary relations: [F(x,y)] — "(x,y) is a forest edge" — and
+    [PV(x,y,u)] — "the unique forest path from x to y passes through u"
+    (endpoints included). Insertion joins two trees; deletion of a forest
+    edge splits a tree and re-links the two halves through the
+    lexicographically least surviving edge, exactly as in the paper's
+    proof. The query is [P(s,t) = (s = t | PV(s,t,s))].
+
+    Differences from the paper's displayed formulas (all consistent with
+    its prose):
+    - the insert case for [PV'] carries the explicit guard [~P(a,b)]
+      ("PV changes iff edge (a,b) connects two formerly disconnected
+      trees");
+    - the delete case is guarded by [F(a,b)] ("if edge (a,b) is not in
+      the forest, the updated relations are unchanged");
+    - path-segment tests use [(x = u & z = x) | PV(x,u,z)] so that the
+      trivial path from a vertex to itself is handled — the paper does
+      the same through its [P] abbreviation;
+    - the elided minimum-edge formula [New(x,y)] is spelled out with
+      lexicographic tie-breaking. *)
+
+val program : Dynfo.Program.t
+
+val insert_update : Dynfo.Program.update
+val delete_update : Dynfo.Program.update
+(** The two update blocks, exported so that k-edge connectivity (which
+    maintains the same forest) can reuse them. *)
+
+val oracle : Dynfo_logic.Structure.t -> bool
+(** BFS from [s] on the symmetric input graph. *)
+
+val static : Dynfo.Dyn.t
+
+val native : Dynfo.Dyn.t
+(** Forest-based implementation: O(n + m) per update, maintaining the
+    same forest the FO program does. *)
+
+val native_hdt : Dynfo.Dyn.t
+(** Holm–de Lichtenberg–Thorup dynamic connectivity
+    ({!Dynfo_graph.Hdt}): O(log^2 n) amortised per update, O(log n) per
+    query — the modern sequential point of comparison from the dynamic
+    graph algorithms literature the paper cites ([F85], [E+92], [R94]). *)
+
+val forest_invariant : Dynfo.Runner.state -> (unit, string) result
+(** Whitebox check used by tests: [F] is a spanning forest of [E] and
+    [PV] is exactly its path-via relation. *)
+
+val workload :
+  Random.State.t -> size:int -> length:int -> Dynfo.Request.t list

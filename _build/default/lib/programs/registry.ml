@@ -1,0 +1,157 @@
+type entry = {
+  name : string;
+  paper_ref : string;
+  program : Dynfo.Program.t;
+  native : Dynfo.Dyn.t option;
+  static : Dynfo.Dyn.t option;
+  workload :
+    Random.State.t -> size:int -> length:int -> Dynfo.Request.t list;
+  default_size : int;
+}
+
+let regular_dfa = Dynfo_automata.Dfa.even_zeros
+
+let all =
+  [
+    {
+      name = "parity";
+      paper_ref = "Example 3.2";
+      program = Parity.program;
+      native = Some Parity.native;
+      static = Some Parity.static;
+      workload = Parity.workload;
+      default_size = 16;
+    };
+    {
+      name = "reach_u";
+      paper_ref = "Theorem 4.1";
+      program = Reach_u.program;
+      native = Some Reach_u.native;
+      static = Some Reach_u.static;
+      workload = Reach_u.workload;
+      default_size = 8;
+    };
+    {
+      name = "reach_acyclic";
+      paper_ref = "Theorem 4.2";
+      program = Reach_acyclic.program;
+      native = Some Reach_acyclic.native;
+      static = Some Reach_acyclic.static;
+      workload = Reach_acyclic.workload;
+      default_size = 8;
+    };
+    {
+      name = "trans_reduction";
+      paper_ref = "Corollary 4.3";
+      program = Trans_reduction.program;
+      native = None;
+      static = Some Trans_reduction.static;
+      workload = Trans_reduction.workload;
+      default_size = 7;
+    };
+    {
+      name = "msf";
+      paper_ref = "Theorem 4.4";
+      program = Msf.program;
+      native = Some Msf.native;
+      static = Some Msf.static;
+      workload = Msf.workload;
+      default_size = 7;
+    };
+    {
+      name = "bipartite";
+      paper_ref = "Theorem 4.5(1)";
+      program = Bipartite_prog.program;
+      native = Some Bipartite_prog.native;
+      static = Some Bipartite_prog.static;
+      workload = Bipartite_prog.workload;
+      default_size = 7;
+    };
+    {
+      name = "k_edge_1";
+      paper_ref = "Theorem 4.5(2), k = 1";
+      program = K_edge.program ~k:1;
+      native = None;
+      static = Some (K_edge.static ~k:1);
+      workload = K_edge.workload;
+      default_size = 5;
+    };
+    {
+      name = "matching";
+      paper_ref = "Theorem 4.5(3)";
+      program = Matching_prog.program;
+      native = Some Matching_prog.native;
+      static = None;
+      workload = Matching_prog.workload;
+      default_size = 7;
+    };
+    {
+      name = "lca";
+      paper_ref = "Theorem 4.5(4)";
+      program = Lca_prog.program;
+      native = None;
+      static = Some Lca_prog.static;
+      workload = Lca_prog.workload;
+      default_size = 8;
+    };
+    {
+      name = "regular";
+      paper_ref = "Theorem 4.6 (even number of '0's)";
+      program = Regular.program regular_dfa;
+      native = Some (Regular.native regular_dfa);
+      static = Some (Regular.static regular_dfa);
+      workload = Regular.workload regular_dfa;
+      default_size = 10;
+    };
+    {
+      name = "mult";
+      paper_ref = "Proposition 4.7";
+      program = Mult_prog.program;
+      native = Some Mult_prog.native;
+      static = Some Mult_prog.static;
+      workload = Mult_prog.workload;
+      default_size = 8;
+    };
+    {
+      name = "dyck_2";
+      paper_ref = "Proposition 4.8, k = 2";
+      program = Dyck_prog.program ~k:2;
+      native = None;
+      static = Some (Dyck_prog.static ~k:2);
+      workload = Dyck_prog.workload ~k:2;
+      default_size = 9;
+    };
+    {
+      name = "eulerian";
+      paper_ref = "composition of Ex 3.2 + Thm 4.1";
+      program = Eulerian.program;
+      native = Some Eulerian.native;
+      static = Some Eulerian.static;
+      workload = Eulerian.workload;
+      default_size = 7;
+    };
+    {
+      name = "semi_reach";
+      paper_ref = "Section 3.1 (Dyn_s-FO)";
+      program = Semi_dynamic.reach_program;
+      native = Some Semi_dynamic.native;
+      static = Some Semi_dynamic.static;
+      workload = Semi_dynamic.workload;
+      default_size = 8;
+    };
+    {
+      name = "pad_reach_a";
+      paper_ref = "Theorem 5.14";
+      program = Pad_reach_a.program;
+      native = None;
+      static = Some Pad_reach_a.static;
+      workload = Pad_reach_a.workload;
+      default_size = 5;
+    };
+  ]
+
+let find name = List.find (fun e -> e.name = name) all
+
+let impls e =
+  (Dynfo.Dyn.of_program e.program :: Option.to_list e.native)
+  @ Option.to_list e.static

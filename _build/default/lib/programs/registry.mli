@@ -1,0 +1,24 @@
+(** Catalogue of every dynamic problem in the repository, in one place,
+    for the CLI, the benchmarks and the integration tests. *)
+
+type entry = {
+  name : string;  (** stable identifier, e.g. ["reach_u"] *)
+  paper_ref : string;  (** where in the paper, e.g. ["Theorem 4.1"] *)
+  program : Dynfo.Program.t;  (** the FO form *)
+  native : Dynfo.Dyn.t option;  (** efficient dynamic implementation *)
+  static : Dynfo.Dyn.t option;
+      (** recompute-from-scratch baseline; [None] for history-dependent
+          problems (maximal matching) whose answers no oracle can
+          predict *)
+  workload :
+    Random.State.t -> size:int -> length:int -> Dynfo.Request.t list;
+  default_size : int;  (** a universe size suitable for quick runs *)
+}
+
+val all : entry list
+
+val find : string -> entry
+(** Raises [Not_found]. *)
+
+val impls : entry -> Dynfo.Dyn.t list
+(** FO form plus whatever else exists, for the harness. *)

@@ -1,0 +1,201 @@
+open Dynfo_logic
+open Dynfo
+open Formula
+
+let rel_of_char (d : Dynfo_automata.Dfa.t) c =
+  match List.find_index (fun c' -> c' = c) d.alphabet with
+  | Some i -> Printf.sprintf "A%d" i
+  | None -> invalid_arg "Regular.rel_of_char: not in alphabet"
+
+let srel q q' = Printf.sprintf "S%d_%d" q q'
+
+let input_vocab (d : Dynfo_automata.Dfa.t) =
+  Vocab.make
+    ~rels:(List.mapi (fun i _ -> (Printf.sprintf "A%d" i, 1)) d.alphabet)
+    ~consts:[]
+
+let aux_vocab (d : Dynfo_automata.Dfa.t) =
+  let pairs =
+    List.concat_map
+      (fun q -> List.map (fun q' -> (srel q q', 2)) (List.init d.n_states Fun.id))
+      (List.init d.n_states Fun.id)
+  in
+  Vocab.make ~rels:pairs ~consts:[]
+
+let succf m l =
+  And
+    ( Lt (Var m, Var l),
+      Not (exists [ "sr" ] (And (Lt (Var m, Var "sr"), Lt (Var "sr", Var l))))
+    )
+
+let occupied (d : Dynfo_automata.Dfa.t) p =
+  disj (List.mapi (fun i _ -> rel (Printf.sprintf "A%d" i) [ Var p ]) d.alphabet)
+
+(* delta* over positions i..p-1 from q ends in q1 (pre-state relations) *)
+let left_seg q q1 =
+  if q = q1 then
+    Or
+      ( Eq (Var "i", Var "p"),
+        exists [ "pm" ] (And (succf "pm" "p", rel_v (srel q q1) [ "i"; "pm" ]))
+      )
+  else
+    And
+      ( Lt (Var "i", Var "p"),
+        exists [ "pm" ] (And (succf "pm" "p", rel_v (srel q q1) [ "i"; "pm" ]))
+      )
+
+(* delta* over positions p+1..j from q2 ends in q' *)
+let right_seg q2 q' =
+  if q2 = q' then
+    Or
+      ( Eq (Var "p", Var "j"),
+        exists [ "pp" ] (And (succf "p" "pp", rel_v (srel q2 q') [ "pp"; "j" ]))
+      )
+  else
+    And
+      ( Lt (Var "p", Var "j"),
+        exists [ "pp" ] (And (succf "p" "pp", rel_v (srel q2 q') [ "pp"; "j" ]))
+      )
+
+let between = And (Le (Var "i", Var "p"), Le (Var "p", Var "j"))
+
+(* new value of S_q_q'(i,j) when position p now carries [transit] (a map
+   q1 -> q2), or skips p entirely when [transit] is the identity map over
+   all states (deletion) *)
+let recompute (d : Dynfo_automata.Dfa.t) q q' transit =
+  disj
+    (List.filter_map
+       (fun q1 ->
+         let q2 = transit q1 in
+         Some (And (left_seg q q1, right_seg q2 q')))
+       (List.init d.n_states Fun.id))
+
+let update_rules (d : Dynfo_automata.Dfa.t) ~effective ~transit =
+  List.concat_map
+    (fun q ->
+      List.map
+        (fun q' ->
+          let body =
+            Or
+              ( And
+                  ( Or (Not effective, Not between),
+                    rel_v (srel q q') [ "i"; "j" ] ),
+                conj [ effective; between; recompute d q q' transit ] )
+          in
+          Program.rule (srel q q') [ "i"; "j" ] body)
+        (List.init d.n_states Fun.id))
+    (List.init d.n_states Fun.id)
+
+let program (d : Dynfo_automata.Dfa.t) =
+  let input_vocab = input_vocab d in
+  let aux_vocab = aux_vocab d in
+  let init n =
+    let st = Structure.create ~size:n (Vocab.union input_vocab aux_vocab) in
+    (* empty string: every interval is the identity *)
+    List.fold_left
+      (fun st q ->
+        let r = ref (Relation.empty ~arity:2) in
+        for i = 0 to n - 1 do
+          for j = i to n - 1 do
+            r := Relation.add !r [| i; j |]
+          done
+        done;
+        Structure.with_rel st (srel q q) !r)
+      st
+      (List.init d.n_states Fun.id)
+  in
+  let on_ins =
+    List.mapi
+      (fun idx c ->
+        let relname = Printf.sprintf "A%d" idx in
+        let effective = Not (occupied d "p") in
+        let rules =
+          Program.rule relname [ "x" ]
+            (Or (rel_v relname [ "x" ], And (Eq (Var "x", Var "p"), effective)))
+          :: update_rules d ~effective ~transit:(fun q1 -> d.delta q1 c)
+        in
+        (relname, Program.update ~params:[ "p" ] rules))
+      d.alphabet
+  in
+  let on_del =
+    List.mapi
+      (fun idx _c ->
+        let relname = Printf.sprintf "A%d" idx in
+        let effective = rel_v relname [ "p" ] in
+        let rules =
+          Program.rule relname [ "x" ]
+            (And (rel_v relname [ "x" ], neq (Var "x") (Var "p")))
+          :: update_rules d ~effective ~transit:Fun.id
+        in
+        (relname, Program.update ~params:[ "p" ] rules))
+      d.alphabet
+  in
+  let accept =
+    disj
+      (List.filter_map
+         (fun qf ->
+           if d.accepting qf then Some (rel (srel d.start qf) [ Min; Max ])
+           else None)
+         (List.init d.n_states Fun.id))
+  in
+  Program.make ~name:"regular-fo" ~input_vocab ~aux_vocab ~init ~on_ins
+    ~on_del ~query:accept ()
+
+let string_of_structure (d : Dynfo_automata.Dfa.t) st =
+  let n = Structure.size st in
+  let buf = Buffer.create n in
+  for p = 0 to n - 1 do
+    List.iteri
+      (fun i c ->
+        if Structure.mem st (Printf.sprintf "A%d" i) [| p |] then
+          Buffer.add_char buf c)
+      d.alphabet
+  done;
+  Buffer.contents buf
+
+let oracle d st = Dynfo_automata.Dfa.accepts d (string_of_structure d st)
+
+let static d =
+  Dyn.static ~name:"regular-static" ~input_vocab:(input_vocab d)
+    ~symmetric_rels:[] ~oracle:(oracle d)
+
+let native (d : Dynfo_automata.Dfa.t) =
+  let char_of relname =
+    let idx = int_of_string (String.sub relname 1 (String.length relname - 1)) in
+    List.nth d.alphabet idx
+  in
+  Dyn.of_fun ~name:"regular-native"
+    ~create:(fun n -> Dynfo_automata.Segtree.create d n)
+    ~apply:(fun tree req ->
+      (match req with
+      | Request.Ins (r, [| p |]) ->
+          if Dynfo_automata.Segtree.get tree p = None then
+            Dynfo_automata.Segtree.set tree p (Some (char_of r))
+      | Request.Del (r, [| p |]) ->
+          if Dynfo_automata.Segtree.get tree p = Some (char_of r) then
+            Dynfo_automata.Segtree.set tree p None
+      | _ -> invalid_arg "regular-native: bad request");
+      tree)
+    ~query:Dynfo_automata.Segtree.accepts
+
+let workload (d : Dynfo_automata.Dfa.t) rng ~size ~length =
+  let slots = Array.make size None in
+  let reqs = ref [] in
+  let emitted = ref 0 in
+  let attempts = ref 0 in
+  while !emitted < length && !attempts < 60 * length do
+    incr attempts;
+    let p = Random.State.int rng size in
+    match slots.(p) with
+    | None when Random.State.float rng 1.0 < 0.65 ->
+        let idx = Random.State.int rng (List.length d.alphabet) in
+        slots.(p) <- Some idx;
+        reqs := Request.ins (Printf.sprintf "A%d" idx) [ p ] :: !reqs;
+        incr emitted
+    | Some idx when Random.State.float rng 1.0 < 0.5 ->
+        slots.(p) <- None;
+        reqs := Request.del (Printf.sprintf "A%d" idx) [ p ] :: !reqs;
+        incr emitted
+    | _ -> ()
+  done;
+  List.rev !reqs

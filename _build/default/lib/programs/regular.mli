@@ -1,0 +1,46 @@
+(** Theorem 4.6: every regular language is in Dyn-FO.
+
+    Input encoding is the paper's: universe elements are string
+    positions; unary relations [A0..A{t-1}] (one per alphabet character)
+    say which character occupies a position, positions may be empty, and
+    the string is the concatenation of non-empty positions.
+
+    Two implementations:
+
+    - {!native}: the paper's binary tree of transition functions
+      ({!Dynfo_automata.Segtree}) — O(log n) monoid compositions per
+      update.
+    - {!program}: a genuinely first-order dynamic program that maintains
+      one binary auxiliary relation [S_q_q'(i,j)] per state pair:
+      "reading the present characters of positions [i..j] from state [q]
+      ends in state [q']". A change at position [p] only affects
+      intervals containing [p], whose new value splits at [p] into two
+      old subinterval values joined by the changed character — a purely
+      first-order update (the predecessor/successor of [p] is definable
+      from [<=]). This avoids the paper's log-n-bit guessing trick while
+      staying within Dyn-FO; the tree construction is exercised by the
+      native form and the agreement of the two is itself evidence for
+      the theorem.
+
+    Precondition (kept by {!workload}): at most one character per
+    position; a character is inserted only into an empty position. *)
+
+val program : Dynfo_automata.Dfa.t -> Dynfo.Program.t
+(** Relations are named [A<i>] following the order of the DFA's
+    alphabet list. *)
+
+val rel_of_char : Dynfo_automata.Dfa.t -> char -> string
+
+val oracle : Dynfo_automata.Dfa.t -> Dynfo_logic.Structure.t -> bool
+(** Runs the DFA over the extracted string. *)
+
+val static : Dynfo_automata.Dfa.t -> Dynfo.Dyn.t
+
+val native : Dynfo_automata.Dfa.t -> Dynfo.Dyn.t
+
+val workload :
+  Dynfo_automata.Dfa.t ->
+  Random.State.t ->
+  size:int ->
+  length:int ->
+  Dynfo.Request.t list

@@ -1,0 +1,75 @@
+open Dynfo_logic
+open Dynfo
+
+let input_vocab = Vocab.make ~rels:[ ("E", 2) ] ~consts:[ "s"; "t" ]
+let aux_vocab = Vocab.make ~rels:[ ("P", 2) ] ~consts:[]
+
+let init n =
+  let st = Structure.create ~size:n (Vocab.union input_vocab aux_vocab) in
+  let p = ref (Relation.empty ~arity:2) in
+  for x = 0 to n - 1 do
+    p := Relation.add !p [| x; x |]
+  done;
+  Structure.with_rel st "P" !p
+
+let reach_program =
+  Program.make ~name:"semi_reach-fo" ~input_vocab ~aux_vocab ~init
+    ~on_ins:
+      [
+        ( "E",
+          Program.update ~params:[ "a"; "b" ]
+            [ Program.rule_s "P" [ "x"; "y" ] "P(x, y) | (P(x, a) & P(b, y))" ]
+        );
+      ]
+    ~query:(Parser.parse "P(s, t)") ()
+
+let oracle st =
+  let g = Dynfo_graph.Graph.of_structure st "E" in
+  Dynfo_graph.Closure.path g (Structure.const st "s") (Structure.const st "t")
+
+let static =
+  Dyn.static ~name:"semi_reach-static" ~input_vocab ~symmetric_rels:[]
+    ~oracle
+
+type nat = {
+  n : int;
+  p : bool array array;
+  mutable s : int;
+  mutable t : int;
+}
+
+let native =
+  Dyn.of_fun ~name:"semi_reach-native"
+    ~create:(fun n ->
+      { n; p = Array.init n (fun i -> Array.init n (fun j -> i = j)); s = 0; t = 0 })
+    ~apply:(fun st req ->
+      (match req with
+      | Request.Ins ("E", [| a; b |]) ->
+          if not st.p.(a).(b) then begin
+            (* connect everything reaching a to everything b reaches *)
+            let old = Array.map Array.copy st.p in
+            for x = 0 to st.n - 1 do
+              if old.(x).(a) then
+                for y = 0 to st.n - 1 do
+                  if old.(b).(y) then st.p.(x).(y) <- true
+                done
+            done
+          end
+      | Request.Set ("s", v) -> st.s <- v
+      | Request.Set ("t", v) -> st.t <- v
+      | Request.Del _ ->
+          invalid_arg "semi_reach-native: deletions are not supported"
+      | _ -> invalid_arg "semi_reach-native: bad request");
+      st)
+    ~query:(fun st -> st.p.(st.s).(st.t))
+
+let workload rng ~size ~length =
+  List.init length (fun _ ->
+      if Random.State.float rng 1.0 < 0.15 then
+        Request.Set
+          ( (if Random.State.bool rng then "s" else "t"),
+            Random.State.int rng size )
+      else
+        let a = Random.State.int rng size in
+        let b = Random.State.int rng size in
+        Request.ins "E" [ a; b ])

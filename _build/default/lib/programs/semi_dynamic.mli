@@ -1,0 +1,32 @@
+(** The semi-dynamic class Dyn_s-FO (Section 3.1: "if no deletes are
+    allowed then we get the class Dyn_s-C, the semi-dynamic version of
+    C").
+
+    Without deletions the landscape changes drastically: full directed
+    reachability REACH — conjectured but unproven to be in Dyn-FO
+    (Conclusion, question 2) — is easily in Dyn_s-FO, because Theorem
+    4.2's {e insert} rule [P'(x,y) = P(x,y) | (P(x,a) & P(b,y))] is
+    correct on arbitrary directed graphs; acyclicity is only needed to
+    repair deletions. This module makes that observation executable.
+
+    The program has no delete update; the semi-dynamic promise is that
+    the request stream contains none ({!workload} honours it, and the
+    tests both verify correctness on insert-only streams and demonstrate
+    that a deletion genuinely breaks the maintained relation — i.e. the
+    restriction is essential, not cosmetic). *)
+
+val reach_program : Dynfo.Program.t
+(** Insert-only directed reachability on arbitrary graphs (cycles
+    welcome). Query: [P(s,t)], reflexive paths included. *)
+
+val oracle : Dynfo_logic.Structure.t -> bool
+
+val static : Dynfo.Dyn.t
+
+val native : Dynfo.Dyn.t
+(** Incremental transitive-closure matrix (O(n^2) per insert) — the
+    classic Italiano-style semi-dynamic structure. *)
+
+val workload :
+  Random.State.t -> size:int -> length:int -> Dynfo.Request.t list
+(** Inserts and [set]s only. *)

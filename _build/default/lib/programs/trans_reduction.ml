@@ -1,0 +1,96 @@
+open Dynfo_logic
+open Dynfo
+
+let input_vocab = Vocab.make ~rels:[ ("E", 2) ] ~consts:[ "s"; "t" ]
+let aux_vocab = Vocab.make ~rels:[ ("P", 2); ("TR", 2) ] ~consts:[]
+
+let init n =
+  let st = Structure.create ~size:n (Vocab.union input_vocab aux_vocab) in
+  let p = ref (Relation.empty ~arity:2) in
+  for x = 0 to n - 1 do
+    p := Relation.add !p [| x; x |]
+  done;
+  Structure.with_rel st "P" !p
+
+let p_insert = Parser.parse "P(x, y) | (P(x, a) & P(b, y))"
+
+let p_delete =
+  Parser.parse
+    "P(x, y) & (~P(x, a) | ~P(b, y) | ex u v (P(x, u) & P(u, a) & E(u, v) & \
+     ~P(v, a) & P(v, y) & (v != b | u != a)))"
+
+let insert_update =
+  Program.update ~params:[ "a"; "b" ]
+    [
+      Program.rule "P" [ "x"; "y" ] p_insert;
+      Program.rule_s "TR" [ "x"; "y" ]
+        "(E(a, b) & TR(x, y)) | (~E(a, b) & ((~P(a, b) & x = a & y = b) | \
+         (TR(x, y) & ~(P(x, a) & P(b, y)))))";
+    ]
+
+let delete_update =
+  Program.update ~params:[ "a"; "b" ]
+    ~temps:
+      [
+        (* New(x,y): previously redundant edge whose every alternative
+           route died with (a,b) *)
+        Program.rule_s "New" [ "x"; "y" ]
+          "E(x, y) & ~(x = a & y = b) & ~TR(x, y) & P(x, a) & P(b, y) & all \
+           u v (~(P(x, u) & P(u, a) & E(u, v) & ~P(v, a) & P(v, y) & (v != \
+           b | u != a) & (u != x | v != y)))";
+      ]
+    [
+      Program.rule "P" [ "x"; "y" ] p_delete;
+      Program.rule_s "TR" [ "x"; "y" ]
+        "(TR(x, y) & ~(x = a & y = b)) | New(x, y)";
+    ]
+
+let program =
+  Program.make ~name:"trans_reduction-fo" ~input_vocab ~aux_vocab ~init
+    ~on_ins:[ ("E", insert_update) ]
+    ~on_del:[ ("E", delete_update) ]
+    ~query:(Parser.parse "TR(s, t)") ()
+
+let oracle st =
+  let g = Dynfo_graph.Graph.of_structure st "E" in
+  let tr = Dynfo_graph.Closure.transitive_reduction g in
+  Dynfo_graph.Graph.has_edge tr (Structure.const st "s")
+    (Structure.const st "t")
+
+let static =
+  Dyn.static ~name:"trans_reduction-static" ~input_vocab ~symmetric_rels:[]
+    ~oracle
+
+let tr_invariant state =
+  let st = Runner.structure state in
+  let g = Dynfo_graph.Graph.of_structure st "E" in
+  let expected = Dynfo_graph.Closure.transitive_reduction g in
+  let actual = Structure.rel st "TR" in
+  let expected_rel =
+    List.fold_left
+      (fun acc (u, v) -> Relation.add acc [| u; v |])
+      (Relation.empty ~arity:2)
+      (Dynfo_graph.Graph.edges expected)
+  in
+  if not (Relation.equal actual expected_rel) then
+    Error
+      (Printf.sprintf "TR mismatch: %d expected, %d actual"
+         (Relation.cardinal expected_rel)
+         (Relation.cardinal actual))
+  else
+    let n = Structure.size st in
+    let p = Structure.rel st "P" in
+    let bad = ref None in
+    for x = 0 to n - 1 do
+      for y = 0 to n - 1 do
+        if
+          Relation.mem p [| x; y |] <> Dynfo_graph.Closure.path g x y
+          && !bad = None
+        then bad := Some (x, y)
+      done
+    done;
+    match !bad with
+    | None -> Result.Ok ()
+    | Some (x, y) -> Error (Printf.sprintf "P(%d,%d) wrong" x y)
+
+let workload = Reach_acyclic.workload

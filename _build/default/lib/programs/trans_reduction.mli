@@ -1,0 +1,32 @@
+(** Corollary 4.3: transitive reduction of DAGs is in (memoryless)
+    Dyn-FO.
+
+    Maintains the path relation [P] (as Theorem 4.2) and the transitive
+    reduction [TR]. Two adjustments to the paper's displayed formulas,
+    both required to make them correct as written and consistent with the
+    paper's prose:
+
+    - the insert rule is guarded by [~E(a,b)]: re-inserting an already
+      present reduction edge [(a,b)] must be a no-op, but the unguarded
+      formula [TR(x,y) & ~(P(x,a) & P(b,y))] would drop [(a,b)] itself
+      (take [x=a, y=b]: [P(a,a) & P(b,b)] always holds);
+    - the delete rule's universally quantified witness excludes
+      [(u,v) = (x,y)]: the edge whose reduction status is being decided
+      is not an {e alternative} path for itself.
+
+    The query is [TR(s,t)]; tests additionally compare the whole [TR]
+    relation against the static reduction. *)
+
+val program : Dynfo.Program.t
+
+val oracle : Dynfo_logic.Structure.t -> bool
+(** Is [(s,t)] an edge of the static transitive reduction? *)
+
+val static : Dynfo.Dyn.t
+
+val tr_invariant : Dynfo.Runner.state -> (unit, string) result
+(** Whitebox: [TR] equals [Closure.transitive_reduction] of [E], and [P]
+    equals the reflexive closure of reachability. *)
+
+val workload :
+  Random.State.t -> size:int -> length:int -> Dynfo.Request.t list

@@ -1,0 +1,68 @@
+open Dynfo_logic
+open Dynfo
+
+let program =
+  let m = Matching_prog.program in
+  Program.make ~name:"vertex_cover-fo" ~input_vocab:m.input_vocab
+    ~aux_vocab:m.aux_vocab ~init:m.init ~on_ins:m.on_ins ~on_del:m.on_del
+    ~queries:
+      (("in_cover", [ "x" ], Parser.parse "ex z (Match(x, z))")
+      :: m.queries)
+    ~query:(Parser.parse "ex x z (Match(x, z))")
+    ()
+
+let cover_of state =
+  let st = Runner.structure state in
+  let n = Structure.size st in
+  List.filter
+    (fun x -> Runner.query_named state "in_cover" [ x ])
+    (List.init n Fun.id)
+
+let minimum_cover_size g =
+  let n = Dynfo_graph.Graph.n_vertices g in
+  let edges = Dynfo_graph.Graph.uedges g in
+  if edges = [] then 0
+  else begin
+    let best = ref n in
+    (* enumerate vertex subsets as bitmasks *)
+    for mask = 0 to (1 lsl n) - 1 do
+      let covers =
+        List.for_all
+          (fun (u, v) -> (mask lsr u) land 1 = 1 || (mask lsr v) land 1 = 1)
+          edges
+      in
+      if covers then begin
+        let size = ref 0 in
+        for b = 0 to n - 1 do
+          if (mask lsr b) land 1 = 1 then incr size
+        done;
+        if !size < !best then best := !size
+      end
+    done;
+    !best
+  end
+
+let check_cover state =
+  let st = Runner.structure state in
+  let g =
+    Dynfo_graph.Graph.of_structure
+      (Structure.with_rel st "E"
+         (Relation.symmetric_closure (Structure.rel st "E")))
+      "E"
+  in
+  let cover = cover_of state in
+  let covered =
+    List.for_all
+      (fun (u, v) -> List.mem u cover || List.mem v cover)
+      (Dynfo_graph.Graph.uedges g)
+  in
+  if not covered then Error "not a vertex cover"
+  else
+    let opt = minimum_cover_size g in
+    if List.length cover > 2 * opt then
+      Error
+        (Printf.sprintf "cover size %d exceeds 2 * OPT = %d"
+           (List.length cover) (2 * opt))
+    else Result.Ok ()
+
+let workload = Matching_prog.workload

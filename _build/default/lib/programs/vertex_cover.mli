@@ -1,0 +1,31 @@
+(** Dynamic 2-approximate vertex cover — the approximation angle the
+    paper cites ("in [P94] it is shown that some NP-complete problems
+    admit Dyn-FO approximation algorithms").
+
+    The classic connection: the endpoints of any maximal matching form a
+    vertex cover of size at most twice the minimum. Theorem 4.5(3)
+    maintains a maximal matching in Dyn-FO, so the cover
+    [InCover(x) = ex z Match(x,z)] is first-order over the maintained
+    state — a Dyn-FO 2-approximation of an NP-hard optimisation problem.
+
+    This module wraps the matching program with the cover query and a
+    checker used by the tests: the cover is always valid (touches every
+    edge) and within factor 2 of a brute-force minimum cover. *)
+
+val program : Dynfo.Program.t
+(** The matching program extended with the named query
+    ["in_cover", [x]]; the boolean query is "the cover is nonempty". *)
+
+val cover_of : Dynfo.Runner.state -> int list
+(** Vertices of the maintained cover. *)
+
+val check_cover : Dynfo.Runner.state -> (unit, string) result
+(** Valid cover, and size <= 2 * minimum (computed by brute force —
+    intended for the small universes of the tests). *)
+
+val minimum_cover_size : Dynfo_graph.Graph.t -> int
+(** Exhaustive minimum vertex cover size (exponential; test sizes
+    only). *)
+
+val workload :
+  Random.State.t -> size:int -> length:int -> Dynfo.Request.t list

@@ -1,0 +1,1 @@
+lib/reductions/color_reach.ml: Array Dynfo_graph List Random

@@ -1,0 +1,1 @@
+lib/reductions/color_reach.mli: Dynfo_graph Random

@@ -1,0 +1,1 @@
+lib/reductions/expansion.ml: Dynfo Dynfo_logic Interpretation List Relation Structure Vocab

@@ -1,0 +1,1 @@
+lib/reductions/expansion.mli: Dynfo Dynfo_logic Interpretation Structure

@@ -1,0 +1,1 @@
+lib/reductions/interpretation.ml: Array Dynfo_logic Eval Formula List Printf Relation Structure Tuple Vocab

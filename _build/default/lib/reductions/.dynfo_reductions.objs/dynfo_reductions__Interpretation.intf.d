@@ -1,0 +1,1 @@
+lib/reductions/interpretation.mli: Dynfo_logic Formula Structure Vocab

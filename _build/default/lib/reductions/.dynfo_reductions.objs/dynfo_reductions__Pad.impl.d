@@ -1,0 +1,1 @@
+lib/reductions/pad.ml: Array Dynfo_logic List Relation Structure Vocab

@@ -1,0 +1,1 @@
+lib/reductions/pad.mli: Dynfo_logic Structure Vocab

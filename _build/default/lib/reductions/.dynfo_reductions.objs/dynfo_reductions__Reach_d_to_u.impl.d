@@ -1,0 +1,1 @@
+lib/reductions/reach_d_to_u.ml: Dynfo Dynfo_graph Dynfo_logic Formula Interpretation Parser Printf Structure Vocab

@@ -1,0 +1,1 @@
+lib/reductions/reach_d_to_u.mli: Dynfo Dynfo_logic Interpretation Random

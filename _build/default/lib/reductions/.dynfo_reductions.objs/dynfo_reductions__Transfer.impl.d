@@ -1,0 +1,1 @@
+lib/reductions/transfer.ml: Dynfo Dynfo_logic Dynfo_programs Expansion Interpretation List Reach_d_to_u Relation Structure Vocab

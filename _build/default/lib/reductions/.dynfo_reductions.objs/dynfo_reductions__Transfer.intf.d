@@ -1,0 +1,1 @@
+lib/reductions/transfer.mli: Dynfo Interpretation

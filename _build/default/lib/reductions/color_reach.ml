@@ -1,0 +1,68 @@
+type t = {
+  n : int;
+  edge0 : int option array;
+  edge1 : int option array;
+  cls : int array;
+  n_classes : int;
+}
+
+let make ~edge0 ~edge1 ~cls ~n_classes =
+  let n = Array.length cls in
+  if Array.length edge0 <> n || Array.length edge1 <> n then
+    invalid_arg "Color_reach.make: array length mismatch";
+  Array.iter
+    (fun c ->
+      if c < 0 || c >= n_classes then
+        invalid_arg "Color_reach.make: class out of range")
+    cls;
+  let check = function
+    | Some v when v < 0 || v >= n -> invalid_arg "Color_reach.make: bad edge"
+    | _ -> ()
+  in
+  Array.iter check edge0;
+  Array.iter check edge1;
+  { n; edge0; edge1; cls; n_classes }
+
+let usable t ~colors =
+  let g = Dynfo_graph.Graph.create t.n in
+  for v = 0 to t.n - 1 do
+    let use0, use1 =
+      if t.cls.(v) = 0 then (true, true)
+      else if colors.(t.cls.(v)) then (false, true)
+      else (true, false)
+    in
+    (if use0 then
+       match t.edge0.(v) with
+       | Some w -> Dynfo_graph.Graph.add_edge g v w
+       | None -> ());
+    if use1 then
+      match t.edge1.(v) with
+      | Some w -> Dynfo_graph.Graph.add_edge g v w
+      | None -> ()
+  done;
+  g
+
+let reach t ~colors ~s ~target =
+  Dynfo_graph.Traversal.reaches (usable t ~colors) s target
+
+let deterministic t = Array.for_all (fun c -> c <> 0) t.cls
+
+let flip_expansion t ~colors i =
+  let colors' = Array.copy colors in
+  colors'.(i) <- not colors.(i);
+  let g = usable t ~colors and g' = usable t ~colors:colors' in
+  let e = Dynfo_graph.Graph.edges g and e' = Dynfo_graph.Graph.edges g' in
+  let removed = List.filter (fun x -> not (List.mem x e')) e in
+  let added = List.filter (fun x -> not (List.mem x e)) e' in
+  List.length removed + List.length added
+
+let random rng ~n ~n_classes =
+  let opt_edge () =
+    if Random.State.float rng 1.0 < 0.8 then Some (Random.State.int rng n)
+    else None
+  in
+  make
+    ~edge0:(Array.init n (fun _ -> opt_edge ()))
+    ~edge1:(Array.init n (fun _ -> opt_edge ()))
+    ~cls:(Array.init n (fun _ -> Random.State.int rng n_classes))
+    ~n_classes

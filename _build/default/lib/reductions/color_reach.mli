@@ -1,0 +1,45 @@
+(** COLOR-REACH and COLOR-REACH_d ([MSV94], Fact 5.11 / Corollary 5.12):
+    the "colorized" reachability problems that stay complete for NL and
+    L under bounded-expansion reductions.
+
+    An instance is a directed graph of out-degree at most two with the
+    out-edges of each vertex labelled 0 and 1, a partition of the
+    vertices into classes [V_0, V_1, ..., V_r], and a colour bit per
+    class. A vertex of class 0 may use either out-edge; a vertex of class
+    [i >= 1] may only use the edge labelled [C[i]]. Setting one colour
+    bit rewires the usable out-edges of a whole class at once — that is
+    what makes the standard Turing-machine reduction bounded-expansion.
+
+    For COLOR-REACH_d the free class [V_0] is empty, so the usable graph
+    is functional and the problem is L-complete. *)
+
+type t = {
+  n : int;
+  edge0 : int option array;  (** out-edge labelled 0, per vertex *)
+  edge1 : int option array;
+  cls : int array;  (** class of each vertex; 0 = free *)
+  n_classes : int;
+}
+
+val make :
+  edge0:int option array ->
+  edge1:int option array ->
+  cls:int array ->
+  n_classes:int ->
+  t
+
+val usable : t -> colors:bool array -> Dynfo_graph.Graph.t
+(** The sub-graph of usable edges under the given colour vector
+    ([colors.(i)] is the bit of class [i]; index 0 is ignored). *)
+
+val reach : t -> colors:bool array -> s:int -> target:int -> bool
+
+val deterministic : t -> bool
+(** No vertex lies in class 0 (the COLOR-REACH_d promise). *)
+
+val flip_expansion : t -> colors:bool array -> int -> int
+(** Number of usable-graph edges that change when colour bit [i] flips —
+    at most [2 |V_i|], demonstrating the single-bit/many-edges coupling
+    that padding-style encodings exploit. *)
+
+val random : Random.State.t -> n:int -> n_classes:int -> t

@@ -1,0 +1,49 @@
+open Dynfo_logic
+
+let apply_request st = function
+  | Dynfo.Request.Ins (r, tup) -> Structure.add_tuple st r tup
+  | Dynfo.Request.Del (r, tup) -> Structure.del_tuple st r tup
+  | Dynfo.Request.Set (c, a) -> Structure.with_const st c a
+
+let diff_requests (i : Interpretation.t) before after =
+  let ib = Interpretation.apply i before
+  and ia = Interpretation.apply i after in
+  let reqs = ref [] in
+  List.iter
+    (fun (sym : Vocab.sym) ->
+      let rb = Structure.rel ib sym.name and ra = Structure.rel ia sym.name in
+      Relation.iter
+        (fun t -> reqs := Dynfo.Request.Del (sym.name, t) :: !reqs)
+        (Relation.diff rb ra);
+      Relation.iter
+        (fun t -> reqs := Dynfo.Request.Ins (sym.name, t) :: !reqs)
+        (Relation.diff ra rb))
+    (Vocab.relations i.dst_vocab);
+  List.iter
+    (fun c ->
+      let vb = Structure.const ib c and va = Structure.const ia c in
+      if vb <> va then reqs := Dynfo.Request.Set (c, va) :: !reqs)
+    (Vocab.constants i.dst_vocab);
+  List.rev !reqs
+
+let expansion_of_request i st req =
+  List.length (diff_requests i st (apply_request st req))
+
+let max_expansion i st reqs =
+  let _, best =
+    List.fold_left
+      (fun (st, best) req ->
+        let st' = apply_request st req in
+        (st', max best (List.length (diff_requests i st st'))))
+      (st, 0) reqs
+  in
+  best
+
+let initial_tuples (i : Interpretation.t) n =
+  let a0 = Structure.create ~size:n i.src_vocab in
+  let out = Interpretation.apply i a0 in
+  List.fold_left
+    (fun acc (sym : Vocab.sym) ->
+      acc + Relation.cardinal (Structure.rel out sym.name))
+    0
+    (Vocab.relations i.dst_vocab)

@@ -1,0 +1,38 @@
+(** Measuring the expansion of a reduction (Definition 5.1).
+
+    A bounded-expansion reduction changes at most a constant number of
+    output tuples and constants per input request. The bound is a
+    semantic property; these helpers measure it empirically so that
+    tests can certify the bound for concrete reductions (the paper's
+    claim that [I_{d-u}] has expansion <= 2) and benchmarks can plot the
+    measured expansion against [n]. *)
+
+open Dynfo_logic
+
+val apply_request :
+  Structure.t -> Dynfo.Request.t -> Structure.t
+(** Apply one request directly to an input structure (no dynamic
+    program involved). *)
+
+val diff_requests :
+  Interpretation.t -> Structure.t -> Structure.t -> Dynfo.Request.t list
+(** The requests transforming [I(before)] into [I(after)]: deletions of
+    vanished tuples, insertions of new ones, and [set]s for constants
+    that moved. *)
+
+val expansion_of_request :
+  Interpretation.t -> Structure.t -> Dynfo.Request.t -> int
+(** Number of output changes caused by one input request (the request is
+    applied directly to the input structure). *)
+
+val max_expansion :
+  Interpretation.t ->
+  Structure.t ->
+  Dynfo.Request.t list ->
+  int
+(** Maximum single-request expansion along a request sequence starting
+    from the given structure. *)
+
+val initial_tuples : Interpretation.t -> int -> int
+(** Total tuples in [I(A_0^n)] where [A_0^n] is the all-empty structure —
+    a bfo reduction (without precomputation) must keep this bounded. *)

@@ -1,0 +1,113 @@
+open Dynfo_logic
+
+type t = {
+  k : int;
+  src_vocab : Vocab.t;
+  dst_vocab : Vocab.t;
+  rel_defs : (string * string list * Formula.t) list;
+  const_defs : (string * string list) list;
+}
+
+let make ~k ~src_vocab ~dst_vocab ~rel_defs ~const_defs =
+  if k < 1 then invalid_arg "Interpretation.make: k must be >= 1";
+  List.iter
+    (fun (name, vars, _) ->
+      let a =
+        try Vocab.arity_of dst_vocab name
+        with Not_found ->
+          invalid_arg
+            (Printf.sprintf "Interpretation.make: unknown target relation %S"
+               name)
+      in
+      if List.length vars <> k * a then
+        invalid_arg
+          (Printf.sprintf
+             "Interpretation.make: %S needs %d variables, got %d" name (k * a)
+             (List.length vars)))
+    rel_defs;
+  List.iter
+    (fun (name, srcs) ->
+      if not (Vocab.mem_const dst_vocab name) then
+        invalid_arg
+          (Printf.sprintf "Interpretation.make: unknown target constant %S"
+             name);
+      if List.length srcs <> k then
+        invalid_arg
+          (Printf.sprintf "Interpretation.make: constant %S needs %d sources"
+             name k))
+    const_defs;
+  { k; src_vocab; dst_vocab; rel_defs; const_defs }
+
+let apply i a =
+  let n = Structure.size a in
+  let big =
+    let rec pow acc j = if j = 0 then acc else pow (acc * n) (j - 1) in
+    pow 1 i.k
+  in
+  let out = ref (Structure.create ~size:big i.dst_vocab) in
+  List.iter
+    (fun (name, vars, body) ->
+      let arity = Vocab.arity_of i.dst_vocab name in
+      let tuples = Eval.define a ~vars body in
+      let r = ref (Relation.empty ~arity) in
+      Relation.iter
+        (fun src_tup ->
+          let dst_tup =
+            Array.init arity (fun j ->
+                Tuple.encode ~size:n (Array.sub src_tup (j * i.k) i.k))
+          in
+          r := Relation.add !r dst_tup)
+        tuples;
+      out := Structure.with_rel !out name !r)
+    i.rel_defs;
+  List.iter
+    (fun (name, srcs) ->
+      let code =
+        Tuple.encode ~size:n
+          (Array.of_list (List.map (Structure.const a) srcs))
+      in
+      out := Structure.with_const !out name code)
+    i.const_defs;
+  !out
+
+let compose i2 i1 =
+  if i2.k <> 1 || i1.k <> 1 then
+    invalid_arg "Interpretation.compose: only unary interpretations";
+  let mapping =
+    List.map (fun (name, vars, body) -> (name, (vars, body))) i1.rel_defs
+  in
+  (* constants of i1 rewire constant symbols used inside i2's formulas *)
+  let const_subst =
+    List.filter_map
+      (fun (name, srcs) ->
+        match srcs with
+        | [ src ] when src <> name -> Some (name, Formula.Var src)
+        | _ -> None)
+      i1.const_defs
+  in
+  let rel_defs =
+    List.map
+      (fun (name, vars, body) ->
+        ( name,
+          vars,
+          Formula.subst const_subst (Formula.substitute_rel mapping body) ))
+      i2.rel_defs
+  in
+  let const_defs =
+    List.map
+      (fun (name, srcs) ->
+        match srcs with
+        | [ c2 ] -> (
+            match List.assoc_opt c2 i1.const_defs with
+            | Some s1 -> (name, s1)
+            | None -> (name, srcs))
+        | _ -> (name, srcs))
+      i2.const_defs
+  in
+  {
+    k = 1;
+    src_vocab = i1.src_vocab;
+    dst_vocab = i2.dst_vocab;
+    rel_defs;
+    const_defs;
+  }

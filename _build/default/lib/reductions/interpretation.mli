@@ -1,0 +1,41 @@
+(** k-ary first-order reductions (Definition 2.2).
+
+    An interpretation [I] maps structures of the source vocabulary to
+    structures of the target vocabulary with universe [n^k]: each target
+    relation of arity [a] is defined by a source formula over [k*a]
+    variables, and each target constant by a k-tuple of source constant
+    symbols, both decoded through the pairing function
+    [<u1,...,uk> = u_k + u_{k-1} n + ... + u_1 n^{k-1}]
+    ({!Dynfo_logic.Tuple.encode}). *)
+
+open Dynfo_logic
+
+type t = {
+  k : int;
+  src_vocab : Vocab.t;
+  dst_vocab : Vocab.t;
+  rel_defs : (string * string list * Formula.t) list;
+      (** target relation, its [k*a] variables, defining formula *)
+  const_defs : (string * string list) list;
+      (** target constant, the k source constant symbols giving its code *)
+}
+
+val make :
+  k:int ->
+  src_vocab:Vocab.t ->
+  dst_vocab:Vocab.t ->
+  rel_defs:(string * string list * Formula.t) list ->
+  const_defs:(string * string list) list ->
+  t
+(** Validates arities: each target relation of arity [a] needs [k*a]
+    variables; each constant needs [k] source constants. *)
+
+val apply : t -> Structure.t -> Structure.t
+(** [apply i a] is [I(A)]: evaluates every defining formula over [A].
+    The result has universe size [n^k]. *)
+
+val compose : t -> t -> t
+(** [compose i2 i1] is [I2 o I1] (first [i1], then [i2]); implemented by
+    formula substitution. Only unary ([k = 1]) interpretations are
+    supported — enough for Proposition 5.2's transitivity checks; raises
+    [Invalid_argument] otherwise. *)

@@ -1,0 +1,58 @@
+open Dynfo_logic
+
+let pad_vocab v =
+  Vocab.make
+    ~rels:
+      (List.map
+         (fun (s : Vocab.sym) -> (s.name, s.arity + 1))
+         (Vocab.relations v))
+    ~consts:(Vocab.constants v)
+
+let pad st =
+  let n = Structure.size st in
+  let v = Structure.vocab st in
+  let out = ref (Structure.create ~size:n (pad_vocab v)) in
+  List.iter
+    (fun (sym : Vocab.sym) ->
+      let r = ref (Relation.empty ~arity:(sym.arity + 1)) in
+      Relation.iter
+        (fun t ->
+          for c = 0 to n - 1 do
+            r := Relation.add !r (Array.append [| c |] t)
+          done)
+        (Structure.rel st sym.name);
+      out := Structure.with_rel !out sym.name !r)
+    (Vocab.relations v);
+  List.iter
+    (fun c -> out := Structure.with_const !out c (Structure.const st c))
+    (Vocab.constants v);
+  !out
+
+let copy st idx base_vocab =
+  let n = Structure.size st in
+  let out = ref (Structure.create ~size:n base_vocab) in
+  List.iter
+    (fun (sym : Vocab.sym) ->
+      let r = ref (Relation.empty ~arity:sym.arity) in
+      Relation.iter
+        (fun t ->
+          if t.(0) = idx then
+            r := Relation.add !r (Array.sub t 1 (Array.length t - 1)))
+        (Structure.rel st sym.name);
+      out := Structure.with_rel !out sym.name !r)
+    (Vocab.relations base_vocab);
+  List.iter
+    (fun c -> out := Structure.with_const !out c (Structure.const st c))
+    (Vocab.constants base_vocab);
+  !out
+
+let well_padded st base_vocab =
+  let n = Structure.size st in
+  let first = copy st 0 base_vocab in
+  let rec go c =
+    c >= n || (Structure.equal (copy st c base_vocab) first && go (c + 1))
+  in
+  go 1
+
+let member ~oracle base_vocab st =
+  well_padded st base_vocab && oracle (copy st 0 base_vocab)

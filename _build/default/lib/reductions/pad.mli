@@ -1,0 +1,27 @@
+(** The padding construction of Definition 5.13:
+    [PAD(S) = { w_1 ... w_n : w_1 = ... = w_n, w_1 in S }].
+
+    At the structure level we pad by prefixing every relation with a copy
+    index, so an input structure of vocabulary [tau] becomes one where
+    each [R^a] turns into [R^{a+1}]. A single change to the underlying
+    structure costs [n] changes to the padded one — the slack Theorem
+    5.14 exploits. *)
+
+open Dynfo_logic
+
+val pad_vocab : Vocab.t -> Vocab.t
+(** Every relation's arity grows by one (the copy index); constants are
+    unchanged. *)
+
+val pad : Structure.t -> Structure.t
+(** [n] identical copies of each relation, indexed 0..n-1. *)
+
+val copy : Structure.t -> int -> Vocab.t -> Structure.t
+(** Extract one copy back into the original vocabulary. *)
+
+val well_padded : Structure.t -> Vocab.t -> bool
+(** All copies equal. *)
+
+val member :
+  oracle:(Structure.t -> bool) -> Vocab.t -> Structure.t -> bool
+(** Membership in [PAD(S)] given a decision procedure for [S]. *)

@@ -1,0 +1,36 @@
+open Dynfo_logic
+
+let graph_vocab = Vocab.make ~rels:[ ("E", 2) ] ~consts:[ "s"; "t" ]
+
+let phi_d_u =
+  let alpha x y =
+    Parser.parse
+      (Printf.sprintf "E(%s, %s) & %s != t & all z (E(%s, z) -> z = %s)" x y x
+         x y)
+  in
+  Formula.Or (alpha "x" "y", alpha "y" "x")
+
+let interpretation =
+  Interpretation.make ~k:1 ~src_vocab:graph_vocab ~dst_vocab:graph_vocab
+    ~rel_defs:[ ("E", [ "x"; "y" ], phi_d_u) ]
+    ~const_defs:[ ("s", [ "s" ]); ("t", [ "t" ]) ]
+
+let oracle st =
+  let g = Dynfo_graph.Graph.of_structure st "E" in
+  Dynfo_graph.Traversal.deterministic_reaches g (Structure.const st "s")
+    (Structure.const st "t")
+
+let correct_on st =
+  let image = Interpretation.apply interpretation st in
+  let g' = Dynfo_graph.Graph.of_structure image "E" in
+  let u_reach =
+    Dynfo_graph.Traversal.reaches g'
+      (Structure.const image "s")
+      (Structure.const image "t")
+  in
+  oracle st = u_reach
+
+let workload rng ~size ~length =
+  Dynfo.Workload.generate rng ~size ~length
+    (Dynfo.Workload.spec ~consts:[ "s"; "t" ] ~p_ins:0.45 ~p_del:0.35
+       [ ("E", 2) ])

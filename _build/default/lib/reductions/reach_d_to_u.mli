@@ -1,0 +1,23 @@
+(** Example 2.1: the bounded-expansion first-order reduction
+    [I_{d-u}] from deterministic reachability (REACH_d) to undirected
+    reachability (REACH_u), and the paper's exact formula
+
+    [alpha(x,y) = E(x,y) & x != t & all z (E(x,z) -> z = y)]
+    [phi_{d-u}(x,y) = alpha(x,y) | alpha(y,x)]. *)
+
+val graph_vocab : Dynfo_logic.Vocab.t
+(** [<E^2, s, t>] — source and target vocabulary of the reduction. *)
+
+val interpretation : Interpretation.t
+
+val oracle : Dynfo_logic.Structure.t -> bool
+(** REACH_d on the input: the unique-out-edge path from [s] reaches
+    [t]. *)
+
+val correct_on : Dynfo_logic.Structure.t -> bool
+(** Does [A in REACH_d <-> I(A) in REACH_u] hold on this structure? Used
+    by the property tests that certify the reduction. *)
+
+val workload :
+  Random.State.t -> size:int -> length:int -> Dynfo.Request.t list
+(** Directed-graph churn plus [set s]/[set t]. *)

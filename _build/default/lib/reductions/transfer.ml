@@ -1,0 +1,43 @@
+open Dynfo_logic
+
+type state = { source : Structure.t; inner : Dynfo.Runner.state }
+
+let dynamic ~name (i : Interpretation.t) (target : Dynfo.Program.t) =
+  let create n =
+    let source = Structure.create ~size:n i.src_vocab in
+    let big =
+      let rec pow acc j = if j = 0 then acc else pow (acc * n) (j - 1) in
+      pow 1 i.k
+    in
+    let inner = Dynfo.Runner.init target ~size:big in
+    (* align the inner state with I(empty source) — a bfo reduction keeps
+       this image bounded; under bfo+ this replay is the
+       "precomputation" *)
+    let image0 = Interpretation.apply i source in
+    let reqs =
+      List.concat_map
+        (fun (sym : Vocab.sym) ->
+          Relation.fold
+            (fun t acc -> Dynfo.Request.Ins (sym.name, t) :: acc)
+            (Structure.rel image0 sym.name)
+            [])
+        (Vocab.relations i.dst_vocab)
+      @ List.filter_map
+          (fun c ->
+            let v = Structure.const image0 c in
+            if v <> 0 then Some (Dynfo.Request.Set (c, v)) else None)
+          (Vocab.constants i.dst_vocab)
+    in
+    { source; inner = Dynfo.Runner.run inner reqs }
+  in
+  let apply st req =
+    let source' = Expansion.apply_request st.source req in
+    let delta = Expansion.diff_requests i st.source source' in
+    { source = source'; inner = Dynfo.Runner.run st.inner delta }
+  in
+  let query st = Dynfo.Runner.query st.inner in
+  Dynfo.Dyn.of_fun ~name ~create ~apply ~query
+
+let reach_d =
+  dynamic ~name:"reach_d-via-bfo" Reach_d_to_u.interpretation
+    Dynfo_programs.Reach_u.program

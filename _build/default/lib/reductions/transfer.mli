@@ -1,0 +1,17 @@
+(** Proposition 5.3: if [T in Dyn-FO] and [S <=_bfo T] then
+    [S in Dyn-FO] — executably.
+
+    Given an interpretation [I] from [S] to [T] and a dynamic program for
+    [T], {!dynamic} builds a dynamic implementation of [S]: each request
+    to the source structure is translated into the (boundedly many, if
+    [I] is bounded-expansion) changed tuples of [I(A)] and replayed
+    through [T]'s program; queries are answered by [T]'s query. This is
+    exactly the proof of Proposition 5.3 turned into code — including its
+    reliance on [I] being a many-one reduction. *)
+
+val dynamic :
+  name:string -> Interpretation.t -> Dynfo.Program.t -> Dynfo.Dyn.t
+
+val reach_d : Dynfo.Dyn.t
+(** The instance the paper gives: REACH_d via [I_{d-u}] and the REACH_u
+    program of Theorem 4.1 (proof of Theorem 4.2, first half). *)

@@ -1,0 +1,16 @@
+  $ dynfo_cli list | head -6
+  $ dynfo_cli stats reach_u
+  $ cat > script.txt <<'REQS'
+  > set s 0
+  > set t 3
+  > ins E (0,1)
+  > ins E (1,2)
+  > ins E (2,3)
+  > del E (1,2)
+  > ins E (1,3)
+  > REQS
+  $ dynfo_cli run reach_u -n 6 --script script.txt
+  $ printf 'ins M (2)\nins E (0,1)\nfrobnicate\n' | dynfo_cli run parity -n 4
+  $ dynfo_cli check parity --length 100 --seed 3
+  $ dynfo_cli check reach_u -n 6 --length 60 --seed 1
+  $ dynfo_cli stats no_such_problem 2>&1 | grep -c 'unknown problem'

@@ -1,0 +1,1 @@
+test/test_arith.ml: Alcotest Bitnum Dyn_mult Dynfo_arith List QCheck QCheck_alcotest Random

@@ -1,0 +1,1 @@
+test/test_automata.ml: Alcotest Array Dfa Dfa_ops Dyck Dynfo_automata Format List Monoid Nfa QCheck QCheck_alcotest Random Regex Segtree String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Dyn Dynfo Dynfo_logic Dynfo_programs Format Formula Harness Hashtbl List Parser Program QCheck QCheck_alcotest Random Request Runner Structure Vocab Workload

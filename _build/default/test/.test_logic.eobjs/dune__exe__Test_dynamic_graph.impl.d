@@ -1,0 +1,1 @@
+test/test_dynamic_graph.ml: Alcotest Array Dynfo Dynfo_graph Dynfo_programs Format List QCheck QCheck_alcotest Random Reach_u Result

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Dynfo_logic Equiv Eval Formula Gen Hashtbl List Parser QCheck QCheck_alcotest Random Relation Seq String Structure Sys Transform Tuple Vocab

@@ -1,0 +1,59 @@
+The problem catalogue lists every reproduced result:
+
+  $ dynfo_cli list | head -6
+  NAME             PAPER                  IMPLEMENTATIONS
+  parity           Example 3.2            fo, native, static
+  reach_u          Theorem 4.1            fo, native, static
+  reach_acyclic    Theorem 4.2            fo, native, static
+  trans_reduction  Corollary 4.3          fo, static
+  msf              Theorem 4.4            fo, native, static
+
+Formula statistics of the Theorem 4.1 program:
+
+  $ dynfo_cli stats reach_u
+  reach_u (Theorem 4.1)
+    rules                  8
+    max_quantifier_depth   2
+    max_formula_size       44
+    max_aux_arity          3
+    query                  s = t | PV(s, t, s)
+
+A scripted session — connect, disconnect, reconnect:
+
+  $ cat > script.txt <<'REQS'
+  > set s 0
+  > set t 3
+  > ins E (0,1)
+  > ins E (1,2)
+  > ins E (2,3)
+  > del E (1,2)
+  > ins E (1,3)
+  > REQS
+  $ dynfo_cli run reach_u -n 6 --script script.txt
+  set s 0              query = true
+  set t 3              query = false
+  ins E (0,1)          query = false
+  ins E (1,2)          query = false
+  ins E (2,3)          query = true
+  del E (1,2)          query = false
+  ins E (1,3)          query = true
+
+Malformed or invalid requests are reported without aborting the script:
+
+  $ printf 'ins M (2)\nins E (0,1)\nfrobnicate\n' | dynfo_cli run parity -n 4
+  ins M (2)            query = true
+  ins E (0,1)          error: Runner.step: invalid request ins E (0,1) for program parity-fo
+  frobnicate           error: Request.parse: malformed "frobnicate"
+
+Randomized cross-checking of all implementations of a problem:
+
+  $ dynfo_cli check parity --length 100 --seed 3
+  checking parity at n=16 over 100 requests (seed 3): ok (100 checkpoints, 3 implementations)
+
+  $ dynfo_cli check reach_u -n 6 --length 60 --seed 1
+  checking reach_u at n=6 over 60 requests (seed 1): ok (60 checkpoints, 3 implementations)
+
+Unknown problems produce a helpful error:
+
+  $ dynfo_cli stats no_such_problem 2>&1 | grep -c 'unknown problem'
+  1

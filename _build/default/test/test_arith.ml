@@ -1,0 +1,115 @@
+(* Tests for the bit-arithmetic substrate behind Proposition 4.7. *)
+
+open Dynfo_arith
+
+let check = Alcotest.check
+let tb = Alcotest.bool
+let ti = Alcotest.int
+
+let w = 10
+let modulus = 1 lsl w
+
+let test_of_to_int () =
+  List.iter
+    (fun v -> check ti (string_of_int v) v (Bitnum.to_int (Bitnum.of_int ~width:w v)))
+    [ 0; 1; 5; 511; 1023 ];
+  (* two's complement of negatives *)
+  check ti "-1" (modulus - 1) (Bitnum.to_int (Bitnum.of_int ~width:w (-1)));
+  check ti "-5" (modulus - 5) (Bitnum.to_int (Bitnum.of_int ~width:w (-5)))
+
+let add_qcheck =
+  QCheck.Test.make ~name:"add == machine add mod 2^w" ~count:500
+    QCheck.(pair (int_range 0 1023) (int_range 0 1023))
+    (fun (a, b) ->
+      Bitnum.to_int (Bitnum.add (Bitnum.of_int ~width:w a) (Bitnum.of_int ~width:w b))
+      = (a + b) mod modulus)
+
+let sub_qcheck =
+  QCheck.Test.make ~name:"sub == machine sub mod 2^w" ~count:500
+    QCheck.(pair (int_range 0 1023) (int_range 0 1023))
+    (fun (a, b) ->
+      Bitnum.to_int (Bitnum.sub (Bitnum.of_int ~width:w a) (Bitnum.of_int ~width:w b))
+      = ((a - b) mod modulus + modulus) mod modulus)
+
+let mul_qcheck =
+  QCheck.Test.make ~name:"mul == machine mul mod 2^w" ~count:500
+    QCheck.(pair (int_range 0 1023) (int_range 0 1023))
+    (fun (a, b) ->
+      Bitnum.to_int (Bitnum.mul (Bitnum.of_int ~width:w a) (Bitnum.of_int ~width:w b))
+      = a * b mod modulus)
+
+let shift_qcheck =
+  QCheck.Test.make ~name:"shift_left == *2^i mod 2^w" ~count:500
+    QCheck.(pair (int_range 0 1023) (int_range 0 9))
+    (fun (a, i) ->
+      Bitnum.to_int (Bitnum.shift_left (Bitnum.of_int ~width:w a) i)
+      = a * (1 lsl i) mod modulus)
+
+let test_neg () =
+  check ti "neg 0" 0 (Bitnum.to_int (Bitnum.neg (Bitnum.zero ~width:w)));
+  check ti "neg 1" (modulus - 1)
+    (Bitnum.to_int (Bitnum.neg (Bitnum.of_int ~width:w 1)))
+
+let test_width_mismatch () =
+  Alcotest.check_raises "add" (Invalid_argument "Bitnum.add: width mismatch")
+    (fun () ->
+      ignore (Bitnum.add (Bitnum.zero ~width:4) (Bitnum.zero ~width:5)))
+
+let test_set_persistent () =
+  let x = Bitnum.zero ~width:4 in
+  let y = Bitnum.set x 2 true in
+  check tb "original untouched" false (Bitnum.get x 2);
+  check tb "copy set" true (Bitnum.get y 2)
+
+(* --- Dyn_mult: the native Prop 4.7 algorithm --------------------------- *)
+
+let dyn_mult_qcheck =
+  QCheck.Test.make
+    ~name:"dynamic product tracks x*y mod 2^w under random bit flips"
+    ~count:100
+    QCheck.(int_range 1 10000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let st = ref (Dyn_mult.create ~width:w) in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let i = Random.State.int rng w in
+        let b = Random.State.bool rng in
+        st :=
+          (if Random.State.bool rng then Dyn_mult.set_x !st i b
+           else Dyn_mult.set_y !st i b);
+        let expect =
+          Bitnum.to_int (Dyn_mult.x !st) * Bitnum.to_int (Dyn_mult.y !st)
+          mod modulus
+        in
+        if Bitnum.to_int (Dyn_mult.product !st) <> expect then ok := false
+      done;
+      !ok)
+
+let test_dyn_mult_noop () =
+  let st = Dyn_mult.create ~width:4 in
+  let st = Dyn_mult.set_x st 1 true in
+  let st' = Dyn_mult.set_x st 1 true in
+  check tb "no-op set" true
+    (Bitnum.equal (Dyn_mult.product st) (Dyn_mult.product st'))
+
+let () =
+  Alcotest.run "arith"
+    [
+      ( "bitnum",
+        [
+          Alcotest.test_case "of/to int" `Quick test_of_to_int;
+          Alcotest.test_case "neg" `Quick test_neg;
+          Alcotest.test_case "width mismatch" `Quick test_width_mismatch;
+          Alcotest.test_case "persistent set" `Quick test_set_persistent;
+          QCheck_alcotest.to_alcotest add_qcheck;
+          QCheck_alcotest.to_alcotest sub_qcheck;
+          QCheck_alcotest.to_alcotest mul_qcheck;
+          QCheck_alcotest.to_alcotest shift_qcheck;
+        ] );
+      ( "dyn_mult",
+        [
+          Alcotest.test_case "no-op updates" `Quick test_dyn_mult_noop;
+          QCheck_alcotest.to_alcotest dyn_mult_qcheck;
+        ] );
+    ]

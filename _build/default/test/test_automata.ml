@@ -1,0 +1,335 @@
+(* Tests for the automata substrate behind Theorem 4.6 and Prop 4.8. *)
+
+open Dynfo_automata
+
+let check = Alcotest.check
+let tb = Alcotest.bool
+let ti = Alcotest.int
+
+let rng_of seed = Random.State.make [| seed |]
+
+let random_string rng alphabet len =
+  String.init len (fun _ ->
+      List.nth alphabet (Random.State.int rng (List.length alphabet)))
+
+(* --- DFA ---------------------------------------------------------------- *)
+
+let test_even_zeros () =
+  check tb "empty" true (Dfa.accepts Dfa.even_zeros "");
+  check tb "00" true (Dfa.accepts Dfa.even_zeros "0101");
+  check tb "0" false (Dfa.accepts Dfa.even_zeros "011")
+
+let test_mod_k () =
+  for k = 1 to 5 do
+    for v = 0 to 40 do
+      let rec bin v = if v = 0 then "" else bin (v / 2) ^ string_of_int (v mod 2) in
+      let s = if v = 0 then "0" else bin v in
+      if Dfa.accepts (Dfa.mod_k k) s <> (v mod k = 0) then
+        Alcotest.failf "mod_%d on %d" k v
+    done
+  done
+
+let test_contains () =
+  let d = Dfa.contains "aba" ~alphabet:[ 'a'; 'b' ] in
+  check tb "hit" true (Dfa.accepts d "bbabab");
+  check tb "overlap" true (Dfa.accepts d "ababa");
+  check tb "miss" false (Dfa.accepts d "bbbbaabb");
+  check tb "exact" true (Dfa.accepts d "aba")
+
+let contains_qcheck =
+  QCheck.Test.make ~name:"contains DFA == substring search" ~count:200
+    QCheck.(pair (int_range 1 1000) (int_range 0 14))
+    (fun (seed, len) ->
+      let rng = rng_of seed in
+      let alphabet = [ 'a'; 'b' ] in
+      let patlen = 1 + Random.State.int rng 3 in
+      let pat = random_string rng alphabet patlen in
+      let s = random_string rng alphabet len in
+      let naive =
+        let n = String.length s and m = String.length pat in
+        let rec go i = i + m <= n && (String.sub s i m = pat || go (i + 1)) in
+        go 0
+      in
+      Dfa.accepts (Dfa.contains pat ~alphabet) s = naive)
+
+let test_no_double_one () =
+  check tb "ok" true (Dfa.accepts Dfa.no_double_one "010101");
+  check tb "bad" false (Dfa.accepts Dfa.no_double_one "0110")
+
+(* --- Regex / NFA --------------------------------------------------------- *)
+
+let test_regex_parse () =
+  List.iter
+    (fun (src, s, expected) ->
+      let re = Regex.parse src in
+      check tb (src ^ " on " ^ s) expected
+        (Regex.matches ~alphabet:[ 'a'; 'b'; 'c' ] re s))
+    [
+      ("(ab)*", "abab", true);
+      ("(ab)*", "aba", false);
+      ("a|bc", "bc", true);
+      ("a|bc", "ab", false);
+      ("a+b?", "aaa", true);
+      ("a+b?", "aab", true);
+      ("a+b?", "b", false);
+      (".*c", "abc", true);
+      (".*c", "ab", false);
+      ("", "", true);
+      ("()a", "a", true);
+    ]
+
+let test_regex_parse_errors () =
+  List.iter
+    (fun src ->
+      match Regex.parse src with
+      | exception Regex.Parse_error _ -> ()
+      | _ -> Alcotest.failf "%S should not parse" src)
+    [ "("; "a)"; "*a"; "a|*" ]
+
+let gen_regex =
+  let open QCheck.Gen in
+  let rec go depth =
+    if depth = 0 then
+      oneof [ map (fun c -> Regex.Chr c) (oneofl [ 'a'; 'b' ]);
+              return Regex.Eps; return Regex.Any ]
+    else
+      frequency
+        [
+          (3, map (fun c -> Regex.Chr c) (oneofl [ 'a'; 'b' ]));
+          (2, map2 (fun a b -> Regex.Alt (a, b)) (go (depth - 1)) (go (depth - 1)));
+          (2, map2 (fun a b -> Regex.Seq (a, b)) (go (depth - 1)) (go (depth - 1)));
+          (1, map (fun a -> Regex.Star a) (go (depth - 1)));
+        ]
+  in
+  go 3
+
+let regex_pipeline_qcheck =
+  QCheck.Test.make
+    ~name:"derivative matcher == NFA == subset-construction DFA" ~count:150
+    (QCheck.make
+       (QCheck.Gen.pair gen_regex (QCheck.Gen.int_range 1 1000))
+       ~print:(fun (r, seed) -> Format.asprintf "%a / %d" Regex.pp r seed))
+    (fun (re, seed) ->
+      let alphabet = [ 'a'; 'b' ] in
+      let rng = rng_of seed in
+      let nfa = Regex.to_nfa ~alphabet re in
+      let dfa = Nfa.to_dfa nfa in
+      List.for_all
+        (fun len ->
+          let s = random_string rng alphabet len in
+          let d = Regex.matches ~alphabet re s in
+          d = Nfa.accepts nfa s && d = Dfa.accepts dfa s)
+        [ 0; 1; 2; 4; 7 ])
+
+(* --- DFA constructions ----------------------------------------------------- *)
+
+let test_dfa_ops_basics () =
+  let even = Dfa.even_zeros and no11 = Dfa.no_double_one in
+  let both = Dfa_ops.intersect even no11 in
+  check tb "in both" true (Dfa.accepts both "0101");
+  check tb "fails no11" false (Dfa.accepts both "0110");
+  check tb "fails even" false (Dfa.accepts both "01");
+  let either = Dfa_ops.union even no11 in
+  check tb "one of them" true (Dfa.accepts either "01");
+  check tb "neither" false (Dfa.accepts either "011");
+  let comp = Dfa_ops.complement even in
+  check tb "complement" true (Dfa.accepts comp "0");
+  check tb "complement 2" false (Dfa.accepts comp "00")
+
+let dfa_ops_semantics_qcheck =
+  QCheck.Test.make ~name:"product DFA == boolean combination of runs"
+    ~count:200
+    QCheck.(pair (int_range 1 1000) (int_range 0 16))
+    (fun (seed, len) ->
+      let a = Dfa.even_zeros and b = Dfa.mod_k 3 in
+      let s = random_string (rng_of seed) [ '0'; '1' ] len in
+      Dfa.accepts (Dfa_ops.intersect a b) s
+      = (Dfa.accepts a s && Dfa.accepts b s)
+      && Dfa.accepts (Dfa_ops.union a b) s
+         = (Dfa.accepts a s || Dfa.accepts b s)
+      && Dfa.accepts (Dfa_ops.difference a b) s
+         = (Dfa.accepts a s && not (Dfa.accepts b s))
+      && Dfa.accepts (Dfa_ops.complement a) s = not (Dfa.accepts a s))
+
+let test_minimise () =
+  (* the subset construction for (ab)* produces extra states; the
+     minimal DFA for it over {a,b} has 3 states (including the sink) *)
+  let d = Regex.compile ~alphabet:[ 'a'; 'b' ] "(ab)*" in
+  let m = Dfa_ops.minimise d in
+  check tb "no bigger" true (m.Dfa.n_states <= d.Dfa.n_states);
+  check ti "minimal size" 3 m.Dfa.n_states;
+  check tb "equivalent" true (Dfa_ops.equivalent d m)
+
+let minimise_qcheck =
+  QCheck.Test.make ~name:"minimise preserves the language" ~count:100
+    (QCheck.make
+       (QCheck.Gen.pair gen_regex (QCheck.Gen.int_range 1 1000))
+       ~print:(fun (r, s) -> Format.asprintf "%a/%d" Regex.pp r s))
+    (fun (re, seed) ->
+      let alphabet = [ 'a'; 'b' ] in
+      let d = Nfa.to_dfa (Regex.to_nfa ~alphabet re) in
+      let m = Dfa_ops.minimise d in
+      Dfa_ops.equivalent d m
+      &&
+      let rng = rng_of seed in
+      List.for_all
+        (fun len ->
+          let s = random_string rng alphabet len in
+          Dfa.accepts d s = Dfa.accepts m s)
+        [ 0; 1; 3; 6 ])
+
+let test_equivalence () =
+  let a = Regex.compile ~alphabet:[ 'a'; 'b' ] "(a|b)*" in
+  let b = Regex.compile ~alphabet:[ 'a'; 'b' ] "(b|a)*" in
+  check tb "same language" true (Dfa_ops.equivalent a b);
+  let c = Regex.compile ~alphabet:[ 'a'; 'b' ] "a(a|b)*" in
+  check tb "different" false (Dfa_ops.equivalent a c);
+  check tb "empty difference" true
+    (Dfa_ops.is_empty (Dfa_ops.difference b a))
+
+(* --- Monoid / segment tree ----------------------------------------------- *)
+
+let test_monoid_laws () =
+  let d = Dfa.mod_k 3 in
+  let f = Monoid.of_char d '1' and g = Monoid.of_char d '0' in
+  let id = Monoid.identity d.Dfa.n_states in
+  check tb "left id" true (Monoid.equal (Monoid.compose id f) f);
+  check tb "right id" true (Monoid.equal (Monoid.compose f id) f);
+  check tb "assoc" true
+    (Monoid.equal
+       (Monoid.compose (Monoid.compose f g) f)
+       (Monoid.compose f (Monoid.compose g f)));
+  check ti "apply" (d.Dfa.delta 0 '1') (Monoid.apply f 0)
+
+let monoid_run_qcheck =
+  QCheck.Test.make ~name:"monoid fold == DFA run" ~count:200
+    QCheck.(pair (int_range 1 1000) (int_range 0 20))
+    (fun (seed, len) ->
+      let d = Dfa.no_double_one in
+      let s = random_string (rng_of seed) d.Dfa.alphabet len in
+      let m =
+        String.fold_left
+          (fun acc c -> Monoid.compose acc (Monoid.of_char d c))
+          (Monoid.identity d.Dfa.n_states)
+          s
+      in
+      Monoid.apply m d.Dfa.start = Dfa.run d s)
+
+let segtree_qcheck =
+  QCheck.Test.make ~name:"segment tree == recompute from scratch" ~count:100
+    QCheck.(pair (int_range 1 1000) (int_range 1 24))
+    (fun (seed, n) ->
+      let rng = rng_of seed in
+      let d = Dfa.even_zeros in
+      let tree = Segtree.create d n in
+      let ok = ref true in
+      for _ = 1 to 60 do
+        let p = Random.State.int rng n in
+        let c =
+          if Random.State.bool rng then None
+          else Some (List.nth d.Dfa.alphabet (Random.State.int rng 2))
+        in
+        Segtree.set tree p c;
+        if Segtree.accepts tree <> Dfa.accepts d (Segtree.to_string tree) then
+          ok := false
+      done;
+      !ok)
+
+let test_segtree_bounds () =
+  let tree = Segtree.create Dfa.even_zeros 4 in
+  Alcotest.check_raises "range" (Invalid_argument
+    "Segtree: position out of range") (fun () -> Segtree.set tree 4 None)
+
+(* --- Dyck ---------------------------------------------------------------- *)
+
+let p l t = { Dyck.left = l; ptype = t }
+
+let test_dyck_classics () =
+  check tb "()" true (Dyck.well_formed [ p true 0; p false 0 ]);
+  check tb "([])" true
+    (Dyck.well_formed [ p true 0; p true 1; p false 1; p false 0 ]);
+  check tb "(]" false (Dyck.well_formed [ p true 0; p false 1 ]);
+  check tb ")(" false (Dyck.well_formed [ p false 0; p true 0 ]);
+  check tb "(" false (Dyck.well_formed [ p true 0 ]);
+  check tb "empty" true (Dyck.well_formed [])
+
+let test_dyck_levels () =
+  let s = [ p true 0; p true 1; p false 1; p false 0 ] in
+  Alcotest.(check (list int)) "levels" [ 1; 2; 2; 1 ] (Dyck.levels s);
+  Alcotest.(check (list (pair int int))) "matches" [ (0, 3); (1, 2) ]
+    (Dyck.matches_of s)
+
+let dyck_generator_qcheck =
+  QCheck.Test.make ~name:"valid generator produces well-formed strings"
+    ~count:200
+    QCheck.(pair (int_range 1 1000) (int_range 0 20))
+    (fun (seed, len) ->
+      Dyck.well_formed (Dyck.random (rng_of seed) ~k:3 ~len ~p_valid:1.0))
+
+let dyck_matches_qcheck =
+  QCheck.Test.make
+    ~name:"well-formed iff levels positive, balanced, types matched"
+    ~count:300
+    QCheck.(pair (int_range 1 2000) (int_range 0 12))
+    (fun (seed, len) ->
+      let s = Dyck.random (rng_of seed) ~k:2 ~len ~p_valid:0.5 in
+      let arr = Array.of_list s in
+      let lev = Array.of_list (Dyck.levels s) in
+      let n = Array.length arr in
+      let balanced =
+        Array.for_all (fun l -> l >= 1) lev
+        && (n = 0
+            || (let opens = Array.to_list arr |> List.filter (fun x -> x.Dyck.left) in
+                let closes = Array.to_list arr |> List.filter (fun x -> not x.Dyck.left) in
+                List.length opens = List.length closes))
+      in
+      let pairs = Dyck.matches_of s in
+      let typed =
+        List.for_all (fun (i, j) -> arr.(i).Dyck.ptype = arr.(j).Dyck.ptype) pairs
+      in
+      let all_matched = 2 * List.length pairs = List.length s in
+      Dyck.well_formed s = (balanced && typed && all_matched))
+
+let () =
+  Alcotest.run "automata"
+    [
+      ( "dfa",
+        [
+          Alcotest.test_case "even zeros" `Quick test_even_zeros;
+          Alcotest.test_case "mod k" `Quick test_mod_k;
+          Alcotest.test_case "contains" `Quick test_contains;
+          Alcotest.test_case "no double one" `Quick test_no_double_one;
+          QCheck_alcotest.to_alcotest contains_qcheck;
+        ] );
+      ( "regex",
+        [
+          Alcotest.test_case "parse and match" `Quick test_regex_parse;
+          Alcotest.test_case "parse errors" `Quick test_regex_parse_errors;
+          QCheck_alcotest.to_alcotest regex_pipeline_qcheck;
+        ] );
+      ( "dfa_ops",
+        [
+          Alcotest.test_case "boolean combinations" `Quick test_dfa_ops_basics;
+          Alcotest.test_case "minimise (ab)*" `Quick test_minimise;
+          Alcotest.test_case "equivalence" `Quick test_equivalence;
+          QCheck_alcotest.to_alcotest dfa_ops_semantics_qcheck;
+          QCheck_alcotest.to_alcotest minimise_qcheck;
+        ] );
+      ( "monoid",
+        [
+          Alcotest.test_case "laws" `Quick test_monoid_laws;
+          QCheck_alcotest.to_alcotest monoid_run_qcheck;
+        ] );
+      ( "segtree",
+        [
+          Alcotest.test_case "bounds" `Quick test_segtree_bounds;
+          QCheck_alcotest.to_alcotest segtree_qcheck;
+        ] );
+      ( "dyck",
+        [
+          Alcotest.test_case "classics" `Quick test_dyck_classics;
+          Alcotest.test_case "levels and matches" `Quick test_dyck_levels;
+          QCheck_alcotest.to_alcotest dyck_generator_qcheck;
+          QCheck_alcotest.to_alcotest dyck_matches_qcheck;
+        ] );
+    ]

@@ -1,0 +1,219 @@
+(* Tests for the dynamic-connectivity substrate: Euler tour trees and
+   Holm–de Lichtenberg–Thorup, the sequential state of the art that the
+   benchmarks compare Theorem 4.1 against. *)
+
+module G = Dynfo_graph.Graph
+module Ett = Dynfo_graph.Ett
+module Hdt = Dynfo_graph.Hdt
+module Trav = Dynfo_graph.Traversal
+
+let check = Alcotest.check
+let tb = Alcotest.bool
+let ti = Alcotest.int
+
+(* --- ETT unit tests ------------------------------------------------------ *)
+
+let test_ett_basics () =
+  let t = Ett.create 5 in
+  check tb "initially separate" false (Ett.connected t 0 1);
+  check ti "singleton size" 1 (Ett.tree_size t 0);
+  Ett.link t 0 1;
+  Ett.link t 1 2;
+  check tb "linked" true (Ett.connected t 0 2);
+  check ti "tree size" 3 (Ett.tree_size t 2);
+  check tb "other tree" false (Ett.connected t 0 3);
+  Ett.cut t 0 1;
+  check tb "cut splits" false (Ett.connected t 0 2);
+  check tb "rest intact" true (Ett.connected t 1 2);
+  check ti "sizes after cut" 1 (Ett.tree_size t 0)
+
+let test_ett_errors () =
+  let t = Ett.create 4 in
+  Ett.link t 0 1;
+  (match Ett.link t 0 1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "cycle link accepted");
+  (match Ett.link t 2 2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "self loop accepted");
+  match Ett.cut t 2 3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "phantom cut accepted"
+
+let test_ett_tree_vertices () =
+  let t = Ett.create 6 in
+  Ett.link t 0 1;
+  Ett.link t 1 2;
+  Ett.link t 4 5;
+  check tb "component 0" true
+    (List.sort compare (Ett.tree_vertices t 1) = [ 0; 1; 2 ]);
+  check tb "component 4" true
+    (List.sort compare (Ett.tree_vertices t 4) = [ 4; 5 ])
+
+let test_ett_marks () =
+  let t = Ett.create 6 in
+  Ett.link t 0 1;
+  Ett.link t 1 2;
+  check tb "no marks" true (Ett.find_marked_vertex t 0 = None);
+  Ett.set_vertex_mark t 2 true;
+  check tb "found" true (Ett.find_marked_vertex t 0 = Some 2);
+  check tb "not in other tree" true (Ett.find_marked_vertex t 4 = None);
+  Ett.set_vertex_mark t 2 false;
+  check tb "cleared" true (Ett.find_marked_vertex t 0 = None);
+  Ett.set_edge_mark t 1 2 true;
+  check tb "edge found" true
+    (match Ett.find_marked_edge t 0 with
+    | Some (a, b) -> (min a b, max a b) = (1, 2)
+    | None -> false);
+  (* marks follow the structure through cuts *)
+  Ett.cut t 0 1;
+  check tb "mark in severed part" true (Ett.find_marked_edge t 1 <> None);
+  check tb "gone from remainder" true (Ett.find_marked_edge t 0 = None)
+
+let ett_qcheck =
+  QCheck.Test.make ~name:"ETT == naive forest over random link/cut" ~count:40
+    QCheck.(pair (int_range 1 5000) (int_range 3 18))
+    (fun (seed, n) ->
+      let rng = Random.State.make [| seed |] in
+      let ett = Ett.create n in
+      let naive = G.create n in
+      let ok = ref true in
+      for _ = 1 to 150 do
+        let u = Random.State.int rng n and v = Random.State.int rng n in
+        if u <> v then
+          if G.has_edge naive u v then begin
+            G.remove_uedge naive u v;
+            Ett.cut ett u v
+          end
+          else if not (Trav.reaches naive u v) then begin
+            G.add_uedge naive u v;
+            Ett.link ett u v
+          end;
+        let x = Random.State.int rng n and y = Random.State.int rng n in
+        if Ett.connected ett x y <> Trav.reaches naive x y then ok := false;
+        let z = Random.State.int rng n in
+        let bfs =
+          Array.fold_left (fun a b -> if b then a + 1 else a) 0
+            (Trav.reachable naive z)
+        in
+        if Ett.tree_size ett z <> bfs then ok := false
+      done;
+      !ok)
+
+(* --- HDT ------------------------------------------------------------------ *)
+
+let test_hdt_basics () =
+  let t = Hdt.create 6 in
+  check ti "components" 6 (Hdt.n_components t);
+  Hdt.insert t 0 1;
+  Hdt.insert t 1 2;
+  Hdt.insert t 0 2;
+  (* cycle: one non-tree edge *)
+  check tb "triangle" true (Hdt.connected t 0 2);
+  Hdt.delete t 0 1;
+  check tb "replacement found" true (Hdt.connected t 0 1);
+  Hdt.delete t 0 2;
+  check tb "still via 1-2? no: 0 is cut" false (Hdt.connected t 0 2);
+  check ti "components after cuts" 5 (Hdt.n_components t);
+  match Hdt.check_invariants t with
+  | Result.Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_hdt_idempotent () =
+  let t = Hdt.create 4 in
+  Hdt.insert t 0 1;
+  Hdt.insert t 0 1;
+  Hdt.delete t 0 1;
+  check tb "single delete removes" false (Hdt.connected t 0 1);
+  Hdt.delete t 0 1;
+  check tb "double delete harmless" false (Hdt.connected t 0 1)
+
+let hdt_qcheck =
+  QCheck.Test.make ~name:"HDT == BFS over random insert/delete" ~count:30
+    QCheck.(pair (int_range 1 5000) (int_range 3 22))
+    (fun (seed, n) ->
+      let rng = Random.State.make [| seed |] in
+      let hdt = Hdt.create n in
+      let naive = G.create n in
+      let ok = ref true in
+      for step = 1 to 250 do
+        let u = Random.State.int rng n and v = Random.State.int rng n in
+        if u <> v then
+          if G.has_edge naive u v then begin
+            G.remove_uedge naive u v;
+            Hdt.delete hdt u v
+          end
+          else begin
+            G.add_uedge naive u v;
+            Hdt.insert hdt u v
+          end;
+        let x = Random.State.int rng n and y = Random.State.int rng n in
+        if Hdt.connected hdt x y <> Trav.reaches naive x y then ok := false;
+        if step mod 60 = 0 then
+          match Hdt.check_invariants hdt with
+          | Result.Ok () -> ()
+          | Error _ -> ok := false
+      done;
+      !ok)
+
+let test_hdt_worst_case_path () =
+  (* delete every edge of a long path with a parallel chord structure:
+     exercises repeated replacement searches over levels *)
+  let n = 32 in
+  let t = Hdt.create n in
+  for i = 0 to n - 2 do
+    Hdt.insert t i (i + 1)
+  done;
+  for i = 0 to n - 3 do
+    Hdt.insert t i (i + 2)
+  done;
+  (* removing the path edges one by one keeps everything connected
+     through the chords *)
+  for i = 0 to n - 3 do
+    Hdt.delete t i (i + 1);
+    if not (Hdt.connected t 0 (n - 1)) then
+      Alcotest.failf "disconnected after deleting path edge %d" i
+  done;
+  match Hdt.check_invariants t with
+  | Result.Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+(* the HDT-backed REACH_u implementation agrees with the others *)
+let test_hdt_as_reach_u_native () =
+  let open Dynfo_programs in
+  for seed = 1 to 5 do
+    let rng = Random.State.make [| seed; 31 |] in
+    let size = 10 in
+    let reqs = Reach_u.workload rng ~size ~length:150 in
+    match
+      Dynfo.Harness.compare_all ~size
+        [ Reach_u.native; Reach_u.native_hdt; Reach_u.static ]
+        reqs
+    with
+    | Dynfo.Harness.Ok _ -> ()
+    | m ->
+        Alcotest.failf "seed %d: %s" seed
+          (Format.asprintf "%a" Dynfo.Harness.pp_outcome m)
+  done
+
+let () =
+  Alcotest.run "dynamic-graph"
+    [
+      ( "ett",
+        [
+          Alcotest.test_case "link/cut/connected" `Quick test_ett_basics;
+          Alcotest.test_case "errors" `Quick test_ett_errors;
+          Alcotest.test_case "tree vertices" `Quick test_ett_tree_vertices;
+          Alcotest.test_case "marks and aggregates" `Quick test_ett_marks;
+          QCheck_alcotest.to_alcotest ett_qcheck;
+        ] );
+      ( "hdt",
+        [
+          Alcotest.test_case "basics" `Quick test_hdt_basics;
+          Alcotest.test_case "idempotent updates" `Quick test_hdt_idempotent;
+          Alcotest.test_case "path with chords" `Quick test_hdt_worst_case_path;
+          Alcotest.test_case "as REACH_u native" `Slow
+            test_hdt_as_reach_u_native;
+          QCheck_alcotest.to_alcotest hdt_qcheck;
+        ] );
+    ]

@@ -1,0 +1,464 @@
+(* Tests for the graph substrate: the static algorithms that serve as
+   oracles for the Section 4 programs. *)
+
+open Dynfo_graph
+
+let check = Alcotest.check
+let tb = Alcotest.bool
+let ti = Alcotest.int
+
+let rng_of seed = Random.State.make [| seed |]
+
+(* --- Graph basics ------------------------------------------------------- *)
+
+let test_graph_edges () =
+  let g = Graph.create 4 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 0 1;
+  check ti "no duplicates" 1 (Graph.n_edges g);
+  Graph.add_uedge g 2 3;
+  check ti "uedge both ways" 3 (Graph.n_edges g);
+  Graph.remove_edge g 0 1;
+  check ti "removed" 2 (Graph.n_edges g);
+  check tb "symmetric part" true (Graph.has_edge g 3 2);
+  Alcotest.check_raises "range" (Invalid_argument "Graph: vertex out of range")
+    (fun () -> Graph.add_edge g 0 4)
+
+let test_graph_structure_roundtrip () =
+  let v = Dynfo_logic.Vocab.make ~rels:[ ("E", 2) ] ~consts:[] in
+  let st = Dynfo_logic.Structure.create ~size:5 v in
+  let g = Generate.gnp (rng_of 1) ~n:5 ~p:0.5 ~directed:true in
+  let st = Graph.to_structure st "E" g in
+  let g' = Graph.of_structure st "E" in
+  check tb "roundtrip" true (Graph.edges g = Graph.edges g')
+
+(* --- Union-find vs BFS components -------------------------------------- *)
+
+let uf_components_qcheck =
+  QCheck.Test.make ~name:"union-find classes == BFS components" ~count:100
+    QCheck.(pair (int_range 1 500) (int_range 2 15))
+    (fun (seed, n) ->
+      let g = Generate.gnp (rng_of seed) ~n ~p:0.25 ~directed:false in
+      let uf = Union_find.create n in
+      List.iter (fun (u, v) -> ignore (Union_find.union uf u v)) (Graph.uedges g);
+      let comp = Traversal.components g in
+      let ok = ref (Union_find.n_classes uf = Traversal.n_components g) in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if Union_find.same uf u v <> (comp.(u) = comp.(v)) then ok := false
+        done
+      done;
+      !ok)
+
+let test_reachability_basics () =
+  let g = Generate.path 5 in
+  check tb "path connected" true (Traversal.reaches g 0 4);
+  check ti "one component" 1 (Traversal.n_components g);
+  let g = Graph.create 3 in
+  Graph.add_edge g 0 1;
+  check tb "directed" true (Traversal.reaches g 0 1);
+  check tb "not back" false (Traversal.reaches g 1 0)
+
+let test_deterministic_reach () =
+  let g = Graph.create 5 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 1 2;
+  check tb "chain" true (Traversal.deterministic_reaches g 0 2);
+  Graph.add_edge g 1 3;
+  check tb "branch kills determinism" false
+    (Traversal.deterministic_reaches g 0 2);
+  check tb "self" true (Traversal.deterministic_reaches g 4 4)
+
+(* --- Closure ------------------------------------------------------------ *)
+
+let tc_qcheck =
+  QCheck.Test.make ~name:"Warshall closure == per-pair BFS" ~count:80
+    QCheck.(pair (int_range 1 500) (int_range 2 12))
+    (fun (seed, n) ->
+      let g = Generate.gnp (rng_of seed) ~n ~p:0.25 ~directed:true in
+      let tc = Closure.transitive_closure g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        let r = Traversal.reachable g u in
+        for v = 0 to n - 1 do
+          let direct = if u = v then Graph.has_edge tc u u else r.(v) in
+          ignore direct;
+          let expect =
+            (* nonempty path: either an edge chain; handle u=v via cycle *)
+            List.exists (fun w -> r.(w) && w = v && (w <> u || Graph.has_edge tc u u))
+              (List.init n Fun.id)
+          in
+          ignore expect;
+          (* simpler: tc(u,v) iff exists successor w of u with w ->* v *)
+          let expected =
+            List.exists (fun w -> (Traversal.reachable g w).(v)) (Graph.succ g u)
+          in
+          if Graph.has_edge tc u v <> expected then ok := false
+        done
+      done;
+      !ok)
+
+let test_acyclicity () =
+  let dag = Generate.random_dag (rng_of 2) ~n:8 ~p:0.4 in
+  check tb "dag acyclic" true (Closure.is_acyclic dag);
+  let g = Generate.cycle 4 in
+  check tb "cycle graph has cycles" false (Closure.is_acyclic g);
+  check tb "topo for dag" true (Closure.topological_sort dag <> None);
+  check tb "no topo for cycle" true (Closure.topological_sort g = None)
+
+let test_topo_order () =
+  let dag = Generate.random_dag (rng_of 3) ~n:10 ~p:0.3 in
+  match Closure.topological_sort dag with
+  | None -> Alcotest.fail "dag must have a topological order"
+  | Some order ->
+      let pos = Hashtbl.create 16 in
+      List.iteri (fun i v -> Hashtbl.replace pos v i) order;
+      check tb "edges go forward" true
+        (List.for_all
+           (fun (u, v) -> Hashtbl.find pos u < Hashtbl.find pos v)
+           (Graph.edges dag))
+
+let tr_qcheck =
+  QCheck.Test.make ~name:"transitive reduction: minimal, same closure"
+    ~count:60
+    QCheck.(pair (int_range 1 500) (int_range 2 10))
+    (fun (seed, n) ->
+      let g = Generate.random_dag (rng_of seed) ~n ~p:0.35 in
+      let tr = Closure.transitive_reduction g in
+      let same_closure a b =
+        Graph.edges (Closure.transitive_closure a)
+        = Graph.edges (Closure.transitive_closure b)
+      in
+      same_closure g tr
+      && List.for_all
+           (fun (u, v) ->
+             (* dropping any edge of tr changes the closure *)
+             let tr' = Graph.copy tr in
+             Graph.remove_edge tr' u v;
+             not (same_closure g tr'))
+           (Graph.edges tr))
+
+(* --- Spanning / MSF ----------------------------------------------------- *)
+
+let spanning_qcheck =
+  QCheck.Test.make ~name:"BFS spanning forest is a spanning forest" ~count:80
+    QCheck.(pair (int_range 1 500) (int_range 2 14))
+    (fun (seed, n) ->
+      let g = Generate.gnp (rng_of seed) ~n ~p:0.3 ~directed:false in
+      Spanning.is_spanning_forest g (Spanning.spanning_forest g))
+
+let msf_brute_qcheck =
+  QCheck.Test.make ~name:"Kruskal == brute-force minimum forest" ~count:40
+    QCheck.(pair (int_range 1 500) (int_range 2 7))
+    (fun (seed, n) ->
+      let rng = rng_of seed in
+      let g = Generate.gnp rng ~n ~p:0.5 ~directed:false in
+      let weight = Generate.random_weight_matrix rng ~n ~max_w:4 in
+      let kruskal = Spanning.minimum_spanning_forest g ~weight in
+      let kw = Spanning.forest_weight ~weight kruskal in
+      (* enumerate all spanning forests via subsets of edges *)
+      let edges = Graph.uedges g in
+      let rec subsets = function
+        | [] -> [ [] ]
+        | e :: rest ->
+            let s = subsets rest in
+            s @ List.map (fun xs -> e :: xs) s
+      in
+      let target_card = List.length kruskal in
+      let best =
+        List.fold_left
+          (fun acc cand ->
+            if
+              List.length cand = target_card
+              && Spanning.is_spanning_forest g cand
+            then min acc (Spanning.forest_weight ~weight cand)
+            else acc)
+          max_int (subsets edges)
+      in
+      kw = best)
+
+let test_forest_path () =
+  let edges = [ (0, 1); (1, 2); (3, 4) ] in
+  check tb "path" true
+    (Spanning.forest_path ~n:5 edges 0 2 = Some [ 0; 1; 2 ]);
+  check tb "disconnected" true (Spanning.forest_path ~n:5 edges 0 3 = None);
+  check tb "trivial" true (Spanning.forest_path ~n:5 edges 3 3 = Some [ 3 ])
+
+(* --- Bipartite ---------------------------------------------------------- *)
+
+let test_bipartite_basics () =
+  check tb "even cycle" true (Bipartite.is_bipartite (Generate.cycle 6));
+  check tb "odd cycle" false (Bipartite.is_bipartite (Generate.cycle 5));
+  check tb "path" true (Bipartite.is_bipartite (Generate.path 7));
+  check tb "grid" true (Bipartite.is_bipartite (Generate.grid 3 4));
+  check tb "complete K3" false (Bipartite.is_bipartite (Generate.complete 3))
+
+let bipartite_odd_cycle_qcheck =
+  QCheck.Test.make ~name:"non-bipartite gives odd cycle witness" ~count:80
+    QCheck.(pair (int_range 1 500) (int_range 3 12))
+    (fun (seed, n) ->
+      let g = Generate.gnp (rng_of seed) ~n ~p:0.4 ~directed:false in
+      match Bipartite.odd_cycle g with
+      | None -> Bipartite.is_bipartite g
+      | Some cyc ->
+          (not (Bipartite.is_bipartite g))
+          && List.length cyc mod 2 = 0
+          (* first = last, so an odd cycle lists an even number of
+             entries *)
+          && List.hd cyc = List.nth cyc (List.length cyc - 1))
+
+(* --- Matching ----------------------------------------------------------- *)
+
+let matching_qcheck =
+  QCheck.Test.make ~name:"greedy matching is maximal" ~count:100
+    QCheck.(pair (int_range 1 500) (int_range 2 14))
+    (fun (seed, n) ->
+      let g = Generate.gnp (rng_of seed) ~n ~p:0.3 ~directed:false in
+      Matching.is_maximal g (Matching.greedy g))
+
+let test_matching_checkers () =
+  let g = Generate.path 4 in
+  check tb "valid" true (Matching.is_matching g [ (0, 1); (2, 3) ]);
+  check tb "overlap" false (Matching.is_matching g [ (0, 1); (1, 2) ]);
+  check tb "non-edge" false (Matching.is_matching g [ (0, 2) ]);
+  check tb "maximal" true (Matching.is_maximal g [ (0, 1); (2, 3) ]);
+  (* on the 4-path, {(1,2)} is maximal too: both other edges touch it *)
+  check tb "interior edge maximal" true (Matching.is_maximal g [ (1, 2) ]);
+  let p5 = Generate.path 5 in
+  check tb "not maximal on longer path" false
+    (Matching.is_maximal p5 [ (1, 2) ])
+
+(* --- LCA ---------------------------------------------------------------- *)
+
+let test_lca_basics () =
+  (* 0 -> 1 -> 3, 1 -> 4, 0 -> 2 *)
+  let g = Graph.create 6 in
+  List.iter (fun (u, v) -> Graph.add_edge g u v)
+    [ (0, 1); (1, 3); (1, 4); (0, 2) ];
+  check tb "forest" true (Lca.is_directed_forest g);
+  check tb "lca siblings" true (Lca.lca g 3 4 = Some 1);
+  check tb "lca cousins" true (Lca.lca g 3 2 = Some 0);
+  check tb "lca with ancestor" true (Lca.lca g 3 1 = Some 1);
+  check tb "lca self" true (Lca.lca g 3 3 = Some 3);
+  check tb "different trees" true (Lca.lca g 3 5 = None)
+
+let lca_qcheck =
+  QCheck.Test.make ~name:"LCA is the deepest common ancestor" ~count:60
+    QCheck.(pair (int_range 1 500) (int_range 2 12))
+    (fun (seed, n) ->
+      let g = Generate.random_forest (rng_of seed) ~n ~p_root:0.3 in
+      QCheck.assume (Lca.is_directed_forest g);
+      let ok = ref true in
+      for x = 0 to n - 1 do
+        for y = 0 to n - 1 do
+          let ax = Lca.ancestors g x and ay = Lca.ancestors g y in
+          let common = List.filter (fun a -> ax.(a) && ay.(a)) (List.init n Fun.id) in
+          (match Lca.lca g x y with
+          | None -> if common <> [] then ok := false
+          | Some a ->
+              if not (List.mem a common) then ok := false;
+              (* a is the deepest: every common ancestor reaches a *)
+              if not (List.for_all (fun z -> Closure.path g z a) common) then
+                ok := false)
+        done
+      done;
+      !ok)
+
+(* --- Connectivity ------------------------------------------------------- *)
+
+let test_max_flow () =
+  let g = Generate.complete 4 in
+  check ti "K4 flow" 3 (Connectivity.max_flow g 0 3);
+  let g = Generate.path 4 in
+  check ti "path flow" 1 (Connectivity.max_flow g 0 3);
+  let g = Generate.cycle 5 in
+  check ti "cycle flow" 2 (Connectivity.max_flow g 0 2)
+
+let test_edge_connectivity () =
+  check ti "path" 1 (Connectivity.edge_connectivity (Generate.path 5));
+  check ti "cycle" 2 (Connectivity.edge_connectivity (Generate.cycle 5));
+  check ti "K4" 3 (Connectivity.edge_connectivity (Generate.complete 4));
+  check ti "disconnected" 0
+    (Connectivity.edge_connectivity (Graph.create 3))
+
+let connectivity_cross_qcheck =
+  QCheck.Test.make
+    ~name:"survives_removal k <-> edge connectivity > k" ~count:50
+    QCheck.(pair (int_range 1 500) (int_range 2 8))
+    (fun (seed, n) ->
+      let g = Generate.gnp (rng_of seed) ~n ~p:0.5 ~directed:false in
+      List.for_all
+        (fun k ->
+          Connectivity.survives_removal g k
+          = (Traversal.connected g && Connectivity.edge_connectivity g > k))
+        [ 0; 1; 2 ])
+
+(* --- Biconnectivity ------------------------------------------------------- *)
+
+let test_bridges_classics () =
+  (* two triangles joined by a bridge 2-3 *)
+  let g = Graph.create 6 in
+  List.iter (fun (u, v) -> Graph.add_uedge g u v)
+    [ (0, 1); (1, 2); (0, 2); (3, 4); (4, 5); (3, 5); (2, 3) ];
+  check tb "the bridge" true (Biconnectivity.bridges g = [ (2, 3) ]);
+  check tb "articulations" true
+    (Biconnectivity.articulation_points g = [ 2; 3 ]);
+  check tb "2ecc separates" true
+    (let c = Biconnectivity.two_edge_connected_components g in
+     c.(0) = c.(1) && c.(3) = c.(5) && c.(0) <> c.(3));
+  check tb "tree: all edges bridges" true
+    (List.length (Biconnectivity.bridges (Generate.path 5)) = 4);
+  check tb "cycle: none" true (Biconnectivity.bridges (Generate.cycle 5) = [])
+
+let bridges_bruteforce_qcheck =
+  QCheck.Test.make ~name:"bridges == brute-force edge removal" ~count:80
+    QCheck.(pair (int_range 1 500) (int_range 2 12))
+    (fun (seed, n) ->
+      let g = Generate.gnp (rng_of seed) ~n ~p:0.3 ~directed:false in
+      let brute =
+        List.filter
+          (fun (u, v) ->
+            let g' = Graph.copy g in
+            Graph.remove_uedge g' u v;
+            not (Traversal.reaches g' u v))
+          (Graph.uedges g)
+      in
+      Biconnectivity.bridges g = List.sort compare brute)
+
+let articulation_bruteforce_qcheck =
+  QCheck.Test.make ~name:"articulation points == brute-force removal"
+    ~count:60
+    QCheck.(pair (int_range 1 500) (int_range 3 10))
+    (fun (seed, n) ->
+      let g = Generate.gnp (rng_of seed) ~n ~p:0.35 ~directed:false in
+      (* v is an articulation point iff some pair of its neighbours is
+         disconnected once v's edges are removed *)
+      let brute =
+        List.filter
+          (fun v ->
+            let g' = Graph.copy g in
+            List.iter (fun w -> Graph.remove_uedge g' v w) (Graph.succ g v);
+            List.exists
+              (fun a ->
+                List.exists
+                  (fun b -> a < b && not (Traversal.reaches g' a b))
+                  (Graph.succ g v))
+              (Graph.succ g v))
+          (List.init n Fun.id)
+      in
+      Biconnectivity.articulation_points g = brute)
+
+(* --- Alternating graphs / CVAL ------------------------------------------ *)
+
+let test_reach_a_basics () =
+  (* 0 existential -> {1, 2}; 1 universal -> {2}; target 2 *)
+  let g = Graph.create 3 in
+  Graph.add_edge g 0 1;
+  Graph.add_edge g 0 2;
+  Graph.add_edge g 1 2;
+  let alt = Alternating.make g ~universal:[| false; true; false |] in
+  check tb "trivial" true (Alternating.reach_a alt 2 2);
+  check tb "universal all-succ" true (Alternating.reach_a alt 1 2);
+  check tb "existential" true (Alternating.reach_a alt 0 2);
+  (* universal vertex with a failing successor *)
+  let g2 = Graph.create 4 in
+  Graph.add_edge g2 0 1;
+  Graph.add_edge g2 0 3;
+  let alt2 = Alternating.make g2 ~universal:[| true; false; false; false |] in
+  check tb "universal needs all" false (Alternating.reach_a alt2 0 1)
+
+let test_universal_sink () =
+  let g = Graph.create 2 in
+  let alt = Alternating.make g ~universal:[| true; false |] in
+  check tb "universal sink fails" false (Alternating.reach_a alt 0 1)
+
+let cval_qcheck =
+  QCheck.Test.make ~name:"CVAL == alternating reachability encoding"
+    ~count:80
+    QCheck.(pair (int_range 1 500) (int_range 1 6))
+    (fun (seed, n_inputs) ->
+      let c =
+        Generate.random_circuit (rng_of seed) ~n_inputs ~n_gates:(n_inputs + 4)
+      in
+      let alt, tt = Alternating.circuit_to_alternating c in
+      let reach = Alternating.reach_set alt tt in
+      Array.for_all Fun.id
+        (Array.mapi (fun g _ -> Alternating.cval c g = reach.(g)) c))
+
+let test_cval_cycle_rejected () =
+  let c = [| Alternating.Or [ 1 ]; Alternating.Or [ 0 ] |] in
+  match Alternating.cval c 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "cyclic circuit accepted"
+
+let test_step_monotone () =
+  let alt = Generate.random_alternating (rng_of 11) ~n:8 ~p:0.3 ~p_universal:0.4 in
+  let fix = Alternating.reach_set alt 0 in
+  (* the fixpoint is stable under one more step *)
+  check tb "fixpoint stable" true (Alternating.step alt ~target:0 fix = fix)
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "edge bookkeeping" `Quick test_graph_edges;
+          Alcotest.test_case "structure roundtrip" `Quick
+            test_graph_structure_roundtrip;
+        ] );
+      ( "traversal",
+        [
+          Alcotest.test_case "reachability" `Quick test_reachability_basics;
+          Alcotest.test_case "deterministic reach" `Quick
+            test_deterministic_reach;
+          QCheck_alcotest.to_alcotest uf_components_qcheck;
+        ] );
+      ( "closure",
+        [
+          Alcotest.test_case "acyclicity" `Quick test_acyclicity;
+          Alcotest.test_case "topological order" `Quick test_topo_order;
+          QCheck_alcotest.to_alcotest tc_qcheck;
+          QCheck_alcotest.to_alcotest tr_qcheck;
+        ] );
+      ( "spanning",
+        [
+          Alcotest.test_case "forest path" `Quick test_forest_path;
+          QCheck_alcotest.to_alcotest spanning_qcheck;
+          QCheck_alcotest.to_alcotest msf_brute_qcheck;
+        ] );
+      ( "bipartite",
+        [
+          Alcotest.test_case "classics" `Quick test_bipartite_basics;
+          QCheck_alcotest.to_alcotest bipartite_odd_cycle_qcheck;
+        ] );
+      ( "matching",
+        [
+          Alcotest.test_case "checkers" `Quick test_matching_checkers;
+          QCheck_alcotest.to_alcotest matching_qcheck;
+        ] );
+      ( "lca",
+        [
+          Alcotest.test_case "classics" `Quick test_lca_basics;
+          QCheck_alcotest.to_alcotest lca_qcheck;
+        ] );
+      ( "connectivity",
+        [
+          Alcotest.test_case "max flow" `Quick test_max_flow;
+          Alcotest.test_case "edge connectivity" `Quick test_edge_connectivity;
+          QCheck_alcotest.to_alcotest connectivity_cross_qcheck;
+        ] );
+      ( "biconnectivity",
+        [
+          Alcotest.test_case "classics" `Quick test_bridges_classics;
+          QCheck_alcotest.to_alcotest bridges_bruteforce_qcheck;
+          QCheck_alcotest.to_alcotest articulation_bruteforce_qcheck;
+        ] );
+      ( "alternating",
+        [
+          Alcotest.test_case "reach_a basics" `Quick test_reach_a_basics;
+          Alcotest.test_case "universal sink" `Quick test_universal_sink;
+          Alcotest.test_case "cycle rejected" `Quick test_cval_cycle_rejected;
+          Alcotest.test_case "fixpoint stable" `Quick test_step_monotone;
+          QCheck_alcotest.to_alcotest cval_qcheck;
+        ] );
+    ]

@@ -1,0 +1,290 @@
+(* Cross-library integration tests: the full problem registry swept
+   through the harness, the semi-dynamic and approximation extensions,
+   and the Ehrenfeucht-Fraissé demonstrations of the paper's premise
+   that these queries are not static first-order. *)
+
+open Dynfo_logic
+open Dynfo
+open Dynfo_programs
+
+let check = Alcotest.check
+let tb = Alcotest.bool
+let ti = Alcotest.int
+
+(* --- the whole registry, one sweep each --------------------------------- *)
+
+let test_registry_sweep () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      let impls = Registry.impls e in
+      check tb (e.name ^ " has at least two implementations") true
+        (List.length impls >= 2 || e.name = "parity");
+      for seed = 1 to 2 do
+        let rng = Random.State.make [| seed; 123 |] in
+        let reqs = e.workload rng ~size:e.default_size ~length:40 in
+        match Harness.compare_all ~size:e.default_size impls reqs with
+        | Harness.Ok _ -> ()
+        | m ->
+            Alcotest.failf "%s (%s) seed %d: %s" e.name e.paper_ref seed
+              (Format.asprintf "%a" Harness.pp_outcome m)
+      done)
+    Registry.all
+
+let test_registry_names_unique () =
+  let names = List.map (fun (e : Registry.entry) -> e.name) Registry.all in
+  check ti "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_registry_workloads_valid () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      let rng = Random.State.make [| 5 |] in
+      let reqs = e.workload rng ~size:e.default_size ~length:30 in
+      check tb (e.name ^ " workload valid") true
+        (List.for_all
+           (Request.valid e.program.input_vocab ~size:e.default_size)
+           reqs))
+    Registry.all
+
+(* --- Dyn_s-FO: insert-only REACH (Section 3.1) -------------------------- *)
+
+let test_semi_dynamic_reach () =
+  for seed = 1 to 6 do
+    let rng = Random.State.make [| seed |] in
+    let size = 5 + (seed mod 3) in
+    let reqs = Semi_dynamic.workload rng ~size ~length:70 in
+    match
+      Harness.compare_all ~size
+        [ Dyn.of_program Semi_dynamic.reach_program; Semi_dynamic.native;
+          Semi_dynamic.static ]
+        reqs
+    with
+    | Harness.Ok _ -> ()
+    | m ->
+        Alcotest.failf "semi_reach seed %d: %s" seed
+          (Format.asprintf "%a" Harness.pp_outcome m)
+  done
+
+let test_semi_dynamic_cycles_ok () =
+  (* the insert rule is correct on cyclic graphs — the restriction to
+     acyclic histories is only needed for deletions *)
+  let s = ref (Runner.init Semi_dynamic.reach_program ~size:4) in
+  let go r = s := Runner.step !s r in
+  List.iter go
+    [ Request.ins "E" [ 0; 1 ]; Request.ins "E" [ 1; 2 ];
+      Request.ins "E" [ 2; 0 ];  (* close a cycle *)
+      Request.set "s" 2; Request.set "t" 1 ];
+  check tb "around the cycle" true (Runner.query !s)
+
+let test_semi_dynamic_deletion_breaks () =
+  (* demonstrate the restriction is essential: after a delete the
+     maintained P is stale *)
+  let s = ref (Runner.init Semi_dynamic.reach_program ~size:4) in
+  let go r = s := Runner.step !s r in
+  List.iter go
+    [ Request.ins "E" [ 0; 1 ]; Request.set "s" 0; Request.set "t" 1 ];
+  check tb "edge present" true (Runner.query !s);
+  go (Request.del "E" [ 0; 1 ]);
+  (* the program has no delete rule: P keeps the stale tuple *)
+  check tb "stale after unsupported delete" true (Runner.query !s);
+  check tb "but the input lost the edge" false
+    (Structure.mem (Runner.input !s) "E" [| 0; 1 |])
+
+(* --- vertex cover 2-approximation ([P94] remark) ------------------------- *)
+
+let test_vertex_cover_invariant () =
+  for seed = 1 to 5 do
+    let rng = Random.State.make [| seed; 9 |] in
+    let size = 6 in
+    let reqs = Vertex_cover.workload rng ~size ~length:60 in
+    let s = ref (Runner.init Vertex_cover.program ~size) in
+    List.iteri
+      (fun i r ->
+        s := Runner.step !s r;
+        match Vertex_cover.check_cover !s with
+        | Result.Ok () -> ()
+        | Error m ->
+            Alcotest.failf "cover broken (seed %d, request %d): %s" seed i m)
+      reqs
+  done
+
+let test_vertex_cover_scenario () =
+  let s = ref (Runner.init Vertex_cover.program ~size:6) in
+  let go r = s := Runner.step !s r in
+  check tb "empty cover for empty graph" true
+    (Vertex_cover.cover_of !s = []);
+  (* a star: optimal cover is the centre alone; matching-based cover has
+     two vertices — within factor 2 *)
+  List.iter go
+    [ Request.ins "E" [ 0; 1 ]; Request.ins "E" [ 0; 2 ];
+      Request.ins "E" [ 0; 3 ] ];
+  let cover = Vertex_cover.cover_of !s in
+  check ti "star cover size" 2 (List.length cover);
+  check tb "centre covered" true (List.mem 0 cover);
+  check ti "optimum is 1"
+    1
+    (Vertex_cover.minimum_cover_size
+       (Dynfo_graph.Graph.of_structure
+          (Structure.with_rel (Runner.input !s) "E"
+             (Relation.symmetric_closure
+                (Structure.rel (Runner.input !s) "E")))
+          "E"))
+
+(* --- EF games: the "not static FO" premise -------------------------------- *)
+
+let structure_of_graph g =
+  let v = Vocab.make ~rels:[ ("E", 2) ] ~consts:[] in
+  Dynfo_graph.Graph.to_structure
+    (Structure.create ~size:(Dynfo_graph.Graph.n_vertices g) v)
+    "E" g
+
+let cycle n = structure_of_graph (Dynfo_graph.Generate.cycle n)
+
+let two_cycles k =
+  let g = Dynfo_graph.Graph.create (2 * k) in
+  for i = 0 to k - 1 do
+    Dynfo_graph.Graph.add_uedge g i ((i + 1) mod k);
+    Dynfo_graph.Graph.add_uedge g (k + i) (k + ((i + 1) mod k))
+  done;
+  structure_of_graph g
+
+let test_ef_reflexive () =
+  check tb "C6 ~ C6 (3 rounds)" true
+    (Ef_game.equivalent ~rounds:3 (cycle 6) (cycle 6));
+  (* isomorphic but differently-labelled structures *)
+  let p = structure_of_graph (Dynfo_graph.Generate.path 4) in
+  let p' =
+    let g = Dynfo_graph.Graph.create 4 in
+    List.iter (fun (u, v) -> Dynfo_graph.Graph.add_uedge g u v)
+      [ (3, 1); (1, 0); (0, 2) ];
+    structure_of_graph g
+  in
+  check tb "isomorphic paths" true (Ef_game.equivalent ~rounds:3 p p')
+
+let test_ef_distinguishes () =
+  let p3 = structure_of_graph (Dynfo_graph.Generate.path 3) in
+  let k3 = structure_of_graph (Dynfo_graph.Generate.complete 3) in
+  check tb "K3 vs P3 at two rounds" true
+    (Ef_game.distinguishing_rounds k3 p3 = Some 2);
+  (* an edge vs no edge: one round is not enough (atoms need two
+     pebbles), two rounds suffice *)
+  let e1 =
+    structure_of_graph
+      (let g = Dynfo_graph.Graph.create 3 in
+       Dynfo_graph.Graph.add_uedge g 0 1;
+       g)
+  in
+  let e0 = structure_of_graph (Dynfo_graph.Graph.create 3) in
+  check tb "edge vs empty" true
+    (Ef_game.distinguishing_rounds e1 e0 = Some 2)
+
+let test_ef_connectivity_not_rank2 () =
+  (* the paper's premise, executably: a connected and a disconnected
+     graph that agree on all sentences of quantifier rank <= 2 — so no
+     rank-2 FO sentence defines connectivity over <E> *)
+  check tb "C10 ~2~ C5+C5" true
+    (Ef_game.equivalent ~rounds:2 (cycle 10) (two_cycles 5));
+  check tb "and they differ on connectivity" true
+    (Dynfo_graph.Traversal.connected
+       (Dynfo_graph.Graph.of_structure (cycle 10) "E")
+    && not
+         (Dynfo_graph.Traversal.connected
+            (Dynfo_graph.Graph.of_structure (two_cycles 5) "E")))
+
+let test_ef_connectivity_not_rank3 () =
+  (* rank 3 still cannot tell them apart *)
+  check tb "C10 ~3~ C5+C5" true
+    (Ef_game.equivalent ~rounds:3 (cycle 10) (two_cycles 5))
+
+(* --- regular languages across representations ----------------------------- *)
+
+let test_regular_minimised_agrees () =
+  (* the Dyn-FO program is determined by the language, not the automaton:
+     a DFA and its minimisation must answer identically forever *)
+  let alphabet = [ 'a'; 'b' ] in
+  List.iter
+    (fun pattern ->
+      let d = Dynfo_automata.Regex.compile ~alphabet pattern in
+      let m = Dynfo_automata.Dfa_ops.minimise d in
+      check tb (pattern ^ " minimised is no larger") true
+        (m.Dynfo_automata.Dfa.n_states <= d.Dynfo_automata.Dfa.n_states);
+      for seed = 1 to 3 do
+        let rng = Random.State.make [| seed; 17 |] in
+        let reqs = Regular.workload d rng ~size:8 ~length:50 in
+        (* the two programs have different relation names (per-character
+           indices are shared since alphabets coincide), so drive them
+           separately and compare answers *)
+        let a = (Dyn.of_program (Regular.program d)).create 8 () in
+        let b = (Dyn.of_program (Regular.program m)).create 8 () in
+        List.iteri
+          (fun i r ->
+            a.apply r;
+            b.apply r;
+            if a.query () <> b.query () then
+              Alcotest.failf "%s: diverged at request %d (seed %d)" pattern i
+                seed)
+          reqs
+      done)
+    [ "(ab)*"; "a*b*"; ".*ba.*"; "(a|ba)*b?" ]
+
+(* --- end-to-end: a request script through FO REACH_u and its work ------- *)
+
+let test_script_pipeline () =
+  let script =
+    [ "set s 0"; "set t 3"; "ins E (0,1)"; "ins E (1,2)"; "ins E (2,3)";
+      "del E (1,2)"; "ins E (1,3)" ]
+  in
+  (* initially s = t = 0, so the first query is trivially true *)
+  let expected = [ true; false; false; false; true; false; true ] in
+  let s = ref (Runner.init Reach_u.program ~size:6) in
+  List.iter2
+    (fun line want ->
+      s := Runner.step !s (Request.parse line);
+      check tb line want (Runner.query !s))
+    script expected
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "full sweep" `Slow test_registry_sweep;
+          Alcotest.test_case "unique names" `Quick test_registry_names_unique;
+          Alcotest.test_case "workloads valid" `Quick
+            test_registry_workloads_valid;
+        ] );
+      ( "semi-dynamic (Dyn_s-FO)",
+        [
+          Alcotest.test_case "insert-only REACH == oracle" `Slow
+            test_semi_dynamic_reach;
+          Alcotest.test_case "cycles are fine" `Quick
+            test_semi_dynamic_cycles_ok;
+          Alcotest.test_case "deletion breaks it (by design)" `Quick
+            test_semi_dynamic_deletion_breaks;
+        ] );
+      ( "vertex cover 2-approx",
+        [
+          Alcotest.test_case "valid and within factor 2" `Slow
+            test_vertex_cover_invariant;
+          Alcotest.test_case "star scenario" `Quick test_vertex_cover_scenario;
+        ] );
+      ( "ef-games (not static FO)",
+        [
+          Alcotest.test_case "reflexivity / isomorphism" `Quick
+            test_ef_reflexive;
+          Alcotest.test_case "distinguishes when it should" `Quick
+            test_ef_distinguishes;
+          Alcotest.test_case "connectivity beyond rank 2" `Quick
+            test_ef_connectivity_not_rank2;
+          Alcotest.test_case "connectivity beyond rank 3" `Slow
+            test_ef_connectivity_not_rank3;
+        ] );
+      ( "regular-representations",
+        [
+          Alcotest.test_case "DFA vs its minimisation" `Slow
+            test_regular_minimised_agrees;
+        ] );
+      ( "pipeline",
+        [ Alcotest.test_case "scripted REACH_u" `Quick test_script_pipeline ]
+      );
+    ]

@@ -1,0 +1,540 @@
+(* The executable statements of the paper's theorems: every Section 4
+   dynamic program is cross-checked against its static oracle (and a
+   native dynamic implementation where one exists) over randomized
+   request sequences, plus whitebox auxiliary-relation invariants and
+   deterministic scenarios. *)
+
+open Dynfo
+open Dynfo_programs
+
+let check = Alcotest.check
+let tb = Alcotest.bool
+
+let run_compare name impls wl ~sizes ~seeds ~length =
+  List.iter
+    (fun size ->
+      List.iter
+        (fun seed ->
+          let rng = Random.State.make [| seed; size; 77 |] in
+          let reqs = wl rng ~size ~length in
+          match Harness.compare_all ~size (impls ()) reqs with
+          | Harness.Ok _ -> ()
+          | m ->
+              Alcotest.failf "%s (seed %d, size %d): %s" name seed size
+                (Format.asprintf "%a" Harness.pp_outcome m))
+        seeds)
+    sizes
+
+let sweep_invariant program wl invariant ~size ~length ~seed =
+  let rng = Random.State.make [| seed; size |] in
+  let reqs = wl rng ~size ~length in
+  let state = ref (Runner.init program ~size) in
+  List.iteri
+    (fun i r ->
+      state := Runner.step !state r;
+      match invariant !state with
+      | Result.Ok () -> ()
+      | Error m ->
+          Alcotest.failf "invariant broken after request %d (%s): %s" i
+            (Request.to_string r) m)
+    reqs
+
+(* --- Theorem 4.1: REACH_u ----------------------------------------------- *)
+
+let test_reach_u_agreement () =
+  run_compare "reach_u"
+    (fun () ->
+      [ Dyn.of_program Reach_u.program; Reach_u.native; Reach_u.static ])
+    Reach_u.workload ~sizes:[ 5; 8 ] ~seeds:[ 1; 2; 3; 4; 5 ] ~length:90
+
+let test_reach_u_invariant () =
+  sweep_invariant Reach_u.program Reach_u.workload Reach_u.forest_invariant
+    ~size:7 ~length:70 ~seed:42
+
+let test_reach_u_scenario () =
+  (* build a path, query, cut it in the middle, re-link through a spare
+     edge *)
+  let s = ref (Runner.init Reach_u.program ~size:6) in
+  let go r = s := Runner.step !s r in
+  List.iter go
+    [ Request.ins "E" [ 0; 1 ]; Request.ins "E" [ 1; 2 ];
+      Request.ins "E" [ 2; 3 ]; Request.set "s" 0; Request.set "t" 3 ];
+  check tb "path connects" true (Runner.query !s);
+  go (Request.ins "E" [ 0; 3 ]);
+  go (Request.del "E" [ 1; 2 ]);
+  check tb "cycle edge keeps it connected" true (Runner.query !s);
+  go (Request.del "E" [ 0; 3 ]);
+  check tb "now split" false (Runner.query !s);
+  go (Request.set "t" 1);
+  check tb "same side still reachable" true (Runner.query !s)
+
+let test_reach_u_noop_requests () =
+  (* inserting a present edge / deleting an absent one must not corrupt
+     the forest *)
+  let s = ref (Runner.init Reach_u.program ~size:5) in
+  let go r = s := Runner.step !s r in
+  List.iter go
+    [ Request.ins "E" [ 0; 1 ]; Request.ins "E" [ 0; 1 ];
+      Request.ins "E" [ 1; 0 ]; Request.del "E" [ 2; 3 ] ];
+  (match Reach_u.forest_invariant !s with
+  | Result.Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  List.iter go [ Request.set "s" 0; Request.set "t" 1 ];
+  check tb "still connected" true (Runner.query !s);
+  go (Request.del "E" [ 0; 1 ]);
+  check tb "single delete removes both directions" false (Runner.query !s)
+
+(* --- Theorem 4.2: REACH (acyclic) --------------------------------------- *)
+
+let test_reach_acyclic_agreement () =
+  run_compare "reach_acyclic"
+    (fun () ->
+      [ Dyn.of_program Reach_acyclic.program; Reach_acyclic.native;
+        Reach_acyclic.static ])
+    Reach_acyclic.workload ~sizes:[ 5; 8 ] ~seeds:[ 1; 2; 3; 4; 5 ] ~length:90
+
+let test_reach_acyclic_invariant () =
+  sweep_invariant Reach_acyclic.program Reach_acyclic.workload
+    Reach_acyclic.path_invariant ~size:8 ~length:80 ~seed:9
+
+let test_reach_acyclic_scenario () =
+  let s = ref (Runner.init Reach_acyclic.program ~size:5) in
+  let go r = s := Runner.step !s r in
+  (* diamond 0 -> {1,2} -> 3 *)
+  List.iter go
+    [ Request.ins "E" [ 0; 1 ]; Request.ins "E" [ 0; 2 ];
+      Request.ins "E" [ 1; 3 ]; Request.ins "E" [ 2; 3 ];
+      Request.set "s" 0; Request.set "t" 3 ];
+  check tb "diamond" true (Runner.query !s);
+  go (Request.del "E" [ 1; 3 ]);
+  check tb "other branch survives" true (Runner.query !s);
+  go (Request.del "E" [ 2; 3 ]);
+  check tb "both branches gone" false (Runner.query !s)
+
+(* --- Corollary 4.3: transitive reduction -------------------------------- *)
+
+let test_trans_reduction_agreement () =
+  run_compare "trans_reduction"
+    (fun () ->
+      [ Dyn.of_program Trans_reduction.program; Trans_reduction.static ])
+    Trans_reduction.workload ~sizes:[ 5; 7 ] ~seeds:[ 1; 2; 3; 4; 5 ] ~length:70
+
+let test_trans_reduction_invariant () =
+  sweep_invariant Trans_reduction.program Trans_reduction.workload
+    Trans_reduction.tr_invariant ~size:7 ~length:70 ~seed:3
+
+let test_trans_reduction_reinsert () =
+  (* re-inserting a present reduction edge must be a no-op (the guard we
+     added to the paper's formula) *)
+  let s = ref (Runner.init Trans_reduction.program ~size:4) in
+  let go r = s := Runner.step !s r in
+  List.iter go [ Request.ins "E" [ 0; 1 ]; Request.ins "E" [ 0; 1 ] ];
+  match Trans_reduction.tr_invariant !s with
+  | Result.Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+(* --- Theorem 4.4: minimum spanning forest ------------------------------- *)
+
+let test_msf_agreement () =
+  run_compare "msf"
+    (fun () -> [ Dyn.of_program Msf.program; Msf.native; Msf.static ])
+    Msf.workload ~sizes:[ 5; 7 ] ~seeds:[ 1; 2; 3; 4; 5 ] ~length:70
+
+let test_msf_invariant () =
+  sweep_invariant Msf.program Msf.workload Msf.msf_invariant ~size:6
+    ~length:60 ~seed:11
+
+let test_msf_swap_scenario () =
+  (* triangle: heavy edge must stay out of the forest; deleting a light
+     edge brings it back *)
+  let s = ref (Runner.init Msf.program ~size:4) in
+  let go r = s := Runner.step !s r in
+  List.iter go
+    [ Request.ins "E" [ 0; 1; 1 ]; Request.ins "E" [ 1; 2; 1 ];
+      Request.ins "E" [ 0; 2; 3 ]; Request.set "s" 0; Request.set "t" 2 ];
+  check tb "heavy edge not in MSF" false (Runner.query !s);
+  go (Request.del "E" [ 1; 2; 1 ]);
+  check tb "heavy edge now needed" true (Runner.query !s);
+  (* inserting a cheaper parallel route swaps the heavy edge out *)
+  go (Request.ins "E" [ 1; 2; 0 ]);
+  check tb "swap back out" false (Runner.query !s)
+
+(* --- Theorem 4.5(1): bipartiteness --------------------------------------- *)
+
+let test_bipartite_agreement () =
+  run_compare "bipartite"
+    (fun () ->
+      [ Dyn.of_program Bipartite_prog.program; Bipartite_prog.native;
+        Bipartite_prog.static ])
+    Bipartite_prog.workload ~sizes:[ 5; 7 ] ~seeds:[ 1; 2; 3; 4; 5 ] ~length:80
+
+let test_bipartite_scenario () =
+  let s = ref (Runner.init Bipartite_prog.program ~size:5) in
+  let go r = s := Runner.step !s r in
+  check tb "empty graph bipartite" true (Runner.query !s);
+  List.iter go
+    [ Request.ins "E" [ 0; 1 ]; Request.ins "E" [ 1; 2 ];
+      Request.ins "E" [ 2; 3 ]; Request.ins "E" [ 3; 0 ] ];
+  check tb "C4 bipartite" true (Runner.query !s);
+  go (Request.ins "E" [ 0; 2 ]);
+  check tb "chord makes C3" false (Runner.query !s);
+  go (Request.del "E" [ 0; 2 ]);
+  check tb "back to C4" true (Runner.query !s)
+
+(* --- Theorem 4.5(2): k-edge connectivity --------------------------------- *)
+
+let test_k_edge_agreement () =
+  run_compare "k_edge(1)"
+    (fun () -> [ Dyn.of_program (K_edge.program ~k:1); K_edge.static ~k:1 ])
+    K_edge.workload ~sizes:[ 5 ] ~seeds:[ 1; 2; 3; 4; 5 ] ~length:40
+
+let test_k_edge_zero_is_connectivity () =
+  (* k = 0 composition degenerates to plain connectivity of the whole
+     universe *)
+  run_compare "k_edge(0)"
+    (fun () ->
+      [
+        Dyn.of_program (K_edge.program ~k:0);
+        Dyn.static ~name:"conn-static" ~input_vocab:Common.graph_vocab
+          ~symmetric_rels:[ "E" ]
+          ~oracle:(fun st ->
+            let sym =
+              Dynfo_logic.Relation.symmetric_closure
+                (Dynfo_logic.Structure.rel st "E")
+            in
+            Dynfo_graph.Traversal.connected
+              (Dynfo_graph.Graph.of_structure
+                 (Dynfo_logic.Structure.with_rel st "E" sym)
+                 "E"));
+      ])
+    K_edge.workload ~sizes:[ 6 ] ~seeds:[ 4; 5 ] ~length:60
+
+let test_k_edge_scenario () =
+  (* a cycle survives any single deletion; a path does not *)
+  let p = K_edge.program ~k:1 in
+  let s = ref (Runner.init p ~size:4) in
+  let go r = s := Runner.step !s r in
+  List.iter go
+    [ Request.ins "E" [ 0; 1 ]; Request.ins "E" [ 1; 2 ];
+      Request.ins "E" [ 2; 3 ] ];
+  check tb "path is not 2-edge-connected" false (Runner.query !s);
+  go (Request.ins "E" [ 3; 0 ]);
+  check tb "cycle survives one deletion" true (Runner.query !s);
+  go (Request.del "E" [ 1; 2 ]);
+  check tb "broken cycle does not" false (Runner.query !s)
+
+let test_k_edge_composition_growth () =
+  (* the composed query grows with k but its quantifier depth grows
+     linearly — the "constant k" in the theorem *)
+  let q1 = K_edge.query_formula 1 and q2 = K_edge.query_formula 2 in
+  check tb "size grows" true
+    (Dynfo_logic.Formula.size q2 > Dynfo_logic.Formula.size q1);
+  check tb "depth linear" true
+    (Dynfo_logic.Formula.quantifier_depth q2
+     <= 2 * Dynfo_logic.Formula.quantifier_depth q1)
+
+(* --- Theorem 4.5(3): maximal matching ------------------------------------ *)
+
+let test_matching_agreement () =
+  run_compare "matching"
+    (fun () -> [ Dyn.of_program Matching_prog.program; Matching_prog.native ])
+    Matching_prog.workload ~sizes:[ 5; 7 ] ~seeds:[ 1; 2; 3; 4; 5 ] ~length:80
+
+let test_matching_invariant () =
+  sweep_invariant Matching_prog.program Matching_prog.workload
+    Matching_prog.matching_invariant ~size:7 ~length:80 ~seed:5
+
+let test_matching_rematch_scenario () =
+  (* deleting a matched edge re-matches both endpoints to their minimum
+     free neighbours *)
+  let s = ref (Runner.init Matching_prog.program ~size:6) in
+  let go r = s := Runner.step !s r in
+  List.iter go
+    [ Request.ins "E" [ 2; 3 ];  (* matched: (2,3) *)
+      Request.ins "E" [ 2; 4 ];  (* 4 stays free *)
+      Request.ins "E" [ 3; 5 ];  (* 5 stays free *)
+      Request.del "E" [ 2; 3 ] ];
+  check tb "2 re-matched to 4" true
+    (Runner.query_named !s "matched" [ 2; 4 ]);
+  check tb "3 re-matched to 5" true
+    (Runner.query_named !s "matched" [ 3; 5 ])
+
+(* --- Theorem 4.5(4): LCA -------------------------------------------------- *)
+
+let test_lca_agreement () =
+  run_compare "lca"
+    (fun () -> [ Dyn.of_program Lca_prog.program; Lca_prog.static ])
+    Lca_prog.workload ~sizes:[ 5; 8 ] ~seeds:[ 1; 2; 3; 4; 5 ] ~length:70
+
+let test_lca_values () =
+  let size = 8 in
+  let rng = Random.State.make [| 21 |] in
+  let reqs = Lca_prog.workload rng ~size ~length:50 in
+  let st = ref (Runner.init Lca_prog.program ~size) in
+  List.iter
+    (fun r ->
+      st := Runner.step !st r;
+      let g = Dynfo_graph.Graph.of_structure (Runner.input !st) "E" in
+      for x = 0 to size - 1 do
+        for y = 0 to size - 1 do
+          if Lca_prog.lca_of !st x y <> Dynfo_graph.Lca.lca g x y then
+            Alcotest.failf "lca(%d,%d) wrong" x y
+        done
+      done)
+    reqs
+
+(* --- Theorem 4.6: regular languages -------------------------------------- *)
+
+let regular_dfas =
+  [
+    ("even_zeros", Dynfo_automata.Dfa.even_zeros);
+    ("mod3", Dynfo_automata.Dfa.mod_k 3);
+    ("no_double_one", Dynfo_automata.Dfa.no_double_one);
+    ("regex_ab_star", Dynfo_automata.Regex.compile ~alphabet:[ 'a'; 'b' ] "(ab)*");
+    ("regex_contains", Dynfo_automata.Regex.compile ~alphabet:[ 'a'; 'b' ] ".*ba.*");
+  ]
+
+let test_regular_agreement () =
+  List.iter
+    (fun (name, d) ->
+      run_compare ("regular/" ^ name)
+        (fun () ->
+          [ Dyn.of_program (Regular.program d); Regular.native d;
+            Regular.static d ])
+        (Regular.workload d) ~sizes:[ 7 ] ~seeds:[ 1; 2 ] ~length:50)
+    regular_dfas
+
+let test_regular_scenario () =
+  let d = Dynfo_automata.Dfa.even_zeros in
+  let p = Regular.program d in
+  let s = ref (Runner.init p ~size:6) in
+  let go r = s := Runner.step !s r in
+  check tb "empty string accepted" true (Runner.query !s);
+  let zero = Regular.rel_of_char d '0' and one = Regular.rel_of_char d '1' in
+  go (Request.ins zero [ 2 ]);
+  check tb "one zero" false (Runner.query !s);
+  go (Request.ins one [ 0 ]);
+  check tb "1 then 0" false (Runner.query !s);
+  go (Request.ins zero [ 5 ]);
+  check tb "two zeros" true (Runner.query !s);
+  go (Request.del zero [ 2 ]);
+  check tb "back to one zero" false (Runner.query !s)
+
+(* --- Proposition 4.7: multiplication -------------------------------------- *)
+
+let test_mult_agreement () =
+  run_compare "mult"
+    (fun () ->
+      [ Dyn.of_program Mult_prog.program; Mult_prog.native; Mult_prog.static ])
+    Mult_prog.workload ~sizes:[ 5; 8 ] ~seeds:[ 1; 2; 3; 4; 5 ] ~length:70
+
+let test_mult_scenario () =
+  (* x = 3, y = 5, product 15: bits 0..3 *)
+  let s = ref (Runner.init Mult_prog.program ~size:8) in
+  let go r = s := Runner.step !s r in
+  List.iter go
+    [ Request.ins "X" [ 0 ]; Request.ins "X" [ 1 ];
+      Request.ins "Y" [ 0 ]; Request.ins "Y" [ 2 ] ];
+  let bit i =
+    s := Runner.step !s (Request.set "q" i);
+    Runner.query !s
+  in
+  List.iteri
+    (fun i expected -> check tb (Printf.sprintf "bit %d of 15" i) expected (bit i))
+    [ true; true; true; true; false; false; false; false ];
+  (* clear a bit of x: 2 * 5 = 10 = 1010 *)
+  List.iter go [ Request.del "X" [ 0 ] ];
+  List.iteri
+    (fun i expected -> check tb (Printf.sprintf "bit %d of 10" i) expected (bit i))
+    [ false; true; false; true ]
+
+let test_plus_formula () =
+  let v = Dynfo_logic.Vocab.make ~rels:[] ~consts:[] in
+  let st = Dynfo_logic.Structure.create ~size:12 v in
+  for x = 0 to 11 do
+    for y = 0 to 11 do
+      for z = 0 to 11 do
+        let holds =
+          Dynfo_logic.Eval.holds st
+            ~env:[ ("x", x); ("y", y); ("z", z) ]
+            (Mult_prog.plus_formula "x" "y" "z")
+        in
+        if holds <> (x + y = z) then
+          Alcotest.failf "PLUS(%d,%d,%d) evaluated to %b" x y z holds
+      done
+    done
+  done
+
+(* --- Proposition 4.8: Dyck languages -------------------------------------- *)
+
+let test_dyck_agreement () =
+  List.iter
+    (fun k ->
+      run_compare
+        (Printf.sprintf "dyck(%d)" k)
+        (fun () ->
+          [ Dyn.of_program (Dyck_prog.program ~k); Dyck_prog.static ~k ])
+        (Dyck_prog.workload ~k) ~sizes:[ 6; 9 ] ~seeds:[ 1; 2; 3; 4; 5 ] ~length:60)
+    [ 1; 2 ]
+
+let test_dyck_scenario () =
+  let p = Dyck_prog.program ~k:2 in
+  let s = ref (Runner.init p ~size:8) in
+  let go r = s := Runner.step !s r in
+  check tb "empty well-formed" true (Runner.query !s);
+  List.iter go [ Request.ins "L1" [ 1 ]; Request.ins "R1" [ 4 ] ];
+  check tb "( ) with gaps" true (Runner.query !s);
+  List.iter go [ Request.ins "L2" [ 2 ]; Request.ins "R1" [ 3 ] ];
+  check tb "type clash" false (Runner.query !s);
+  List.iter go [ Request.del "R1" [ 3 ]; Request.ins "R2" [ 3 ] ];
+  check tb "fixed" true (Runner.query !s);
+  go (Request.del "L1" [ 1 ]);
+  check tb "dangling close" false (Runner.query !s)
+
+(* --- Derived: Eulerian circuits (Ex 3.2 + Thm 4.1 composed) --------------- *)
+
+let test_eulerian_agreement () =
+  run_compare "eulerian"
+    (fun () ->
+      [ Dyn.of_program Eulerian.program; Eulerian.native; Eulerian.static ])
+    Eulerian.workload ~sizes:[ 5; 7 ] ~seeds:[ 1; 2; 3; 4; 5 ] ~length:70
+
+let test_eulerian_scenario () =
+  let s = ref (Runner.init Eulerian.program ~size:5) in
+  let go r = s := Runner.step !s (Request.parse r) in
+  check tb "empty graph" true (Runner.query !s);
+  go "ins E (0,1)";
+  check tb "single edge: odd degrees" false (Runner.query !s);
+  go "ins E (1,2)";
+  go "ins E (2,0)";
+  check tb "triangle" true (Runner.query !s);
+  go "ins E (3,4)";
+  check tb "two components with edges" false (Runner.query !s);
+  go "del E (3,4)";
+  check tb "triangle again" true (Runner.query !s);
+  (* figure-eight: two triangles sharing vertex 0 would need more
+     vertices; instead check the classic K4 (all degrees 3): no *)
+  go "ins E (0,3)";
+  go "ins E (1,3)";
+  check tb "two odd vertices" false (Runner.query !s);
+  go "ins E (0,1)";
+  (* re-inserting an existing edge is a no-op *)
+  check tb "no-op insert" false (Runner.query !s)
+
+(* --- Theorem 5.14: PAD(REACH_a) ------------------------------------------- *)
+
+let test_pad_reach_a_agreement () =
+  run_compare "pad_reach_a"
+    (fun () -> [ Dyn.of_program Pad_reach_a.program; Pad_reach_a.static ])
+    Pad_reach_a.workload ~sizes:[ 5; 6 ] ~seeds:[ 1; 2; 3; 4; 5 ] ~length:10
+
+let test_pad_reach_a_scenario () =
+  let n = 4 in
+  let s = ref (Runner.init Pad_reach_a.program ~size:n) in
+  let sweep mk = List.iter (fun c -> s := Runner.step !s (mk c)) (List.init n Fun.id) in
+  (* edge max -> min, all copies: now max reaches min existentially *)
+  sweep (fun c -> Request.ins "Ep" [ c; n - 1; 0 ]);
+  check tb "direct edge" true (Runner.query !s);
+  (* make max universal with a second, dead-end successor *)
+  sweep (fun c -> Request.ins "Ep" [ c; n - 1; 2 ]);
+  sweep (fun c -> Request.ins "Up" [ c; n - 1 ]);
+  check tb "universal with failing branch" false (Runner.query !s);
+  sweep (fun c -> Request.ins "Ep" [ c; 2; 0 ]);
+  check tb "both branches reach" true (Runner.query !s)
+
+let test_pad_mid_sweep_is_false () =
+  let n = 4 in
+  let s = ref (Runner.init Pad_reach_a.program ~size:n) in
+  s := Runner.step !s (Request.ins "Ep" [ 0; n - 1; 0 ]);
+  check tb "padding violated mid-sweep" false (Runner.query !s)
+
+let () =
+  Alcotest.run "programs"
+    [
+      ( "thm4.1-reach_u",
+        [
+          Alcotest.test_case "FO == native == static" `Slow
+            test_reach_u_agreement;
+          Alcotest.test_case "forest/PV invariant" `Slow test_reach_u_invariant;
+          Alcotest.test_case "scenario" `Quick test_reach_u_scenario;
+          Alcotest.test_case "no-op requests" `Quick test_reach_u_noop_requests;
+        ] );
+      ( "thm4.2-reach_acyclic",
+        [
+          Alcotest.test_case "FO == native == static" `Slow
+            test_reach_acyclic_agreement;
+          Alcotest.test_case "path invariant" `Slow test_reach_acyclic_invariant;
+          Alcotest.test_case "scenario" `Quick test_reach_acyclic_scenario;
+        ] );
+      ( "cor4.3-trans_reduction",
+        [
+          Alcotest.test_case "FO == static" `Slow test_trans_reduction_agreement;
+          Alcotest.test_case "TR invariant" `Slow test_trans_reduction_invariant;
+          Alcotest.test_case "reinsert guard" `Quick
+            test_trans_reduction_reinsert;
+        ] );
+      ( "thm4.4-msf",
+        [
+          Alcotest.test_case "FO == native == static" `Slow test_msf_agreement;
+          Alcotest.test_case "Kruskal invariant" `Slow test_msf_invariant;
+          Alcotest.test_case "swap scenario" `Quick test_msf_swap_scenario;
+        ] );
+      ( "thm4.5.1-bipartite",
+        [
+          Alcotest.test_case "FO == native == static" `Slow
+            test_bipartite_agreement;
+          Alcotest.test_case "scenario" `Quick test_bipartite_scenario;
+        ] );
+      ( "thm4.5.2-k_edge",
+        [
+          Alcotest.test_case "k=1 FO == static" `Slow test_k_edge_agreement;
+          Alcotest.test_case "k=0 degenerates to connectivity" `Slow
+            test_k_edge_zero_is_connectivity;
+          Alcotest.test_case "scenario" `Quick test_k_edge_scenario;
+          Alcotest.test_case "composition growth" `Quick
+            test_k_edge_composition_growth;
+        ] );
+      ( "thm4.5.3-matching",
+        [
+          Alcotest.test_case "FO == native" `Slow test_matching_agreement;
+          Alcotest.test_case "maximality invariant" `Slow
+            test_matching_invariant;
+          Alcotest.test_case "re-match scenario" `Quick
+            test_matching_rematch_scenario;
+        ] );
+      ( "thm4.5.4-lca",
+        [
+          Alcotest.test_case "FO == static" `Slow test_lca_agreement;
+          Alcotest.test_case "LCA values == oracle" `Slow test_lca_values;
+        ] );
+      ( "thm4.6-regular",
+        [
+          Alcotest.test_case "FO == segtree == static (5 DFAs)" `Slow
+            test_regular_agreement;
+          Alcotest.test_case "scenario" `Quick test_regular_scenario;
+        ] );
+      ( "prop4.7-mult",
+        [
+          Alcotest.test_case "FO == native == static" `Slow test_mult_agreement;
+          Alcotest.test_case "3*5 then 2*5" `Quick test_mult_scenario;
+          Alcotest.test_case "PLUS via BIT" `Slow test_plus_formula;
+        ] );
+      ( "prop4.8-dyck",
+        [
+          Alcotest.test_case "FO == static (k=1,2)" `Slow test_dyck_agreement;
+          Alcotest.test_case "scenario" `Quick test_dyck_scenario;
+        ] );
+      ( "derived-eulerian",
+        [
+          Alcotest.test_case "FO == native == static" `Slow
+            test_eulerian_agreement;
+          Alcotest.test_case "scenario" `Quick test_eulerian_scenario;
+        ] );
+      ( "thm5.14-pad_reach_a",
+        [
+          Alcotest.test_case "FO == static" `Slow test_pad_reach_a_agreement;
+          Alcotest.test_case "scenario" `Quick test_pad_reach_a_scenario;
+          Alcotest.test_case "mid-sweep false" `Quick
+            test_pad_mid_sweep_is_false;
+        ] );
+    ]

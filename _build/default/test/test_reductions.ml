@@ -1,0 +1,283 @@
+(* Tests for Section 5: first-order interpretations, bounded expansion,
+   the transfer theorem, padding and COLOR-REACH. *)
+
+open Dynfo_logic
+open Dynfo_reductions
+
+let check = Alcotest.check
+let tb = Alcotest.bool
+let ti = Alcotest.int
+
+let rng_of seed = Random.State.make [| seed |]
+
+(* --- Interpretations (Definition 2.2) ----------------------------------- *)
+
+let test_apply_unary () =
+  (* complement-of-edges interpretation *)
+  let v = Vocab.make ~rels:[ ("E", 2) ] ~consts:[] in
+  let i =
+    Interpretation.make ~k:1 ~src_vocab:v ~dst_vocab:v
+      ~rel_defs:[ ("E", [ "x"; "y" ], Parser.parse "~E(x, y)") ]
+      ~const_defs:[]
+  in
+  let st = Structure.add_tuple (Structure.create ~size:3 v) "E" [| 0; 1 |] in
+  let out = Interpretation.apply i st in
+  check ti "complement size" 8 (Relation.cardinal (Structure.rel out "E"));
+  check tb "flipped" false (Structure.mem out "E" [| 0; 1 |])
+
+let test_apply_binary () =
+  (* k=2: universe squares; the target edge relation links <x,y> pairs
+     sharing the first component *)
+  let v = Vocab.make ~rels:[ ("E", 2) ] ~consts:[ "c" ] in
+  let i =
+    Interpretation.make ~k:2 ~src_vocab:v ~dst_vocab:v
+      ~rel_defs:
+        [ ("E", [ "x1"; "x2"; "y1"; "y2" ], Parser.parse "x1 = y1") ]
+      ~const_defs:[ ("c", [ "c"; "c" ]) ]
+  in
+  let st = Structure.with_const (Structure.create ~size:3 v) "c" 2 in
+  let out = Interpretation.apply i st in
+  check ti "universe squared" 9 (Structure.size out);
+  check ti "pair constant" ((2 * 3) + 2) (Structure.const out "c");
+  check tb "same first component" true
+    (Structure.mem out "E" [| Tuple.encode ~size:3 [| 1; 0 |];
+                              Tuple.encode ~size:3 [| 1; 2 |] |]);
+  check tb "different first component" false
+    (Structure.mem out "E" [| Tuple.encode ~size:3 [| 1; 0 |];
+                              Tuple.encode ~size:3 [| 2; 0 |] |])
+
+let test_validation () =
+  let v = Vocab.make ~rels:[ ("E", 2) ] ~consts:[] in
+  match
+    Interpretation.make ~k:1 ~src_vocab:v ~dst_vocab:v
+      ~rel_defs:[ ("E", [ "x" ], Formula.True) ]
+      ~const_defs:[]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "wrong variable count accepted"
+
+let test_compose_transitivity () =
+  (* Proposition 5.2: composing two unary interpretations agrees with
+     applying them in sequence *)
+  let v = Vocab.make ~rels:[ ("E", 2) ] ~consts:[] in
+  let reverse =
+    Interpretation.make ~k:1 ~src_vocab:v ~dst_vocab:v
+      ~rel_defs:[ ("E", [ "x"; "y" ], Parser.parse "E(y, x)") ]
+      ~const_defs:[]
+  in
+  let closure_step =
+    Interpretation.make ~k:1 ~src_vocab:v ~dst_vocab:v
+      ~rel_defs:
+        [ ("E", [ "x"; "y" ], Parser.parse "E(x, y) | ex z (E(x, z) & E(z, y))") ]
+      ~const_defs:[]
+  in
+  let composed = Interpretation.compose closure_step reverse in
+  for seed = 1 to 20 do
+    let g = Dynfo_graph.Generate.gnp (rng_of seed) ~n:5 ~p:0.3 ~directed:true in
+    let st = Dynfo_graph.Graph.to_structure (Structure.create ~size:5 v) "E" g in
+    let direct =
+      Interpretation.apply closure_step (Interpretation.apply reverse st)
+    in
+    let via_compose = Interpretation.apply composed st in
+    if not (Structure.equal direct via_compose) then
+      Alcotest.failf "composition mismatch at seed %d" seed
+  done
+
+(* --- I_{d-u} (Example 2.1) ----------------------------------------------- *)
+
+let reduction_correct_qcheck =
+  QCheck.Test.make
+    ~name:"A in REACH_d <-> I(A) in REACH_u (Example 2.1)" ~count:60
+    QCheck.(pair (int_range 1 2000) (int_range 2 8))
+    (fun (seed, n) ->
+      let rng = rng_of seed in
+      let st = ref (Structure.create ~size:n Reach_d_to_u.graph_vocab) in
+      let reqs = Reach_d_to_u.workload rng ~size:n ~length:40 in
+      List.for_all
+        (fun r ->
+          st := Expansion.apply_request !st r;
+          Reach_d_to_u.correct_on !st)
+        reqs)
+
+let test_expansion_bound () =
+  (* Definition 5.1: each edge request changes at most 2 undirected
+     edges = 4 tuples of the symmetric image; a [set t] request also
+     moves the constant and re-enables/disables edges at both old and
+     new t, for 5 changes total. *)
+  let bound = function
+    | Dynfo.Request.Ins _ | Dynfo.Request.Del _ -> 4
+    | Dynfo.Request.Set _ -> 5
+  in
+  for seed = 1 to 15 do
+    let rng = rng_of seed in
+    let st = ref (Structure.create ~size:7 Reach_d_to_u.graph_vocab) in
+    let reqs = Reach_d_to_u.workload rng ~size:7 ~length:60 in
+    List.iter
+      (fun r ->
+        let e = Expansion.expansion_of_request Reach_d_to_u.interpretation !st r in
+        if e > bound r then
+          Alcotest.failf "expansion %d > %d for %s (seed %d)" e (bound r)
+            (Dynfo.Request.to_string r) seed;
+        st := Expansion.apply_request !st r)
+      reqs
+  done
+
+let test_initial_image_empty () =
+  (* bfo (not just bfo+): the image of the all-empty structure has no
+     tuples *)
+  List.iter
+    (fun n ->
+      check ti
+        (Printf.sprintf "initial tuples at n=%d" n)
+        0
+        (Expansion.initial_tuples Reach_d_to_u.interpretation n))
+    [ 2; 5; 9 ]
+
+let test_diff_requests_sound () =
+  (* replaying the diff really transforms I(before) into I(after) *)
+  let rng = rng_of 3 in
+  let st = ref (Structure.create ~size:6 Reach_d_to_u.graph_vocab) in
+  let reqs = Reach_d_to_u.workload rng ~size:6 ~length:50 in
+  List.iter
+    (fun r ->
+      let st' = Expansion.apply_request !st r in
+      let image = Interpretation.apply Reach_d_to_u.interpretation !st in
+      let image' = Interpretation.apply Reach_d_to_u.interpretation st' in
+      let replayed =
+        List.fold_left Expansion.apply_request image
+          (Expansion.diff_requests Reach_d_to_u.interpretation !st st')
+      in
+      if not (Structure.equal replayed image') then
+        Alcotest.fail "diff replay diverged";
+      st := st')
+    reqs
+
+(* --- Transfer (Proposition 5.3) ------------------------------------------ *)
+
+let transfer_qcheck =
+  QCheck.Test.make
+    ~name:"REACH_d via bfo reduction + Dyn-FO REACH_u (Prop 5.3)" ~count:15
+    QCheck.(pair (int_range 1 2000) (int_range 3 7))
+    (fun (seed, n) ->
+      let rng = rng_of seed in
+      let reqs = Reach_d_to_u.workload rng ~size:n ~length:60 in
+      let oracle_dyn =
+        Dynfo.Dyn.static ~name:"reach_d-static"
+          ~input_vocab:Reach_d_to_u.graph_vocab ~symmetric_rels:[]
+          ~oracle:Reach_d_to_u.oracle
+      in
+      match
+        Dynfo.Harness.compare_all ~size:n [ Transfer.reach_d; oracle_dyn ] reqs
+      with
+      | Dynfo.Harness.Ok _ -> true
+      | _ -> false)
+
+(* --- Padding (Definition 5.13) -------------------------------------------- *)
+
+let test_pad_roundtrip () =
+  let v = Vocab.make ~rels:[ ("E", 2) ] ~consts:[ "s" ] in
+  let st =
+    Structure.with_const
+      (Structure.add_tuple (Structure.create ~size:4 v) "E" [| 1; 2 |])
+      "s" 3
+  in
+  let padded = Pad.pad st in
+  check tb "well padded" true (Pad.well_padded padded v);
+  check tb "copy 2 = original" true (Structure.equal (Pad.copy padded 2 v) st);
+  check ti "copies multiply tuples" 4
+    (Relation.cardinal (Structure.rel padded "E"))
+
+let test_pad_member () =
+  let v = Vocab.make ~rels:[ ("E", 2) ] ~consts:[] in
+  let st = Structure.add_tuple (Structure.create ~size:3 v) "E" [| 0; 1 |] in
+  let oracle s = Structure.mem s "E" [| 0; 1 |] in
+  let padded = Pad.pad st in
+  check tb "member" true (Pad.member ~oracle v padded);
+  (* damage one copy: membership must fail via the padding condition *)
+  let damaged = Structure.del_tuple padded "E" [| 1; 0; 1 |] in
+  check tb "damaged copy" false (Pad.member ~oracle v damaged)
+
+(* --- COLOR-REACH ----------------------------------------------------------- *)
+
+let test_color_reach_semantics () =
+  (* v0 free uses both; class-1 vertices follow the colour bit *)
+  let cr =
+    Color_reach.make
+      ~edge0:[| Some 1; Some 3; None; None |]
+      ~edge1:[| Some 2; Some 2; None; None |]
+      ~cls:[| 0; 1; 1; 1 |] ~n_classes:2
+  in
+  check tb "free vertex reaches both" true
+    (Color_reach.reach cr ~colors:[| false; false |] ~s:0 ~target:2);
+  check tb "bit 0 edge" true
+    (Color_reach.reach cr ~colors:[| false; false |] ~s:1 ~target:3);
+  check tb "bit 1 edge" true
+    (Color_reach.reach cr ~colors:[| false; true |] ~s:1 ~target:2);
+  check tb "blocked" false
+    (Color_reach.reach cr ~colors:[| false; true |] ~s:1 ~target:3);
+  check tb "not deterministic" false (Color_reach.deterministic cr)
+
+let test_color_flip_expansion () =
+  (* flipping one colour bit rewires at most 2 |V_i| usable edges *)
+  for seed = 1 to 20 do
+    let cr = Color_reach.random (rng_of seed) ~n:8 ~n_classes:3 in
+    let colors = [| false; Random.State.bool (rng_of seed); true |] in
+    for i = 1 to 2 do
+      let class_size =
+        Array.fold_left (fun acc c -> if c = i then acc + 1 else acc) 0 cr.cls
+      in
+      let e = Color_reach.flip_expansion cr ~colors i in
+      if e > 2 * class_size then
+        Alcotest.failf "flip expansion %d > 2*%d" e class_size
+    done
+  done
+
+let test_color_reach_d () =
+  let cr =
+    Color_reach.make
+      ~edge0:[| Some 1; Some 0 |]
+      ~edge1:[| None; None |]
+      ~cls:[| 1; 1 |] ~n_classes:2
+  in
+  check tb "deterministic" true (Color_reach.deterministic cr);
+  let g = Color_reach.usable cr ~colors:[| false; false |] in
+  check tb "functional" true
+    (List.for_all (fun v -> Dynfo_graph.Graph.out_degree g v <= 1)
+       [ 0; 1 ])
+
+let () =
+  Alcotest.run "reductions"
+    [
+      ( "interpretation",
+        [
+          Alcotest.test_case "unary apply" `Quick test_apply_unary;
+          Alcotest.test_case "binary apply (k=2)" `Quick test_apply_binary;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "composition (Prop 5.2)" `Quick
+            test_compose_transitivity;
+        ] );
+      ( "bfo-I_{d-u}",
+        [
+          QCheck_alcotest.to_alcotest reduction_correct_qcheck;
+          Alcotest.test_case "expansion bound (Def 5.1)" `Slow
+            test_expansion_bound;
+          Alcotest.test_case "initial image empty" `Quick
+            test_initial_image_empty;
+          Alcotest.test_case "diff requests are sound" `Slow
+            test_diff_requests_sound;
+        ] );
+      ( "transfer",
+        [ QCheck_alcotest.to_alcotest transfer_qcheck ] );
+      ( "padding",
+        [
+          Alcotest.test_case "pad/copy roundtrip" `Quick test_pad_roundtrip;
+          Alcotest.test_case "membership" `Quick test_pad_member;
+        ] );
+      ( "color-reach",
+        [
+          Alcotest.test_case "semantics" `Quick test_color_reach_semantics;
+          Alcotest.test_case "flip expansion bound" `Quick
+            test_color_flip_expansion;
+          Alcotest.test_case "deterministic variant" `Quick test_color_reach_d;
+        ] );
+    ]
