@@ -31,14 +31,16 @@ let us_per_request (d : Dyn.t) ~size reqs =
   Int64.to_float (Int64.sub t1 t0) /. 1e3 /. float (List.length reqs)
 
 let fo_work_per_request program ~size reqs =
-  let state = ref (Runner.init program ~size) in
-  Dynfo_logic.Eval.reset_work ();
-  List.iter
-    (fun r ->
-      state := Runner.step !state r;
-      ignore (Runner.query !state))
-    reqs;
-  Dynfo_logic.Eval.work () / List.length reqs
+  let (), work =
+    Dynfo_logic.Eval.with_work (fun () ->
+        let state = ref (Runner.init program ~size) in
+        List.iter
+          (fun r ->
+            state := Runner.step !state r;
+            ignore (Runner.query !state))
+          reqs)
+  in
+  work / List.length reqs
 
 let header () =
   Printf.printf "  %6s %12s %12s %12s %14s %10s\n" "n" "fo(us)" "native(us)"
@@ -179,6 +181,76 @@ let () =
   experiment ~id:"E17" ~title:"insert-only REACH (Dyn_s-FO)" (reg "semi_reach")
     ~fo_sizes:[ 5; 7; 9 ] ~scale_sizes:[ 16; 32; 64 ] ~length:60
     ~scale_length:(fun n -> 3 * n) ();
+
+  (* E18: the multicore CRAM engine — sequential vs parallel update
+     evaluation. REACH/closure-style programs and multiplication have
+     the largest per-rule tuple spaces, so they are where tuple
+     partitioning across domains pays. ~cutoff:0 forces the parallel
+     path at every size so the curve shows the crossover; on a
+     single-core host the ratio degenerates to ~1x (spawn + scheduling
+     overhead only), the speedup shape needs real cores. *)
+  let e18_lanes =
+    max 4 (min 8 (Domain.recommended_domain_count ()))
+  in
+  Printf.printf
+    "\n== E18: multicore CRAM engine, %d domains (FO = CRAM[1]) ==\n"
+    e18_lanes;
+  Printf.printf "  (host has %d recommended domain(s))\n"
+    (Domain.recommended_domain_count ());
+  let e18_rows = ref [] in
+  Dynfo_engine.Pool.with_pool ~lanes:e18_lanes (fun pool ->
+      List.iter
+        (fun (name, sizes, length) ->
+          let e = reg name in
+          Printf.printf "  -- %s --\n" name;
+          Printf.printf "  %6s %12s %12s %10s %14s\n" "n" "seq(us)"
+            "par(us)" "speedup" "fo-work";
+          List.iter
+            (fun size ->
+              let rng = Random.State.make [| 42; size |] in
+              let reqs = e.workload rng ~size ~length in
+              if reqs <> [] then begin
+                let seq =
+                  us_per_request (Dyn.of_program e.program) ~size reqs
+                in
+                let par =
+                  us_per_request
+                    (Dynfo_engine.Par_runner.dyn pool ~cutoff:0 e.program)
+                    ~size reqs
+                in
+                let work = fo_work_per_request e.program ~size reqs in
+                Printf.printf "  %6d %12.2f %12.2f %9.2fx %14d\n" size seq
+                  par (seq /. par) work;
+                e18_rows :=
+                  (name, size, e18_lanes, seq, par, work) :: !e18_rows
+              end)
+            sizes)
+        [
+          ("reach_u", [ 6; 8; 10 ], 30);
+          ("reach_acyclic", [ 6; 8; 10 ], 30);
+          ("mult", [ 8; 12; 16 ], 30);
+        ]);
+  (* machine-readable trajectory: --json flag or BENCH_ENGINE_JSON=path *)
+  (match
+     if Array.exists (( = ) "--json") Sys.argv then Some "BENCH_engine.json"
+     else Sys.getenv_opt "BENCH_ENGINE_JSON"
+   with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc "[\n";
+      List.iteri
+        (fun i (name, size, lanes, seq, par, work) ->
+          Printf.fprintf oc
+            "  {\"experiment\": \"E18\", \"program\": %S, \"n\": %d, \
+             \"domains\": %d, \"seq_us\": %.3f, \"par_us\": %.3f, \
+             \"speedup\": %.3f, \"fo_work\": %d}%s\n"
+            name size lanes seq par (seq /. par) work
+            (if i = List.length !e18_rows - 1 then "" else ","))
+        (List.rev !e18_rows);
+      output_string oc "]\n";
+      close_out oc;
+      Printf.printf "  wrote %s (%d rows)\n" path (List.length !e18_rows));
 
   (* E13: REACH_d through the bfo reduction + transfer theorem *)
   Printf.printf "\n== E13: REACH_d via bfo reduction (Example 2.1 + Prop 5.3) ==\n";

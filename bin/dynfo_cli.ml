@@ -34,6 +34,44 @@ let size_arg =
     & info [ "n"; "size" ] ~docv:"N"
         ~doc:"Universe size (default: the problem's preferred size).")
 
+let domains_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some d when d >= 0 -> Ok d
+    | _ ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "invalid value %S, expected 0 (one domain per core) or a \
+                 positive domain count"
+                s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let domains_arg =
+  Arg.(
+    value
+    & opt domains_conv 1
+    & info [ "d"; "domains" ] ~docv:"D"
+        ~doc:
+          "Evaluate update formulas on $(docv) OCaml domains (the \
+           multicore CRAM engine). 1 = the sequential runner; 0 = one \
+           per core.")
+
+let cutoff_arg =
+  Arg.(
+    value
+    & opt int Dynfo_engine.Par_eval.default_cutoff
+    & info [ "cutoff" ] ~docv:"C"
+        ~doc:
+          "Tuple-space size below which a rule is evaluated sequentially \
+           even when --domains > 1.")
+
+let lanes_of_domains = function
+  | 0 -> None (* Pool.create picks recommended_domain_count *)
+  | d when d >= 1 -> Some d
+  | d -> invalid_arg (Printf.sprintf "--domains %d: want 0 or >= 1" d)
+
 (* --- list ---------------------------------------------------------------- *)
 
 let list_cmd =
@@ -97,33 +135,46 @@ let read_lines = function
       in
       go []
 
+(* run the continuation over [None] (sequential runner) or [Some pool] *)
+let with_engine domains k =
+  match lanes_of_domains domains with
+  | Some 1 -> k None
+  | lanes ->
+      Dynfo_engine.Pool.with_pool ?lanes (fun pool -> k (Some pool))
+
 let run_cmd =
-  let run (e : Registry.entry) size_opt script =
+  let run (e : Registry.entry) size_opt script domains cutoff =
     let size = Option.value ~default:e.default_size size_opt in
-    let state = ref (Runner.init e.program ~size) in
     let lines =
       read_lines script
       |> List.filter (fun l ->
              let l = String.trim l in
              l <> "" && l.[0] <> '#')
     in
-    List.iter
-      (fun line ->
-        match
-          let req = Request.parse line in
-          Runner.step !state req
-        with
-        | next ->
-            state := next;
-            Printf.printf "%-20s query = %b\n" line (Runner.query !state)
-        | exception (Failure m | Invalid_argument m) ->
-            Printf.printf "%-20s error: %s\n" line m)
-      lines
+    with_engine domains (fun pool ->
+        let d =
+          match pool with
+          | None -> Dyn.of_program e.program
+          | Some pool -> Dynfo_engine.Par_runner.dyn pool ~cutoff e.program
+        in
+        let inst = d.create size () in
+        List.iter
+          (fun line ->
+            match
+              let req = Request.parse line in
+              inst.apply req
+            with
+            | () -> Printf.printf "%-20s query = %b\n" line (inst.query ())
+            | exception (Failure m | Invalid_argument m) ->
+                Printf.printf "%-20s error: %s\n" line m)
+          lines)
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Run a request script through a problem's FO program.")
-    Term.(const run $ problem_arg $ size_arg $ script_arg)
+    Term.(
+      const run $ problem_arg $ size_arg $ script_arg $ domains_arg
+      $ cutoff_arg)
 
 (* --- check --------------------------------------------------------------- *)
 
@@ -135,26 +186,37 @@ let check_cmd =
   let seed_arg =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")
   in
-  let run (e : Registry.entry) size_opt length seed =
+  let run (e : Registry.entry) size_opt length seed domains cutoff =
     let size = Option.value ~default:e.default_size size_opt in
     let rng = Random.State.make [| seed |] in
     let reqs = e.workload rng ~size ~length in
-    Printf.printf "checking %s at n=%d over %d requests (seed %d): %!"
-      e.name size (List.length reqs) seed;
-    match Harness.compare_all ~size (Registry.impls e) reqs with
-    | Harness.Ok n ->
-        Printf.printf "ok (%d checkpoints, %d implementations)\n" n
-          (List.length (Registry.impls e))
-    | m ->
-        Format.printf "%a@." Harness.pp_outcome m;
-        exit 1
+    with_engine domains (fun pool ->
+        let impls =
+          Registry.impls e
+          @
+          match pool with
+          | None -> []
+          | Some pool ->
+              [ Dynfo_engine.Par_runner.dyn pool ~cutoff e.program ]
+        in
+        Printf.printf "checking %s at n=%d over %d requests (seed %d): %!"
+          e.name size (List.length reqs) seed;
+        match Harness.compare_all ~size impls reqs with
+        | Harness.Ok n ->
+            Printf.printf "ok (%d checkpoints, %d implementations)\n" n
+              (List.length impls)
+        | m ->
+            Format.printf "%a@." Harness.pp_outcome m;
+            exit 1)
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Cross-check all implementations of a problem on a random \
           workload.")
-    Term.(const run $ problem_arg $ size_arg $ length_arg $ seed_arg)
+    Term.(
+      const run $ problem_arg $ size_arg $ length_arg $ seed_arg
+      $ domains_arg $ cutoff_arg)
 
 let () =
   let doc = "Dyn-FO: dynamic first-order programs from Patnaik & Immerman" in

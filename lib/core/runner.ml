@@ -12,7 +12,14 @@ let structure s = s.structure
 let input s = Structure.restrict s.structure s.program.input_vocab
 let program s = s.program
 
-let apply_update st (u : Program.update) (args : int list) =
+let seq_rules_define st ~env rules =
+  List.map
+    (fun (r : Program.rule) ->
+      (r.target, Eval.define st ~vars:r.vars ~env r.body))
+    rules
+
+let apply_update_with ~rules_define st (u : Program.update) (args : int list)
+    =
   let env = List.combine u.params args in
   (* temporaries: sequential, visible to later temps and to rules *)
   let with_temps =
@@ -23,16 +30,12 @@ let apply_update st (u : Program.update) (args : int list) =
       st u.temps
   in
   (* rules: all evaluated against the pre-state (+temps), then installed *)
-  let new_rels =
-    List.map
-      (fun (r : Program.rule) ->
-        (r.target, Eval.define with_temps ~vars:r.vars ~env r.body))
-      u.rules
-  in
+  let new_rels = rules_define with_temps ~env u.rules in
   List.fold_left (fun acc (name, rel) -> Structure.with_rel acc name rel) st
     new_rels
 
-let step s req =
+let step_with ~rules_define s req =
+  let apply_update = apply_update_with ~rules_define in
   let p = s.program in
   let size = Structure.size s.structure in
   if not (Request.valid p.input_vocab ~size req) then
@@ -74,6 +77,8 @@ let step s req =
   in
   { s with structure }
 
+let step = step_with ~rules_define:seq_rules_define
+
 let run s reqs = List.fold_left step s reqs
 
 let query s = Eval.holds s.structure s.program.query
@@ -88,7 +93,4 @@ let query_named s name args =
         invalid_arg "Runner.query_named: arity mismatch";
       Eval.holds s.structure ~env:(List.combine vars args) body
 
-let step_work s req =
-  Eval.reset_work ();
-  let s' = step s req in
-  (s', Eval.work ())
+let step_work s req = Eval.with_work (fun () -> step s req)

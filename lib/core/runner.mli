@@ -31,6 +31,23 @@ val step : state -> Request.t -> state
     processed through the update formulas — the paper's programs are
     written to be no-ops in that case, and tests check they are. *)
 
+val step_with :
+  rules_define:
+    (Structure.t ->
+    env:(string * int) list ->
+    Program.rule list ->
+    (string * Relation.t) list) ->
+  state ->
+  Request.t ->
+  state
+(** {!step} with the evaluation of the simultaneous rule block delegated
+    to [rules_define st ~env rules] (the structure already contains the
+    update's temporaries). The block's rules each read only the pre-update
+    structure, so [rules_define] may evaluate them in any order — or in
+    parallel, which is how {!Dynfo_engine.Par_runner} reuses the request
+    dispatch and default input-maintenance logic here without duplicating
+    it. [step] is [step_with] over sequential {!Dynfo_logic.Eval.define}. *)
+
 val run : state -> Request.t list -> state
 
 val query : state -> bool

@@ -1,0 +1,76 @@
+open Dynfo_logic
+
+let default_cutoff = 2048
+
+let tuple_space ~size ~arity =
+  let rec go acc i =
+    if i = 0 then acc
+    else if acc > max_int / size then max_int
+    else go (acc * size) (i - 1)
+  in
+  go 1 arity
+
+(* One lane's private evaluation state: its own compiled closure (so the
+   work counter it bumps is the lane's own, and the mutable slot array is
+   unshared), a tuple buffer, and a result accumulator. *)
+type lane_state = {
+  test : Tuple.t -> bool;
+  tup : int array;
+  mutable acc : Relation.t;
+}
+
+let define pool ?(cutoff = default_cutoff) st ~vars ?(env = []) f =
+  let n = Structure.size st in
+  let k = List.length vars in
+  let total = tuple_space ~size:n ~arity:k in
+  if Pool.lanes pool = 1 || k = 0 || total < cutoff then
+    Eval.define st ~vars ~env f
+  else begin
+    (* Chunk over the flattened first min(k,2) coordinates — n or n^2
+       units, fine-grained enough to balance up to 128 lanes — and
+       enumerate the remaining coordinates inside each unit. *)
+    let pk = min k 2 in
+    let prefix = tuple_space ~size:n ~arity:pk in
+    let states = Array.make (Pool.lanes pool) None in
+    Pool.parallel_for pool ~lo:0 ~hi:prefix (fun ~lane l r ->
+        let s =
+          match states.(lane) with
+          | Some s -> s
+          | None ->
+              let s =
+                {
+                  test = Eval.tester st ~vars ~env f;
+                  tup = Array.make k 0;
+                  acc = Relation.empty ~arity:k;
+                }
+              in
+              states.(lane) <- Some s;
+              s
+        in
+        let rec suffix j =
+          if j = k then begin
+            if s.test s.tup then
+              s.acc <- Relation.add s.acc (Array.copy s.tup)
+          end
+          else
+            for v = 0 to n - 1 do
+              s.tup.(j) <- v;
+              suffix (j + 1)
+            done
+        in
+        for idx = l to r - 1 do
+          let rec decode i rest =
+            if i >= 0 then begin
+              s.tup.(i) <- rest mod n;
+              decode (i - 1) (rest / n)
+            end
+          in
+          decode (pk - 1) idx;
+          suffix pk
+        done);
+    Array.fold_left
+      (fun acc -> function
+        | None -> acc
+        | Some s -> Relation.union acc s.acc)
+      (Relation.empty ~arity:k) states
+  end

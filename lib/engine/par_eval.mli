@@ -1,0 +1,38 @@
+(** Parallel evaluation of FO definitions — the CRAM side of FO = CRAM[1].
+
+    [define pool st ~vars f] computes the same relation as
+    {!Dynfo_logic.Eval.define} — [{ (x1,...,xk) | st |= f(x1,...,xk) }] —
+    but partitions the [n^k] candidate tuple space across the pool's
+    lanes. Each lane compiles its own closure over the (persistent,
+    hence safely shared) structure via {!Dynfo_logic.Eval.tester},
+    enumerates its slice, and accumulates a private relation; slices are
+    merged at the end. Tuples are tested in the same order within a
+    slice as sequentially, and every candidate is tested exactly once,
+    so the result {e and the FO work count} are identical to the
+    sequential evaluator's.
+
+    Below [cutoff] candidate tuples (or on a 1-lane pool) the call
+    degrades to plain [Eval.define], so small universes never pay the
+    fan-out overhead. *)
+
+open Dynfo_logic
+
+val default_cutoff : int
+(** 2048 — roughly where per-request fan-out cost (a condition-variable
+    round trip plus one compile per lane) drops below the enumeration
+    cost it saves. *)
+
+val tuple_space : size:int -> arity:int -> int
+(** [size ^ arity], saturating at [max_int]. *)
+
+val define :
+  Pool.t ->
+  ?cutoff:int ->
+  Structure.t ->
+  vars:string list ->
+  ?env:(string * int) list ->
+  Formula.t ->
+  Relation.t
+(** Drop-in parallel [Eval.define]. [cutoff] (default {!default_cutoff})
+    is the minimum number of candidate tuples worth fanning out; pass
+    [~cutoff:0] to force the parallel path (tests do). *)

@@ -1,0 +1,61 @@
+open Dynfo_logic
+open Dynfo
+
+type state = { pool : Pool.t; cutoff : int; inner : Runner.state }
+
+let init pool ?(cutoff = Par_eval.default_cutoff) p ~size =
+  { pool; cutoff; inner = Runner.init p ~size }
+
+let structure s = Runner.structure s.inner
+let input s = Runner.input s.inner
+let program s = Runner.program s.inner
+let pool s = s.pool
+
+(* The simultaneous rule block. Two regimes:
+   - at least one rule has a tuple space worth fanning out: parallelise
+     within each rule (tuples), sequential across rules;
+   - every rule is tiny but there are several: hand whole rules to lanes
+     (each evaluated by the lane-local sequential evaluator). *)
+let rules_define pool cutoff st ~env rules =
+  let n = Structure.size st in
+  let space (r : Program.rule) =
+    Par_eval.tuple_space ~size:n ~arity:(List.length r.vars)
+  in
+  let all_small = List.for_all (fun r -> space r < cutoff) rules in
+  if Pool.lanes pool > 1 && all_small && List.length rules > 1 then begin
+    let arr = Array.of_list rules in
+    let out = Array.make (Array.length arr) None in
+    Pool.parallel_for pool ~chunk:1 ~lo:0 ~hi:(Array.length arr)
+      (fun ~lane:_ l r ->
+        for i = l to r - 1 do
+          let (rule : Program.rule) = arr.(i) in
+          out.(i) <-
+            Some (rule.target, Eval.define st ~vars:rule.vars ~env rule.body)
+        done);
+    Array.to_list out |> List.map Option.get
+  end
+  else
+    List.map
+      (fun (r : Program.rule) ->
+        (r.target, Par_eval.define pool ~cutoff st ~vars:r.vars ~env r.body))
+      rules
+
+let step s req =
+  {
+    s with
+    inner =
+      Runner.step_with
+        ~rules_define:(rules_define s.pool s.cutoff)
+        s.inner req;
+  }
+
+let run s reqs = List.fold_left step s reqs
+let query s = Runner.query s.inner
+let query_named s name args = Runner.query_named s.inner name args
+let step_work s req = Eval.with_work (fun () -> step s req)
+
+let dyn pool ?cutoff (p : Program.t) =
+  Dyn.of_fun
+    ~name:(p.name ^ "[par]")
+    ~create:(fun size -> init pool ?cutoff p ~size)
+    ~apply:step ~query

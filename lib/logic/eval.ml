@@ -1,15 +1,42 @@
 exception Unbound_variable of string
 exception Arity_error of string
 
-let work_counter = ref 0
-let work () = !work_counter
-let reset_work () = work_counter := 0
+(* The work counter under parallelism: each domain owns a private counter
+   (domain-local storage), registered in a global list the first time the
+   domain evaluates anything. [work] sums all registered counters, so the
+   total is exact no matter which domains performed the evaluations;
+   [reset_work] zeroes them all. Closures capture the counter of the
+   domain that *compiled* them, so a compiled formula must be evaluated
+   by its compiling domain — which is how {!Dynfo_engine.Par_eval} uses
+   it (each worker compiles its own copy). *)
+let all_counters : int ref list Atomic.t = Atomic.make []
+
+let counter_key =
+  Domain.DLS.new_key (fun () ->
+      let r = ref 0 in
+      let rec register () =
+        let l = Atomic.get all_counters in
+        if not (Atomic.compare_and_set all_counters l (r :: l)) then
+          register ()
+      in
+      register ();
+      r)
+
+let my_counter () = Domain.DLS.get counter_key
+let work () = List.fold_left (fun acc r -> acc + !r) 0 (Atomic.get all_counters)
+let reset_work () = List.iter (fun r -> r := 0) (Atomic.get all_counters)
+
+let with_work f =
+  let before = work () in
+  let x = f () in
+  (x, work () - before)
 
 (* Compile [f] to a closure over a slot array. [env] maps bound variable
    names to slots; [next] is the next free slot. Compilation resolves
    relation symbols against [st] once. *)
 let compile st env next f =
   let n = Structure.size st in
+  let work_counter = my_counter () in
   let term env (t : Formula.term) : int array -> int =
     match t with
     | Formula.Var x -> (
@@ -185,3 +212,31 @@ let define st ~vars ?(env = []) f =
   in
   enum 0;
   !result
+
+let tester st ~vars ?(env = []) f =
+  let arity = List.length vars in
+  let next = ref 0 in
+  let var_slots =
+    List.map
+      (fun x ->
+        let s = !next in
+        incr next;
+        (x, s))
+      vars
+  in
+  let env_slots =
+    List.map
+      (fun (x, _) ->
+        let s = !next in
+        incr next;
+        (x, s))
+      env
+  in
+  let fn = compile st (var_slots @ env_slots) next f in
+  let a = Array.make (max 1 !next) 0 in
+  List.iter2 (fun (_, s) (_, v) -> a.(s) <- v) env_slots env;
+  fun tup ->
+    if Array.length tup <> arity then
+      invalid_arg "Eval.tester: tuple arity mismatch";
+    Array.blit tup 0 a 0 arity;
+    fn a

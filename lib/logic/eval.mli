@@ -14,7 +14,14 @@
     FO = CRAM[1] (uniform CRCW-PRAM with polynomial hardware, constant
     time), this counter is the sequential simulation cost of the parallel
     evaluation — the resource that the paper's Corollary 5.7 relates to
-    [CRAM[n]]. Benchmarks report it alongside wall-clock time. *)
+    [CRAM[n]]. Benchmarks report it alongside wall-clock time.
+
+    The counter is {e domain-safe}: every domain increments a private
+    counter (no contention on the hot path) and {!work} aggregates them,
+    so totals stay exact when formulas are evaluated in parallel by
+    {!Dynfo_engine.Par_eval}. One caveat follows from the implementation:
+    a compiled closure charges the domain that compiled it, so cross-domain
+    hand-off of compiled formulas mis-attributes (but never loses) work. *)
 
 exception Unbound_variable of string
 (** An identifier is neither a bound variable, an environment entry, nor a
@@ -40,7 +47,29 @@ val define :
     symbols. This is how a dynamic program computes the new value of an
     auxiliary relation from an update formula. *)
 
+val tester :
+  Structure.t ->
+  vars:string list ->
+  ?env:(string * int) list ->
+  Formula.t ->
+  Tuple.t ->
+  bool
+(** [tester st ~vars ~env f] compiles [f] once and returns a predicate
+    deciding [st |= f(x1,...,xk)] for any tuple [(x1,...,xk)] bound to
+    [vars] — the membership test that {!define} enumerates. Partitioned
+    enumeration (the parallel engine) calls this so that each domain owns
+    its own compiled closure and slot array; the returned closure is not
+    safe to share between domains. *)
+
 val work : unit -> int
-(** Atomic evaluations performed since the last {!reset_work}. *)
+(** Atomic evaluations performed since the last {!reset_work}, summed
+    across all domains. *)
 
 val reset_work : unit -> unit
+
+val with_work : (unit -> 'a) -> 'a * int
+(** [with_work f] runs [f] and returns its result together with the number
+    of atomic evaluations it performed, without resetting the global
+    counter — so nested and sequential scopes compose, unlike the
+    [reset_work]/[work] pair. (Concurrent scopes on distinct domains still
+    observe each other's work; scope one measurement at a time.) *)
