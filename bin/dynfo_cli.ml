@@ -105,6 +105,81 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Show the FO program's formula statistics.")
     Term.(const run $ problem_arg)
 
+(* --- analyze ------------------------------------------------------------- *)
+
+let analyze_cmd =
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Analyze every program in the registry.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit a JSON array of per-program reports.")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Fail (exit 1) on warnings too, not just errors.")
+  in
+  let prog_arg =
+    Arg.(
+      value
+      & pos 0 (some entry_conv) None
+      & info [] ~docv:"PROBLEM"
+          ~doc:"Problem to analyze (or $(b,--all) for the whole registry).")
+  in
+  let run all json strict entry_opt =
+    let entries =
+      match (entry_opt, all) with
+      | Some e, _ -> Some [ e ]
+      | None, true -> Some Registry.all
+      | None, false -> None
+    in
+    match entries with
+    | None -> `Error (true, "name a PROBLEM or pass --all")
+    | Some entries ->
+        let reports =
+          List.map
+            (fun (e : Registry.entry) ->
+              Dynfo_analysis.Report.of_program e.program)
+            entries
+        in
+        (if json then
+           Format.printf "[%a]@."
+             (Format.pp_print_list
+                ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@\n ")
+                Dynfo_analysis.Report.pp_json)
+             reports
+         else
+           match reports with
+           | [ r ] when not all -> Format.printf "%a" Dynfo_analysis.Report.pp r
+           | _ ->
+               List.iter
+                 (fun r ->
+                   Format.printf "%a@." Dynfo_analysis.Report.pp_summary r;
+                   List.iter
+                     (fun d ->
+                       Format.printf "  %a@." Dynfo_analysis.Diagnostic.pp d)
+                     r.Dynfo_analysis.Report.diagnostics)
+                 reports);
+        let bad =
+          List.filter
+            (fun r -> not (Dynfo_analysis.Report.ok r ~strict))
+            reports
+        in
+        if bad <> [] then exit 1;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Statically check a program (vocabulary typing, scope discipline, \
+          update-block hazards) and report its CRAM[1] work metrics.")
+    Term.(ret (const run $ all_arg $ json_arg $ strict_arg $ prog_arg))
+
 (* --- run ----------------------------------------------------------------- *)
 
 let script_arg =
@@ -221,4 +296,7 @@ let check_cmd =
 let () =
   let doc = "Dyn-FO: dynamic first-order programs from Patnaik & Immerman" in
   let info = Cmd.info "dynfo_cli" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; stats_cmd; run_cmd; check_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; stats_cmd; analyze_cmd; run_cmd; check_cmd ]))

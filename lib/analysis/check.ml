@@ -1,0 +1,279 @@
+open Dynfo_logic
+open Dynfo
+
+(* A context for checking one formula: where it sits, which identifiers
+   may occur free, and which temporaries are visible as relation symbols. *)
+type ctx = {
+  program : Program.t;
+  voc : Vocab.t;  (* combined input + auxiliary vocabulary *)
+  consts : string list;
+  path : string;
+  allowed : string list;  (* identifiers that may occur free *)
+  temps_visible : (string * int) list;  (* earlier temporaries *)
+  temps_later : string list;  (* temporaries defined after this point *)
+  unbound_phrase : string;  (* how to report a scope violation *)
+}
+
+let check_body ctx body =
+  let err fmt =
+    Diagnostic.make Diagnostic.Error ~program:ctx.program.name ~path:ctx.path
+      fmt
+  in
+  (* vocabulary pass: every atom resolves with its declared arity *)
+  let atom_diags =
+    List.filter_map
+      (fun (name, ts) ->
+        let args = List.length ts in
+        match List.assoc_opt name ctx.temps_visible with
+        | Some arity ->
+            if args <> arity then
+              Some
+                (err "atom %s has %d arguments, temporary %s has arity %d"
+                   name args name arity)
+            else None
+        | None -> (
+            match Vocab.arity_opt ctx.voc name with
+            | Some arity ->
+                if args <> arity then
+                  Some
+                    (err "atom %s has %d arguments, declared arity is %d" name
+                       args arity)
+                else None
+            | None ->
+                if List.mem name ctx.temps_later then
+                  Some (err "references temporary %s before its definition"
+                          name)
+                else Some (err "references unknown relation %s" name)))
+      (Formula.rel_atoms body)
+  in
+  (* scope pass: free variables covered by tuple vars, params, constants *)
+  let scope_diags =
+    List.filter_map
+      (fun x ->
+        if List.mem x ctx.allowed || List.mem x ctx.consts then None
+        else Some (err "%s %s" ctx.unbound_phrase x))
+      (Formula.free_vars body)
+  in
+  (* an atom occurring twice raises the same complaint twice — keep the
+     first, preserve order *)
+  List.rev
+    (List.fold_left
+       (fun acc d -> if List.mem d acc then acc else d :: acc)
+       []
+       (atom_diags @ scope_diags))
+
+let dedup_errors ~program ~path ~what names =
+  let rec go seen reported acc = function
+    | [] -> List.rev acc
+    | n :: rest ->
+        if List.mem n seen && not (List.mem n reported) then
+          go seen (n :: reported)
+            (Diagnostic.make Diagnostic.Error ~program ~path "%s %s" what n
+             :: acc)
+            rest
+        else go (n :: seen) reported acc rest
+  in
+  go [] [] [] names
+
+let check_update (p : Program.t) voc consts kind key (u : Program.update) =
+  let kind_s = Program.kind_string kind in
+  let block = Printf.sprintf "on_%s %s" kind_s key in
+  let mk sev path fmt = Diagnostic.make sev ~program:p.name ~path fmt in
+  let key_diags =
+    match kind with
+    | `Ins | `Del -> (
+        match Vocab.arity_opt p.input_vocab key with
+        | None ->
+            [
+              mk Diagnostic.Error block
+                "update key %s is not an input relation" key;
+            ]
+        | Some arity ->
+            if List.length u.params <> arity then
+              [
+                mk Diagnostic.Error block
+                  "%d parameters for arity-%d relation %s"
+                  (List.length u.params) arity key;
+              ]
+            else [])
+    | `Set ->
+        if not (List.mem key consts) then
+          [ mk Diagnostic.Error block "set-update key %s is not a constant" key ]
+        else []
+  in
+  let param_diags =
+    dedup_errors ~program:p.name ~path:block ~what:"duplicate parameter"
+      u.params
+    @ List.filter_map
+        (fun x ->
+          if List.mem x consts then
+            Some
+              (mk Diagnostic.Warning block
+                 "parameter %s shadows structure constant %s" x x)
+          else None)
+        u.params
+  in
+  (* temporaries: sequential scope, must not shadow state relations *)
+  let temp_names = List.map (fun (t : Program.rule) -> t.target) u.temps in
+  let temp_decl_diags =
+    List.concat_map
+      (fun (t : Program.rule) ->
+        let path = Printf.sprintf "%s / temp %s" block t.target in
+        (if Vocab.mem_rel voc t.target then
+           [
+             mk Diagnostic.Error path "temporary %s shadows a state relation"
+               t.target;
+           ]
+         else if List.mem t.target consts then
+           [ mk Diagnostic.Error path "temporary %s shadows a constant"
+               t.target ]
+         else [])
+        @ dedup_errors ~program:p.name ~path ~what:"duplicate tuple variable"
+            t.vars)
+      u.temps
+    @ dedup_errors ~program:p.name ~path:block ~what:"duplicate temporary"
+        temp_names
+  in
+  let rec temps_bodies earlier acc = function
+    | [] -> List.rev acc
+    | (t : Program.rule) :: rest ->
+        let earlier_names = List.map fst earlier in
+        let ctx =
+          {
+            program = p;
+            voc;
+            consts;
+            path = Printf.sprintf "%s / temp %s" block t.target;
+            allowed = t.vars @ u.params;
+            temps_visible = earlier;
+            temps_later =
+              List.filter
+                (fun n -> n <> t.target && not (List.mem n earlier_names))
+                temp_names;
+            unbound_phrase = "unbound free variable";
+          }
+        in
+        temps_bodies
+          (earlier @ [ (t.target, List.length t.vars) ])
+          (List.rev_append (check_body ctx t.body) acc)
+          rest
+  in
+  let temp_body_diags = temps_bodies [] [] u.temps in
+  (* rules: target resolution + hazards + bodies *)
+  let all_temps =
+    List.map (fun (t : Program.rule) -> (t.target, List.length t.vars)) u.temps
+  in
+  let rule_diags =
+    List.concat_map
+      (fun (r : Program.rule) ->
+        let path = Printf.sprintf "%s / rule %s" block r.target in
+        let target_diags =
+          if List.mem r.target temp_names then
+            [
+              mk Diagnostic.Error path
+                "rule targets temporary %s (temporaries are discarded after \
+                 the update)"
+                r.target;
+            ]
+          else
+            match Vocab.arity_opt voc r.target with
+            | None ->
+                [
+                  mk Diagnostic.Error path "targets unknown relation %s"
+                    r.target;
+                ]
+            | Some arity ->
+                (if List.length r.vars <> arity then
+                   [
+                     mk Diagnostic.Error path
+                       "rule has %d tuple variables, %s has arity %d"
+                       (List.length r.vars) r.target arity;
+                   ]
+                 else [])
+                @
+                if Vocab.mem_rel p.input_vocab r.target && r.target <> key
+                then
+                  [
+                    mk Diagnostic.Warning path
+                      "rule redefines input relation %s from an on_%s %s \
+                       update"
+                      r.target kind_s key;
+                  ]
+                else []
+        in
+        let ctx =
+          {
+            program = p;
+            voc;
+            consts;
+            path;
+            allowed = r.vars @ u.params;
+            temps_visible = all_temps;
+            temps_later = [];
+            unbound_phrase = "unbound free variable";
+          }
+        in
+        target_diags
+        @ dedup_errors ~program:p.name ~path ~what:"duplicate tuple variable"
+            r.vars
+        @ check_body ctx r.body)
+      u.rules
+  in
+  let race_diags =
+    dedup_errors ~program:p.name ~path:block
+      ~what:"simultaneous block redefines target"
+      (List.map (fun (r : Program.rule) -> r.target) u.rules)
+  in
+  key_diags @ param_diags @ temp_decl_diags @ temp_body_diags @ rule_diags
+  @ race_diags
+
+let program (p : Program.t) =
+  let voc = Program.vocab p in
+  let consts = Vocab.constants voc in
+  let handler_dups =
+    List.concat_map
+      (fun (kind, keys) ->
+        dedup_errors ~program:p.name
+          ~path:(Printf.sprintf "on_%s" (Program.kind_string kind))
+          ~what:"duplicate update handler for" keys)
+      [
+        (`Ins, List.map fst p.on_ins);
+        (`Del, List.map fst p.on_del);
+        (`Set, List.map fst p.on_set);
+      ]
+  in
+  let update_diags =
+    List.concat_map
+      (fun (kind, key, u) -> check_update p voc consts kind key u)
+      (Program.updates p)
+  in
+  let sentence_ctx path allowed phrase =
+    {
+      program = p;
+      voc;
+      consts;
+      path;
+      allowed;
+      temps_visible = [];
+      temps_later = [];
+      unbound_phrase = phrase;
+    }
+  in
+  let query_diags =
+    check_body
+      (sentence_ctx "query" [] "not a sentence: free variable")
+      p.query
+  in
+  let named_query_diags =
+    dedup_errors ~program:p.name ~path:"queries" ~what:"duplicate named query"
+      (List.map (fun (n, _, _) -> n) p.queries)
+    @ List.concat_map
+        (fun (qname, qvars, body) ->
+          let path = Printf.sprintf "query %s" qname in
+          dedup_errors ~program:p.name ~path ~what:"duplicate parameter" qvars
+          @ check_body
+              (sentence_ctx path qvars "free variable not among parameters:")
+              body)
+        p.queries
+  in
+  handler_dups @ update_diags @ query_diags @ named_query_diags

@@ -1,0 +1,31 @@
+(** Static checks over a dynamic program — the syntactic side of a
+    Dyn-FO membership proof, machine-checked (Section 3.1: every rule
+    body is an FO formula over the combined vocabulary whose free
+    variables come from the rule tuple and the request parameters).
+
+    Three passes, all purely syntactic (the program is never run):
+
+    + {b vocabulary typechecking} — every relation atom in every rule
+      body, temporary, query and named query resolves in the combined
+      input+auxiliary (+earlier-temporaries) vocabulary with its declared
+      arity, and every rule's tuple-variable count matches its target's
+      arity;
+    + {b scope discipline} — the free variables of each body are covered
+      by the rule tuple, the update parameters and the structure
+      constants; temporaries reference only earlier temporaries; the
+      query is a sentence and named queries are closed under their
+      parameters;
+    + {b update-block hazards} — a static race check for the parallel
+      engine: duplicate targets inside one simultaneous block, rules
+      targeting temporaries or input relations other than the updated
+      one, temporaries shadowing state relations, duplicate or
+      constant-shadowing parameters, dead duplicate update handlers.
+
+    A well-formed program yields [[]]. Everything {!Dynfo.Program.make}
+    validates is re-checked here (so hand-assembled programs can be
+    analyzed too), plus the per-atom and hazard checks that it does
+    not. *)
+
+val program : Dynfo.Program.t -> Diagnostic.t list
+(** All findings, in deterministic program order (update blocks in
+    declaration order, then the query, then named queries). *)

@@ -1,0 +1,128 @@
+open Dynfo_logic
+open Dynfo
+
+type formula_metrics = {
+  path : string;
+  target : string;
+  tuple_exponent : int;
+  quantifier_rank : int;
+  alternation_depth : int;
+  formula_size : int;
+  width : int;
+  work_exponent : int;
+}
+
+type t = {
+  program : string;
+  rules : formula_metrics list;
+  queries : formula_metrics list;
+  rule_count : int;
+  max_tuple_exponent : int;
+  max_quantifier_rank : int;
+  max_alternation_depth : int;
+  max_work_exponent : int;
+  total_formula_size : int;
+}
+
+let of_formula ~path ~target ~vars body =
+  let k = List.length vars in
+  let rank = Formula.quantifier_rank body in
+  (* count the tuple variables into the width even when the body ignores
+     some of them: the evaluator still allocates their registers *)
+  let width = Formula.width (Formula.exists vars body) in
+  {
+    path;
+    target;
+    tuple_exponent = k;
+    quantifier_rank = rank;
+    alternation_depth = Formula.alternation_depth body;
+    formula_size = Formula.size body;
+    width;
+    work_exponent = k + rank;
+  }
+
+let of_program (p : Program.t) =
+  let rules =
+    List.concat_map
+      (fun (kind, key, (u : Program.update)) ->
+        let block =
+          Printf.sprintf "on_%s %s" (Program.kind_string kind) key
+        in
+        List.map
+          (fun (t : Program.rule) ->
+            of_formula
+              ~path:(Printf.sprintf "%s / temp %s" block t.target)
+              ~target:t.target ~vars:t.vars t.body)
+          u.temps
+        @ List.map
+            (fun (r : Program.rule) ->
+              of_formula
+                ~path:(Printf.sprintf "%s / rule %s" block r.target)
+                ~target:r.target ~vars:r.vars r.body)
+            u.rules)
+      (Program.updates p)
+  in
+  let queries =
+    of_formula ~path:"query" ~target:"query" ~vars:[] p.query
+    :: List.map
+         (fun (qname, qvars, body) ->
+           of_formula
+             ~path:(Printf.sprintf "query %s" qname)
+             ~target:qname ~vars:qvars body)
+         p.queries
+  in
+  let all = rules @ queries in
+  let fold f = List.fold_left (fun m r -> max m (f r)) 0 all in
+  {
+    program = p.name;
+    rules;
+    queries;
+    rule_count = List.length rules;
+    max_tuple_exponent = fold (fun r -> r.tuple_exponent);
+    max_quantifier_rank = fold (fun r -> r.quantifier_rank);
+    max_alternation_depth = fold (fun r -> r.alternation_depth);
+    max_work_exponent = fold (fun r -> r.work_exponent);
+    total_formula_size =
+      List.fold_left (fun acc r -> acc + r.formula_size) 0 all;
+  }
+
+let pp_row ppf r =
+  Format.fprintf ppf "  %-28s %5d %5d %5d %6d %6d    n^%d" r.path
+    r.tuple_exponent r.quantifier_rank r.alternation_depth r.formula_size
+    r.width r.work_exponent
+
+let pp ppf m =
+  Format.fprintf ppf "%s: %d update rules, CRAM[1] work n^%d@." m.program
+    m.rule_count m.max_work_exponent;
+  Format.fprintf ppf "  %-28s %5s %5s %5s %6s %6s %8s@." "PATH" "k" "rank"
+    "alt" "size" "width" "work";
+  List.iter (fun r -> Format.fprintf ppf "%a@." pp_row r) m.rules;
+  List.iter (fun r -> Format.fprintf ppf "%a@." pp_row r) m.queries;
+  Format.fprintf ppf
+    "  max: tuple space n^%d, quantifier rank %d, alternation depth %d, \
+     work n^%d; total formula size %d@."
+    m.max_tuple_exponent m.max_quantifier_rank m.max_alternation_depth
+    m.max_work_exponent m.total_formula_size
+
+let pp_json_row ppf r =
+  Format.fprintf ppf
+    "{\"path\": \"%s\", \"target\": \"%s\", \"tuple_exponent\": %d, \
+     \"quantifier_rank\": %d, \"alternation_depth\": %d, \"formula_size\": \
+     %d, \"width\": %d, \"work_exponent\": %d}"
+    r.path r.target r.tuple_exponent r.quantifier_rank r.alternation_depth
+    r.formula_size r.width r.work_exponent
+
+let pp_json ppf m =
+  let pp_list ppf rows =
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+      pp_json_row ppf rows
+  in
+  Format.fprintf ppf
+    "{\"program\": \"%s\", \"rule_count\": %d, \"max_tuple_exponent\": %d, \
+     \"max_quantifier_rank\": %d, \"max_alternation_depth\": %d, \
+     \"max_work_exponent\": %d, \"total_formula_size\": %d, \"rules\": \
+     [%a], \"queries\": [%a]}"
+    m.program m.rule_count m.max_tuple_exponent m.max_quantifier_rank
+    m.max_alternation_depth m.max_work_exponent m.total_formula_size pp_list
+    m.rules pp_list m.queries

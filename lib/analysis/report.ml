@@ -1,0 +1,42 @@
+type t = {
+  program : string;
+  diagnostics : Diagnostic.t list;
+  metrics : Metrics.t;
+}
+
+let of_program p =
+  {
+    program = (p : Dynfo.Program.t).name;
+    diagnostics = Check.program p;
+    metrics = Metrics.of_program p;
+  }
+
+let count sev r =
+  List.length (List.filter (fun (d : Diagnostic.t) -> d.severity = sev) r.diagnostics)
+
+let errors r = count Diagnostic.Error r
+let warnings r = count Diagnostic.Warning r
+let is_clean r = r.diagnostics = []
+
+let ok r ~strict =
+  errors r = 0 && ((not strict) || warnings r = 0)
+
+let pp_summary ppf r =
+  if is_clean r then
+    Format.fprintf ppf "%-16s ok — %d rules, work n^%d" r.program
+      r.metrics.Metrics.rule_count r.metrics.Metrics.max_work_exponent
+  else
+    Format.fprintf ppf "%-16s %d error(s), %d warning(s)" r.program
+      (errors r) (warnings r)
+
+let pp ppf r =
+  List.iter (fun d -> Format.fprintf ppf "%a@." Diagnostic.pp d) r.diagnostics;
+  Metrics.pp ppf r.metrics
+
+let pp_json ppf r =
+  Format.fprintf ppf
+    "{\"program\": \"%s\", \"diagnostics\": [%a], \"metrics\": %a}" r.program
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Diagnostic.pp_json)
+    r.diagnostics Metrics.pp_json r.metrics

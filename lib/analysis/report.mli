@@ -1,0 +1,31 @@
+(** One program's complete analysis: diagnostics plus cost metrics.
+
+    This is the unit of output of [dynfo_cli analyze] and the CI gate:
+    a registry is healthy when every program's report {!is_clean}. *)
+
+type t = {
+  program : string;
+  diagnostics : Diagnostic.t list;
+  metrics : Metrics.t;
+}
+
+val of_program : Dynfo.Program.t -> t
+(** Runs {!Check.program} and {!Metrics.of_program}. *)
+
+val errors : t -> int
+val warnings : t -> int
+
+val is_clean : t -> bool
+(** No diagnostics at all. *)
+
+val ok : t -> strict:bool -> bool
+(** No errors; with [~strict:true], no warnings either. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One line: [reach_u: ok — 8 rules, work n^5] or
+    [reach_u: 2 errors, 1 warning]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Diagnostics (one per line), then the metrics table. *)
+
+val pp_json : Format.formatter -> t -> unit

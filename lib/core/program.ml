@@ -28,12 +28,12 @@ let validate p =
   let fail fmt = Printf.ksprintf invalid_arg fmt in
   let check_rule ?(is_temp = false) ~where ~params ~temps r =
     (if not is_temp then
-       match Vocab.arity_of voc r.target with
-       | arity ->
+       match Vocab.arity_opt voc r.target with
+       | Some arity ->
            if arity <> List.length r.vars then
              fail "%s/%s: rule for %s has %d vars, arity is %d" p.name where
                r.target (List.length r.vars) arity
-       | exception Not_found ->
+       | None ->
            fail "%s/%s: rule targets unknown relation %s" p.name where r.target);
     let temp_names = List.map (fun (t : rule) -> t.target) temps in
     List.iter
@@ -68,7 +68,17 @@ let validate p =
           temps_ok (earlier @ [ t ]) rest
     in
     temps_ok [] u.temps;
-    List.iter (check_rule ~where ~params:u.params ~temps:u.temps) u.rules
+    List.iter (check_rule ~where ~params:u.params ~temps:u.temps) u.rules;
+    (* a simultaneous block installing one target twice would be
+       last-wins at runtime — reject it here *)
+    ignore
+      (List.fold_left
+         (fun seen (r : rule) ->
+           if List.mem r.target seen then
+             fail "%s/%s: update block redefines target %s twice" p.name
+               where r.target;
+           r.target :: seen)
+         [] u.rules)
   in
   List.iter (check_update ~kind:"ins") p.on_ins;
   List.iter (check_update ~kind:"del") p.on_del;
@@ -106,6 +116,13 @@ let make ~name ~input_vocab ~aux_vocab ~init ?(on_ins = []) ?(on_del = [])
   in
   validate p;
   p
+
+let updates p =
+  List.map (fun (name, u) -> (`Ins, name, u)) p.on_ins
+  @ List.map (fun (name, u) -> (`Del, name, u)) p.on_del
+  @ List.map (fun (name, u) -> (`Set, name, u)) p.on_set
+
+let kind_string = function `Ins -> "ins" | `Del -> "del" | `Set -> "set"
 
 let stats p =
   let rules =

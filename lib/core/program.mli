@@ -64,15 +64,27 @@ val make :
   unit ->
   t
 (** Smart constructor; validates that rule targets exist with matching
-    arity, that update keys are input relations, and that every rule
-    body's free variables are covered by tuple variables, parameters and
-    constants. Raises [Invalid_argument] otherwise. *)
+    arity, that update keys are input relations, that every rule body's
+    free variables are covered by tuple variables, parameters and
+    constants, and that no simultaneous block redefines the same target
+    twice (which would be silent last-wins at runtime). Raises
+    [Invalid_argument] otherwise. Deeper checks — per-atom arity
+    resolution, hazards for the parallel engine, cost metrics — live in
+    [Dynfo_analysis]. *)
 
 val rule : string -> string list -> Formula.t -> rule
 val rule_s : string -> string list -> string -> rule
 (** [rule_s target vars src] parses [src] with {!Parser.parse}. *)
 
 val update : ?temps:rule list -> params:string list -> rule list -> update
+
+val updates : t -> ([ `Ins | `Del | `Set ] * string * update) list
+(** Every update block of the program with its request kind and key, in
+    declaration order ([on_ins], then [on_del], then [on_set]) — the
+    enumeration the static analyzer and the metrics report walk. *)
+
+val kind_string : [ `Ins | `Del | `Set ] -> string
+(** ["ins"], ["del"], ["set"]. *)
 
 val stats : t -> (string * int) list
 (** Descriptive statistics used in EXPERIMENTS.md: number of rules, max

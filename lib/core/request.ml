@@ -11,9 +11,7 @@ let set name a = Set (name, a)
 
 let valid vocab ~size = function
   | Ins (name, tup) | Del (name, tup) ->
-      Vocab.mem_rel vocab name
-      && (try Vocab.arity_of vocab name = Array.length tup
-          with Not_found -> false)
+      Vocab.arity_opt vocab name = Some (Array.length tup)
       && Tuple.in_universe ~size tup
   | Set (name, a) -> Vocab.mem_const vocab name && 0 <= a && a < size
 

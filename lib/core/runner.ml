@@ -20,6 +20,20 @@ let seq_rules_define st ~env rules =
 
 let apply_update_with ~rules_define st (u : Program.update) (args : int list)
     =
+  (* reject last-wins races: one simultaneous block, one writer per target
+     (programs built by [Program.make] are already validated; this guards
+     hand-assembled ones and keeps the parallel engine's install phase
+     order-independent) *)
+  ignore
+    (List.fold_left
+       (fun seen (r : Program.rule) ->
+         if List.mem r.target seen then
+           invalid_arg
+             (Printf.sprintf
+                "Runner.step: update block redefines target %s twice"
+                r.target);
+         r.target :: seen)
+       [] u.rules);
   let env = List.combine u.params args in
   (* temporaries: sequential, visible to later temps and to rules *)
   let with_temps =

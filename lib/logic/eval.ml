@@ -1,4 +1,5 @@
 exception Unbound_variable of string
+exception Unknown_relation of string
 exception Arity_error of string
 
 (* The work counter under parallelism: each domain owns a private counter
@@ -57,7 +58,13 @@ let compile st env next f =
     | Rel (name, ts) ->
         let r =
           try Structure.rel st name
-          with Invalid_argument _ -> raise (Unbound_variable name)
+          with Invalid_argument _ ->
+            (* same message shape as {!Vocab.Unknown_symbol} *)
+            raise
+              (Unknown_relation
+                 (Printf.sprintf "unknown relation symbol %S in vocabulary %s"
+                    name
+                    (Vocab.to_string (Structure.vocab st))))
         in
         let arity = Relation.arity r in
         if List.length ts <> arity then

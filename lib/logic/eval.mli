@@ -27,6 +27,12 @@ exception Unbound_variable of string
 (** An identifier is neither a bound variable, an environment entry, nor a
     constant symbol of the structure. *)
 
+exception Unknown_relation of string
+(** A relation atom names a symbol the structure's vocabulary does not
+    declare. The payload is a complete message in the same shape as
+    {!Vocab.Unknown_symbol}:
+    [unknown relation symbol "F" in vocabulary <E^2, s, t>]. *)
+
 exception Arity_error of string
 (** A relation atom's argument count differs from the symbol's declared
     arity. *)

@@ -60,12 +60,73 @@ let free_vars f =
   go [] f;
   List.rev !acc
 
-let rec quantifier_depth = function
+let rec quantifier_rank = function
   | True | False | Rel _ | Eq _ | Le _ | Lt _ | Bit _ -> 0
-  | Not g -> quantifier_depth g
+  | Not g -> quantifier_rank g
   | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) ->
-      max (quantifier_depth a) (quantifier_depth b)
-  | Exists (vs, g) | Forall (vs, g) -> List.length vs + quantifier_depth g
+      max (quantifier_rank a) (quantifier_rank b)
+  | Exists (vs, g) | Forall (vs, g) -> List.length vs + quantifier_rank g
+
+let quantifier_depth = quantifier_rank
+
+let alternation_depth f =
+  (* Number of quantifier blocks along the deepest path after merging
+     adjacent blocks of the same effective kind, where the effective kind
+     accounts for the polarity introduced by [Not], the antecedent of
+     [Implies], and both readings of [Iff] — i.e. the alternation count of
+     the negation normal form, without building it. [last] is the
+     effective kind ([true] = existential) of the enclosing block. *)
+  let rec go pol last = function
+    | True | False | Rel _ | Eq _ | Le _ | Lt _ | Bit _ -> 0
+    | Not g -> go (not pol) last g
+    | And (a, b) | Or (a, b) -> max (go pol last a) (go pol last b)
+    | Implies (a, b) -> max (go (not pol) last a) (go pol last b)
+    | Iff (a, b) ->
+        max
+          (max (go pol last a) (go (not pol) last a))
+          (max (go pol last b) (go (not pol) last b))
+    | (Exists (_, g) | Forall (_, g)) as q ->
+        let kind =
+          match q with Exists _ -> pol | _ -> not pol
+        in
+        let bump = match last with Some k when k = kind -> 0 | _ -> 1 in
+        bump + go pol (Some kind) g
+  in
+  go true None f
+
+let width f =
+  let seen = Hashtbl.create 16 in
+  let note x = if not (Hashtbl.mem seen x) then Hashtbl.add seen x () in
+  let rec go = function
+    | True | False -> ()
+    | Rel (_, ts) -> List.iter (fun t -> List.iter note (term_vars t)) ts
+    | Eq (a, b) | Le (a, b) | Lt (a, b) | Bit (a, b) ->
+        List.iter note (term_vars a);
+        List.iter note (term_vars b)
+    | Not g -> go g
+    | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) ->
+        go a;
+        go b
+    | Exists (vs, g) | Forall (vs, g) ->
+        List.iter note vs;
+        go g
+  in
+  go f;
+  Hashtbl.length seen
+
+let rel_atoms f =
+  let acc = ref [] in
+  let rec go = function
+    | True | False | Eq _ | Le _ | Lt _ | Bit _ -> ()
+    | Rel (name, ts) -> acc := (name, ts) :: !acc
+    | Not g -> go g
+    | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) ->
+        go a;
+        go b
+    | Exists (_, g) | Forall (_, g) -> go g
+  in
+  go f;
+  List.rev !acc
 
 let rec size = function
   | True | False | Rel _ | Eq _ | Le _ | Lt _ | Bit _ -> 1

@@ -53,9 +53,34 @@ val free_vars : t -> string list
     Structure-constant symbols appear here too; they are resolved by the
     evaluator. *)
 
-val quantifier_depth : t -> int
+val quantifier_rank : t -> int
 (** Maximum nesting of quantifiers — the descriptive analogue of parallel
-    time. A block [Exists [x;y]] counts its variables individually. *)
+    time, and the work measure of Schmidt et al. (2021). A block
+    [Exists [x;y]] counts its variables individually, so the rank of a
+    prenex formula is the length of its prefix. {!Transform.prenex}
+    preserves the rank of formulas whose quantifiers lie along a single
+    branch; in general it can only increase it (quantifiers of sibling
+    subformulas end up stacked in one prefix). *)
+
+val quantifier_depth : t -> int
+(** Alias for {!quantifier_rank} (historical name). *)
+
+val alternation_depth : t -> int
+(** Number of quantifier blocks along the deepest path after merging
+    adjacent blocks of the same kind, polarity-aware (a negated [Forall]
+    counts as existential, as in the formula's negation normal form).
+    [0] for quantifier-free formulas; a purely existential formula has
+    alternation depth [1]. *)
+
+val width : t -> int
+(** Number of distinct variable names occurring in the formula, free or
+    bound — the number of registers a CRAM processor needs to evaluate
+    it. *)
+
+val rel_atoms : t -> (string * term list) list
+(** Every relation atom [R(t1,...,tk)] of the formula, in occurrence
+    order, duplicates included. Used by the static analyzer to resolve
+    each atom against a vocabulary. *)
 
 val size : t -> int
 (** Number of AST nodes. *)

@@ -2,6 +2,8 @@ type sym = { name : string; arity : int }
 
 type t = { rels : sym list; consts : string list }
 
+exception Unknown_symbol of string
+
 let make ~rels ~consts =
   let seen = Hashtbl.create 16 in
   let declare name =
@@ -26,10 +28,35 @@ let constants v = v.consts
 let mem_rel v name = List.exists (fun s -> s.name = name) v.rels
 let mem_const v name = List.mem name v.consts
 
-let arity_of v name =
+let pp ppf v =
+  let pp_rel ppf s = Format.fprintf ppf "%s^%d" s.name s.arity in
+  Format.fprintf ppf "<%a%s%a>"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_rel)
+    v.rels
+    (if v.rels <> [] && v.consts <> [] then ", " else "")
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_string)
+    v.consts
+
+let to_string v = Format.asprintf "%a" pp v
+
+let unknown_symbol ~kind v name =
+  Unknown_symbol
+    (Printf.sprintf "unknown %s symbol %S in vocabulary %s" kind name
+       (to_string v))
+
+let arity_opt v name =
   match List.find_opt (fun s -> s.name = name) v.rels with
-  | Some s -> s.arity
-  | None -> raise Not_found
+  | Some s -> Some s.arity
+  | None -> None
+
+let arity_of v name =
+  match arity_opt v name with
+  | Some a -> a
+  | None -> raise (unknown_symbol ~kind:"relation" v name)
 
 let union a b =
   let rels =
@@ -60,16 +87,3 @@ let union a b =
       a.consts b.consts
   in
   { rels; consts }
-
-let pp ppf v =
-  let pp_rel ppf s = Format.fprintf ppf "%s^%d" s.name s.arity in
-  Format.fprintf ppf "<%a%s%a>"
-    (Format.pp_print_list
-       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
-       pp_rel)
-    v.rels
-    (if v.rels <> [] && v.consts <> [] then ", " else "")
-    (Format.pp_print_list
-       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
-       Format.pp_print_string)
-    v.consts

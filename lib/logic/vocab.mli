@@ -5,6 +5,14 @@ type sym = { name : string; arity : int }
 
 type t
 
+exception Unknown_symbol of string
+(** Raised on lookups of symbols a vocabulary does not declare. The
+    payload is a complete message naming the symbol and printing the
+    vocabulary, e.g.
+    [unknown relation symbol "F" in vocabulary <E^2, s, t>].
+    {!Dynfo_logic.Eval} reports unknown relations with the same message
+    shape. *)
+
 val make : rels:(string * int) list -> consts:string list -> t
 (** [make ~rels ~consts] builds a vocabulary. Raises [Invalid_argument] on
     duplicate names, negative arities, or a name shared between a relation
@@ -17,7 +25,11 @@ val mem_rel : t -> string -> bool
 val mem_const : t -> string -> bool
 
 val arity_of : t -> string -> int
-(** Arity of a relation symbol. Raises [Not_found] for unknown symbols. *)
+(** Arity of a relation symbol. Raises {!Unknown_symbol} (with the symbol
+    name and the vocabulary spelled out) for unknown symbols. *)
+
+val arity_opt : t -> string -> int option
+(** Arity of a relation symbol, or [None] if undeclared. *)
 
 val union : t -> t -> t
 (** Disjoint union of two vocabularies; used to join the input vocabulary
@@ -26,3 +38,4 @@ val union : t -> t -> t
     kind/arity; identical duplicate declarations are merged. *)
 
 val pp : Format.formatter -> t -> unit
+val to_string : t -> string

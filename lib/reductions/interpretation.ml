@@ -13,11 +13,12 @@ let make ~k ~src_vocab ~dst_vocab ~rel_defs ~const_defs =
   List.iter
     (fun (name, vars, _) ->
       let a =
-        try Vocab.arity_of dst_vocab name
-        with Not_found ->
-          invalid_arg
-            (Printf.sprintf "Interpretation.make: unknown target relation %S"
-               name)
+        match Vocab.arity_opt dst_vocab name with
+        | Some a -> a
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Interpretation.make: unknown target relation %S"
+                 name)
       in
       if List.length vars <> k * a then
         invalid_arg

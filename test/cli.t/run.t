@@ -57,3 +57,50 @@ Unknown problems produce a helpful error:
 
   $ dynfo_cli stats no_such_problem 2>&1 | grep -c 'unknown problem'
   1
+
+Static analysis of a single program prints diagnostics and cost metrics:
+
+  $ dynfo_cli analyze reach_u
+  reach_u-fo: 8 update rules, CRAM[1] work n^5
+    PATH                             k  rank   alt   size  width     work
+    on_ins E / rule E                2     0     0      9      4    n^2
+    on_ins E / rule F                2     0     0     14      4    n^2
+    on_ins E / rule PV               3     2     1     35      7    n^5
+    on_del E / temp T                3     0     0      6      5    n^3
+    on_del E / temp New              2     2     1     44      6    n^4
+    on_del E / rule E                2     0     0     10      4    n^2
+    on_del E / rule F                2     0     0     16      4    n^2
+    on_del E / rule PV               3     2     1     33      7    n^5
+    query                            0     0     0      3      2    n^0
+    max: tuple space n^3, quantifier rank 2, alternation depth 1, work n^5; total formula size 170
+
+The whole registry is clean under --strict (exit 0):
+
+  $ dynfo_cli analyze --all --strict
+  parity-fo        ok — 4 rules, work n^1
+  reach_u-fo       ok — 8 rules, work n^5
+  reach_acyclic-fo ok — 2 rules, work n^4
+  trans_reduction-fo ok — 5 rules, work n^4
+  msf-fo           ok — 10 rules, work n^6
+  bipartite-fo     ok — 11 rules, work n^5
+  k_edge_1-fo      ok — 8 rules, work n^8
+  matching-fo      ok — 8 rules, work n^3
+  lca-fo           ok — 2 rules, work n^4
+  regular-fo       ok — 20 rules, work n^4
+  mult-fo          ok — 12 rules, work n^5
+  dyck_2-fo        ok — 24 rules, work n^6
+  eulerian-fo      ok — 10 rules, work n^5
+  semi_reach-fo    ok — 1 rules, work n^2
+  pad_reach_a-fo   ok — 4 rules, work n^3
+  $ echo "exit: $?"
+  exit: 0
+
+JSON output for tooling:
+
+  $ dynfo_cli analyze parity --json
+  [{"program": "parity-fo", "diagnostics": [], "metrics": {"program": "parity-fo", "rule_count": 4, "max_tuple_exponent": 1, "max_quantifier_rank": 0, "max_alternation_depth": 0, "max_work_exponent": 1, "total_formula_size": 26, "rules": [{"path": "on_ins M / rule M", "target": "M", "tuple_exponent": 1, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 3, "width": 2, "work_exponent": 1}, {"path": "on_ins M / rule b", "target": "b", "tuple_exponent": 0, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 9, "width": 1, "work_exponent": 0}, {"path": "on_del M / rule M", "target": "M", "tuple_exponent": 1, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 4, "width": 2, "work_exponent": 1}, {"path": "on_del M / rule b", "target": "b", "tuple_exponent": 0, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 9, "width": 1, "work_exponent": 0}], "queries": [{"path": "query", "target": "query", "tuple_exponent": 0, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 1, "width": 0, "work_exponent": 0}]}}]
+
+Naming no problem is an error:
+
+  $ dynfo_cli analyze 2>&1 | grep -c 'PROBLEM'
+  2

@@ -1,0 +1,331 @@
+(* Tests for the static analyzer: the whole registry must come out clean
+   (precision), and systematic corruptions of known-good programs must
+   each fire exactly the expected diagnostic (soundness). Corrupted
+   programs are assembled by record surgery, bypassing [Program.make]'s
+   own validation — exactly the hand-assembled programs the analyzer
+   exists to catch. *)
+
+open Dynfo_logic
+open Dynfo
+open Dynfo_programs
+module D = Dynfo_analysis.Diagnostic
+module Check = Dynfo_analysis.Check
+module Metrics = Dynfo_analysis.Metrics
+module Report = Dynfo_analysis.Report
+
+let check = Alcotest.check
+let tb = Alcotest.bool
+let ti = Alcotest.int
+let ts = Alcotest.string
+
+let show_diags ds = String.concat "\n" (List.map D.to_string ds)
+
+(* assert a corruption yields exactly one diagnostic, with this severity,
+   path and message *)
+let expect_one ~what p severity path message =
+  let ds = Check.program p in
+  check ti (what ^ ": one diagnostic") 1 (List.length ds);
+  let d = List.hd ds in
+  check tb (what ^ ": severity") true (d.D.severity = severity);
+  check ts (what ^ ": path") path d.D.path;
+  check ts (what ^ ": message") message d.D.message
+
+(* --- registry sweep: no false positives --------------------------------- *)
+
+let test_registry_clean () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      let ds = Check.program e.program in
+      check ti
+        (Printf.sprintf "%s clean, got:\n%s" e.name (show_diags ds))
+        0 (List.length ds))
+    Registry.all
+
+let test_registry_strict_reports () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      let r = Report.of_program e.program in
+      check tb (e.name ^ " ok strict") true (Report.ok r ~strict:true);
+      check tb (e.name ^ " clean") true (Report.is_clean r))
+    Registry.all
+
+(* --- mutation helpers ---------------------------------------------------- *)
+
+let map_update kind i f (p : Program.t) =
+  let on l = List.mapi (fun j (key, u) -> if i = j then (key, f u) else (key, u)) l in
+  match kind with
+  | `Ins -> { p with on_ins = on p.on_ins }
+  | `Del -> { p with on_del = on p.on_del }
+
+let map_rule n f (u : Program.update) =
+  { u with rules = List.mapi (fun j r -> if j = n then f r else r) u.rules }
+
+let reach_u = (Registry.find "reach_u").program
+let parity = (Registry.find "parity").program
+let msf = (Registry.find "msf").program
+
+(* --- corruption: wrong arity --------------------------------------------- *)
+
+let test_wrong_arity () =
+  (* give reach_u's F-rule a third tuple variable: F is binary *)
+  let p =
+    map_update `Ins 0
+      (map_rule 1 (fun (r : Program.rule) ->
+           { r with vars = r.vars @ [ "w" ] }))
+      reach_u
+  in
+  expect_one ~what:"arity" p D.Error "on_ins E / rule F"
+    "rule has 3 tuple variables, F has arity 2"
+
+let test_wrong_arity_atom () =
+  (* make an atom disagree with the declared arity of PV (ternary) *)
+  let p =
+    map_update `Ins 0
+      (map_rule 0 (fun (r : Program.rule) ->
+           { r with body = Formula.And (r.body, Formula.rel_v "PV" [ "x"; "y" ]) }))
+      reach_u
+  in
+  expect_one ~what:"atom arity" p D.Error "on_ins E / rule E"
+    "atom PV has 2 arguments, declared arity is 3"
+
+(* --- corruption: unbound free variable ----------------------------------- *)
+
+let test_unbound_variable () =
+  let p =
+    map_update `Ins 0
+      (map_rule 0 (fun (r : Program.rule) ->
+           {
+             r with
+             body =
+               Formula.And (r.body, Formula.Eq (Formula.Var "zz", Formula.Min));
+           }))
+      parity
+  in
+  expect_one ~what:"unbound" p D.Error "on_ins M / rule M"
+    "unbound free variable zz"
+
+(* --- corruption: unknown relation ---------------------------------------- *)
+
+let test_unknown_relation () =
+  let p =
+    map_update `Del 0
+      (map_rule 0 (fun (r : Program.rule) ->
+           { r with body = Formula.And (r.body, Formula.rel_v "NOPE" []) }))
+      parity
+  in
+  expect_one ~what:"unknown rel" p D.Error "on_del M / rule M"
+    "references unknown relation NOPE"
+
+(* --- corruption: duplicate target in one simultaneous block -------------- *)
+
+let test_duplicate_target () =
+  let p =
+    map_update `Ins 0
+      (fun (u : Program.update) ->
+        { u with rules = List.hd u.rules :: u.rules })
+      msf
+  in
+  let target = (List.hd (List.assoc "E" msf.on_ins).rules).target in
+  expect_one ~what:"duplicate target" p D.Error "on_ins E"
+    (Printf.sprintf "simultaneous block redefines target %s" target)
+
+(* --- corruption: temporary used before its definition --------------------- *)
+
+let test_temp_before_definition () =
+  (* reach_u's delete block defines T then New, and New's body reads T;
+     swapping them is the classic use-before-definition *)
+  let p =
+    map_update `Del 0
+      (fun (u : Program.update) -> { u with temps = List.rev u.temps })
+      reach_u
+  in
+  expect_one ~what:"temp order" p D.Error "on_del E / temp New"
+    "references temporary T before its definition"
+
+(* --- corruption: temporary shadowing a state relation --------------------- *)
+
+let test_temp_shadows_state () =
+  let p =
+    map_update `Del 0
+      (fun (u : Program.update) ->
+        {
+          u with
+          temps =
+            u.temps @ [ Program.rule "F" [ "x"; "y" ] Formula.True ];
+        })
+      reach_u
+  in
+  (* two findings: the shadow itself, and the F rule now writing a temp *)
+  let ds = Check.program p in
+  check ti ("temp shadow: two diagnostics, got:\n" ^ show_diags ds) 2
+    (List.length ds);
+  let d1 = List.nth ds 0 and d2 = List.nth ds 1 in
+  check ts "shadow path" "on_del E / temp F" d1.D.path;
+  check ts "shadow message" "temporary F shadows a state relation"
+    d1.D.message;
+  check ts "knock-on path" "on_del E / rule F" d2.D.path;
+  check ts "knock-on message"
+    "rule targets temporary F (temporaries are discarded after the update)"
+    d2.D.message
+
+(* --- corruption: rule targeting a temporary ------------------------------- *)
+
+let test_rule_targets_temp () =
+  let p =
+    map_update `Del 0
+      (map_rule 0 (fun (r : Program.rule) -> { r with target = "T" }))
+      reach_u
+  in
+  let ds = Check.program p in
+  check tb
+    ("targets temp, got:\n" ^ show_diags ds)
+    true
+    (List.exists
+       (fun d ->
+         d.D.path = "on_del E / rule T"
+         && d.D.message
+            = "rule targets temporary T (temporaries are discarded after \
+               the update)")
+       ds)
+
+(* --- corruption: query with a free non-constant variable ------------------- *)
+
+let test_query_not_sentence () =
+  let p = { reach_u with query = Parser.parse "PV(s, t, q)" } in
+  expect_one ~what:"query sentence" p D.Error "query"
+    "not a sentence: free variable q"
+
+(* --- hazard warning: rule writing another input relation ------------------- *)
+
+let hazard_program =
+  let iv = Vocab.make ~rels:[ ("A", 1); ("B", 1) ] ~consts:[] in
+  {
+    Program.name = "hazard";
+    input_vocab = iv;
+    aux_vocab = Vocab.make ~rels:[] ~consts:[];
+    init = (fun n -> Structure.create ~size:n iv);
+    on_ins =
+      [
+        ( "A",
+          Program.update ~params:[ "a" ]
+            [ Program.rule "B" [ "x" ] (Formula.rel_v "A" [ "x" ]) ] );
+      ];
+    on_del = [];
+    on_set = [];
+    query = Formula.True;
+    queries = [];
+  }
+
+let test_cross_input_write_warning () =
+  expect_one ~what:"cross-input write" hazard_program D.Warning
+    "on_ins A / rule B" "rule redefines input relation B from an on_ins A update";
+  let r = Report.of_program hazard_program in
+  check tb "ok non-strict" true (Report.ok r ~strict:false);
+  check tb "fails strict" false (Report.ok r ~strict:true)
+
+(* --- construction-time and runtime rejection of duplicate targets ---------- *)
+
+let test_make_rejects_duplicate_target () =
+  let iv = Vocab.make ~rels:[ ("A", 1) ] ~consts:[] in
+  let av = Vocab.make ~rels:[ ("b", 0) ] ~consts:[] in
+  Alcotest.check_raises "make rejects"
+    (Invalid_argument
+       "tiny/ins(A): update block redefines target b twice")
+    (fun () ->
+      ignore
+        (Program.make ~name:"tiny" ~input_vocab:iv ~aux_vocab:av
+           ~init:(fun n -> Structure.create ~size:n (Vocab.union iv av))
+           ~on_ins:
+             [
+               ( "A",
+                 Program.update ~params:[ "a" ]
+                   [
+                     Program.rule "b" [] Formula.True;
+                     Program.rule "b" [] Formula.False;
+                   ] );
+             ]
+           ~query:(Formula.rel "b" []) ()))
+
+let test_runner_rejects_duplicate_target () =
+  let p =
+    map_update `Ins 0
+      (fun (u : Program.update) ->
+        { u with rules = List.hd u.rules :: u.rules })
+      parity
+  in
+  let s = Runner.init p ~size:4 in
+  Alcotest.check_raises "step rejects"
+    (Invalid_argument "Runner.step: update block redefines target M twice")
+    (fun () -> ignore (Runner.step s (Request.ins "M" [ 1 ])))
+
+(* --- metrics -------------------------------------------------------------- *)
+
+let test_metrics_reach_u () =
+  let m = Metrics.of_program reach_u in
+  check ti "rule count" 8 m.Metrics.rule_count;
+  check ti "max tuple exponent" 3 m.Metrics.max_tuple_exponent;
+  check ti "max quantifier rank" 2 m.Metrics.max_quantifier_rank;
+  check ti "max alternation depth" 1 m.Metrics.max_alternation_depth;
+  check ti "max work exponent" 5 m.Metrics.max_work_exponent;
+  (* the PV insert rule: 3 tuple vars, rank-2 body -> n^5 of work *)
+  let pv =
+    List.find
+      (fun (r : Metrics.formula_metrics) -> r.path = "on_ins E / rule PV")
+      m.Metrics.rules
+  in
+  check ti "pv tuple exponent" 3 pv.Metrics.tuple_exponent;
+  check ti "pv work exponent" 5 pv.Metrics.work_exponent
+
+let test_metrics_every_program_bounded () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      let m = Metrics.of_program e.program in
+      check tb (e.name ^ " has rules") true (m.Metrics.rule_count > 0);
+      check tb
+        (e.name ^ " work exponent sane")
+        true
+        (m.Metrics.max_work_exponent >= 0
+        && m.Metrics.max_work_exponent
+           >= m.Metrics.max_tuple_exponent))
+    Registry.all
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "whole registry clean" `Quick test_registry_clean;
+          Alcotest.test_case "strict reports ok" `Quick
+            test_registry_strict_reports;
+        ] );
+      ( "mutations",
+        [
+          Alcotest.test_case "wrong rule arity" `Quick test_wrong_arity;
+          Alcotest.test_case "wrong atom arity" `Quick test_wrong_arity_atom;
+          Alcotest.test_case "unbound variable" `Quick test_unbound_variable;
+          Alcotest.test_case "unknown relation" `Quick test_unknown_relation;
+          Alcotest.test_case "duplicate target" `Quick test_duplicate_target;
+          Alcotest.test_case "temp before definition" `Quick
+            test_temp_before_definition;
+          Alcotest.test_case "temp shadows state" `Quick
+            test_temp_shadows_state;
+          Alcotest.test_case "rule targets temp" `Quick test_rule_targets_temp;
+          Alcotest.test_case "query not a sentence" `Quick
+            test_query_not_sentence;
+          Alcotest.test_case "cross-input write warning" `Quick
+            test_cross_input_write_warning;
+        ] );
+      ( "enforcement",
+        [
+          Alcotest.test_case "Program.make rejects duplicate targets" `Quick
+            test_make_rejects_duplicate_target;
+          Alcotest.test_case "Runner.step rejects duplicate targets" `Quick
+            test_runner_rejects_duplicate_target;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "reach_u numbers" `Quick test_metrics_reach_u;
+          Alcotest.test_case "all programs bounded" `Quick
+            test_metrics_every_program_bounded;
+        ] );
+    ]

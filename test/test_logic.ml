@@ -86,6 +86,15 @@ let test_vocab () =
     (Invalid_argument "Vocab.make: duplicate symbol \"E\"") (fun () ->
       ignore (Vocab.make ~rels:[ ("E", 1); ("E", 2) ] ~consts:[]))
 
+let test_vocab_unknown_symbol () =
+  let v = Vocab.make ~rels:[ ("E", 2) ] ~consts:[ "s" ] in
+  check tb "arity_opt known" true (Vocab.arity_opt v "E" = Some 2);
+  check tb "arity_opt unknown" true (Vocab.arity_opt v "G" = None);
+  Alcotest.check_raises "descriptive unknown-symbol error"
+    (Vocab.Unknown_symbol
+       "unknown relation symbol \"G\" in vocabulary <E^2, s>") (fun () ->
+      ignore (Vocab.arity_of v "G"))
+
 let test_vocab_union () =
   let a = Vocab.make ~rels:[ ("E", 2) ] ~consts:[ "s" ] in
   let b = Vocab.make ~rels:[ ("F", 2); ("E", 2) ] ~consts:[ "t" ] in
@@ -130,6 +139,57 @@ let test_qdepth_size () =
   let f = Parser.parse "ex u v (E(u, v) & all z (E(z, u)))" in
   check ti "depth" 3 (Formula.quantifier_depth f);
   check tb "size positive" true (Formula.size f > 3)
+
+let test_quantifier_rank () =
+  let r src = Formula.quantifier_rank (Parser.parse src) in
+  check ti "qf" 0 (r "E(x, y) & x = y");
+  check ti "one block of two" 2 (r "ex u v (E(u, v))");
+  check ti "nested" 3 (r "ex u v (E(u, v) & all z (E(z, u)))");
+  check ti "max of branches" 2
+    (r "ex u (E(u, u)) & ex v (all w (E(v, w)))");
+  check ti "alias" (r "ex u (all v (E(u, v)))")
+    (Formula.quantifier_depth (Parser.parse "ex u (all v (E(u, v)))"))
+
+let test_alternation_depth () =
+  let a src = Formula.alternation_depth (Parser.parse src) in
+  check ti "qf" 0 (a "E(x, y)");
+  check ti "purely existential" 1 (a "ex u v (E(u, v))");
+  check ti "adjacent same kind merge" 1 (a "ex u (E(u, u) & ex v (E(u, v)))");
+  check ti "ex-all" 2 (a "ex u (all v (E(u, v)))");
+  (* a negated forall is existential in the NNF: ~all v ~E = ex v E *)
+  check ti "polarity-aware" 1 (a "~(all v (~E(v, v)))");
+  check ti "implies flips antecedent" 1
+    (a "all u (E(u, u)) -> ex v (E(v, v))")
+
+let test_width_rel_atoms () =
+  let f = Parser.parse "E(x, y) & ex z (E(z, x) | M(z))" in
+  check ti "width" 3 (Formula.width f);
+  Alcotest.(check (list (pair string int)))
+    "atoms with argument counts"
+    [ ("E", 2); ("E", 2); ("M", 1) ]
+    (List.map
+       (fun (n, ts) -> (n, List.length ts))
+       (Formula.rel_atoms f))
+
+(* prenex preserves quantifier rank for formulas whose quantifiers lie
+   along a single branch (the common shape of update formulas); for
+   sibling quantified subformulas it can only stack prefixes, i.e. grow
+   the rank. *)
+let test_prenex_rank_linear () =
+  List.iter
+    (fun src ->
+      let f = Parser.parse src in
+      check ti
+        (Printf.sprintf "rank preserved: %s" src)
+        (Formula.quantifier_rank f)
+        (Formula.quantifier_rank (Transform.prenex f)))
+    [
+      "ex u v (E(u, v) & all z (E(z, u)))";
+      "all x (E(x, x) -> ex y (E(x, y)))";
+      "~(ex x (all y (E(x, y))))";
+      "E(x, y) & ex z (M(z))";
+      "ex x (M(x)) | E(y, y)";
+    ]
 
 let test_subst_capture () =
   (* substituting u for x under a binder of u must rename the binder *)
@@ -397,6 +457,13 @@ let test_prenex_shape () =
     (Transform.is_quantifier_free (Transform.matrix p));
   check ti "three quantifiers" 3 (List.length (Transform.prefix p))
 
+let prenex_rank_monotone =
+  QCheck.Test.make ~name:"prenex never lowers quantifier rank" ~count:300
+    (QCheck.make gen_formula ~print:(fun f -> Formula.to_string f))
+    (fun f ->
+      Formula.quantifier_rank (Transform.prenex f)
+      >= Formula.quantifier_rank f)
+
 let nnf_preserves_semantics =
   QCheck.Test.make ~name:"nnf/prenex preserve semantics" ~count:300
     (QCheck.make gen_formula ~print:(fun f -> Formula.to_string f))
@@ -425,6 +492,15 @@ let test_eval_unbound () =
   let st = Structure.create ~size:3 v in
   Alcotest.check_raises "unbound" (Eval.Unbound_variable "nope") (fun () ->
       ignore (Eval.holds st (Parser.parse "E(nope, nope)")))
+
+let test_eval_unknown_relation () =
+  (* same message shape as Vocab.Unknown_symbol *)
+  let v = Vocab.make ~rels:[ ("E", 2) ] ~consts:[ "s" ] in
+  let st = Structure.create ~size:3 v in
+  Alcotest.check_raises "unknown relation"
+    (Eval.Unknown_relation
+       "unknown relation symbol \"G\" in vocabulary <E^2, s>") (fun () ->
+      ignore (Eval.holds st (Parser.parse "ex x (G(x, x))")))
 
 let test_eval_arity_error () =
   let v = Vocab.make ~rels:[ ("E", 2) ] ~consts:[] in
@@ -473,6 +549,8 @@ let () =
       ( "structure",
         [
           Alcotest.test_case "vocab" `Quick test_vocab;
+          Alcotest.test_case "vocab unknown symbol" `Quick
+            test_vocab_unknown_symbol;
           Alcotest.test_case "vocab union" `Quick test_vocab_union;
           Alcotest.test_case "structure ops" `Quick test_structure;
           Alcotest.test_case "restrict" `Quick test_structure_restrict;
@@ -481,6 +559,11 @@ let () =
         [
           Alcotest.test_case "free vars" `Quick test_free_vars;
           Alcotest.test_case "qdepth/size" `Quick test_qdepth_size;
+          Alcotest.test_case "quantifier rank" `Quick test_quantifier_rank;
+          Alcotest.test_case "alternation depth" `Quick
+            test_alternation_depth;
+          Alcotest.test_case "width and rel_atoms" `Quick
+            test_width_rel_atoms;
           Alcotest.test_case "capture-avoiding subst" `Quick test_subst_capture;
           Alcotest.test_case "substitute_rel" `Quick test_substitute_rel;
           Alcotest.test_case "pp/parse roundtrip" `Quick test_pp_parse_roundtrip;
@@ -498,12 +581,17 @@ let () =
         [
           Alcotest.test_case "NNF shape" `Quick test_nnf_shape;
           Alcotest.test_case "prenex shape" `Quick test_prenex_shape;
+          Alcotest.test_case "prenex preserves rank (linear)" `Quick
+            test_prenex_rank_linear;
+          QCheck_alcotest.to_alcotest prenex_rank_monotone;
           QCheck_alcotest.to_alcotest nnf_preserves_semantics;
         ] );
       ( "eval",
         [
           Alcotest.test_case "numeric predicates" `Quick test_eval_numeric;
           Alcotest.test_case "unbound variable" `Quick test_eval_unbound;
+          Alcotest.test_case "unknown relation" `Quick
+            test_eval_unknown_relation;
           Alcotest.test_case "arity error" `Quick test_eval_arity_error;
           Alcotest.test_case "work counter" `Quick test_eval_work_counter;
           QCheck_alcotest.to_alcotest de_morgan;
