@@ -67,6 +67,30 @@ let cutoff_arg =
           "Tuple-space size below which a rule is evaluated sequentially \
            even when --domains > 1.")
 
+let backend_conv =
+  let parse = function
+    | "tuple" -> Ok `Tuple
+    | "bulk" -> Ok `Bulk
+    | s ->
+        Error
+          (`Msg (Printf.sprintf "invalid backend %S, expected tuple or bulk" s))
+  in
+  let print ppf b =
+    Format.pp_print_string ppf
+      (match b with `Tuple -> "tuple" | `Bulk -> "bulk")
+  in
+  Arg.conv (parse, print)
+
+let backend_arg =
+  Arg.(
+    value
+    & opt backend_conv `Tuple
+    & info [ "backend" ] ~docv:"B"
+        ~doc:
+          "Evaluation backend: $(b,tuple) enumerates candidate tuples one \
+           at a time; $(b,bulk) materialises each subformula as a dense \
+           bitset and evaluates set-at-a-time with word kernels.")
+
 let lanes_of_domains = function
   | 0 -> None (* Pool.create picks recommended_domain_count *)
   | d when d >= 1 -> Some d
@@ -218,7 +242,7 @@ let with_engine domains k =
       Dynfo_engine.Pool.with_pool ?lanes (fun pool -> k (Some pool))
 
 let run_cmd =
-  let run (e : Registry.entry) size_opt script domains cutoff =
+  let run (e : Registry.entry) size_opt script domains cutoff backend =
     let size = Option.value ~default:e.default_size size_opt in
     let lines =
       read_lines script
@@ -229,8 +253,9 @@ let run_cmd =
     with_engine domains (fun pool ->
         let d =
           match pool with
-          | None -> Dyn.of_program e.program
-          | Some pool -> Dynfo_engine.Par_runner.dyn pool ~cutoff e.program
+          | None -> Dyn.of_program ~backend e.program
+          | Some pool ->
+              Dynfo_engine.Par_runner.dyn pool ~cutoff ~backend e.program
         in
         let inst = d.create size () in
         List.iter
@@ -249,7 +274,7 @@ let run_cmd =
        ~doc:"Run a request script through a problem's FO program.")
     Term.(
       const run $ problem_arg $ size_arg $ script_arg $ domains_arg
-      $ cutoff_arg)
+      $ cutoff_arg $ backend_arg)
 
 (* --- check --------------------------------------------------------------- *)
 
@@ -261,37 +286,77 @@ let check_cmd =
   let seed_arg =
     Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")
   in
-  let run (e : Registry.entry) size_opt length seed domains cutoff =
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Check every program in the registry.")
+  in
+  let prog_arg =
+    Arg.(
+      value
+      & pos 0 (some entry_conv) None
+      & info [] ~docv:"PROBLEM"
+          ~doc:"Problem to check (or $(b,--all) for the whole registry).")
+  in
+  let check_entry pool (e : Registry.entry) ~size_opt ~length ~seed ~cutoff
+      ~backend =
     let size = Option.value ~default:e.default_size size_opt in
     let rng = Random.State.make [| seed |] in
     let reqs = e.workload rng ~size ~length in
-    with_engine domains (fun pool ->
-        let impls =
-          Registry.impls e
-          @
-          match pool with
-          | None -> []
-          | Some pool ->
-              [ Dynfo_engine.Par_runner.dyn pool ~cutoff e.program ]
-        in
-        Printf.printf "checking %s at n=%d over %d requests (seed %d): %!"
-          e.name size (List.length reqs) seed;
-        match Harness.compare_all ~size impls reqs with
-        | Harness.Ok n ->
-            Printf.printf "ok (%d checkpoints, %d implementations)\n" n
-              (List.length impls)
-        | m ->
-            Format.printf "%a@." Harness.pp_outcome m;
-            exit 1)
+    let impls =
+      Registry.impls e
+      @ (match backend with
+        | `Tuple -> []
+        | `Bulk -> [ Dyn.of_program ~backend:`Bulk e.program ])
+      @
+      match pool with
+      | None -> []
+      | Some pool ->
+          [ Dynfo_engine.Par_runner.dyn pool ~cutoff ~backend e.program ]
+    in
+    Printf.printf "checking %s at n=%d over %d requests (seed %d): %!" e.name
+      size (List.length reqs) seed;
+    match Harness.compare_all ~size impls reqs with
+    | Harness.Ok n ->
+        Printf.printf "ok (%d checkpoints, %d implementations)\n" n
+          (List.length impls);
+        true
+    | m ->
+        Format.printf "%a@." Harness.pp_outcome m;
+        false
+  in
+  let run all entry_opt size_opt length seed domains cutoff backend =
+    let entries =
+      match (entry_opt, all) with
+      | Some e, _ -> Some [ e ]
+      | None, true -> Some Registry.all
+      | None, false -> None
+    in
+    match entries with
+    | None -> `Error (true, "name a PROBLEM or pass --all")
+    | Some entries ->
+        with_engine domains (fun pool ->
+            let ok =
+              List.fold_left
+                (fun acc e ->
+                  check_entry pool e ~size_opt ~length ~seed ~cutoff ~backend
+                  && acc)
+                true entries
+            in
+            if not ok then exit 1);
+        `Ok ()
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Cross-check all implementations of a problem on a random \
-          workload.")
+          workload. With $(b,--backend bulk) the set-at-a-time evaluator \
+          joins the comparison alongside the tuple-at-a-time runner and \
+          the static oracles.")
     Term.(
-      const run $ problem_arg $ size_arg $ length_arg $ seed_arg
-      $ domains_arg $ cutoff_arg)
+      ret
+        (const run $ all_arg $ prog_arg $ size_arg $ length_arg $ seed_arg
+       $ domains_arg $ cutoff_arg $ backend_arg))
 
 let () =
   let doc = "Dyn-FO: dynamic first-order programs from Patnaik & Immerman" in

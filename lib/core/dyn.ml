@@ -3,15 +3,18 @@ open Dynfo_logic
 type t = { name : string; create : int -> unit -> instance }
 and instance = { apply : Request.t -> unit; query : unit -> bool }
 
-let of_program (p : Program.t) =
+let of_program ?(backend = `Tuple) (p : Program.t) =
   let create n () =
     let state = ref (Runner.init p ~size:n) in
     {
-      apply = (fun req -> state := Runner.step !state req);
-      query = (fun () -> Runner.query !state);
+      apply = (fun req -> state := Runner.step ~backend !state req);
+      query = (fun () -> Runner.query ~backend !state);
     }
   in
-  { name = p.name; create }
+  let name =
+    match backend with `Tuple -> p.name | `Bulk -> p.name ^ "[bulk]"
+  in
+  { name; create }
 
 let of_fun ~name ~create ~apply ~query =
   let create n () =

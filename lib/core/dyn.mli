@@ -23,8 +23,12 @@ and instance = {
   query : unit -> bool;
 }
 
-val of_program : Program.t -> t
-(** Wrap an FO program (imperatively, by holding the evolving state). *)
+val of_program : ?backend:Runner.backend -> Program.t -> t
+(** Wrap an FO program (imperatively, by holding the evolving state).
+    [backend] (default [`Tuple]) selects the update-formula evaluator —
+    see {!Runner.backend}; under [`Bulk] the implementation is named
+    ["<program>[bulk]"] so harness mismatch reports tell the two
+    apart. *)
 
 val of_fun :
   name:string ->

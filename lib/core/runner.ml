@@ -12,11 +12,23 @@ let structure s = s.structure
 let input s = Structure.restrict s.structure s.program.input_vocab
 let program s = s.program
 
+type backend = [ `Tuple | `Bulk ]
+
 let seq_rules_define st ~env rules =
   List.map
     (fun (r : Program.rule) ->
       (r.target, Eval.define st ~vars:r.vars ~env r.body))
     rules
+
+let bulk_rules_define st ~env rules =
+  List.map
+    (fun (r : Program.rule) ->
+      (r.target, Bulk_eval.define st ~vars:r.vars ~env r.body))
+    rules
+
+let rules_define_for = function
+  | `Tuple -> seq_rules_define
+  | `Bulk -> bulk_rules_define
 
 let apply_update_with ~rules_define st (u : Program.update) (args : int list)
     =
@@ -35,12 +47,15 @@ let apply_update_with ~rules_define st (u : Program.update) (args : int list)
          r.target :: seen)
        [] u.rules);
   let env = List.combine u.params args in
-  (* temporaries: sequential, visible to later temps and to rules *)
+  (* temporaries: sequential, visible to later temps and to rules; each
+     goes through [rules_define] too (as a one-rule block) so backends
+     and the parallel engine cover the temp evaluations as well *)
   let with_temps =
     List.fold_left
       (fun acc (r : Program.rule) ->
-        let rel = Eval.define acc ~vars:r.vars ~env r.body in
-        Structure.declare_rel acc r.target rel)
+        match rules_define acc ~env [ r ] with
+        | [ (_, rel) ] -> Structure.declare_rel acc r.target rel
+        | _ -> assert false)
       st u.temps
   in
   (* rules: all evaluated against the pre-state (+temps), then installed *)
@@ -91,13 +106,20 @@ let step_with ~rules_define s req =
   in
   { s with structure }
 
-let step = step_with ~rules_define:seq_rules_define
+let step ?(backend = `Tuple) s req =
+  step_with ~rules_define:(rules_define_for backend) s req
 
-let run s reqs = List.fold_left step s reqs
+let run ?backend s reqs = List.fold_left (step ?backend) s reqs
 
-let query s = Eval.holds s.structure s.program.query
+let holds_for backend st ?env f =
+  match backend with
+  | `Tuple -> Eval.holds st ?env f
+  | `Bulk -> Bulk_eval.holds st ?env f
 
-let query_named s name args =
+let query ?(backend = `Tuple) s =
+  holds_for backend s.structure s.program.query
+
+let query_named ?(backend = `Tuple) s name args =
   match
     List.find_opt (fun (n, _, _) -> n = name) s.program.queries
   with
@@ -105,6 +127,6 @@ let query_named s name args =
   | Some (_, vars, body) ->
       if List.length vars <> List.length args then
         invalid_arg "Runner.query_named: arity mismatch";
-      Eval.holds s.structure ~env:(List.combine vars args) body
+      holds_for backend s.structure ~env:(List.combine vars args) body
 
-let step_work s req = Eval.with_work (fun () -> step s req)
+let step_work ?backend s req = Eval.with_work (fun () -> step ?backend s req)

@@ -12,6 +12,18 @@ open Dynfo_logic
 
 type state
 
+type backend = [ `Tuple | `Bulk ]
+(** How update formulas (and queries) are evaluated:
+    - [`Tuple] — tuple-at-a-time {!Dynfo_logic.Eval}: enumerate the
+      target space, one compiled-closure test per tuple (the default);
+    - [`Bulk] — set-at-a-time {!Dynfo_logic.Bulk_eval}: dense bitset
+      relations with word-wide kernels.
+
+    Both compute identical relations; they differ in cost model (atomic
+    evaluations vs. machine words — see {!Dynfo_logic.Eval.add_work})
+    and constant factors. Every registry program runs unchanged on
+    either. *)
+
 val init : Program.t -> size:int -> state
 (** [f_n(empty)] — the initial state for universe [{0..size-1}]. *)
 
@@ -24,12 +36,14 @@ val input : state -> Structure.t
 
 val program : state -> Program.t
 
-val step : state -> Request.t -> state
+val step : ?backend:backend -> state -> Request.t -> state
 (** Apply one request. Raises [Invalid_argument] for requests that are not
     valid for the input vocabulary/universe. Requests that do not change
     the input (inserting a present tuple, deleting an absent one) are still
     processed through the update formulas — the paper's programs are
-    written to be no-ops in that case, and tests check they are. *)
+    written to be no-ops in that case, and tests check they are.
+    [backend] selects the evaluator for temporaries and rules (default
+    [`Tuple]). *)
 
 val step_with :
   rules_define:
@@ -40,23 +54,25 @@ val step_with :
   state ->
   Request.t ->
   state
-(** {!step} with the evaluation of the simultaneous rule block delegated
-    to [rules_define st ~env rules] (the structure already contains the
-    update's temporaries). The block's rules each read only the pre-update
+(** {!step} with the evaluation of rule blocks delegated to
+    [rules_define st ~env rules]. Each temporary is passed through it as
+    a one-rule block (seeing the pre-state plus earlier temporaries);
+    the simultaneous block's rules each read only the pre-update
     structure, so [rules_define] may evaluate them in any order — or in
     parallel, which is how {!Dynfo_engine.Par_runner} reuses the request
     dispatch and default input-maintenance logic here without duplicating
-    it. [step] is [step_with] over sequential {!Dynfo_logic.Eval.define}. *)
+    it. [step] is [step_with] over the chosen backend's [define]. *)
 
-val run : state -> Request.t list -> state
+val run : ?backend:backend -> state -> Request.t list -> state
 
-val query : state -> bool
+val query : ?backend:backend -> state -> bool
 (** Evaluate the program's boolean query sentence. *)
 
-val query_named : state -> string -> int list -> bool
+val query_named : ?backend:backend -> state -> string -> int list -> bool
 (** Evaluate a named parameterised query. Raises [Not_found] for unknown
     query names, [Invalid_argument] on arity mismatch. *)
 
-val step_work : state -> Request.t -> state * int
-(** Like {!step} but also returns the number of atomic FO evaluations the
-    update performed (see {!Dynfo_logic.Eval.work}). *)
+val step_work : ?backend:backend -> state -> Request.t -> state * int
+(** Like {!step} but also returns the work the update performed — atomic
+    FO evaluations under [`Tuple], machine words under [`Bulk] (see
+    {!Dynfo_logic.Eval.work}). *)

@@ -1,0 +1,15 @@
+open Dynfo_logic
+
+let pool_for pool : Bulk_eval.par_for =
+ fun ~lo ~hi body ->
+  Pool.parallel_for pool ~lo ~hi (fun ~lane:_ l r -> body l r)
+
+let define pool ?(cutoff = Par_eval.default_cutoff) st ~vars ?(env = []) f =
+  let n = Structure.size st in
+  let total = Par_eval.tuple_space ~size:n ~arity:(List.length vars) in
+  if Pool.lanes pool = 1 || total < cutoff then Bulk_eval.define st ~vars ~env f
+  else Bulk_eval.define ~pfor:(pool_for pool) st ~vars ~env f
+
+let holds pool st ?(env = []) f =
+  if Pool.lanes pool = 1 then Bulk_eval.holds st ~env f
+  else Bulk_eval.holds ~pfor:(pool_for pool) st ~env f

@@ -1,0 +1,38 @@
+(** Parallel set-at-a-time evaluation: the bulk backend's bitwise
+    kernels and quantifier reductions chunked over the domain pool.
+
+    {!Dynfo_logic.Bulk_eval} materialises each subformula as a dense
+    bitset over the scope's tuple space; every kernel it runs is
+    chunk-addressable by word range. This module supplies the pool's
+    {!Pool.parallel_for} as the loop driver, so one logical kernel —
+    one level of the update formula's CRAM[1] circuit — is split into
+    disjoint word ranges executed by different domains. That is the
+    paper's parallelism applied twice over: [bits_per_word] tuples per
+    word by the bitset, [lanes] words at a time by the pool.
+
+    Atom materialisation (cylindrifying stored relations into the
+    scope) stays on the calling domain — it is member-sparse and
+    write-racy to split — so Amdahl applies: speedup shows on the
+    [n^(k+rank)]-bit connective/quantifier levels, which dominate
+    REACH-style programs. *)
+
+open Dynfo_logic
+
+val define :
+  Pool.t ->
+  ?cutoff:int ->
+  Structure.t ->
+  vars:string list ->
+  ?env:(string * int) list ->
+  Formula.t ->
+  Relation.t
+(** Drop-in parallel {!Dynfo_logic.Bulk_eval.define}. Rules whose target
+    tuple space is smaller than [cutoff] (default
+    {!Par_eval.default_cutoff}), and pools with one lane, fall back to
+    the sequential bulk evaluator — pool fan-out per kernel costs more
+    than it buys on tiny bitvectors. *)
+
+val holds :
+  Pool.t -> Structure.t -> ?env:(string * int) list -> Formula.t -> bool
+(** Parallel {!Dynfo_logic.Bulk_eval.holds} (sentences; no cutoff — the
+    quantifier scopes inside can still be large). *)

@@ -1,22 +1,29 @@
 open Dynfo_logic
 open Dynfo
 
-type state = { pool : Pool.t; cutoff : int; inner : Runner.state }
+type state = {
+  pool : Pool.t;
+  cutoff : int;
+  backend : Runner.backend;
+  inner : Runner.state;
+}
 
-let init pool ?(cutoff = Par_eval.default_cutoff) p ~size =
-  { pool; cutoff; inner = Runner.init p ~size }
+let init pool ?(cutoff = Par_eval.default_cutoff) ?(backend = `Tuple) p ~size
+    =
+  { pool; cutoff; backend; inner = Runner.init p ~size }
 
 let structure s = Runner.structure s.inner
 let input s = Runner.input s.inner
 let program s = Runner.program s.inner
 let pool s = s.pool
+let backend s = s.backend
 
-(* The simultaneous rule block. Two regimes:
+(* The simultaneous rule block, tuple backend. Two regimes:
    - at least one rule has a tuple space worth fanning out: parallelise
      within each rule (tuples), sequential across rules;
    - every rule is tiny but there are several: hand whole rules to lanes
      (each evaluated by the lane-local sequential evaluator). *)
-let rules_define pool cutoff st ~env rules =
+let tuple_rules_define pool cutoff st ~env rules =
   let n = Structure.size st in
   let space (r : Program.rule) =
     Par_eval.tuple_space ~size:n ~arity:(List.length r.vars)
@@ -40,22 +47,45 @@ let rules_define pool cutoff st ~env rules =
         (r.target, Par_eval.define pool ~cutoff st ~vars:r.vars ~env r.body))
       rules
 
+(* Bulk backend: rules in order, parallelism inside each rule's word
+   kernels. Never fan rules out across lanes here — Par_bulk submits
+   pool jobs itself and the pool is not reentrant. *)
+let bulk_rules_define pool cutoff st ~env rules =
+  List.map
+    (fun (r : Program.rule) ->
+      (r.target, Par_bulk.define pool ~cutoff st ~vars:r.vars ~env r.body))
+    rules
+
+let rules_define backend pool cutoff =
+  match backend with
+  | `Tuple -> tuple_rules_define pool cutoff
+  | `Bulk -> bulk_rules_define pool cutoff
+
 let step s req =
   {
     s with
     inner =
       Runner.step_with
-        ~rules_define:(rules_define s.pool s.cutoff)
+        ~rules_define:(rules_define s.backend s.pool s.cutoff)
         s.inner req;
   }
 
 let run s reqs = List.fold_left step s reqs
-let query s = Runner.query s.inner
-let query_named s name args = Runner.query_named s.inner name args
+
+let query s =
+  match s.backend with
+  | `Tuple -> Runner.query s.inner
+  | `Bulk ->
+      Par_bulk.holds s.pool (Runner.structure s.inner)
+        (Runner.program s.inner).query
+
+let query_named s name args =
+  Runner.query_named ~backend:s.backend s.inner name args
+
 let step_work s req = Eval.with_work (fun () -> step s req)
 
-let dyn pool ?cutoff (p : Program.t) =
-  Dyn.of_fun
-    ~name:(p.name ^ "[par]")
-    ~create:(fun size -> init pool ?cutoff p ~size)
+let dyn pool ?cutoff ?(backend = `Tuple) (p : Program.t) =
+  let suffix = match backend with `Tuple -> "[par]" | `Bulk -> "[par-bulk]" in
+  Dyn.of_fun ~name:(p.name ^ suffix)
+    ~create:(fun size -> init pool ?cutoff ~backend p ~size)
     ~apply:step ~query

@@ -1,36 +1,47 @@
 (** The parallel runner: {!Dynfo.Runner} with update blocks evaluated on a
-    {!Pool} of domains.
+    {!Pool} of domains, on either evaluation backend.
 
     An update block's [rules] are {e simultaneous by semantics} — every
     body reads only the pre-update structure (plus the already-evaluated
     temporaries) — so they are embarrassingly parallel along two axes:
-    across rules, and across the candidate tuples of each rule's target.
-    This runner parallelises tuples within each rule through
-    {!Par_eval.define}; when every rule of a block falls under the
-    sequential cutoff but the block has several rules, it distributes
-    whole rules across lanes instead, so both axes are exploited. [temps]
-    stay sequential, as the paper's semantics requires (each temporary
-    may read earlier ones).
+    across rules, and within each rule. Under the [`Tuple] backend this
+    runner parallelises the candidate-tuple enumeration of each rule
+    through {!Par_eval.define}; when every rule of a block falls under
+    the sequential cutoff but the block has several rules, it
+    distributes whole rules across lanes instead, so both axes are
+    exploited. Under the [`Bulk] backend rules are evaluated in order
+    and the parallelism is {e inside} each rule: {!Par_bulk.define}
+    chunks the bitset kernels and quantifier reductions by word ranges
+    (never nest the two — a rule fanned out across lanes must not
+    submit pool jobs itself). [temps] are evaluated in order (each may
+    read earlier ones), with the same within-rule parallelism.
 
     Answers are bit-for-bit those of {!Dynfo.Runner}: the harness
-    cross-checks both against the static oracles on every registry
-    program. *)
+    cross-checks both backends against the static oracles on every
+    registry program. *)
 
 open Dynfo_logic
 
 type state
 
 val init :
-  Pool.t -> ?cutoff:int -> Dynfo.Program.t -> size:int -> state
+  Pool.t ->
+  ?cutoff:int ->
+  ?backend:Dynfo.Runner.backend ->
+  Dynfo.Program.t ->
+  size:int ->
+  state
 (** Like {!Dynfo.Runner.init}, evaluating on [pool]. The pool is
     borrowed, not owned: several states may share one (their requests
     must not be interleaved from different threads), and shutting it
-    down is the caller's business. [cutoff] as in {!Par_eval.define}. *)
+    down is the caller's business. [cutoff] as in {!Par_eval.define};
+    [backend] (default [`Tuple]) as in {!Dynfo.Runner.backend}. *)
 
 val structure : state -> Structure.t
 val input : state -> Structure.t
 val program : state -> Dynfo.Program.t
 val pool : state -> Pool.t
+val backend : state -> Dynfo.Runner.backend
 
 val step : state -> Dynfo.Request.t -> state
 val run : state -> Dynfo.Request.t list -> state
@@ -38,10 +49,19 @@ val query : state -> bool
 val query_named : state -> string -> int list -> bool
 
 val step_work : state -> Dynfo.Request.t -> state * int
-(** Work counts equal the sequential runner's on the same request: the
-    engine partitions the very same tuple enumeration. *)
+(** Under [`Tuple], work counts equal the sequential runner's on the
+    same request: the engine partitions the very same tuple enumeration.
+    Under [`Bulk] the unit is machine words processed (see
+    {!Dynfo_logic.Eval.add_work}); totals match the sequential bulk
+    backend's charge for the same update. *)
 
-val dyn : Pool.t -> ?cutoff:int -> Dynfo.Program.t -> Dynfo.Dyn.t
+val dyn :
+  Pool.t ->
+  ?cutoff:int ->
+  ?backend:Dynfo.Runner.backend ->
+  Dynfo.Program.t ->
+  Dynfo.Dyn.t
 (** [dyn pool p] packages the parallel runner as a harness implementation
-    named ["<p.name>[par]"], comparable against [Dyn.of_program p] and
-    the static oracles by {!Dynfo.Harness.compare_all}. *)
+    named ["<p.name>[par]"] (["<p.name>[par-bulk]"] under [`Bulk]),
+    comparable against [Dyn.of_program p] and the static oracles by
+    {!Dynfo.Harness.compare_all}. *)

@@ -1,0 +1,369 @@
+let bits_per_word = Sys.int_size
+let bpw = bits_per_word
+
+type t = {
+  size : int;
+  arity : int;
+  length : int;  (* size^arity bits *)
+  words : int array;
+}
+
+let space ~size ~arity =
+  if size <= 0 then invalid_arg "Bitrel: size must be positive";
+  if arity < 0 then invalid_arg "Bitrel: negative arity";
+  let rec go acc i =
+    if i = 0 then acc
+    else if acc > max_int / size then
+      invalid_arg "Bitrel: tuple space overflows max_int"
+    else go (acc * size) (i - 1)
+  in
+  go 1 arity
+
+let create ~size ~arity =
+  let length = space ~size ~arity in
+  { size; arity; length; words = Array.make ((length + bpw - 1) / bpw) 0 }
+
+(* mask of the bits of the last word that are inside [length] *)
+let tail_mask t =
+  let rem = t.length mod bpw in
+  if rem = 0 then -1 else (1 lsl rem) - 1
+
+let full ~size ~arity =
+  let t = create ~size ~arity in
+  let wc = Array.length t.words in
+  Array.fill t.words 0 wc (-1);
+  t.words.(wc - 1) <- t.words.(wc - 1) land tail_mask t;
+  t
+
+let copy t = { t with words = Array.copy t.words }
+let size t = t.size
+let arity t = t.arity
+let length t = t.length
+let word_count t = Array.length t.words
+
+let check_code t code =
+  if code < 0 || code >= t.length then
+    invalid_arg (Printf.sprintf "Bitrel: code %d outside [0, %d)" code t.length)
+
+let mem_code t code =
+  check_code t code;
+  (t.words.(code / bpw) lsr (code mod bpw)) land 1 = 1
+
+let set_code t code =
+  check_code t code;
+  let w = code / bpw in
+  t.words.(w) <- t.words.(w) lor (1 lsl (code mod bpw))
+
+let clear_code t code =
+  check_code t code;
+  let w = code / bpw in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (code mod bpw))
+
+let encode t tup =
+  if Array.length tup <> t.arity then
+    invalid_arg
+      (Printf.sprintf "Bitrel: tuple arity %d, relation arity %d"
+         (Array.length tup) t.arity);
+  Tuple.encode ~size:t.size tup
+
+let mem t tup = mem_code t (encode t tup)
+let add t tup = set_code t (encode t tup)
+let remove t tup = clear_code t (encode t tup)
+
+(* --- population count ---------------------------------------------------- *)
+
+let pop16 =
+  let tbl = Bytes.make 65536 '\000' in
+  for i = 1 to 65535 do
+    Bytes.unsafe_set tbl i
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get tbl (i lsr 1)) + (i land 1)))
+  done;
+  tbl
+
+let popword w =
+  (* words are 63-bit; [lsr] is logical, so the top chunk is 15 bits *)
+  Char.code (Bytes.unsafe_get pop16 (w land 0xffff))
+  + Char.code (Bytes.unsafe_get pop16 ((w lsr 16) land 0xffff))
+  + Char.code (Bytes.unsafe_get pop16 ((w lsr 32) land 0xffff))
+  + Char.code (Bytes.unsafe_get pop16 ((w lsr 48) land 0xffff))
+
+let popcount t = Array.fold_left (fun acc w -> acc + popword w) 0 t.words
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let equal a b =
+  a.size = b.size && a.arity = b.arity
+  && (* tail bits are kept zero, so word equality is member equality *)
+  a.words = b.words
+
+let iter_codes f t =
+  for w = 0 to Array.length t.words - 1 do
+    let word = ref t.words.(w) in
+    while !word <> 0 do
+      let bit = !word land - !word in
+      (* index of the lowest set bit *)
+      let rec log2 b i = if b = 1 then i else log2 (b lsr 1) (i + 1) in
+      f ((w * bpw) + log2 bit 0);
+      word := !word lxor bit
+    done
+  done
+
+let iter_members f t =
+  iter_codes (fun c -> f (Tuple.decode ~size:t.size ~arity:t.arity c)) t
+
+(* --- converters ---------------------------------------------------------- *)
+
+let of_relation ~size r =
+  let t = create ~size ~arity:(Relation.arity r) in
+  Relation.iter (fun tup -> add t tup) r;
+  t
+
+let to_relation t =
+  let acc = ref [] in
+  iter_members (fun tup -> acc := tup :: !acc) t;
+  Relation.of_list ~arity:t.arity !acc
+
+(* --- word kernels -------------------------------------------------------- *)
+
+let check_compat a b =
+  if a.size <> b.size || a.arity <> b.arity then
+    invalid_arg "Bitrel: size/arity mismatch"
+
+let check_words t ~word_lo ~word_hi =
+  if word_lo < 0 || word_hi > Array.length t.words || word_lo > word_hi then
+    invalid_arg "Bitrel: word range out of bounds"
+
+type op = [ `Union | `Inter | `Diff | `Implies | `Iff ]
+
+let blit_op (op : op) ~dst a b ~word_lo ~word_hi =
+  check_compat dst a;
+  check_compat dst b;
+  check_words dst ~word_lo ~word_hi;
+  let aw = a.words and bw = b.words and dw = dst.words in
+  (match op with
+  | `Union ->
+      for w = word_lo to word_hi - 1 do
+        Array.unsafe_set dw w
+          (Array.unsafe_get aw w lor Array.unsafe_get bw w)
+      done
+  | `Inter ->
+      for w = word_lo to word_hi - 1 do
+        Array.unsafe_set dw w
+          (Array.unsafe_get aw w land Array.unsafe_get bw w)
+      done
+  | `Diff ->
+      for w = word_lo to word_hi - 1 do
+        Array.unsafe_set dw w
+          (Array.unsafe_get aw w land lnot (Array.unsafe_get bw w))
+      done
+  | `Implies ->
+      for w = word_lo to word_hi - 1 do
+        Array.unsafe_set dw w
+          (lnot (Array.unsafe_get aw w) lor Array.unsafe_get bw w)
+      done
+  | `Iff ->
+      for w = word_lo to word_hi - 1 do
+        Array.unsafe_set dw w
+          (lnot (Array.unsafe_get aw w lxor Array.unsafe_get bw w))
+      done);
+  (* complementing kernels turn the zero tail bits of the last word into
+     ones; restore the invariant *)
+  (match op with
+  | `Implies | `Iff ->
+      let last = Array.length dw - 1 in
+      if word_hi = last + 1 then dw.(last) <- dw.(last) land tail_mask dst
+  | `Union | `Inter | `Diff -> ())
+
+let complement_into ~dst a ~word_lo ~word_hi =
+  check_compat dst a;
+  check_words dst ~word_lo ~word_hi;
+  let aw = a.words and dw = dst.words in
+  for w = word_lo to word_hi - 1 do
+    Array.unsafe_set dw w (lnot (Array.unsafe_get aw w))
+  done;
+  let last = Array.length dw - 1 in
+  if word_hi = last + 1 then dw.(last) <- dw.(last) land tail_mask dst
+
+let whole op a b =
+  let dst = create ~size:a.size ~arity:a.arity in
+  blit_op op ~dst a b ~word_lo:0 ~word_hi:(Array.length dst.words);
+  dst
+
+let union a b = whole `Union a b
+let inter a b = whole `Inter a b
+let diff a b = whole `Diff a b
+
+let complement a =
+  let dst = create ~size:a.size ~arity:a.arity in
+  complement_into ~dst a ~word_lo:0 ~word_hi:(Array.length dst.words);
+  dst
+
+(* --- fills and reductions ------------------------------------------------ *)
+
+let fill_range t ~lo ~hi =
+  if lo < 0 || hi > t.length || lo > hi then
+    invalid_arg "Bitrel.fill_range: range out of bounds";
+  if lo < hi then begin
+    let wlo = lo / bpw and whi = (hi - 1) / bpw in
+    let mlo = -1 lsl (lo mod bpw) in
+    let r = ((hi - 1) mod bpw) + 1 in
+    let mhi = if r = bpw then -1 else (1 lsl r) - 1 in
+    if wlo = whi then t.words.(wlo) <- t.words.(wlo) lor (mlo land mhi)
+    else begin
+      t.words.(wlo) <- t.words.(wlo) lor mlo;
+      Array.fill t.words (wlo + 1) (whi - wlo - 1) (-1);
+      t.words.(whi) <- t.words.(whi) lor mhi
+    end
+  end
+
+let set_slab t assignment =
+  let n = t.size in
+  let fixed = Array.make (max 1 t.arity) (-1) in
+  List.iter
+    (fun (c, v) ->
+      if c < 0 || c >= t.arity then
+        invalid_arg "Bitrel.set_slab: coordinate out of range";
+      if fixed.(c) <> -1 then
+        invalid_arg "Bitrel.set_slab: duplicate coordinate";
+      if v < 0 || v >= n then
+        invalid_arg "Bitrel.set_slab: value outside universe";
+      fixed.(c) <- v)
+    assignment;
+  (* longest run of unconstrained trailing coordinates -> one contiguous
+     fill of [block] bits per combination of the remaining free ones *)
+  let rec last_fixed i = if i >= 0 && fixed.(i) = -1 then last_fixed (i - 1) else i in
+  let lf = last_fixed (t.arity - 1) in
+  let block = space ~size:n ~arity:(t.arity - 1 - lf) in
+  let block_words = ((block + bpw - 1) / bpw) + if block mod bpw = 0 then 0 else 1 in
+  let fills = ref 0 in
+  let rec go i base =
+    if i > lf then begin
+      incr fills;
+      fill_range t ~lo:(base * block) ~hi:((base * block) + block)
+    end
+    else if fixed.(i) <> -1 then go (i + 1) ((base * n) + fixed.(i))
+    else
+      for v = 0 to n - 1 do
+        go (i + 1) ((base * n) + v)
+      done
+  in
+  go 0 0;
+  !fills * block_words
+
+(* copy bits [0, len) of [ws] onto [dst_lo, dst_lo + len), assuming
+   dst_lo >= len and the destination bits are all zero. Written word-level:
+   each source word lands as two lor-ed shifts. Reads stay sound even when
+   the boundary word is both source and destination, because writes only
+   touch bit positions >= dst_lo mod bpw >= len mod bpw, which the
+   valid-bit mask of the last source word excludes. *)
+let blit_low_bits ws ~dst_lo ~len =
+  let off = dst_lo mod bpw and w0 = dst_lo / bpw in
+  let src_words = (len + bpw - 1) / bpw in
+  let nw = Array.length ws in
+  for i = 0 to src_words - 1 do
+    let valid = min bpw (len - (i * bpw)) in
+    let v =
+      Array.unsafe_get ws i land (if valid = bpw then -1 else (1 lsl valid) - 1)
+    in
+    let d = w0 + i in
+    Array.unsafe_set ws d (Array.unsafe_get ws d lor (v lsl off));
+    if off > 0 then begin
+      let spill = v lsr (bpw - off) in
+      if spill <> 0 && d + 1 < nw then
+        Array.unsafe_set ws (d + 1) (Array.unsafe_get ws (d + 1) lor spill)
+    end
+  done
+
+let lift_pattern ~dst ~pattern =
+  if dst.size <> pattern.size then invalid_arg "Bitrel.lift_pattern: size mismatch";
+  if pattern.length = 0 || dst.length mod pattern.length <> 0 then
+    invalid_arg "Bitrel.lift_pattern: pattern does not divide the space";
+  if is_empty pattern then 0
+  else begin
+    Array.blit pattern.words 0 dst.words 0 (Array.length pattern.words);
+    let filled = ref pattern.length in
+    let writes = ref (Array.length pattern.words) in
+    while !filled < dst.length do
+      let m = min !filled (dst.length - !filled) in
+      blit_low_bits dst.words ~dst_lo:!filled ~len:m;
+      writes := !writes + ((m + bpw - 1) / bpw);
+      filled := !filled + m
+    done;
+    !writes
+  end
+
+let bit_masks t ~lo ~hi =
+  let wlo = lo / bpw and whi = (hi - 1) / bpw in
+  let mlo = -1 lsl (lo mod bpw) in
+  let r = ((hi - 1) mod bpw) + 1 in
+  let mhi = if r = bpw then -1 else (1 lsl r) - 1 in
+  ignore t;
+  (wlo, whi, mlo, mhi)
+
+let any_in t ~lo ~hi =
+  if lo < 0 || hi > t.length || lo > hi then
+    invalid_arg "Bitrel.any_in: range out of bounds";
+  if lo >= hi then false
+  else begin
+    let wlo, whi, mlo, mhi = bit_masks t ~lo ~hi in
+    let ws = t.words in
+    if wlo = whi then ws.(wlo) land mlo land mhi <> 0
+    else if ws.(wlo) land mlo <> 0 then true
+    else begin
+      let rec scan w = w < whi && (Array.unsafe_get ws w <> 0 || scan (w + 1)) in
+      scan (wlo + 1) || ws.(whi) land mhi <> 0
+    end
+  end
+
+let all_in t ~lo ~hi =
+  if lo < 0 || hi > t.length || lo > hi then
+    invalid_arg "Bitrel.all_in: range out of bounds";
+  lo >= hi
+  || begin
+       let wlo, whi, mlo, mhi = bit_masks t ~lo ~hi in
+       let ws = t.words in
+       if wlo = whi then
+         let m = mlo land mhi in
+         ws.(wlo) land m = m
+       else
+         ws.(wlo) land mlo = mlo
+         && (let rec scan w =
+               w >= whi || (Array.unsafe_get ws w = -1 && scan (w + 1))
+             in
+             scan (wlo + 1))
+         && ws.(whi) land mhi = mhi
+     end
+
+let project op ~block ~src ~dst ~word_lo ~word_hi =
+  if src.size <> dst.size then invalid_arg "Bitrel.project: size mismatch";
+  if block < 1 || src.length <> block * dst.length then
+    invalid_arg "Bitrel.project: block does not factor the source";
+  check_words dst ~word_lo ~word_hi;
+  if block = 1 then Array.blit src.words word_lo dst.words word_lo (word_hi - word_lo)
+  else
+    for w = word_lo to word_hi - 1 do
+      let bit_lo = w * bpw in
+      let bit_hi = min dst.length (bit_lo + bpw) in
+      let acc = ref 0 in
+      (match op with
+      | `Or ->
+          for i = bit_lo to bit_hi - 1 do
+            if any_in src ~lo:(i * block) ~hi:((i + 1) * block) then
+              acc := !acc lor (1 lsl (i - bit_lo))
+          done
+      | `And ->
+          for i = bit_lo to bit_hi - 1 do
+            if all_in src ~lo:(i * block) ~hi:((i + 1) * block) then
+              acc := !acc lor (1 lsl (i - bit_lo))
+          done);
+      dst.words.(w) <- !acc
+    done
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       Tuple.pp)
+    (let acc = ref [] in
+     iter_members (fun tup -> acc := tup :: !acc) t;
+     List.rev !acc)

@@ -1,0 +1,162 @@
+(** Dense bitset relations: the set-at-a-time representation behind the
+    bulk evaluation backend.
+
+    A [Bitrel.t] holds a relation of arity [k] over universe
+    [{0,...,n-1}] as a packed bitvector of [n^k] bits, one per tuple,
+    indexed by {!Tuple.encode} (row-major: the {e last} component varies
+    fastest). On this layout the boolean connectives of an update
+    formula become word-wide bitwise kernels and quantifiers become
+    strided OR/AND folds over blocks of consecutive bits — the
+    circuit-level data parallelism of FO = CRAM[1] made concrete
+    (Corollary 5.7; cf. the work-sensitive reading of Schmidt et al.).
+
+    Values are {e mutable} buffers: the pure constructors
+    ({!of_relation}, {!union}, ...) allocate fresh ones, while the
+    [*_into] kernels write a word range of an existing destination in
+    place. Every kernel is {b chunk-addressable}: it takes a
+    [\[word_lo, word_hi)] range of word indices so the parallel engine
+    can split one logical operation across domains — distinct word
+    ranges never touch the same memory, so lanes need no
+    synchronisation.
+
+    Invariant: the unused tail bits of the last word are always zero
+    (kernels that involve complement re-mask them), so {!equal} and
+    {!popcount} can work word-wise. *)
+
+type t
+
+val bits_per_word : int
+(** Bits packed per word ([Sys.int_size]: 63 on 64-bit). *)
+
+val create : size:int -> arity:int -> t
+(** The empty relation: [size^arity] zero bits. Raises
+    [Invalid_argument] if [size <= 0], [arity < 0] or the tuple space
+    overflows [max_int]. *)
+
+val full : size:int -> arity:int -> t
+(** All [size^arity] bits set. *)
+
+val copy : t -> t
+
+val size : t -> int
+(** Universe size [n]. *)
+
+val arity : t -> int
+
+val length : t -> int
+(** Number of bits, i.e. [n^arity] — the tuple space. *)
+
+val word_count : t -> int
+(** Number of words; the index space of the chunk-addressable kernels. *)
+
+(** {1 Single-tuple access} *)
+
+val mem : t -> Tuple.t -> bool
+(** Raises [Invalid_argument] on arity mismatch or out-of-range
+    components (via {!Tuple.encode}). *)
+
+val add : t -> Tuple.t -> unit
+(** Set one tuple's bit, in place. *)
+
+val remove : t -> Tuple.t -> unit
+
+val mem_code : t -> int -> bool
+(** Membership by encoded index. Raises [Invalid_argument] if the code
+    is outside [\[0, length t)]. *)
+
+val set_code : t -> int -> unit
+
+(** {1 Whole-relation queries} *)
+
+val popcount : t -> int
+(** Number of member tuples (16-bit-table population count, word-wise). *)
+
+val is_empty : t -> bool
+
+val equal : t -> t -> bool
+(** Same size, arity and members. *)
+
+val iter_codes : (int -> unit) -> t -> unit
+(** Visit the encoded index of every member, in increasing order. *)
+
+val iter_members : (Tuple.t -> unit) -> t -> unit
+(** Visit every member as a decoded (freshly allocated) tuple. *)
+
+(** {1 Converters} *)
+
+val of_relation : size:int -> Relation.t -> t
+(** Dense form of a sparse {!Relation.t}. Lossless; raises
+    [Invalid_argument] if a stored tuple has a component outside
+    [{0,...,size-1}]. *)
+
+val to_relation : t -> Relation.t
+(** Sparse form; [to_relation (of_relation ~size r) = r]. *)
+
+(** {1 Word-level kernels}
+
+    The [*_into] forms compute [dst.(w) <- kernel a.(w) b.(w)] for [w]
+    in [\[word_lo, word_hi)]; operands must agree on size and arity
+    ([Invalid_argument] otherwise). [dst] may alias an operand. The
+    convenience forms allocate a fresh destination and run over the
+    whole word range. *)
+
+type op = [ `Union | `Inter | `Diff | `Implies | `Iff ]
+(** [`Diff a b] is [a land lnot b]; [`Implies a b] is [lnot a lor b];
+    [`Iff] is the complement of xor — the kernels of [∨ ∧ ∧¬ → ↔]. *)
+
+val blit_op : op -> dst:t -> t -> t -> word_lo:int -> word_hi:int -> unit
+
+val complement_into : dst:t -> t -> word_lo:int -> word_hi:int -> unit
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val complement : t -> t
+
+(** {1 Strided fills and reductions} *)
+
+val fill_range : t -> lo:int -> hi:int -> unit
+(** Set bits [\[lo, hi)] (bit indices), word-wise. Raises
+    [Invalid_argument] on a range outside [\[0, length t)]. *)
+
+val set_slab : t -> (int * int) list -> int
+(** [set_slab t \[(c1,v1); ...\]] sets every bit whose tuple has
+    component [v_i] at coordinate [c_i] — the cylinder over the
+    unconstrained coordinates. Coordinates must be distinct, in
+    [\[0, arity)], with values in [\[0, size)] ([Invalid_argument]
+    otherwise). Runs of unconstrained trailing coordinates are filled as
+    contiguous word ranges. Returns the number of words written (the
+    work charge of the fill). This is how the bulk evaluator
+    cylindrifies an atom's stored tuples into the enclosing quantifier
+    scope. *)
+
+val lift_pattern : dst:t -> pattern:t -> int
+(** Tile a pattern across a larger tuple space. [pattern] covers the
+    trailing [j] coordinates of [dst] (so
+    [length dst = n^(arity dst - j) * length pattern]); every bit [i] of
+    [dst] is set to bit [i mod length pattern] of the pattern — the
+    cylinder of the pattern over the free {e prefix} coordinates.
+    [dst] must be freshly zero. Runs word-level (doubling blits with
+    shift-and-or), so a suffix-constrained atom costs
+    [O(length dst / bits_per_word)] instead of one bit-fill per prefix
+    tuple. Returns the number of words written (0 for an empty
+    pattern). Raises [Invalid_argument] on size mismatch or if
+    [length pattern] does not divide [length dst]. *)
+
+val any_in : t -> lo:int -> hi:int -> bool
+(** OR-fold of bits [\[lo, hi)]: word-wise with early exit. *)
+
+val all_in : t -> lo:int -> hi:int -> bool
+(** AND-fold of bits [\[lo, hi)]; [true] on the empty range. *)
+
+val project : [ `Or | `And ] -> block:int -> src:t -> dst:t -> word_lo:int -> word_hi:int -> unit
+(** Quantifier elimination over trailing coordinates: writes the words
+    [\[word_lo, word_hi)] of [dst], where bit [i] of [dst] is the
+    OR/AND-fold of the [block] consecutive source bits
+    [\[i*block, (i+1)*block)]. With the {!Tuple.encode} layout,
+    projecting out the last [j] coordinates is exactly this with
+    [block = n^j] — so [∃] is [`Or] and [∀] is [`And]. Requires
+    [src] and [dst] to share the universe size and
+    [length src = block * length dst]. *)
+
+val pp : Format.formatter -> t -> unit

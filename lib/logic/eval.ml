@@ -32,6 +32,10 @@ let with_work f =
   let x = f () in
   (x, work () - before)
 
+let add_work k =
+  let c = my_counter () in
+  c := !c + k
+
 (* Compile [f] to a closure over a slot array. [env] maps bound variable
    names to slots; [next] is the next free slot. Compilation resolves
    relation symbols against [st] once. *)
@@ -79,7 +83,9 @@ let compile st env next f =
           for i = 0 to arity - 1 do
             buf.(i) <- getters.(i) a
           done;
-          Relation.mem r buf
+          (* arity was checked at compile time, [buf] has the right
+             length by construction *)
+          Relation.mem_unchecked r buf
     | Eq (x, y) ->
         let gx = term env x and gy = term env y in
         fun a ->
@@ -204,12 +210,14 @@ let define st ~vars ?(env = []) f =
   let fn = compile st (var_slots @ env_slots) next f in
   let a = Array.make (max 1 !next) 0 in
   List.iter2 (fun (_, s) (_, v) -> a.(s) <- v) env_slots env;
-  let result = ref (Relation.empty ~arity) in
+  (* accepted tuples are collected and turned into a relation once at
+     the end — one set build instead of a persistent-set rebuild per
+     tuple — and each hit is a single [Array.sub] blit of the variable
+     prefix of the slot array rather than an [Array.init] closure. *)
+  let hits = ref [] in
   let rec enum i =
     if i = arity then begin
-      if fn a then
-        result :=
-          Relation.add !result (Array.init arity (fun j -> a.(j)))
+      if fn a then hits := Array.sub a 0 arity :: !hits
     end
     else
       for v = 0 to n - 1 do
@@ -218,7 +226,7 @@ let define st ~vars ?(env = []) f =
       done
   in
   enum 0;
-  !result
+  Relation.of_list ~arity !hits
 
 let tester st ~vars ?(env = []) f =
   let arity = List.length vars in

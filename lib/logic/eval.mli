@@ -73,6 +73,13 @@ val work : unit -> int
 
 val reset_work : unit -> unit
 
+val add_work : int -> unit
+(** [add_work k] charges [k] units of work to the calling domain's
+    counter. The set-at-a-time backend ({!Bulk_eval}) uses this to
+    charge the {e words} its bitwise kernels process, so both backends
+    report through the same counter — with different units: atomic
+    evaluations tuple-at-a-time, machine words set-at-a-time. *)
+
 val with_work : (unit -> 'a) -> 'a * int
 (** [with_work f] runs [f] and returns its result together with the number
     of atomic evaluations it performed, without resetting the global

@@ -22,6 +22,8 @@ let mem r tup =
   check r tup;
   Tset.mem tup r.tuples
 
+let mem_unchecked r tup = Tset.mem tup r.tuples
+
 let add r tup =
   check r tup;
   { r with tuples = Tset.add tup r.tuples }
@@ -34,7 +36,15 @@ let cardinal r = Tset.cardinal r.tuples
 let is_empty r = Tset.is_empty r.tuples
 
 let of_list ~arity tuples =
-  List.fold_left add (empty ~arity) tuples
+  let r = empty ~arity in
+  let tuples =
+    List.fold_left
+      (fun s tup ->
+        check r tup;
+        Tset.add tup s)
+      Tset.empty tuples
+  in
+  { r with tuples }
 
 let to_list r = Tset.elements r.tuples
 let iter f r = Tset.iter f r.tuples

@@ -17,6 +17,15 @@ val mem : t -> Tuple.t -> bool
 (** [mem r t] — membership test; raises [Invalid_argument] on arity
     mismatch. *)
 
+val mem_unchecked : t -> Tuple.t -> bool
+(** {!mem} without the arity validation. {b Precondition:}
+    [Tuple.arity t = arity r]; a tuple of the wrong arity silently
+    returns [false] (it cannot be a member). For callers that have
+    already established the arity once — the compiled relation atoms of
+    {!Eval}, whose argument count is checked at compile time — so the
+    per-membership check does not re-run inside the [n^k]-tuple
+    enumeration. Checked {!mem} remains the public default. *)
+
 val add : t -> Tuple.t -> t
 (** Insert a tuple (no-op if already present). *)
 

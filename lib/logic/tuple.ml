@@ -16,7 +16,20 @@ let compare (a : t) (b : t) =
 
 let equal a b = compare a b = 0
 
-let hash (a : t) = Hashtbl.hash (Array.to_list a)
+(* FNV-1a over the components (allocation-free; Hashtbl.hash on a
+   per-call list copy was the previous implementation). The constants
+   are the 64-bit FNV prime and a basis truncated to OCaml's 63-bit
+   ints; the final mask keeps the result non-negative as Hashtbl
+   expects. *)
+let fnv_prime = 0x100000001b3
+let fnv_basis = 0x3f29ce484222325
+
+let hash (a : t) =
+  let h = ref ((fnv_basis lxor Array.length a) * fnv_prime) in
+  for i = 0 to Array.length a - 1 do
+    h := (!h lxor a.(i)) * fnv_prime
+  done;
+  !h land max_int
 
 let in_universe ~size t = Array.for_all (fun u -> 0 <= u && u < size) t
 

@@ -16,6 +16,8 @@ val compare : t -> t -> int
 val equal : t -> t -> bool
 
 val hash : t -> int
+(** Allocation-free FNV-1a fold over the components (mixing in the
+    arity). Equal tuples hash equal; the result is non-negative. *)
 
 val in_universe : size:int -> t -> bool
 (** [in_universe ~size t] holds iff every component of [t] lies in

@@ -53,6 +53,26 @@ Randomized cross-checking of all implementations of a problem:
   $ dynfo_cli check reach_u -n 6 --length 60 --seed 1
   checking reach_u at n=6 over 60 requests (seed 1): ok (60 checkpoints, 3 implementations)
 
+The set-at-a-time bitset backend joins the comparison under --backend
+bulk (one extra implementation), and runs the same scripts:
+
+  $ dynfo_cli check reach_u -n 6 --length 60 --seed 1 --backend bulk
+  checking reach_u at n=6 over 60 requests (seed 1): ok (60 checkpoints, 4 implementations)
+
+  $ dynfo_cli run reach_u -n 6 --script script.txt --backend bulk
+  set s 0              query = true
+  set t 3              query = false
+  ins E (0,1)          query = false
+  ins E (1,2)          query = false
+  ins E (2,3)          query = true
+  del E (1,2)          query = false
+  ins E (1,3)          query = true
+
+check needs a problem or --all:
+
+  $ dynfo_cli check 2>&1 | grep -c 'PROBLEM'
+  2
+
 Unknown problems produce a helpful error:
 
   $ dynfo_cli stats no_such_problem 2>&1 | grep -c 'unknown problem'

@@ -26,6 +26,21 @@ let test_tuple_order () =
   check tb "shorter first" true (Tuple.compare [| 9 |] [| 0; 0 |] < 0);
   check tb "equal" true (Tuple.compare [| 2; 2 |] [| 2; 2 |] = 0)
 
+let test_tuple_hash () =
+  let t1 = [| 3; 0; 7 |] and t2 = [| 3; 0; 7 |] in
+  check ti "equal tuples hash equal" (Tuple.hash t1) (Tuple.hash t2);
+  check tb "non-negative" true (Tuple.hash t1 >= 0);
+  check tb "non-negative (empty)" true (Tuple.hash [||] >= 0);
+  (* length is mixed in: a prefix must not collide with its extension *)
+  check tb "prefix distinct" true (Tuple.hash [| 0 |] <> Tuple.hash [| 0; 0 |])
+
+let tuple_hash_qcheck =
+  QCheck.Test.make ~name:"tuple hash respects equality and sign" ~count:500
+    QCheck.(list_of_size Gen.(0 -- 5) (int_range 0 1000))
+    (fun comps ->
+      let t = Array.of_list comps in
+      Tuple.hash t >= 0 && Tuple.hash t = Tuple.hash (Array.copy t))
+
 let tuple_qcheck =
   QCheck.Test.make ~name:"tuple encode/decode roundtrip" ~count:200
     QCheck.(pair (int_range 2 9) (list_of_size Gen.(1 -- 4) (int_range 0 8)))
@@ -537,6 +552,8 @@ let () =
           Alcotest.test_case "encode/decode" `Quick test_tuple_encode_decode;
           Alcotest.test_case "encode range" `Quick test_tuple_encode_range;
           Alcotest.test_case "order" `Quick test_tuple_order;
+          Alcotest.test_case "hash" `Quick test_tuple_hash;
+          QCheck_alcotest.to_alcotest tuple_hash_qcheck;
           QCheck_alcotest.to_alcotest tuple_qcheck;
         ] );
       ( "relation",
