@@ -347,6 +347,86 @@ let () =
       close_out oc;
       Printf.printf "  wrote %s (%d rows)\n" path (List.length !e20_rows));
 
+  (* E21: the verified formula optimizer — measured FO work and wall
+     clock per request, before vs after Rewrite.optimize_program, on
+     both backends, over the whole registry. The work column is the
+     CRAM[1] atom-evaluation count (word count under bulk), so the
+     optimizer's effect is hardware-independent there; the us columns
+     are wall clock on however many cores the host has (1-core hosts
+     still show the work drop). *)
+  Printf.printf
+    "\n== E21: verified optimizer — work/time before vs after ==\n";
+  Printf.printf "  %-16s %4s %10s %10s %7s %9s %9s %9s %9s\n" "program" "n"
+    "work" "work-opt" "ratio" "tuple" "tuple-opt" "bulk" "bulk-opt";
+  let e21_measure backend program ~size reqs =
+    let d = Dyn.of_program ~backend program in
+    ignore (us_per_request d ~size reqs);
+    Gc.full_major ();
+    us_per_request d ~size reqs
+  in
+  let backend_work backend program ~size reqs =
+    let (), work =
+      Dynfo_logic.Eval.with_work (fun () ->
+          let state = ref (Runner.init program ~size) in
+          List.iter
+            (fun r ->
+              state := Runner.step ~backend !state r;
+              ignore (Runner.query ~backend !state))
+            reqs)
+    in
+    work / List.length reqs
+  in
+  let e21_rows = ref [] in
+  Gc.compact ();
+  List.iter
+    (fun (e : Registry.entry) ->
+      let size = e.default_size in
+      let rng = Random.State.make [| 42; size |] in
+      let reqs = e.workload rng ~size ~length:30 in
+      if reqs <> [] then begin
+        let rep = Dynfo_analysis.Rewrite.optimize_program e.program in
+        let opt = rep.Dynfo_analysis.Rewrite.optimized in
+        let work = backend_work `Tuple e.program ~size reqs in
+        let work_opt = backend_work `Tuple opt ~size reqs in
+        let tuple = e21_measure `Tuple e.program ~size reqs in
+        let tuple_opt = e21_measure `Tuple opt ~size reqs in
+        let bulk = e21_measure `Bulk e.program ~size reqs in
+        let bulk_opt = e21_measure `Bulk opt ~size reqs in
+        Printf.printf
+          "  %-16s %4d %10d %10d %6.2fx %9.2f %9.2f %9.2f %9.2f\n" e.name
+          size work work_opt
+          (float work /. float (max 1 work_opt))
+          tuple tuple_opt bulk bulk_opt;
+        e21_rows :=
+          (e.name, size, work, work_opt, tuple, tuple_opt, bulk, bulk_opt)
+          :: !e21_rows
+      end)
+    Registry.all;
+  (match
+     if Array.exists (( = ) "--json") Sys.argv then Some "BENCH_opt.json"
+     else Sys.getenv_opt "BENCH_OPT_JSON"
+   with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc "[\n";
+      List.iteri
+        (fun i (name, size, work, work_opt, tuple, tuple_opt, bulk, bulk_opt)
+           ->
+          Printf.fprintf oc
+            "  {\"experiment\": \"E21\", \"version\": 2, \"program\": %S, \
+             \"n\": %d, \"work\": %d, \"work_opt\": %d, \"work_ratio\": \
+             %.3f, \"tuple_us\": %.3f, \"tuple_opt_us\": %.3f, \
+             \"bulk_us\": %.3f, \"bulk_opt_us\": %.3f}%s\n"
+            name size work work_opt
+            (float work /. float (max 1 work_opt))
+            tuple tuple_opt bulk bulk_opt
+            (if i = List.length !e21_rows - 1 then "" else ","))
+        (List.rev !e21_rows);
+      output_string oc "]\n";
+      close_out oc;
+      Printf.printf "  wrote %s (%d rows)\n" path (List.length !e21_rows));
+
   (* E13: REACH_d through the bfo reduction + transfer theorem *)
   Printf.printf "\n== E13: REACH_d via bfo reduction (Example 2.1 + Prop 5.3) ==\n";
   header ();

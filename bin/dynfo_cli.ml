@@ -71,25 +71,30 @@ let backend_conv =
   let parse = function
     | "tuple" -> Ok `Tuple
     | "bulk" -> Ok `Bulk
+    | "auto" -> Ok `Auto
     | s ->
         Error
-          (`Msg (Printf.sprintf "invalid backend %S, expected tuple or bulk" s))
+          (`Msg
+             (Printf.sprintf
+                "invalid backend %S, expected tuple, bulk or auto" s))
   in
-  let print ppf b =
+  let print ppf (b : Runner.backend) =
     Format.pp_print_string ppf
-      (match b with `Tuple -> "tuple" | `Bulk -> "bulk")
+      (match b with `Tuple -> "tuple" | `Bulk -> "bulk" | `Auto -> "auto")
   in
   Arg.conv (parse, print)
 
 let backend_arg =
   Arg.(
     value
-    & opt backend_conv `Tuple
+    & opt backend_conv (`Tuple : Runner.backend)
     & info [ "backend" ] ~docv:"B"
         ~doc:
           "Evaluation backend: $(b,tuple) enumerates candidate tuples one \
            at a time; $(b,bulk) materialises each subformula as a dense \
-           bitset and evaluates set-at-a-time with word kernels.")
+           bitset and evaluates set-at-a-time with word kernels; \
+           $(b,auto) lets the static analyzer's advisor pick per \
+           program.")
 
 let lanes_of_domains = function
   | 0 -> None (* Pool.create picks recommended_domain_count *)
@@ -148,6 +153,22 @@ let analyze_cmd =
       & info [ "strict" ]
           ~doc:"Fail (exit 1) on warnings too, not just errors.")
   in
+  let graph_arg =
+    Arg.(
+      value & flag
+      & info [ "graph" ]
+          ~doc:
+            "Emit the relation-dependency graph(s) in GraphViz DOT format \
+             instead of the report.")
+  in
+  let advise_arg =
+    Arg.(
+      value & flag
+      & info [ "advise" ]
+          ~doc:
+            "Print only the backend advice (one line per program; a JSON \
+             array with $(b,--json)).")
+  in
   let prog_arg =
     Arg.(
       value
@@ -155,7 +176,7 @@ let analyze_cmd =
       & info [] ~docv:"PROBLEM"
           ~doc:"Problem to analyze (or $(b,--all) for the whole registry).")
   in
-  let run all json strict entry_opt =
+  let run all json strict graph advise entry_opt =
     let entries =
       match (entry_opt, all) with
       | Some e, _ -> Some [ e ]
@@ -164,6 +185,32 @@ let analyze_cmd =
     in
     match entries with
     | None -> `Error (true, "name a PROBLEM or pass --all")
+    | Some entries when graph ->
+        List.iter
+          (fun (e : Registry.entry) ->
+            Format.printf "%a" Dynfo_analysis.Dataflow.pp_dot
+              (Dynfo_analysis.Dataflow.of_program e.program))
+          entries;
+        `Ok ()
+    | Some entries when advise ->
+        let advices =
+          List.map
+            (fun (e : Registry.entry) ->
+              Dynfo_analysis.Advisor.of_program
+                ~par_cutoff:Dynfo_engine.Par_eval.default_cutoff e.program)
+            entries
+        in
+        (if json then
+           Format.printf "[%a]@."
+             (Format.pp_print_list
+                ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@\n ")
+                Dynfo_analysis.Advisor.pp_json)
+             advices
+         else
+           List.iter
+             (fun a -> Format.printf "%a@." Dynfo_analysis.Advisor.pp a)
+             advices);
+        `Ok ()
     | Some entries ->
         let reports =
           List.map
@@ -201,8 +248,12 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:
          "Statically check a program (vocabulary typing, scope discipline, \
-          update-block hazards) and report its CRAM[1] work metrics.")
-    Term.(ret (const run $ all_arg $ json_arg $ strict_arg $ prog_arg))
+          update-block hazards) and report its CRAM[1] work metrics, \
+          dataflow and backend advice.")
+    Term.(
+      ret
+        (const run $ all_arg $ json_arg $ strict_arg $ graph_arg
+       $ advise_arg $ prog_arg))
 
 (* --- run ----------------------------------------------------------------- *)
 
@@ -307,7 +358,7 @@ let check_cmd =
       Registry.impls e
       @ (match backend with
         | `Tuple -> []
-        | `Bulk -> [ Dyn.of_program ~backend:`Bulk e.program ])
+        | (`Bulk | `Auto) as b -> [ Dyn.of_program ~backend:b e.program ])
       @
       match pool with
       | None -> []
@@ -358,10 +409,172 @@ let check_cmd =
         (const run $ all_arg $ prog_arg $ size_arg $ length_arg $ seed_arg
        $ domains_arg $ cutoff_arg $ backend_arg))
 
+(* --- optimize ------------------------------------------------------------ *)
+
+let optimize_cmd =
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Optimize every program in the registry.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit a JSON array of per-program results.")
+  in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Additionally run the optimized program end-to-end on a \
+             random workload against the original and the registry \
+             oracles.")
+  in
+  let show_arg =
+    Arg.(
+      value & flag
+      & info [ "show" ]
+          ~doc:"Print each rewritten formula (before and after).")
+  in
+  let prog_arg =
+    Arg.(
+      value
+      & pos 0 (some entry_conv) None
+      & info [] ~docv:"PROBLEM"
+          ~doc:
+            "Problem to optimize (or $(b,--all) for the whole registry).")
+  in
+  let length_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "length" ] ~docv:"L"
+          ~doc:"Number of random requests per $(b,--verify) workload.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"S" ~doc:"Random seed for $(b,--verify).")
+  in
+  let optimize_entry ~verify ~show ~length ~seed (e : Registry.entry) =
+    let rep = Dynfo_analysis.Rewrite.optimize_program e.program in
+    let module R = Dynfo_analysis.Rewrite in
+    Printf.printf
+      "%-16s work n^%d -> n^%d, size %d -> %d, %d rewrite(s), %d \
+       temp(s), %d rejection(s)\n"
+      e.name rep.R.work_before rep.R.work_after rep.R.size_before
+      rep.R.size_after
+      (List.length rep.R.changes)
+      (List.length
+         (List.concat_map (fun (_, ts) -> ts) rep.R.cse_temps))
+      (List.length rep.R.rejections);
+    List.iter
+      (fun (c : R.change) ->
+        Printf.printf "  %-28s %s\n" c.R.chg_path
+          (String.concat ", " c.R.chg_passes);
+        if show then (
+          Printf.printf "    before: %s\n"
+            (Dynfo_logic.Formula.to_string c.R.chg_before);
+          Printf.printf "    after:  %s\n"
+            (Dynfo_logic.Formula.to_string c.R.chg_after)))
+      rep.R.changes;
+    List.iter
+      (fun (block, names) ->
+        Printf.printf "  %-28s cse: %s\n" block (String.concat ", " names))
+      rep.R.cse_temps;
+    List.iter
+      (fun (r : R.rejection) ->
+        Printf.printf "  REJECTED %s [%s]: %s\n" r.R.rej_path r.R.rej_pass
+          r.R.rej_reason)
+      rep.R.rejections;
+    let verified =
+      if not verify then true
+      else begin
+        let size = e.default_size in
+        let rng = Random.State.make [| seed |] in
+        let reqs = e.workload rng ~size ~length in
+        let opt_dyn =
+          { (Dyn.of_program rep.R.optimized) with name = e.name ^ "+opt" }
+        in
+        let impls = Registry.impls e @ [ opt_dyn ] in
+        Printf.printf "  verify at n=%d over %d requests (seed %d): %!"
+          size (List.length reqs) seed;
+        match Harness.compare_all ~size impls reqs with
+        | Harness.Ok n ->
+            Printf.printf "ok (%d checkpoints, %d implementations)\n" n
+              (List.length impls);
+            true
+        | m ->
+            Format.printf "%a@." Harness.pp_outcome m;
+            false
+      end
+    in
+    (rep, verified)
+  in
+  let run all json verify show length seed entry_opt =
+    let entries =
+      match (entry_opt, all) with
+      | Some e, _ -> Some [ e ]
+      | None, true -> Some Registry.all
+      | None, false -> None
+    in
+    match entries with
+    | None -> `Error (true, "name a PROBLEM or pass --all")
+    | Some entries ->
+        let module R = Dynfo_analysis.Rewrite in
+        let results =
+          List.map
+            (fun e -> (e, optimize_entry ~verify ~show ~length ~seed e))
+            entries
+        in
+        if json then
+          Format.printf "[%a]@."
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@\n ")
+               (fun ppf ((e : Registry.entry), ((rep : R.program_report), verified)) ->
+                 Format.fprintf ppf
+                   "{\"version\": %d, \"program\": \"%s\", \
+                    \"work_before\": %d, \"work_after\": %d, \
+                    \"size_before\": %d, \"size_after\": %d, \
+                    \"rewrites\": %d, \"cse_temps\": %d, \"rejections\": \
+                    %d, \"checks\": %d, \"exhaustive_upto\": %d, \
+                    \"verified\": %b}"
+                   Dynfo_analysis.Report.version e.name rep.R.work_before
+                   rep.R.work_after rep.R.size_before rep.R.size_after
+                   (List.length rep.R.changes)
+                   (List.length
+                      (List.concat_map (fun (_, ts) -> ts) rep.R.cse_temps))
+                   (List.length rep.R.rejections)
+                   rep.R.stats.R.checks rep.R.stats.R.exhaustive_upto
+                   verified))
+            results;
+        let bad =
+          List.filter
+            (fun (_, ((rep : R.program_report), verified)) ->
+              rep.R.rejections <> [] || not verified)
+            results
+        in
+        if bad <> [] then exit 1;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:
+         "Rewrite a program's update formulas through the verified \
+          optimizer (every pass model-checked equivalent on all small \
+          structures) and report the work/size deltas. Exits nonzero if \
+          any rewrite was rejected or $(b,--verify) finds a mismatch.")
+    Term.(
+      ret
+        (const run $ all_arg $ json_arg $ verify_arg $ show_arg
+       $ length_arg $ seed_arg $ prog_arg))
+
 let () =
+  Dynfo_analysis.Advisor.install ();
   let doc = "Dyn-FO: dynamic first-order programs from Patnaik & Immerman" in
   let info = Cmd.info "dynfo_cli" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; stats_cmd; analyze_cmd; run_cmd; check_cmd ]))
+          [ list_cmd; stats_cmd; analyze_cmd; optimize_cmd; run_cmd;
+            check_cmd ]))

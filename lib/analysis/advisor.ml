@@ -1,0 +1,93 @@
+open Dynfo_logic
+open Dynfo
+
+type advice = {
+  program : string;
+  backend : [ `Tuple | `Bulk ];
+  par_cutoff : int;
+  max_work_exponent : int;
+  bit_fraction : float;
+  reason : string;
+}
+
+(* Mirrors [Dynfo_engine.Par_eval.default_cutoff]; the engine is
+   deliberately not a dependency of the analysis library, so callers
+   sitting above both (the CLI) may pass the engine's value instead. *)
+let default_par_cutoff = 2048
+
+let work_threshold = 5
+let bit_threshold = 0.05
+
+let atom_counts (p : Program.t) =
+  let atoms = ref 0 and bits = ref 0 in
+  let count body =
+    List.iter
+      (fun (f : Formula.t) ->
+        match f with
+        | Rel _ | Eq _ | Le _ | Lt _ -> incr atoms
+        | Bit _ ->
+            incr atoms;
+            incr bits
+        | _ -> ())
+      (Formula.subformulas body)
+  in
+  List.iter
+    (fun (_, _, (u : Program.update)) ->
+      List.iter (fun (r : Program.rule) -> count r.body) u.temps;
+      List.iter (fun (r : Program.rule) -> count r.body) u.rules)
+    (Program.updates p);
+  count p.query;
+  List.iter (fun (_, _, body) -> count body) p.queries;
+  (!atoms, !bits)
+
+let of_program ?(par_cutoff = default_par_cutoff) (p : Program.t) =
+  let m = Metrics.of_program p in
+  let atoms, bits = atom_counts p in
+  let bit_fraction = if atoms = 0 then 0. else float bits /. float atoms in
+  let backend, reason =
+    if bit_fraction >= bit_threshold then
+      ( `Tuple,
+        Printf.sprintf
+          "BIT-heavy bodies (%.0f%% of atoms): word-parallel kernels \
+           degrade to per-bit probes, short-circuiting tuple evaluation \
+           wins"
+          (100. *. bit_fraction) )
+    else if m.Metrics.max_work_exponent >= work_threshold then
+      ( `Bulk,
+        Printf.sprintf
+          "work n^%d at or above the n^%d dense threshold with BIT-free \
+           bodies: set-at-a-time bitset kernels amortize the enumeration"
+          m.Metrics.max_work_exponent work_threshold )
+    else
+      ( `Tuple,
+        Printf.sprintf
+          "work n^%d below the n^%d dense threshold: per-tuple \
+           short-circuit evaluation is cheaper than materializing bitsets"
+          m.Metrics.max_work_exponent work_threshold )
+  in
+  {
+    program = p.name;
+    backend;
+    par_cutoff;
+    max_work_exponent = m.Metrics.max_work_exponent;
+    bit_fraction;
+    reason;
+  }
+
+let choose p = (of_program p).backend
+let install () = Runner.set_auto_chooser choose
+
+let backend_string = function `Tuple -> "tuple" | `Bulk -> "bulk"
+
+let pp ppf a =
+  Format.fprintf ppf "%s: --backend %s, parallel cutoff %d — %s" a.program
+    (backend_string a.backend) a.par_cutoff a.reason
+
+let pp_json ppf a =
+  Format.fprintf ppf
+    "{\"program\": \"%s\", \"backend\": \"%s\", \"par_cutoff\": %d, \
+     \"max_work_exponent\": %d, \"bit_fraction\": %.3f, \"reason\": \
+     \"%s\"}"
+    a.program
+    (backend_string a.backend)
+    a.par_cutoff a.max_work_exponent a.bit_fraction a.reason

@@ -1,0 +1,41 @@
+(** Backend advisor: a static recommendation of which evaluation
+    backend ([--backend tuple|bulk]) and parallel cutoff to run a
+    program under, derived from its {!Metrics}.
+
+    Heuristic, calibrated against the E20 measurements in
+    EXPERIMENTS.md: the dense bitset backend wins once the update work
+    reaches [n^5] ({!default_par_cutoff}-sized tuple spaces stop
+    fitting the short-circuit evaluator's sweet spot), {e unless} the
+    bodies lean on [BIT] — arithmetic atoms degrade the word kernels to
+    per-bit probes (mult is ~30x faster on the tuple backend).
+
+    The advice feeds the [`Auto] backend: {!install} registers
+    {!choose} as {!Dynfo.Runner.set_auto_chooser}, after which
+    [Dyn.of_program ~backend:`Auto] (and the parallel runner) resolve
+    to the recommended backend per program. *)
+
+type advice = {
+  program : string;
+  backend : [ `Tuple | `Bulk ];
+  par_cutoff : int;
+  max_work_exponent : int;
+  bit_fraction : float;  (** BIT atoms / all atoms, over every body *)
+  reason : string;  (** one-line human-readable justification *)
+}
+
+val default_par_cutoff : int
+(** Mirrors [Dynfo_engine.Par_eval.default_cutoff] (the engine is not a
+    dependency of this library). *)
+
+val of_program : ?par_cutoff:int -> Dynfo.Program.t -> advice
+
+val choose : Dynfo.Program.t -> [ `Tuple | `Bulk ]
+(** [(of_program p).backend]. *)
+
+val install : unit -> unit
+(** Register {!choose} with {!Dynfo.Runner.set_auto_chooser} so the
+    [`Auto] backend resolves through this advisor. *)
+
+val backend_string : [ `Tuple | `Bulk ] -> string
+val pp : Format.formatter -> advice -> unit
+val pp_json : Format.formatter -> advice -> unit

@@ -10,6 +10,8 @@ type formula_metrics = {
   formula_size : int;
   width : int;
   work_exponent : int;
+  opt_quantifier_rank : int;
+  opt_work_exponent : int;
 }
 
 type t = {
@@ -21,6 +23,7 @@ type t = {
   max_quantifier_rank : int;
   max_alternation_depth : int;
   max_work_exponent : int;
+  max_opt_work_exponent : int;
   total_formula_size : int;
 }
 
@@ -30,6 +33,8 @@ let of_formula ~path ~target ~vars body =
   (* count the tuple variables into the width even when the body ignores
      some of them: the evaluator still allocates their registers *)
   let width = Formula.width (Formula.exists vars body) in
+  (* static estimate only — the verified rewrite lives in [Rewrite] *)
+  let opt_rank = Formula.quantifier_rank (Transform.optimize body) in
   {
     path;
     target;
@@ -39,6 +44,8 @@ let of_formula ~path ~target ~vars body =
     formula_size = Formula.size body;
     width;
     work_exponent = k + rank;
+    opt_quantifier_rank = opt_rank;
+    opt_work_exponent = k + opt_rank;
   }
 
 let of_program (p : Program.t) =
@@ -82,35 +89,40 @@ let of_program (p : Program.t) =
     max_quantifier_rank = fold (fun r -> r.quantifier_rank);
     max_alternation_depth = fold (fun r -> r.alternation_depth);
     max_work_exponent = fold (fun r -> r.work_exponent);
+    max_opt_work_exponent = fold (fun r -> r.opt_work_exponent);
     total_formula_size =
       List.fold_left (fun acc r -> acc + r.formula_size) 0 all;
   }
 
 let pp_row ppf r =
-  Format.fprintf ppf "  %-28s %5d %5d %5d %6d %6d    n^%d" r.path
+  Format.fprintf ppf "  %-28s %5d %5d %5d %6d %6d %8s %6s" r.path
     r.tuple_exponent r.quantifier_rank r.alternation_depth r.formula_size
-    r.width r.work_exponent
+    r.width
+    (Printf.sprintf "n^%d" r.work_exponent)
+    (Printf.sprintf "n^%d" r.opt_work_exponent)
 
 let pp ppf m =
   Format.fprintf ppf "%s: %d update rules, CRAM[1] work n^%d@." m.program
     m.rule_count m.max_work_exponent;
-  Format.fprintf ppf "  %-28s %5s %5s %5s %6s %6s %8s@." "PATH" "k" "rank"
-    "alt" "size" "width" "work";
+  Format.fprintf ppf "  %-28s %5s %5s %5s %6s %6s %8s %6s@." "PATH" "k"
+    "rank" "alt" "size" "width" "work" "opt";
   List.iter (fun r -> Format.fprintf ppf "%a@." pp_row r) m.rules;
   List.iter (fun r -> Format.fprintf ppf "%a@." pp_row r) m.queries;
   Format.fprintf ppf
     "  max: tuple space n^%d, quantifier rank %d, alternation depth %d, \
-     work n^%d; total formula size %d@."
+     work n^%d (n^%d optimized); total formula size %d@."
     m.max_tuple_exponent m.max_quantifier_rank m.max_alternation_depth
-    m.max_work_exponent m.total_formula_size
+    m.max_work_exponent m.max_opt_work_exponent m.total_formula_size
 
 let pp_json_row ppf r =
   Format.fprintf ppf
     "{\"path\": \"%s\", \"target\": \"%s\", \"tuple_exponent\": %d, \
      \"quantifier_rank\": %d, \"alternation_depth\": %d, \"formula_size\": \
-     %d, \"width\": %d, \"work_exponent\": %d}"
+     %d, \"width\": %d, \"work_exponent\": %d, \"opt_quantifier_rank\": \
+     %d, \"opt_work_exponent\": %d}"
     r.path r.target r.tuple_exponent r.quantifier_rank r.alternation_depth
-    r.formula_size r.width r.work_exponent
+    r.formula_size r.width r.work_exponent r.opt_quantifier_rank
+    r.opt_work_exponent
 
 let pp_json ppf m =
   let pp_list ppf rows =
@@ -121,8 +133,8 @@ let pp_json ppf m =
   Format.fprintf ppf
     "{\"program\": \"%s\", \"rule_count\": %d, \"max_tuple_exponent\": %d, \
      \"max_quantifier_rank\": %d, \"max_alternation_depth\": %d, \
-     \"max_work_exponent\": %d, \"total_formula_size\": %d, \"rules\": \
-     [%a], \"queries\": [%a]}"
+     \"max_work_exponent\": %d, \"max_opt_work_exponent\": %d, \
+     \"total_formula_size\": %d, \"rules\": [%a], \"queries\": [%a]}"
     m.program m.rule_count m.max_tuple_exponent m.max_quantifier_rank
-    m.max_alternation_depth m.max_work_exponent m.total_formula_size pp_list
-    m.rules pp_list m.queries
+    m.max_alternation_depth m.max_work_exponent m.max_opt_work_exponent
+    m.total_formula_size pp_list m.rules pp_list m.queries

@@ -20,6 +20,11 @@ type formula_metrics = {
   formula_size : int;  (** AST nodes *)
   width : int;  (** distinct variables, tuple variables included *)
   work_exponent : int;  (** [tuple_exponent + quantifier_rank] *)
+  opt_quantifier_rank : int;
+      (** quantifier rank after {!Dynfo_logic.Transform.optimize} — a
+          static estimate (the pure rewrite kernels, unverified); the
+          verified pipeline is {!Rewrite.optimize_program} *)
+  opt_work_exponent : int;  (** [tuple_exponent + opt_quantifier_rank] *)
 }
 
 type t = {
@@ -32,6 +37,7 @@ type t = {
   max_quantifier_rank : int;
   max_alternation_depth : int;
   max_work_exponent : int;
+  max_opt_work_exponent : int;
   total_formula_size : int;
 }
 

@@ -2,13 +2,19 @@ type t = {
   program : string;
   diagnostics : Diagnostic.t list;
   metrics : Metrics.t;
+  dataflow : Dataflow.t;
+  advice : Advisor.advice;
 }
+
+let version = 2
 
 let of_program p =
   {
     program = (p : Dynfo.Program.t).name;
     diagnostics = Check.program p;
     metrics = Metrics.of_program p;
+    dataflow = Dataflow.of_program p;
+    advice = Advisor.of_program p;
   }
 
 let count sev r =
@@ -31,12 +37,27 @@ let pp_summary ppf r =
 
 let pp ppf r =
   List.iter (fun d -> Format.fprintf ppf "%a@." Diagnostic.pp d) r.diagnostics;
-  Metrics.pp ppf r.metrics
+  Metrics.pp ppf r.metrics;
+  Format.fprintf ppf
+    "  dataflow: %d dependency edge(s), %d hazard(s), %d dead \
+     relation(s)@."
+    (List.length r.dataflow.Dataflow.edges)
+    (List.length r.dataflow.Dataflow.hazards)
+    (List.length r.dataflow.Dataflow.dead_rels);
+  if r.dataflow.Dataflow.dead_rels <> [] then
+    Format.fprintf ppf "  dead: %a@." Dataflow.pp_names
+      r.dataflow.Dataflow.dead_rels;
+  Format.fprintf ppf "  advice: --backend %s (cutoff %d) — %s@."
+    (Advisor.backend_string r.advice.Advisor.backend)
+    r.advice.Advisor.par_cutoff r.advice.Advisor.reason
 
 let pp_json ppf r =
   Format.fprintf ppf
-    "{\"program\": \"%s\", \"diagnostics\": [%a], \"metrics\": %a}" r.program
+    "{\"version\": %d, \"program\": \"%s\", \"diagnostics\": [%a], \
+     \"metrics\": %a, \"dataflow\": %a, \"advice\": %a}"
+    version r.program
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
        Diagnostic.pp_json)
-    r.diagnostics Metrics.pp_json r.metrics
+    r.diagnostics Metrics.pp_json r.metrics Dataflow.pp_json r.dataflow
+    Advisor.pp_json r.advice

@@ -4,15 +4,24 @@ type t = { name : string; create : int -> unit -> instance }
 and instance = { apply : Request.t -> unit; query : unit -> bool }
 
 let of_program ?(backend = `Tuple) (p : Program.t) =
+  (* resolve [`Auto] once, at wrap time, so the chooser is not consulted
+     on every request *)
+  let resolved = (Runner.resolve_backend p backend :> Runner.backend) in
   let create n () =
     let state = ref (Runner.init p ~size:n) in
     {
-      apply = (fun req -> state := Runner.step ~backend !state req);
-      query = (fun () -> Runner.query ~backend !state);
+      apply = (fun req -> state := Runner.step ~backend:resolved !state req);
+      query = (fun () -> Runner.query ~backend:resolved !state);
     }
   in
   let name =
-    match backend with `Tuple -> p.name | `Bulk -> p.name ^ "[bulk]"
+    match backend with
+    | `Tuple -> p.name
+    | `Bulk -> p.name ^ "[bulk]"
+    | `Auto -> (
+        match resolved with
+        | `Bulk -> p.name ^ "[auto:bulk]"
+        | _ -> p.name ^ "[auto:tuple]")
   in
   { name; create }
 

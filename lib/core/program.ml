@@ -117,6 +117,42 @@ let make ~name ~input_vocab ~aux_vocab ~init ?(on_ins = []) ?(on_del = [])
   validate p;
   p
 
+let optimize fn p =
+  let map_rule ~block ~kind (r : rule) =
+    let path = Printf.sprintf "%s / %s %s" block kind r.target in
+    { r with body = fn ~path r.body }
+  in
+  let map_update (key, u) ~block =
+    ( key,
+      {
+        u with
+        temps = List.map (map_rule ~block ~kind:"temp") u.temps;
+        rules = List.map (map_rule ~block ~kind:"rule") u.rules;
+      } )
+  in
+  let map_blocks kind us =
+    List.map
+      (fun (key, u) ->
+        map_update (key, u) ~block:(Printf.sprintf "on_%s %s" kind key))
+      us
+  in
+  let p' =
+    {
+      p with
+      on_ins = map_blocks "ins" p.on_ins;
+      on_del = map_blocks "del" p.on_del;
+      on_set = map_blocks "set" p.on_set;
+      query = fn ~path:"query" p.query;
+      queries =
+        List.map
+          (fun (qname, qvars, body) ->
+            (qname, qvars, fn ~path:(Printf.sprintf "query %s" qname) body))
+          p.queries;
+    }
+  in
+  validate p';
+  p'
+
 let updates p =
   List.map (fun (name, u) -> (`Ins, name, u)) p.on_ins
   @ List.map (fun (name, u) -> (`Del, name, u)) p.on_del

@@ -72,6 +72,19 @@ val make :
     resolution, hazards for the parallel engine, cost metrics — live in
     [Dynfo_analysis]. *)
 
+val validate : t -> unit
+(** The checks performed by {!make}, for re-validating a program whose
+    formulas were rewritten. Raises [Invalid_argument] on failure. *)
+
+val optimize : (path:string -> Formula.t -> Formula.t) -> t -> t
+(** [optimize fn p] maps [fn] over every temporary, rule and query body
+    of [p]. [path] follows the static analyzer's convention
+    (["on_ins E / rule PV"], ["query"], ...), so callers can correlate
+    with [Dynfo_analysis.Metrics] rows or leave selected formulas
+    untouched. The result is re-{!validate}d; semantic equivalence is
+    the caller's burden — the verified entry point is
+    [Dynfo_analysis.Rewrite.optimize_program]. *)
+
 val rule : string -> string list -> Formula.t -> rule
 val rule_s : string -> string list -> string -> rule
 (** [rule_s target vars src] parses [src] with {!Parser.parse}. *)

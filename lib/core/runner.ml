@@ -12,7 +12,17 @@ let structure s = s.structure
 let input s = Structure.restrict s.structure s.program.input_vocab
 let program s = s.program
 
-type backend = [ `Tuple | `Bulk ]
+type backend = [ `Tuple | `Bulk | `Auto ]
+
+(* [`Auto] resolution is delegated so the core library does not depend on
+   the analysis layer: [Dynfo_analysis.Advisor.install] replaces the
+   chooser with the metrics-driven one. Until then [`Auto] means
+   [`Tuple], the conservative default. *)
+let auto_chooser : (Program.t -> [ `Tuple | `Bulk ]) ref = ref (fun _ -> `Tuple)
+let set_auto_chooser f = auto_chooser := f
+
+let resolve_backend (p : Program.t) (b : backend) =
+  match b with `Auto -> !auto_chooser p | (`Tuple | `Bulk) as b -> b
 
 let seq_rules_define st ~env rules =
   List.map
@@ -107,6 +117,7 @@ let step_with ~rules_define s req =
   { s with structure }
 
 let step ?(backend = `Tuple) s req =
+  let backend = resolve_backend s.program backend in
   step_with ~rules_define:(rules_define_for backend) s req
 
 let run ?backend s reqs = List.fold_left (step ?backend) s reqs
@@ -117,9 +128,10 @@ let holds_for backend st ?env f =
   | `Bulk -> Bulk_eval.holds st ?env f
 
 let query ?(backend = `Tuple) s =
-  holds_for backend s.structure s.program.query
+  holds_for (resolve_backend s.program backend) s.structure s.program.query
 
 let query_named ?(backend = `Tuple) s name args =
+  let backend = resolve_backend s.program backend in
   match
     List.find_opt (fun (n, _, _) -> n = name) s.program.queries
   with

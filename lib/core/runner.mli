@@ -12,17 +12,28 @@ open Dynfo_logic
 
 type state
 
-type backend = [ `Tuple | `Bulk ]
+type backend = [ `Tuple | `Bulk | `Auto ]
 (** How update formulas (and queries) are evaluated:
     - [`Tuple] — tuple-at-a-time {!Dynfo_logic.Eval}: enumerate the
       target space, one compiled-closure test per tuple (the default);
     - [`Bulk] — set-at-a-time {!Dynfo_logic.Bulk_eval}: dense bitset
-      relations with word-wide kernels.
+      relations with word-wide kernels;
+    - [`Auto] — resolved per program by the installed chooser (see
+      {!set_auto_chooser}); [`Tuple] until one is installed.
 
-    Both compute identical relations; they differ in cost model (atomic
-    evaluations vs. machine words — see {!Dynfo_logic.Eval.add_work})
-    and constant factors. Every registry program runs unchanged on
-    either. *)
+    [`Tuple] and [`Bulk] compute identical relations; they differ in
+    cost model (atomic evaluations vs. machine words — see
+    {!Dynfo_logic.Eval.add_work}) and constant factors. Every registry
+    program runs unchanged on either. *)
+
+val set_auto_chooser : (Program.t -> [ `Tuple | `Bulk ]) -> unit
+(** Install the per-program resolver behind [`Auto]. The core library
+    cannot depend on the analysis layer, so the metrics-driven chooser
+    is injected: [Dynfo_analysis.Advisor.install] calls this. *)
+
+val resolve_backend : Program.t -> backend -> [ `Tuple | `Bulk ]
+(** Resolve [`Auto] for a program via the installed chooser; the
+    identity on concrete backends. *)
 
 val init : Program.t -> size:int -> state
 (** [f_n(empty)] — the initial state for universe [{0..size-1}]. *)

@@ -4,12 +4,13 @@ open Dynfo
 type state = {
   pool : Pool.t;
   cutoff : int;
-  backend : Runner.backend;
+  backend : [ `Tuple | `Bulk ];  (* [`Auto] resolved at [init] *)
   inner : Runner.state;
 }
 
 let init pool ?(cutoff = Par_eval.default_cutoff) ?(backend = `Tuple) p ~size
     =
+  let backend = Runner.resolve_backend p backend in
   { pool; cutoff; backend; inner = Runner.init p ~size }
 
 let structure s = Runner.structure s.inner
@@ -80,12 +81,20 @@ let query s =
         (Runner.program s.inner).query
 
 let query_named s name args =
-  Runner.query_named ~backend:s.backend s.inner name args
+  Runner.query_named ~backend:(s.backend :> Runner.backend) s.inner name args
 
 let step_work s req = Eval.with_work (fun () -> step s req)
 
 let dyn pool ?cutoff ?(backend = `Tuple) (p : Program.t) =
-  let suffix = match backend with `Tuple -> "[par]" | `Bulk -> "[par-bulk]" in
+  let suffix =
+    match backend with
+    | `Tuple -> "[par]"
+    | `Bulk -> "[par-bulk]"
+    | `Auto -> (
+        match Runner.resolve_backend p backend with
+        | `Tuple -> "[par-auto:tuple]"
+        | `Bulk -> "[par-auto:bulk]")
+  in
   Dyn.of_fun ~name:(p.name ^ suffix)
     ~create:(fun size -> init pool ?cutoff ~backend p ~size)
     ~apply:step ~query

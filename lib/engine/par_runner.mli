@@ -41,7 +41,8 @@ val structure : state -> Structure.t
 val input : state -> Structure.t
 val program : state -> Dynfo.Program.t
 val pool : state -> Pool.t
-val backend : state -> Dynfo.Runner.backend
+val backend : state -> [ `Tuple | `Bulk ]
+(** The concrete backend in use — [`Auto] is resolved at {!init}. *)
 
 val step : state -> Dynfo.Request.t -> state
 val run : state -> Dynfo.Request.t list -> state

@@ -134,6 +134,35 @@ let rec size = function
   | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) -> 1 + size a + size b
   | Exists (_, g) | Forall (_, g) -> 1 + size g
 
+let subformulas f =
+  let acc = ref [] in
+  let rec go f =
+    acc := f :: !acc;
+    match f with
+    | True | False | Rel _ | Eq _ | Le _ | Lt _ | Bit _ -> ()
+    | Not g | Exists (_, g) | Forall (_, g) -> go g
+    | And (a, b) | Or (a, b) | Implies (a, b) | Iff (a, b) ->
+        go a;
+        go b
+  in
+  go f;
+  List.rev !acc
+
+let map_bottom_up step f =
+  let rec go f =
+    step
+      (match f with
+      | True | False | Rel _ | Eq _ | Le _ | Lt _ | Bit _ -> f
+      | Not g -> Not (go g)
+      | And (a, b) -> And (go a, go b)
+      | Or (a, b) -> Or (go a, go b)
+      | Implies (a, b) -> Implies (go a, go b)
+      | Iff (a, b) -> Iff (go a, go b)
+      | Exists (vs, g) -> Exists (vs, go g)
+      | Forall (vs, g) -> Forall (vs, go g))
+  in
+  go f
+
 let fresh_counter = ref 0
 
 let fresh prefix =
@@ -267,7 +296,9 @@ let pp ppf f =
     | Implies (a, b) ->
         paren 2 (fun ppf -> Format.fprintf ppf "%a -> %a" (go 3) a (go 2) b)
     | Iff (a, b) ->
-        paren 1 (fun ppf -> Format.fprintf ppf "%a <-> %a" (go 2) a (go 1) b)
+        (* [<->] parses left-associatively, so the right operand must be
+           printed at a higher precedence than the left one *)
+        paren 1 (fun ppf -> Format.fprintf ppf "%a <-> %a" (go 1) a (go 2) b)
     | Exists (vs, g) ->
         paren 5 (fun ppf ->
             Format.fprintf ppf "ex %a (%a)"

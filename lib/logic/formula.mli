@@ -85,6 +85,19 @@ val rel_atoms : t -> (string * term list) list
 val size : t -> int
 (** Number of AST nodes. *)
 
+val term_vars : term -> string list
+(** The identifiers of a term: [[x]] for [Var x], [[]] otherwise. *)
+
+val subformulas : t -> t list
+(** Every subformula in preorder, the formula itself first, duplicates
+    included. Used by the optimizer's common-subformula detection. *)
+
+val map_bottom_up : (t -> t) -> t -> t
+(** [map_bottom_up step f] rebuilds [f] applying [step] at every node,
+    children first — so [step] always sees a node whose subformulas have
+    already been rewritten. The workhorse of the rewrite kernels in
+    {!Transform}. *)
+
 val subst : (string * term) list -> t -> t
 (** Capture-avoiding simultaneous substitution of terms for free variables.
     Bound variables that would capture a substituted name are renamed. *)

@@ -69,3 +69,397 @@ let rec prefix = function
 let rec matrix = function
   | Exists (_, g) | Forall (_, g) -> matrix g
   | f -> f
+
+(* --- rewrite kernels ------------------------------------------------
+
+   Each kernel is a semantics-preserving local rewrite; {!optimize}
+   iterates them to a fixpoint. They are deliberately conservative: a
+   fold only fires when it is valid for EVERY universe size n >= 1 and
+   every assignment — in particular [Num] literals may lie outside the
+   universe (Eval does not clamp them), [Min = Max] at n = 1, and the
+   universe is never empty. The analysis layer re-verifies every applied
+   rewrite by model checking (lib/analysis/rewrite.ml), so a kernel bug
+   is caught, not silently shipped. *)
+
+let rec conjuncts = function
+  | And (a, b) -> conjuncts a @ conjuncts b
+  | f -> [ f ]
+
+let rec disjuncts = function
+  | Or (a, b) -> disjuncts a @ disjuncts b
+  | f -> [ f ]
+
+let dedup fs =
+  List.rev
+    (List.fold_left
+       (fun acc f -> if List.exists (equal f) acc then acc else f :: acc)
+       [] fs)
+
+let rec remove_first x = function
+  | [] -> []
+  | y :: r -> if equal x y then r else y :: remove_first x r
+
+(* the integer value of a term, when it is the same in every universe *)
+let static_value = function
+  | Num i -> Some i
+  | Min -> Some 0
+  | Var _ | Max -> None
+
+(* every value of the term lies in [0, n-1] for every universe size *)
+let in_range = function Var _ | Min | Max -> true | Num i -> i = 0
+let nonneg = function Var _ | Min | Max -> true | Num i -> i >= 0
+let is_zero t = static_value t = Some 0
+
+let const_fold_node f =
+  match f with
+  | Eq (a, b) when a = b -> True
+  | Eq (a, b) -> (
+      match (static_value a, static_value b) with
+      | Some x, Some y -> if x = y then True else False
+      | _ -> f)
+  | Le (a, b) ->
+      if a = b then True
+      else (
+        match (static_value a, static_value b) with
+        | Some x, Some y -> if x <= y then True else False
+        | _ ->
+            if is_zero a && nonneg b then True
+            else if b = Max && in_range a then True
+            else f)
+  | Lt (a, b) ->
+      if a = b then False
+      else (
+        match (static_value a, static_value b) with
+        | Some x, Some y -> if x < y then True else False
+        | _ ->
+            if is_zero b && nonneg a then False
+            else if a = Max && in_range b then False
+            else f)
+  | Bit (a, b) -> (
+      match (static_value a, static_value b) with
+      | Some x, Some y when y >= 0 ->
+          if y < Sys.int_size && (x lsr y) land 1 = 1 then True else False
+      | _, Some y when y >= Sys.int_size -> False
+      | Some 0, None when nonneg b -> False
+      | _ -> f)
+  | _ -> f
+
+let const_fold f = map_bottom_up const_fold_node f
+
+let has_complement fs =
+  List.exists
+    (function Not g -> List.exists (equal g) fs | _ -> false)
+    fs
+
+let simplify_node f =
+  match f with
+  | Not True -> False
+  | Not False -> True
+  | Not (Not g) -> g
+  | And _ ->
+      let cs = dedup (List.filter (fun c -> c <> True) (conjuncts f)) in
+      if List.mem False cs || has_complement cs then False else conj cs
+  | Or _ ->
+      let ds = dedup (List.filter (fun d -> d <> False) (disjuncts f)) in
+      if List.mem True ds || has_complement ds then True else disj ds
+  | Implies (True, g) -> g
+  | Implies (False, _) -> True
+  | Implies (_, True) -> True
+  | Implies (g, False) -> Not g
+  | Implies (a, b) when equal a b -> True
+  | Iff (True, g) | Iff (g, True) -> g
+  | Iff (False, g) | Iff (g, False) -> Not g
+  | Iff (a, b) when equal a b -> True
+  (* the universe is never empty, so quantifying a closed truth value is
+     the truth value itself *)
+  | Exists (_, ((True | False) as g)) | Forall (_, ((True | False) as g)) -> g
+  | _ -> f
+
+let simplify f = map_bottom_up simplify_node f
+
+let prune_node f =
+  match f with
+  | Exists (vs, g) -> (
+      let fv = free_vars g in
+      let vs = List.filter (fun v -> List.mem v fv) vs in
+      match (vs, g) with
+      | [], _ -> g
+      | _, Exists (ws, h) ->
+          (* merge adjacent blocks; an outer binder shadowed by the inner
+             block is vacuous and must be dropped, not re-ordered *)
+          let vs = List.filter (fun v -> not (List.mem v ws)) vs in
+          Exists (vs @ ws, h)
+      | _ -> Exists (vs, g))
+  | Forall (vs, g) -> (
+      let fv = free_vars g in
+      let vs = List.filter (fun v -> List.mem v fv) vs in
+      match (vs, g) with
+      | [], _ -> g
+      | _, Forall (ws, h) ->
+          let vs = List.filter (fun v -> not (List.mem v ws)) vs in
+          Forall (vs @ ws, h)
+      | _ -> Forall (vs, g))
+  | _ -> f
+
+let prune_quantifiers f = map_bottom_up prune_node f
+
+(* --- one-point rule -------------------------------------------------
+
+   ex v (v = t & phi)  ==  phi[v := t]   when v does not occur in t and
+   t always denotes a universe element ([Num] literals other than 0 may
+   lie outside the universe, so pinning to them is unsound).
+   Dually  all v (v != t | phi)  ==  phi[v := t]  and
+   all v (v = t & psi -> phi)  ==  (psi -> phi)[v := t].
+
+   When no direct pin exists, a conjunct that is a disjunction each of
+   whose branches pins a quantified variable is distributed first:
+   ex v ((A | B) & rest)  ==  ex v (A & rest) | ex v (B & rest).
+   This is what fires on the symmetric-edge idiom
+   [ex u v (eq2 u v a b & ...)] of the undirected-graph programs and
+   eliminates both quantifiers. *)
+
+let pinnable vs x t =
+  List.mem x vs && (not (List.mem x (term_vars t))) && in_range t
+
+let find_pin vs cs =
+  let rec scan pre = function
+    | [] -> None
+    | c :: rest -> (
+        let pin =
+          match c with
+          | Eq (Var x, t) when pinnable vs x t -> Some (x, t)
+          | Eq (t, Var x) when pinnable vs x t -> Some (x, t)
+          | _ -> None
+        in
+        match pin with
+        | Some (v, t) -> Some (v, t, List.rev_append pre rest)
+        | None -> scan (c :: pre) rest)
+  in
+  scan [] cs
+
+let find_neg_pin vs ds =
+  let rec scan pre = function
+    | [] -> None
+    | d :: rest -> (
+        let pin =
+          match d with
+          | Not (Eq (Var x, t)) when pinnable vs x t -> Some (x, t)
+          | Not (Eq (t, Var x)) when pinnable vs x t -> Some (x, t)
+          | _ -> None
+        in
+        match pin with
+        | Some (v, t) -> Some (v, t, List.rev_append pre rest)
+        | None -> scan (d :: pre) rest)
+  in
+  scan [] ds
+
+(* a disjunctive conjunct worth distributing: every branch pins some
+   quantified variable, few branches, and the duplicated context stays
+   small *)
+let distributable vs cs c =
+  match disjuncts c with
+  | [] | [ _ ] -> None
+  | ds
+    when List.length ds <= 4
+         && List.for_all (fun d -> find_pin vs (conjuncts d) <> None) ds
+         && size (conj (remove_first c cs)) * (List.length ds - 1) <= 80 ->
+      Some ds
+  | _ -> None
+
+let rec one_point_node f =
+  match f with
+  | Exists (vs, body) -> (
+      let cs = conjuncts body in
+      match find_pin vs cs with
+      | Some (v, t, rest) ->
+          let vs' = List.filter (fun x -> x <> v) vs in
+          one_point_node (exists vs' (subst [ (v, t) ] (conj rest)))
+      | None -> (
+          match List.find_map (fun c -> Option.map (fun ds -> (c, ds)) (distributable vs cs c)) cs with
+          | Some (c, ds) ->
+              let rest = remove_first c cs in
+              disj
+                (List.map
+                   (fun d -> one_point_node (Exists (vs, conj (d :: rest))))
+                   ds)
+          | None -> f))
+  | Forall (vs, body) -> (
+      match body with
+      | Implies (a, b) -> (
+          let cs = conjuncts a in
+          match find_pin vs cs with
+          | Some (v, t, rest) ->
+              let vs' = List.filter (fun x -> x <> v) vs in
+              one_point_node
+                (forall vs' (subst [ (v, t) ] (Implies (conj rest, b))))
+          | None -> (
+              match
+                List.find_map
+                  (fun c -> Option.map (fun ds -> (c, ds)) (distributable vs cs c))
+                  cs
+              with
+              | Some (c, ds) ->
+                  let rest = remove_first c cs in
+                  conj
+                    (List.map
+                       (fun d ->
+                         one_point_node
+                           (Forall (vs, Implies (conj (d :: rest), b))))
+                       ds)
+              | None -> f))
+      | _ -> (
+          let ds = disjuncts body in
+          match find_neg_pin vs ds with
+          | Some (v, t, rest) ->
+              let vs' = List.filter (fun x -> x <> v) vs in
+              one_point_node (forall vs' (subst [ (v, t) ] (disj rest)))
+          | None -> f))
+  | _ -> f
+
+let one_point f = map_bottom_up one_point_node f
+
+(* --- miniscoping ----------------------------------------------------
+
+   Push quantifiers toward the atoms that use their variables:
+   existentials distribute over disjunction and split over independent
+   groups of conjuncts; universals dually. Shrinking quantifier scopes
+   shrinks the loop nests the evaluator runs, and never increases the
+   quantifier rank. *)
+
+let shares vs c = List.exists (fun v -> List.mem v (free_vars c)) vs
+
+(* connected components of [parts] where two parts are linked when they
+   share a variable of [vs]; returns [(vars, members)] groups in first-
+   occurrence order *)
+let components vs parts =
+  let uses c = List.filter (fun v -> List.mem v (free_vars c)) vs in
+  let rec build groups = function
+    | [] -> List.rev groups
+    | c :: rest ->
+        let rec grow gvars members rest =
+          let touch, rest' =
+            List.partition
+              (fun d -> List.exists (fun v -> List.mem v gvars) (uses d))
+              rest
+          in
+          if touch = [] then (gvars, members, rest')
+          else
+            let gvars =
+              List.fold_left
+                (fun acc d ->
+                  acc @ List.filter (fun v -> not (List.mem v acc)) (uses d))
+                gvars touch
+            in
+            grow gvars (members @ touch) rest'
+        in
+        let gvars, members, rest' = grow (uses c) [ c ] rest in
+        build ((gvars, members) :: groups) rest'
+  in
+  build [] parts
+
+let rec miniscope f =
+  match f with
+  | True | False | Rel _ | Eq _ | Le _ | Lt _ | Bit _ -> f
+  | Not g -> Not (miniscope g)
+  | And (a, b) -> And (miniscope a, miniscope b)
+  | Or (a, b) -> Or (miniscope a, miniscope b)
+  | Implies (a, b) -> Implies (miniscope a, miniscope b)
+  | Iff (a, b) -> Iff (miniscope a, miniscope b)
+  | Exists (vs, g) -> push_exists vs (miniscope g)
+  | Forall (vs, g) -> push_forall vs (miniscope g)
+
+and push_exists vs g =
+  let fv = free_vars g in
+  let vs = List.filter (fun v -> List.mem v fv) vs in
+  if vs = [] then g
+  else
+    match g with
+    | Or (a, b) -> Or (push_exists vs a, push_exists vs b)
+    | Implies (a, b) ->
+        let fa = free_vars a and fb = free_vars b in
+        let both = List.filter (fun v -> List.mem v fa && List.mem v fb) vs in
+        if List.length both = List.length vs then Exists (vs, g)
+        else
+          let only_a = List.filter (fun v -> not (List.mem v fb)) vs in
+          let only_b = List.filter (fun v -> not (List.mem v fa)) vs in
+          exists both (Implies (push_forall only_a a, push_exists only_b b))
+    | And _ -> (
+        let cs = conjuncts g in
+        let unused, used = List.partition (fun c -> not (shares vs c)) cs in
+        match (unused, components vs used) with
+        | [], ([] | [ _ ]) -> Exists (vs, g) (* no progress possible *)
+        | _, comps ->
+            conj (unused @ List.map (push_component `Exists) comps))
+    | _ -> Exists (vs, g)
+
+and push_forall vs g =
+  let fv = free_vars g in
+  let vs = List.filter (fun v -> List.mem v fv) vs in
+  if vs = [] then g
+  else
+    match g with
+    | And (a, b) -> And (push_forall vs a, push_forall vs b)
+    | Implies (a, b) ->
+        let fa = free_vars a and fb = free_vars b in
+        let both = List.filter (fun v -> List.mem v fa && List.mem v fb) vs in
+        if List.length both = List.length vs then Forall (vs, g)
+        else
+          let only_a = List.filter (fun v -> not (List.mem v fb)) vs in
+          let only_b = List.filter (fun v -> not (List.mem v fa)) vs in
+          forall both (Implies (push_exists only_a a, push_forall only_b b))
+    | Or _ -> (
+        let ds = disjuncts g in
+        let unused, used = List.partition (fun d -> not (shares vs d)) ds in
+        match (unused, components vs used) with
+        | [], ([] | [ _ ]) -> Forall (vs, g)
+        | _, comps ->
+            disj (unused @ List.map (push_component `Forall) comps))
+    | _ -> Forall (vs, g)
+
+and push_component kind (gvars, members) =
+  let push, wrap, combine =
+    match kind with
+    | `Exists -> (push_exists, exists, conj)
+    | `Forall -> (push_forall, forall, disj)
+  in
+  match members with
+  | [ m ] -> push gvars m
+  | _ ->
+      (* variables local to one member sink into it; the rest stay on the
+         shared block *)
+      let shared =
+        List.filter
+          (fun v ->
+            List.length
+              (List.filter (fun m -> List.mem v (free_vars m)) members)
+            >= 2)
+          gvars
+      in
+      let bodies =
+        List.map
+          (fun m ->
+            let local =
+              List.filter
+                (fun v ->
+                  (not (List.mem v shared)) && List.mem v (free_vars m))
+                gvars
+            in
+            push local m)
+          members
+      in
+      wrap shared (combine bodies)
+
+(* --- the pipeline --------------------------------------------------- *)
+
+let optimize_step f =
+  f |> const_fold |> simplify |> prune_quantifiers |> one_point |> miniscope
+  |> simplify
+
+let optimize f =
+  let rec fix n f =
+    if n = 0 then f
+    else
+      let f' = optimize_step f in
+      if equal f' f then f else fix (n - 1) f'
+  in
+  fix 8 f

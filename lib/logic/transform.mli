@@ -26,3 +26,51 @@ val prefix : Formula.t -> ([ `Exists | `Forall ] * string) list
 
 val matrix : Formula.t -> Formula.t
 (** The quantifier-free part under the prefix. *)
+
+(** {1 Rewrite kernels}
+
+    Semantics-preserving local rewrites used by the formula optimizer
+    (lib/analysis/rewrite.ml). Each kernel is sound for every universe
+    size [n >= 1]; the analysis layer additionally re-verifies every
+    applied rewrite by exhaustive model checking on small structures, so
+    these are belt {e and} braces. *)
+
+val const_fold : Formula.t -> Formula.t
+(** Fold numeric atoms with statically known outcome: [t = t], [Num]/
+    [min] literals compared to each other, [min <= t], [t <= max],
+    [BIT] on literals. Folds fire only when valid for {e every} universe
+    size — in particular [min = max] holds at [n = 1], and [Num]
+    literals may denote values outside the universe, so cross-constant
+    comparisons involving them are left alone unless both sides are
+    known. *)
+
+val simplify : Formula.t -> Formula.t
+(** Boolean simplification: unit/annihilator laws, double negation,
+    idempotence and complement detection on flattened conjunction/
+    disjunction lists, constant arms of [->]/[<->], and quantifiers over
+    closed truth values (the universe is never empty). *)
+
+val prune_quantifiers : Formula.t -> Formula.t
+(** Drop binders whose variable does not occur free in the body, and
+    merge adjacent quantifier blocks of the same kind (dropping outer
+    binders shadowed by the inner block). *)
+
+val one_point : Formula.t -> Formula.t
+(** The one-point rule: [ex v (v = t & phi)] becomes [phi[v := t]] when
+    [v] does not occur in [t] and [t] always denotes a universe element;
+    dually for [all] through [!=] disjuncts and implication guards. A
+    conjunct that is a disjunction each of whose branches pins a
+    quantified variable is distributed first, which is what eliminates
+    the [ex u v (eq2 u v a b & ...)] symmetric-edge idiom of the
+    undirected-graph programs. *)
+
+val miniscope : Formula.t -> Formula.t
+(** Push quantifiers toward the atoms using their variables:
+    existentials through disjunction and over independent conjunct
+    groups, universals dually, both through implication. Never increases
+    the quantifier rank. *)
+
+val optimize : Formula.t -> Formula.t
+(** Run all rewrite kernels to a (bounded) fixpoint. Purely structural —
+    for the verified, program-level entry point see
+    [Dynfo_analysis.Rewrite]. *)

@@ -82,17 +82,19 @@ Static analysis of a single program prints diagnostics and cost metrics:
 
   $ dynfo_cli analyze reach_u
   reach_u-fo: 8 update rules, CRAM[1] work n^5
-    PATH                             k  rank   alt   size  width     work
-    on_ins E / rule E                2     0     0      9      4    n^2
-    on_ins E / rule F                2     0     0     14      4    n^2
-    on_ins E / rule PV               3     2     1     35      7    n^5
-    on_del E / temp T                3     0     0      6      5    n^3
-    on_del E / temp New              2     2     1     44      6    n^4
-    on_del E / rule E                2     0     0     10      4    n^2
-    on_del E / rule F                2     0     0     16      4    n^2
-    on_del E / rule PV               3     2     1     33      7    n^5
-    query                            0     0     0      3      2    n^0
-    max: tuple space n^3, quantifier rank 2, alternation depth 1, work n^5; total formula size 170
+    PATH                             k  rank   alt   size  width     work    opt
+    on_ins E / rule E                2     0     0      9      4      n^2    n^2
+    on_ins E / rule F                2     0     0     14      4      n^2    n^2
+    on_ins E / rule PV               3     2     1     35      7      n^5    n^3
+    on_del E / temp T                3     0     0      6      5      n^3    n^3
+    on_del E / temp New              2     2     1     44      6      n^4    n^4
+    on_del E / rule E                2     0     0     10      4      n^2    n^2
+    on_del E / rule F                2     0     0     16      4      n^2    n^2
+    on_del E / rule PV               3     2     1     33      7      n^5    n^5
+    query                            0     0     0      3      2      n^0    n^0
+    max: tuple space n^3, quantifier rank 2, alternation depth 1, work n^5 (n^5 optimized); total formula size 170
+    dataflow: 7 dependency edge(s), 6 hazard(s), 0 dead relation(s)
+    advice: --backend bulk (cutoff 2048) — work n^5 at or above the n^5 dense threshold with BIT-free bodies: set-at-a-time bitset kernels amortize the enumeration
 
 The whole registry is clean under --strict (exit 0):
 
@@ -118,9 +120,68 @@ The whole registry is clean under --strict (exit 0):
 JSON output for tooling:
 
   $ dynfo_cli analyze parity --json
-  [{"program": "parity-fo", "diagnostics": [], "metrics": {"program": "parity-fo", "rule_count": 4, "max_tuple_exponent": 1, "max_quantifier_rank": 0, "max_alternation_depth": 0, "max_work_exponent": 1, "total_formula_size": 26, "rules": [{"path": "on_ins M / rule M", "target": "M", "tuple_exponent": 1, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 3, "width": 2, "work_exponent": 1}, {"path": "on_ins M / rule b", "target": "b", "tuple_exponent": 0, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 9, "width": 1, "work_exponent": 0}, {"path": "on_del M / rule M", "target": "M", "tuple_exponent": 1, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 4, "width": 2, "work_exponent": 1}, {"path": "on_del M / rule b", "target": "b", "tuple_exponent": 0, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 9, "width": 1, "work_exponent": 0}], "queries": [{"path": "query", "target": "query", "tuple_exponent": 0, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 1, "width": 0, "work_exponent": 0}]}}]
+  [{"version": 2, "program": "parity-fo", "diagnostics": [], "metrics": {"program": "parity-fo", "rule_count": 4, "max_tuple_exponent": 1, "max_quantifier_rank": 0, "max_alternation_depth": 0, "max_work_exponent": 1, "max_opt_work_exponent": 1, "total_formula_size": 26, "rules": [{"path": "on_ins M / rule M", "target": "M", "tuple_exponent": 1, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 3, "width": 2, "work_exponent": 1, "opt_quantifier_rank": 0, "opt_work_exponent": 1}, {"path": "on_ins M / rule b", "target": "b", "tuple_exponent": 0, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 9, "width": 1, "work_exponent": 0, "opt_quantifier_rank": 0, "opt_work_exponent": 0}, {"path": "on_del M / rule M", "target": "M", "tuple_exponent": 1, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 4, "width": 2, "work_exponent": 1, "opt_quantifier_rank": 0, "opt_work_exponent": 1}, {"path": "on_del M / rule b", "target": "b", "tuple_exponent": 0, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 9, "width": 1, "work_exponent": 0, "opt_quantifier_rank": 0, "opt_work_exponent": 0}], "queries": [{"path": "query", "target": "query", "tuple_exponent": 0, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 1, "width": 0, "work_exponent": 0, "opt_quantifier_rank": 0, "opt_work_exponent": 0}]}, "dataflow": {"program": "parity-fo", "rules": [{"path": "on_ins M / rule M", "target": "M", "temp": false, "reads": ["M"]}, {"path": "on_ins M / rule b", "target": "b", "temp": false, "reads": ["b", "M"]}, {"path": "on_del M / rule M", "target": "M", "temp": false, "reads": ["M"]}, {"path": "on_del M / rule b", "target": "b", "temp": false, "reads": ["b", "M"]}], "edges": [["M", "M"], ["b", "b"], ["b", "M"]], "query_reads": ["b"], "live": ["M", "b"], "dead_relations": [], "dead_rules": [], "hazards": [{"block": "on_ins M", "relation": "M", "writer": "on_ins M / rule M", "readers": ["on_ins M / rule M", "on_ins M / rule b"]}, {"block": "on_ins M", "relation": "b", "writer": "on_ins M / rule b", "readers": ["on_ins M / rule b"]}, {"block": "on_del M", "relation": "M", "writer": "on_del M / rule M", "readers": ["on_del M / rule M", "on_del M / rule b"]}, {"block": "on_del M", "relation": "b", "writer": "on_del M / rule b", "readers": ["on_del M / rule b"]}]}, "advice": {"program": "parity-fo", "backend": "tuple", "par_cutoff": 2048, "max_work_exponent": 1, "bit_fraction": 0.000, "reason": "work n^1 below the n^5 dense threshold: per-tuple short-circuit evaluation is cheaper than materializing bitsets"}}]
 
 Naming no problem is an error:
 
   $ dynfo_cli analyze 2>&1 | grep -c 'PROBLEM'
+  2
+
+The advisor recommends a backend per program (--advise), and the
+dependency graph renders as DOT (--graph):
+
+  $ dynfo_cli analyze --advise reach_u
+  reach_u-fo: --backend bulk, parallel cutoff 2048 — work n^5 at or above the n^5 dense threshold with BIT-free bodies: set-at-a-time bitset kernels amortize the enumeration
+
+  $ dynfo_cli analyze --advise mult
+  mult-fo: --backend tuple, parallel cutoff 2048 — BIT-heavy bodies (32% of atoms): word-parallel kernels degrade to per-bit probes, short-circuiting tuple evaluation wins
+
+  $ dynfo_cli analyze --graph reach_u
+  digraph "reach_u-fo" {
+    rankdir=LR;
+    node [fontname="monospace"];
+    "E" [shape=box];
+    "F" [shape=ellipse];
+    "PV" [shape=ellipse];
+    "query" [shape=diamond];
+    "E" -> "E";
+    "F" -> "F";
+    "PV" -> "F";
+    "PV" -> "PV";
+    "E" -> "F";
+    "F" -> "PV";
+    "E" -> "PV";
+    "PV" -> "query";
+  }
+
+--backend auto resolves through the advisor (reach_u runs bulk, the
+answers are bit-for-bit the tuple backend's):
+
+  $ dynfo_cli run reach_u -n 6 --script script.txt --backend auto
+  set s 0              query = true
+  set t 3              query = false
+  ins E (0,1)          query = false
+  ins E (1,2)          query = false
+  ins E (2,3)          query = true
+  del E (1,2)          query = false
+  ins E (1,3)          query = true
+
+The verified optimizer rewrites update formulas and reports what it
+proved (parity has nothing to optimize; reach_u's insert rule loses
+both quantifiers to the one-point rule):
+
+  $ dynfo_cli optimize parity
+  parity           work n^1 -> n^1, size 26 -> 26, 0 rewrite(s), 0 temp(s), 0 rejection(s)
+
+  $ dynfo_cli optimize reach_u
+  reach_u          work n^5 -> n^5, size 170 -> 181, 3 rewrite(s), 0 temp(s), 0 rejection(s)
+    on_del E / rule PV           simplify
+    on_ins E / rule E            simplify
+    on_ins E / rule PV           simplify, one-point
+  $ echo "exit: $?"
+  exit: 0
+
+optimize needs a problem or --all:
+
+  $ dynfo_cli optimize 2>&1 | grep -c 'PROBLEM'
   2

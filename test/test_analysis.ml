@@ -274,7 +274,12 @@ let test_metrics_reach_u () =
       m.Metrics.rules
   in
   check ti "pv tuple exponent" 3 pv.Metrics.tuple_exponent;
-  check ti "pv work exponent" 5 pv.Metrics.work_exponent
+  check ti "pv work exponent" 5 pv.Metrics.work_exponent;
+  (* the optimizer removes both quantifiers of the insert-PV rule *)
+  check ti "pv optimized work exponent" 3 pv.Metrics.opt_work_exponent;
+  (* but the delete-PV rule keeps its rank, so the program-level
+     optimized maximum stays n^5 *)
+  check ti "max optimized work" 5 m.Metrics.max_opt_work_exponent
 
 let test_metrics_every_program_bounded () =
   List.iter
@@ -288,6 +293,228 @@ let test_metrics_every_program_bounded () =
         && m.Metrics.max_work_exponent
            >= m.Metrics.max_tuple_exponent))
     Registry.all
+
+(* --- verified optimizer ---------------------------------------------------- *)
+
+module Rewrite = Dynfo_analysis.Rewrite
+module Dataflow = Dynfo_analysis.Dataflow
+module Advisor = Dynfo_analysis.Advisor
+
+let test_optimize_registry_verified () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      let rep = Rewrite.optimize_program e.program in
+      check ti
+        (e.name ^ ": no rejected rewrites")
+        0
+        (List.length rep.Rewrite.rejections);
+      check tb
+        (e.name ^ ": work exponent not larger")
+        true
+        (rep.Rewrite.work_after <= rep.Rewrite.work_before);
+      match Rewrite.check_equivalence e.program rep.Rewrite.optimized with
+      | Ok n -> check tb (e.name ^ ": checkpoints") true (n > 0)
+      | Error m -> Alcotest.failf "%s: optimized program diverges: %s" e.name m)
+    Registry.all
+
+let test_optimize_reach_u_one_point () =
+  (* the symmetric-edge idiom  ex u v ((u=a & v=b | u=b & v=a) & ...)
+     must collapse to a quantifier-free disjunction *)
+  let rep = Rewrite.optimize_program reach_u in
+  let c =
+    List.find
+      (fun (c : Rewrite.change) -> c.Rewrite.chg_path = "on_ins E / rule PV")
+      rep.Rewrite.changes
+  in
+  check tb "one-point fired" true
+    (List.mem "one-point" c.Rewrite.chg_passes);
+  check ti "insert PV now quantifier-free" 0
+    (Formula.quantifier_rank c.Rewrite.chg_after);
+  check ti "was rank 2" 2 (Formula.quantifier_rank c.Rewrite.chg_before);
+  check tb "model checking happened" true (rep.Rewrite.stats.Rewrite.checks > 0);
+  check tb "some sizes exhaustive" true
+    (rep.Rewrite.stats.Rewrite.exhaustive_upto >= 1)
+
+(* --- mutation tests: hand-broken passes must be rejected ------------------- *)
+
+let vocab_ab = Vocab.make ~rels:[ ("A", 1); ("B", 1) ] ~consts:[]
+
+let test_verifier_rejects_dropped_negation () =
+  let broken =
+    {
+      Rewrite.pass_name = "drop-negation";
+      transform =
+        Formula.map_bottom_up (function
+          | Formula.Not g -> g
+          | f -> f);
+    }
+  in
+  let f = Parser.parse "ex x (A(x) & ~B(x))" in
+  let out =
+    Rewrite.optimize_formula ~passes:[ broken ] ~vocab:vocab_ab ~path:"t" f
+  in
+  check tb "original kept" true (Formula.equal out.Rewrite.result f);
+  check tb "rejection recorded" true (out.Rewrite.rejected <> []);
+  let r = List.hd out.Rewrite.rejected in
+  check ts "rejected pass" "drop-negation" r.Rewrite.rej_pass
+
+let test_verifier_rejects_widened_scope () =
+  (* distributing ex over & widens each conjunct's witness scope *)
+  let broken =
+    {
+      Rewrite.pass_name = "bad-distribute";
+      transform =
+        Formula.map_bottom_up (function
+          | Formula.Exists (vs, Formula.And (a, b)) ->
+              Formula.And (Formula.Exists (vs, a), Formula.Exists (vs, b))
+          | f -> f);
+    }
+  in
+  let f = Parser.parse "ex x (A(x) & B(x))" in
+  let out =
+    Rewrite.optimize_formula ~passes:[ broken ] ~vocab:vocab_ab ~path:"t" f
+  in
+  check tb "original kept" true (Formula.equal out.Rewrite.result f);
+  check tb "rejection recorded" true (out.Rewrite.rejected <> [])
+
+let test_verify_equiv_counterexample () =
+  let before = Parser.parse "ex x (A(x) & B(x))" in
+  let after = Parser.parse "ex x (A(x)) & ex x (B(x))" in
+  match Rewrite.verify_equiv ~vocab:vocab_ab before after with
+  | Ok _ -> Alcotest.fail "unsound rewrite passed verification"
+  | Error cex ->
+      check tb "values differ" true
+        (cex.Rewrite.before_value <> cex.Rewrite.after_value);
+      check tb "witness is small" true (cex.Rewrite.cex_size <= 4)
+
+let test_verify_equiv_sound_rewrite () =
+  let before = Parser.parse "~~A(x) | (B(x) & false)" in
+  let after = Parser.parse "A(x)" in
+  match Rewrite.verify_equiv ~vocab:vocab_ab before after with
+  | Ok stats ->
+      check tb "exhaustive on small sizes" true
+        (stats.Rewrite.exhaustive_upto >= 2)
+  | Error cex ->
+      Alcotest.failf "sound rewrite rejected: %s"
+        (Format.asprintf "%a" Rewrite.pp_counterexample cex)
+
+(* --- dataflow -------------------------------------------------------------- *)
+
+let test_dataflow_reach_u () =
+  let d = Dataflow.of_program reach_u in
+  check tb "PV live" true (List.mem "PV" d.Dataflow.live);
+  check tb "E live" true (List.mem "E" d.Dataflow.live);
+  check tb "edge PV reads F" true (List.mem ("PV", "F") d.Dataflow.edges);
+  check ti "no dead relations" 0 (List.length d.Dataflow.dead_rels);
+  check ti "no dead rules" 0 (List.length d.Dataflow.dead_rules);
+  check ts "query reads PV" "PV" (List.hd d.Dataflow.query_reads);
+  (* every block rewrites PV while reading it: hazards in both blocks *)
+  List.iter
+    (fun block ->
+      check tb (block ^ " PV hazard") true
+        (List.exists
+           (fun (h : Dataflow.hazard) ->
+             h.Dataflow.hz_block = block && h.Dataflow.hz_rel = "PV")
+           d.Dataflow.hazards))
+    [ "on_ins E"; "on_del E" ]
+
+let test_dataflow_temps_expanded () =
+  let d = Dataflow.of_program reach_u in
+  let n =
+    List.find
+      (fun (n : Dataflow.rule_node) ->
+        n.Dataflow.path = "on_del E / rule PV")
+      d.Dataflow.nodes
+  in
+  (* the delete-PV rule consumes the temporaries New and T; its reads
+     must name only pre-state relations *)
+  check tb "no temporary names in reads" true
+    ((not (List.mem "New" n.Dataflow.reads))
+    && not (List.mem "T" n.Dataflow.reads));
+  check tb "reads resolve to state relations" true
+    (n.Dataflow.reads <> []
+    && List.for_all
+         (fun r -> List.mem r (d.Dataflow.inputs @ d.Dataflow.auxes))
+         n.Dataflow.reads)
+
+let test_dataflow_dead_relation () =
+  (* graft an aux relation nothing ever queries onto parity *)
+  let p =
+    {
+      parity with
+      aux_vocab =
+        Vocab.union parity.Program.aux_vocab
+          (Vocab.make ~rels:[ ("JUNK", 1) ] ~consts:[]);
+      on_ins =
+        List.map
+          (fun (k, (u : Program.update)) ->
+            ( k,
+              {
+                u with
+                rules =
+                  u.rules
+                  @ [ Program.rule "JUNK" [ "x" ] (Formula.rel_v "M" [ "x" ]) ];
+              } ))
+          parity.Program.on_ins;
+    }
+  in
+  let d = Dataflow.of_program p in
+  check tb "JUNK dead" true (List.mem "JUNK" d.Dataflow.dead_rels);
+  check tb "JUNK rule dead" true
+    (List.mem "on_ins M / rule JUNK" d.Dataflow.dead_rules);
+  check tb "JUNK not live" true (not (List.mem "JUNK" d.Dataflow.live))
+
+(* --- advisor and the auto backend ------------------------------------------ *)
+
+let test_advisor_choices () =
+  let adv name =
+    (Advisor.of_program (Registry.find name).program).Advisor.backend
+  in
+  check tb "reach_u -> bulk (n^5, BIT-free)" true (adv "reach_u" = `Bulk);
+  check tb "mult -> tuple (BIT-heavy)" true (adv "mult" = `Tuple);
+  check tb "parity -> tuple (n^1)" true (adv "parity" = `Tuple);
+  let a = Advisor.of_program (Registry.find "mult").program in
+  check tb "mult BIT fraction measured" true
+    (a.Advisor.bit_fraction > 0.05)
+
+let test_auto_backend_resolution () =
+  Advisor.install ();
+  check tb "runner resolves reach_u to bulk" true
+    (Runner.resolve_backend reach_u `Auto = `Bulk);
+  check tb "runner resolves parity to tuple" true
+    (Runner.resolve_backend parity `Auto = `Tuple);
+  let d = Dyn.of_program ~backend:`Auto reach_u in
+  check tb "dyn name records resolution" true
+    (String.length d.Dyn.name >= 11
+    && String.sub d.Dyn.name (String.length d.Dyn.name - 11) 11
+       = "[auto:bulk]");
+  Dynfo_engine.Pool.with_pool ~lanes:2 (fun pool ->
+      let s =
+        Dynfo_engine.Par_runner.init pool ~backend:`Auto reach_u ~size:5
+      in
+      check tb "parallel runner resolves at init" true
+        (Dynfo_engine.Par_runner.backend s = `Bulk))
+
+let test_auto_matches_tuple () =
+  Advisor.install ();
+  List.iter
+    (fun name ->
+      let e = Registry.find name in
+      let rng = Random.State.make [| 5 |] in
+      let reqs = e.workload rng ~size:6 ~length:80 in
+      match
+        Harness.compare_all ~size:6
+          [
+            Dyn.of_program e.program;
+            Dyn.of_program ~backend:`Auto e.program;
+          ]
+          reqs
+      with
+      | Harness.Ok _ -> ()
+      | m ->
+          Alcotest.failf "%s: auto diverges from tuple: %s" name
+            (Format.asprintf "%a" Harness.pp_outcome m))
+    [ "reach_u"; "mult"; "parity" ]
 
 let () =
   Alcotest.run "analysis"
@@ -327,5 +554,39 @@ let () =
           Alcotest.test_case "reach_u numbers" `Quick test_metrics_reach_u;
           Alcotest.test_case "all programs bounded" `Quick
             test_metrics_every_program_bounded;
+        ] );
+      ( "rewrite",
+        [
+          Alcotest.test_case "whole registry optimizes, verified" `Slow
+            test_optimize_registry_verified;
+          Alcotest.test_case "reach_u one-point collapse" `Quick
+            test_optimize_reach_u_one_point;
+        ] );
+      ( "rewrite-mutations",
+        [
+          Alcotest.test_case "dropped negation rejected" `Quick
+            test_verifier_rejects_dropped_negation;
+          Alcotest.test_case "widened quantifier scope rejected" `Quick
+            test_verifier_rejects_widened_scope;
+          Alcotest.test_case "counterexample reported" `Quick
+            test_verify_equiv_counterexample;
+          Alcotest.test_case "sound rewrite accepted" `Quick
+            test_verify_equiv_sound_rewrite;
+        ] );
+      ( "dataflow",
+        [
+          Alcotest.test_case "reach_u graph" `Quick test_dataflow_reach_u;
+          Alcotest.test_case "temporaries expanded" `Quick
+            test_dataflow_temps_expanded;
+          Alcotest.test_case "dead relation detected" `Quick
+            test_dataflow_dead_relation;
+        ] );
+      ( "advisor",
+        [
+          Alcotest.test_case "backend choices" `Quick test_advisor_choices;
+          Alcotest.test_case "auto resolution" `Quick
+            test_auto_backend_resolution;
+          Alcotest.test_case "auto matches tuple" `Quick
+            test_auto_matches_tuple;
         ] );
     ]

@@ -245,6 +245,67 @@ let test_pp_parse_roundtrip () =
       check tb src true (Formula.equal f f'))
     srcs
 
+(* full-grammar generator for the parser round-trip: every connective,
+   every atom kind, multi-variable quantifier blocks, nonnegative
+   numerals (the lexer has no '-'), keyword-free identifiers *)
+let gen_formula_full =
+  let open QCheck.Gen in
+  let var = oneofl [ "x"; "y"; "z"; "u"; "v'" ] in
+  let term =
+    frequency
+      [
+        (4, map (fun v -> Formula.Var v) var);
+        (1, return Formula.Min);
+        (1, return Formula.Max);
+        (1, map (fun i -> Formula.Num i) (0 -- 9));
+      ]
+  in
+  let atom =
+    oneof
+      [
+        return Formula.True;
+        return Formula.False;
+        map2 (fun a b -> Formula.Eq (a, b)) term term;
+        map2 (fun a b -> Formula.Le (a, b)) term term;
+        map2 (fun a b -> Formula.Lt (a, b)) term term;
+        map2 (fun a b -> Formula.Bit (a, b)) term term;
+        map2 (fun a b -> Formula.Rel ("E", [ a; b ])) term term;
+        map (fun a -> Formula.Rel ("M", [ a ])) term;
+        return (Formula.Rel ("b", []));
+      ]
+  in
+  let rec go depth =
+    if depth = 0 then atom
+    else
+      let sub = go (depth - 1) in
+      frequency
+        [
+          (3, atom);
+          (2, map2 (fun a b -> Formula.And (a, b)) sub sub);
+          (2, map2 (fun a b -> Formula.Or (a, b)) sub sub);
+          (2, map2 (fun a b -> Formula.Implies (a, b)) sub sub);
+          (2, map2 (fun a b -> Formula.Iff (a, b)) sub sub);
+          (2, map (fun a -> Formula.Not a) sub);
+          ( 1,
+            map2
+              (fun vs a -> Formula.Exists (vs, a))
+              (list_size (1 -- 2) var)
+              sub );
+          ( 1,
+            map2
+              (fun vs a -> Formula.Forall (vs, a))
+              (list_size (1 -- 2) var)
+              sub );
+        ]
+  in
+  go 4
+
+let parse_roundtrip_qcheck =
+  QCheck.Test.make ~name:"Parser.parse ∘ Formula.to_string = id"
+    ~count:2000
+    (QCheck.make gen_formula_full ~print:Formula.to_string)
+    (fun f -> Formula.equal (Parser.parse (Formula.to_string f)) f)
+
 (* random formula generator for evaluator laws *)
 let gen_formula =
   let open QCheck.Gen in
@@ -620,5 +681,6 @@ let () =
         [
           Alcotest.test_case "reject malformed" `Quick test_parser_errors;
           Alcotest.test_case "zero-arity atom" `Quick test_parser_zero_arity;
+          QCheck_alcotest.to_alcotest parse_roundtrip_qcheck;
         ] );
     ]
