@@ -71,16 +71,21 @@ let backend_conv =
   let parse = function
     | "tuple" -> Ok `Tuple
     | "bulk" -> Ok `Bulk
+    | "delta" -> Ok `Delta
     | "auto" -> Ok `Auto
     | s ->
         Error
           (`Msg
              (Printf.sprintf
-                "invalid backend %S, expected tuple, bulk or auto" s))
+                "invalid backend %S, expected tuple, bulk, delta or auto" s))
   in
   let print ppf (b : Runner.backend) =
     Format.pp_print_string ppf
-      (match b with `Tuple -> "tuple" | `Bulk -> "bulk" | `Auto -> "auto")
+      (match b with
+      | `Tuple -> "tuple"
+      | `Bulk -> "bulk"
+      | `Delta -> "delta"
+      | `Auto -> "auto")
   in
   Arg.conv (parse, print)
 
@@ -93,8 +98,20 @@ let backend_arg =
           "Evaluation backend: $(b,tuple) enumerates candidate tuples one \
            at a time; $(b,bulk) materialises each subformula as a dense \
            bitset and evaluates set-at-a-time with word kernels; \
-           $(b,auto) lets the static analyzer's advisor pick per \
-           program.")
+           $(b,delta) re-evaluates only the dirty frontier derived by \
+           the static support analysis, falling back to a full recompute \
+           past $(b,--delta-cutoff); $(b,auto) lets the static \
+           analyzer's advisor pick per program.")
+
+let delta_cutoff_arg =
+  Arg.(
+    value
+    & opt float Dynfo_logic.Delta_eval.default_cutoff
+    & info [ "delta-cutoff" ] ~docv:"F"
+        ~doc:
+          "Delta backend budget: when a rule's dirty frontier exceeds \
+           $(docv) * size^arity of its tuple space, recompute the rule \
+           in full on the fallback backend instead.")
 
 let lanes_of_domains = function
   | 0 -> None (* Pool.create picks recommended_domain_count *)
@@ -169,6 +186,14 @@ let analyze_cmd =
             "Print only the backend advice (one line per program; a JSON \
              array with $(b,--json)).")
   in
+  let support_arg =
+    Arg.(
+      value & flag
+      & info [ "support" ]
+          ~doc:
+            "Print the delta backend's static support analysis: per-rule \
+             frame decompositions, frontier bounds and temp chains.")
+  in
   let prog_arg =
     Arg.(
       value
@@ -176,7 +201,7 @@ let analyze_cmd =
       & info [] ~docv:"PROBLEM"
           ~doc:"Problem to analyze (or $(b,--all) for the whole registry).")
   in
-  let run all json strict graph advise entry_opt =
+  let run all json strict graph advise support entry_opt =
     let entries =
       match (entry_opt, all) with
       | Some e, _ -> Some [ e ]
@@ -185,6 +210,13 @@ let analyze_cmd =
     in
     match entries with
     | None -> `Error (true, "name a PROBLEM or pass --all")
+    | Some entries when support ->
+        List.iter
+          (fun (e : Registry.entry) ->
+            Format.printf "%a@." Dynfo_analysis.Support.pp
+              (Dynfo_analysis.Support.report e.program))
+          entries;
+        `Ok ()
     | Some entries when graph ->
         List.iter
           (fun (e : Registry.entry) ->
@@ -249,11 +281,11 @@ let analyze_cmd =
        ~doc:
          "Statically check a program (vocabulary typing, scope discipline, \
           update-block hazards) and report its CRAM[1] work metrics, \
-          dataflow and backend advice.")
+          dataflow, delta supports and backend advice.")
     Term.(
       ret
         (const run $ all_arg $ json_arg $ strict_arg $ graph_arg
-       $ advise_arg $ prog_arg))
+       $ advise_arg $ support_arg $ prog_arg))
 
 (* --- run ----------------------------------------------------------------- *)
 
@@ -293,7 +325,9 @@ let with_engine domains k =
       Dynfo_engine.Pool.with_pool ?lanes (fun pool -> k (Some pool))
 
 let run_cmd =
-  let run (e : Registry.entry) size_opt script domains cutoff backend =
+  let run (e : Registry.entry) size_opt script domains cutoff backend
+      delta_cutoff =
+    Dynfo_logic.Delta_eval.set_cutoff delta_cutoff;
     let size = Option.value ~default:e.default_size size_opt in
     let lines =
       read_lines script
@@ -325,7 +359,7 @@ let run_cmd =
        ~doc:"Run a request script through a problem's FO program.")
     Term.(
       const run $ problem_arg $ size_arg $ script_arg $ domains_arg
-      $ cutoff_arg $ backend_arg)
+      $ cutoff_arg $ backend_arg $ delta_cutoff_arg)
 
 (* --- check --------------------------------------------------------------- *)
 
@@ -358,7 +392,8 @@ let check_cmd =
       Registry.impls e
       @ (match backend with
         | `Tuple -> []
-        | (`Bulk | `Auto) as b -> [ Dyn.of_program ~backend:b e.program ])
+        | (`Bulk | `Delta | `Auto) as b ->
+            [ Dyn.of_program ~backend:b e.program ])
       @
       match pool with
       | None -> []
@@ -371,12 +406,26 @@ let check_cmd =
     | Harness.Ok n ->
         Printf.printf "ok (%d checkpoints, %d implementations)\n" n
           (List.length impls);
+        let _, works =
+          Runner.run_work ~backend (Runner.init e.program ~size) reqs
+        in
+        let total = List.fold_left ( + ) 0 works in
+        let steps = max 1 (List.length works) in
+        let mx = List.fold_left max 0 works in
+        Printf.printf "  %s work/step: total %d, mean %.1f, max %d\n"
+          (Dynfo_analysis.Advisor.backend_string
+             (Runner.resolve_backend e.program backend))
+          total
+          (float total /. float steps)
+          mx;
         true
     | m ->
         Format.printf "%a@." Harness.pp_outcome m;
         false
   in
-  let run all entry_opt size_opt length seed domains cutoff backend =
+  let run all entry_opt size_opt length seed domains cutoff backend
+      delta_cutoff =
+    Dynfo_logic.Delta_eval.set_cutoff delta_cutoff;
     let entries =
       match (entry_opt, all) with
       | Some e, _ -> Some [ e ]
@@ -401,13 +450,15 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:
          "Cross-check all implementations of a problem on a random \
-          workload. With $(b,--backend bulk) the set-at-a-time evaluator \
-          joins the comparison alongside the tuple-at-a-time runner and \
-          the static oracles.")
+          workload. With $(b,--backend bulk) (resp. $(b,delta)) the \
+          set-at-a-time (resp. incremental) evaluator joins the \
+          comparison alongside the tuple-at-a-time runner and the static \
+          oracles. Also reports the per-step work the chosen backend \
+          performed across the workload.")
     Term.(
       ret
         (const run $ all_arg $ prog_arg $ size_arg $ length_arg $ seed_arg
-       $ domains_arg $ cutoff_arg $ backend_arg))
+       $ domains_arg $ cutoff_arg $ backend_arg $ delta_cutoff_arg))
 
 (* --- optimize ------------------------------------------------------------ *)
 

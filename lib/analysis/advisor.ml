@@ -3,7 +3,8 @@ open Dynfo
 
 type advice = {
   program : string;
-  backend : [ `Tuple | `Bulk ];
+  backend : [ `Tuple | `Bulk | `Delta ];
+  fallback : [ `Tuple | `Bulk ];
   par_cutoff : int;
   max_work_exponent : int;
   bit_fraction : float;
@@ -44,7 +45,9 @@ let of_program ?(par_cutoff = default_par_cutoff) (p : Program.t) =
   let m = Metrics.of_program p in
   let atoms, bits = atom_counts p in
   let bit_fraction = if atoms = 0 then 0. else float bits /. float atoms in
-  let backend, reason =
+  (* the full-recompute choice, from the E20 calibration: also the delta
+     backend's fallback for temporaries and over-budget frontiers *)
+  let full_backend, full_reason =
     if bit_fraction >= bit_threshold then
       ( `Tuple,
         Printf.sprintf
@@ -65,9 +68,26 @@ let of_program ?(par_cutoff = default_par_cutoff) (p : Program.t) =
            short-circuit evaluation is cheaper than materializing bitsets"
           m.Metrics.max_work_exponent work_threshold )
   in
+  (* E22 calibration: when every rule has a frame with bounded or
+     guarded supports, the per-step frontier is small (or emptied by a
+     runtime guard) and incremental evaluation strictly undercuts both
+     full backends; temporaries and over-budget steps recompute on
+     [full_backend], so delta never does asymptotically more work. *)
+  let backend, reason =
+    if Support.eligible p then
+      ( `Delta,
+        Printf.sprintf
+          "every update rule carries a frame with bounded/guarded \
+           supports: incremental frontier evaluation, falling back to \
+           %s past the --delta-cutoff (%s)"
+          (match full_backend with `Tuple -> "tuple" | `Bulk -> "bulk")
+          full_reason )
+    else (full_backend, full_reason)
+  in
   {
     program = p.name;
     backend;
+    fallback = full_backend;
     par_cutoff;
     max_work_exponent = m.Metrics.max_work_exponent;
     bit_fraction;
@@ -75,9 +95,16 @@ let of_program ?(par_cutoff = default_par_cutoff) (p : Program.t) =
   }
 
 let choose p = (of_program p).backend
-let install () = Runner.set_auto_chooser choose
+let fallback_of p = (of_program p).fallback
 
-let backend_string = function `Tuple -> "tuple" | `Bulk -> "bulk"
+let install () =
+  Runner.set_auto_chooser choose;
+  Support.install ~fallback_of ()
+
+let backend_string = function
+  | `Tuple -> "tuple"
+  | `Bulk -> "bulk"
+  | `Delta -> "delta"
 
 let pp ppf a =
   Format.fprintf ppf "%s: --backend %s, parallel cutoff %d — %s" a.program
@@ -85,9 +112,10 @@ let pp ppf a =
 
 let pp_json ppf a =
   Format.fprintf ppf
-    "{\"program\": \"%s\", \"backend\": \"%s\", \"par_cutoff\": %d, \
-     \"max_work_exponent\": %d, \"bit_fraction\": %.3f, \"reason\": \
-     \"%s\"}"
+    "{\"program\": \"%s\", \"backend\": \"%s\", \"fallback\": \"%s\", \
+     \"par_cutoff\": %d, \"max_work_exponent\": %d, \"bit_fraction\": \
+     %.3f, \"reason\": \"%s\"}"
     a.program
     (backend_string a.backend)
+    (backend_string (a.fallback :> [ `Tuple | `Bulk | `Delta ]))
     a.par_cutoff a.max_work_exponent a.bit_fraction a.reason

@@ -9,14 +9,25 @@
     bodies lean on [BIT] — arithmetic atoms degrade the word kernels to
     per-bit probes (mult is ~30x faster on the tuple backend).
 
+    Since PR 5 the advisor also knows the incremental backend: when
+    {!Support.eligible} holds (every update rule framed, supports
+    bounded or guarded) it recommends [`Delta], with the tuple/bulk
+    heuristic above retained as the delta backend's {e fallback} for
+    temporaries and over-budget frontiers (E22 calibration).
+
     The advice feeds the [`Auto] backend: {!install} registers
-    {!choose} as {!Dynfo.Runner.set_auto_chooser}, after which
+    {!choose} as {!Dynfo.Runner.set_auto_chooser} and the memoized
+    {!Support.plan} as {!Dynfo.Runner.set_delta_planner}, after which
     [Dyn.of_program ~backend:`Auto] (and the parallel runner) resolve
     to the recommended backend per program. *)
 
 type advice = {
   program : string;
-  backend : [ `Tuple | `Bulk ];
+  backend : [ `Tuple | `Bulk | `Delta ];
+  fallback : [ `Tuple | `Bulk ];
+      (** full-recompute backend: what [`Delta] uses for temporaries,
+          unframed rules and over-budget frontiers — and the advice
+          itself when the program is not delta-eligible *)
   par_cutoff : int;
   max_work_exponent : int;
   bit_fraction : float;  (** BIT atoms / all atoms, over every body *)
@@ -29,13 +40,18 @@ val default_par_cutoff : int
 
 val of_program : ?par_cutoff:int -> Dynfo.Program.t -> advice
 
-val choose : Dynfo.Program.t -> [ `Tuple | `Bulk ]
+val choose : Dynfo.Program.t -> [ `Tuple | `Bulk | `Delta ]
 (** [(of_program p).backend]. *)
 
-val install : unit -> unit
-(** Register {!choose} with {!Dynfo.Runner.set_auto_chooser} so the
-    [`Auto] backend resolves through this advisor. *)
+val fallback_of : Dynfo.Program.t -> [ `Tuple | `Bulk ]
+(** [(of_program p).fallback]. *)
 
-val backend_string : [ `Tuple | `Bulk ] -> string
+val install : unit -> unit
+(** Register {!choose} with {!Dynfo.Runner.set_auto_chooser} and the
+    support planner (with {!fallback_of}) with
+    {!Dynfo.Runner.set_delta_planner}, so both the [`Auto] and the
+    [`Delta] backends resolve through the static analysis. *)
+
+val backend_string : [ `Tuple | `Bulk | `Delta ] -> string
 val pp : Format.formatter -> advice -> unit
 val pp_json : Format.formatter -> advice -> unit

@@ -1,0 +1,98 @@
+(** Static support analysis: the planning half of the delta backend.
+
+    For every update rule this module tries to find a {b frame
+    decomposition} [B ≡ (R(x̄) ∧ A) ∨ C] (the rule's target as a
+    conjunct of one disjunct of its own body — the pervasive
+    "keep ∨ change" / "keep ∧ ¬remove" shape of Dyn-FO update formulas)
+    and computes {b supports}: upper bounds, over the rule's tuple
+    space, of where [¬(A ∨ C)] (members that may leave) and [C]
+    (non-members that may enter) can hold. The bounds live in the
+    abstract domain of {!Dynfo_logic.Delta_eval.sup}:
+
+    - an equality [x = t] between a tuple variable and a closed term
+      (update parameter, constant, literal) {e pins} that coordinate —
+      e.g. parity's [ins] frontier is the single tuple [x = a];
+    - a closed subformula becomes a {e guard} — a runtime switch, e.g.
+      reach_u's [¬F(a,b)]: deleting a non-forest edge empties the [PV]
+      frontier entirely;
+    - a positive atom over a relation {e anchors} the bound to that
+      relation's members — when the relation is a temporary (reach_u's
+      [New]) this chains the delta from the temp to the rules consuming
+      it, exactly the dependency edges of {!Dataflow};
+    - positions under quantifiers are unconstrained (the variable is
+      recorded as shadowed/bound: not pinnable, not guardable), widening
+      toward the worst case [Top] — whole-relation — which is detected
+      here, statically, so the runtime can fall back to a full
+      recompute.
+
+    Soundness needs only one direction: the runtime re-evaluates the
+    {e full} body on every frontier tuple, so a support may
+    overapproximate freely; tuples outside it keep their old value by
+    the frame identity. *)
+
+open Dynfo_logic
+open Dynfo
+
+val find_frame :
+  target:string ->
+  vars:string list ->
+  Formula.t ->
+  (Formula.t * Formula.t) option
+(** [(A, C)] of the frame decomposition, or [None] (no disjunct carries
+    the exact atom [target(vars…)], or [vars] has duplicates). Only
+    ∨/∧ trees are flattened; quantifiers are never crossed. *)
+
+(** {1 Planning} *)
+
+val plan_rule : Program.rule -> Delta_eval.rule_plan
+val plan_block : Program.update -> Delta_eval.block_plan
+
+val plan :
+  ?fallback:[ `Tuple | `Bulk ] -> Program.t -> Delta_eval.program_plan
+(** The program's full plan, memoized by physical identity of the
+    program (plus the fallback): the runner asks on every step. *)
+
+val install : ?fallback_of:(Program.t -> [ `Tuple | `Bulk ]) -> unit -> unit
+(** Register the memoized {!plan} as the runner's delta planner
+    ({!Dynfo.Runner.set_delta_planner}). [fallback_of] picks the
+    full-recompute backend per program (default: always [`Tuple];
+    {!Advisor.install} passes its own tuple/bulk heuristic). *)
+
+(** {1 Classification and reporting} *)
+
+type sup_class =
+  | Bounded  (** every slab pinned or anchored: size known small *)
+  | Guarded
+      (** some slab is only guard-conditioned: whole-space when its
+          guards hold, empty otherwise — runtime-dependent *)
+  | Unbounded  (** [Top] (capped only by the member set / complement) *)
+
+val classify : Delta_eval.sup -> sup_class
+val class_string : sup_class -> string
+
+type rule_report = {
+  rr_path : string;
+  rr_target : string;
+  rr_framed : bool;
+  rr_out : sup_class;
+  rr_in : sup_class;
+  rr_chained : string list;
+}
+
+type report = {
+  sr_program : string;
+  sr_rules : rule_report list;
+  sr_eligible : bool;
+  sr_temp_chains : (string * string) list;
+}
+
+val report : Program.t -> report
+(** Per-rule frame/support classification, cross-referenced with
+    {!Dataflow.of_program}: anchors on temporaries are reported as delta
+    chains along the dependency graph. *)
+
+val eligible : Program.t -> bool
+(** Every rule framed with non-[Unbounded] supports both ways — the
+    criterion {!Advisor} uses to recommend [`Delta]. *)
+
+val pp : Format.formatter -> report -> unit

@@ -18,9 +18,11 @@ let of_program ?(backend = `Tuple) (p : Program.t) =
     match backend with
     | `Tuple -> p.name
     | `Bulk -> p.name ^ "[bulk]"
+    | `Delta -> p.name ^ "[delta]"
     | `Auto -> (
         match resolved with
         | `Bulk -> p.name ^ "[auto:bulk]"
+        | `Delta -> p.name ^ "[auto:delta]"
         | _ -> p.name ^ "[auto:tuple]")
   in
   { name; create }

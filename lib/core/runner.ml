@@ -12,17 +12,31 @@ let structure s = s.structure
 let input s = Structure.restrict s.structure s.program.input_vocab
 let program s = s.program
 
-type backend = [ `Tuple | `Bulk | `Auto ]
+type backend = [ `Tuple | `Bulk | `Delta | `Auto ]
 
 (* [`Auto] resolution is delegated so the core library does not depend on
    the analysis layer: [Dynfo_analysis.Advisor.install] replaces the
    chooser with the metrics-driven one. Until then [`Auto] means
    [`Tuple], the conservative default. *)
-let auto_chooser : (Program.t -> [ `Tuple | `Bulk ]) ref = ref (fun _ -> `Tuple)
+let auto_chooser : (Program.t -> [ `Tuple | `Bulk | `Delta ]) ref =
+  ref (fun _ -> `Tuple)
+
 let set_auto_chooser f = auto_chooser := f
 
+(* Same injection pattern for the delta backend's static support plans:
+   [Dynfo_analysis.Advisor.install] (via Support) replaces the planner.
+   The conservative default plan has no frames, so [`Delta] degenerates
+   to per-rule full recomputes on the tuple backend until then. *)
+let delta_planner : (Program.t -> Delta_eval.program_plan) ref =
+  ref (fun _ -> Delta_eval.conservative_plan)
+
+let set_delta_planner f = delta_planner := f
+let delta_plan p = !delta_planner p
+
 let resolve_backend (p : Program.t) (b : backend) =
-  match b with `Auto -> !auto_chooser p | (`Tuple | `Bulk) as b -> b
+  match b with
+  | `Auto -> !auto_chooser p
+  | (`Tuple | `Bulk | `Delta) as b -> b
 
 let seq_rules_define st ~env rules =
   List.map
@@ -39,6 +53,46 @@ let bulk_rules_define st ~env rules =
 let rules_define_for = function
   | `Tuple -> seq_rules_define
   | `Bulk -> bulk_rules_define
+
+(* The delta backend's [rules_define]: look the rule up in the block's
+   plan and evaluate its dirty frontier only; anything without a
+   matching framed plan — temporaries (fresh every step, nothing to be
+   incremental against) and unframed rules — is recomputed in full on
+   the plan's fallback backend. The plan is validated against the actual
+   rule (vars + body) so a stale plan for a same-named variant of the
+   program degrades to a full recompute instead of misevaluating. *)
+let delta_rules_define (plan : Delta_eval.program_plan) block st ~env rules =
+  let fallback = plan.Delta_eval.pp_fallback in
+  List.map
+    (fun (r : Program.rule) ->
+      let rp =
+        match Option.bind block (fun bp -> Delta_eval.rule_plan_for bp r.target)
+        with
+        | Some rp
+          when rp.Delta_eval.rp_vars = r.vars
+               && Formula.equal rp.Delta_eval.rp_body r.body ->
+            Some rp
+        | _ -> None
+      in
+      match rp with
+      | Some rp -> (r.target, Delta_eval.define ~fallback st ~env rp)
+      | None ->
+          (r.target, Delta_eval.full_define fallback st ~vars:r.vars ~env r.body))
+    rules
+
+(* Per-request plan selection for [`Delta]: the request kind + input
+   relation name pick the update block, hence the block plan. Shared
+   with [Dynfo_engine.Par_runner], which substitutes its own frontier
+   evaluation but reuses the same lookup. *)
+let delta_block_for (p : Program.t) req =
+  let plan = !delta_planner p in
+  let block =
+    match req with
+    | Request.Ins (name, _) -> Delta_eval.block_for plan `Ins name
+    | Request.Del (name, _) -> Delta_eval.block_for plan `Del name
+    | Request.Set (name, _) -> Delta_eval.block_for plan `Set name
+  in
+  (plan, block)
 
 let apply_update_with ~rules_define st (u : Program.update) (args : int list)
     =
@@ -117,10 +171,20 @@ let step_with ~rules_define s req =
   { s with structure }
 
 let step ?(backend = `Tuple) s req =
-  let backend = resolve_backend s.program backend in
-  step_with ~rules_define:(rules_define_for backend) s req
+  match resolve_backend s.program backend with
+  | (`Tuple | `Bulk) as backend ->
+      step_with ~rules_define:(rules_define_for backend) s req
+  | `Delta ->
+      let plan, block = delta_block_for s.program req in
+      step_with ~rules_define:(delta_rules_define plan block) s req
 
 let run ?backend s reqs = List.fold_left (step ?backend) s reqs
+
+(* Queries have no frame (there is no previous value of a sentence to be
+   incremental against), so [`Delta] queries on the plan's fallback. *)
+let concrete_query_backend p = function
+  | (`Tuple | `Bulk) as b -> b
+  | `Delta -> (!delta_planner p).Delta_eval.pp_fallback
 
 let holds_for backend st ?env f =
   match backend with
@@ -128,10 +192,14 @@ let holds_for backend st ?env f =
   | `Bulk -> Bulk_eval.holds st ?env f
 
 let query ?(backend = `Tuple) s =
-  holds_for (resolve_backend s.program backend) s.structure s.program.query
+  holds_for
+    (concrete_query_backend s.program (resolve_backend s.program backend))
+    s.structure s.program.query
 
 let query_named ?(backend = `Tuple) s name args =
-  let backend = resolve_backend s.program backend in
+  let backend =
+    concrete_query_backend s.program (resolve_backend s.program backend)
+  in
   match
     List.find_opt (fun (n, _, _) -> n = name) s.program.queries
   with
@@ -142,3 +210,13 @@ let query_named ?(backend = `Tuple) s name args =
       holds_for backend s.structure ~env:(List.combine vars args) body
 
 let step_work ?backend s req = Eval.with_work (fun () -> step ?backend s req)
+
+let run_work ?backend s reqs =
+  let s, rev =
+    List.fold_left
+      (fun (s, acc) req ->
+        let s, w = step_work ?backend s req in
+        (s, w :: acc))
+      (s, []) reqs
+  in
+  (s, List.rev rev)

@@ -12,26 +12,50 @@ open Dynfo_logic
 
 type state
 
-type backend = [ `Tuple | `Bulk | `Auto ]
+type backend = [ `Tuple | `Bulk | `Delta | `Auto ]
 (** How update formulas (and queries) are evaluated:
     - [`Tuple] — tuple-at-a-time {!Dynfo_logic.Eval}: enumerate the
       target space, one compiled-closure test per tuple (the default);
     - [`Bulk] — set-at-a-time {!Dynfo_logic.Bulk_eval}: dense bitset
       relations with word-wide kernels;
+    - [`Delta] — incremental {!Dynfo_logic.Delta_eval}: re-evaluate each
+      framed rule only on its dirty frontier (per the installed static
+      support plan, see {!set_delta_planner}) and fall back to a full
+      recompute past the [--delta-cutoff] budget;
     - [`Auto] — resolved per program by the installed chooser (see
       {!set_auto_chooser}); [`Tuple] until one is installed.
 
-    [`Tuple] and [`Bulk] compute identical relations; they differ in
-    cost model (atomic evaluations vs. machine words — see
+    All backends compute identical relations; they differ in cost model
+    (atomic evaluations vs. machine words — see
     {!Dynfo_logic.Eval.add_work}) and constant factors. Every registry
-    program runs unchanged on either. *)
+    program runs unchanged on any of them. *)
 
-val set_auto_chooser : (Program.t -> [ `Tuple | `Bulk ]) -> unit
+val set_auto_chooser : (Program.t -> [ `Tuple | `Bulk | `Delta ]) -> unit
 (** Install the per-program resolver behind [`Auto]. The core library
     cannot depend on the analysis layer, so the metrics-driven chooser
     is injected: [Dynfo_analysis.Advisor.install] calls this. *)
 
-val resolve_backend : Program.t -> backend -> [ `Tuple | `Bulk ]
+val set_delta_planner : (Program.t -> Delta_eval.program_plan) -> unit
+(** Install the static support planner behind [`Delta] (the same
+    injection pattern as {!set_auto_chooser}:
+    [Dynfo_analysis.Advisor.install] registers
+    [Dynfo_analysis.Support.plan]). Until then every program gets
+    {!Dynfo_logic.Delta_eval.conservative_plan} — no frames, so
+    [`Delta] behaves like [`Tuple]. Planners should memoize: the runner
+    consults the planner on every step. *)
+
+val delta_plan : Program.t -> Delta_eval.program_plan
+(** The installed planner's plan for a program. *)
+
+val delta_block_for :
+  Program.t ->
+  Request.t ->
+  Delta_eval.program_plan * Delta_eval.block_plan option
+(** The plan plus the block plan selected by a request (kind + input
+    relation name). [Dynfo_engine.Par_runner] uses this to mirror
+    [`Delta] steps with its own frontier evaluation. *)
+
+val resolve_backend : Program.t -> backend -> [ `Tuple | `Bulk | `Delta ]
 (** Resolve [`Auto] for a program via the installed chooser; the
     identity on concrete backends. *)
 
@@ -85,5 +109,12 @@ val query_named : ?backend:backend -> state -> string -> int list -> bool
 
 val step_work : ?backend:backend -> state -> Request.t -> state * int
 (** Like {!step} but also returns the work the update performed — atomic
-    FO evaluations under [`Tuple], machine words under [`Bulk] (see
-    {!Dynfo_logic.Eval.work}). *)
+    FO evaluations under [`Tuple], machine words under [`Bulk], a mix of
+    both under [`Delta] (see {!Dynfo_logic.Eval.work}). *)
+
+val run_work :
+  ?backend:backend -> state -> Request.t list -> state * int list
+(** {!run} with the work of {e each} step, in request order — what
+    [check --all] reports per step. ({!step_work} measures a single
+    step; folding it here keeps the counters scoped per step instead of
+    only surfacing the last one.) *)

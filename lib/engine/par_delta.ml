@@ -1,0 +1,61 @@
+open Dynfo_logic
+
+(* Parallel delta evaluation of one framed rule: the dirty mask is built
+   sequentially (guard/pin/anchor resolution is tiny by construction —
+   it is the *bound* on the frontier), then the frontier re-tests are
+   chunked across the pool by mask-word ranges. Distinct word ranges
+   partition the frontier, so lanes share nothing but the read-only
+   pre-state; each lane compiles its own tester (compiled closures
+   charge the compiling domain's work counter and own a private slot
+   array). Flips are accumulated per lane and merged into the
+   persistent base sequentially — the same splice a 1-lane run does.
+
+   Never called with rules fanned across lanes: Par_runner evaluates
+   delta rules in order, parallelism lives inside each rule, because the
+   pool is not reentrant. *)
+
+let define pool ?(cutoff = Par_eval.default_cutoff) st ~env
+    ~(fallback : [ `Tuple | `Bulk ]) (plan : Delta_eval.rule_plan) =
+  let full () =
+    match fallback with
+    | `Tuple -> Par_eval.define pool ~cutoff st ~vars:plan.rp_vars ~env plan.rp_body
+    | `Bulk -> Par_bulk.define pool ~cutoff st ~vars:plan.rp_vars ~env plan.rp_body
+  in
+  match plan.Delta_eval.rp_frame with
+  | None -> full ()
+  | Some _ -> (
+      (* compile before guards/mask: same error surface as a full
+         evaluation, even on an empty frontier *)
+      let test = Eval.tester st ~vars:plan.rp_vars ~env plan.rp_body in
+      let base = Structure.rel st plan.rp_target in
+      match Delta_eval.frontier st ~env ~base plan with
+      | `Full -> full ()
+      | `Mask mask ->
+          if Pool.lanes pool = 1 || Bitrel.popcount mask < cutoff then
+            Delta_eval.splice ~test ~base mask
+          else begin
+            let size = Bitrel.size mask in
+            let arity = Bitrel.arity mask in
+            let lanes = Pool.lanes pool in
+            let flips = Array.make lanes [] in
+            Pool.parallel_for pool ~lo:0 ~hi:(Bitrel.word_count mask)
+              (fun ~lane word_lo word_hi ->
+                let test =
+                  if lane = 0 then test
+                  else Eval.tester st ~vars:plan.rp_vars ~env plan.rp_body
+                in
+                let acc = ref [] in
+                Bitrel.iter_codes_between
+                  (fun code ->
+                    let tup = Tuple.decode ~size ~arity code in
+                    let now = test tup in
+                    if now <> Relation.mem_unchecked base tup then
+                      acc := (tup, now) :: !acc)
+                  mask ~word_lo ~word_hi;
+                flips.(lane) <- List.rev_append !acc flips.(lane));
+            Array.fold_left
+              (List.fold_left (fun rel (tup, now) ->
+                   if now then Relation.add rel tup
+                   else Relation.remove rel tup))
+              base flips
+          end)

@@ -4,7 +4,7 @@ open Dynfo
 type state = {
   pool : Pool.t;
   cutoff : int;
-  backend : [ `Tuple | `Bulk ];  (* [`Auto] resolved at [init] *)
+  backend : [ `Tuple | `Bulk | `Delta ];  (* [`Auto] resolved at [init] *)
   inner : Runner.state;
 }
 
@@ -62,19 +62,60 @@ let rules_define backend pool cutoff =
   | `Tuple -> tuple_rules_define pool cutoff
   | `Bulk -> bulk_rules_define pool cutoff
 
+(* Delta backend: rules in order (Par_delta submits pool jobs itself),
+   each rule's frontier chunked by mask words. Plan entries are
+   validated against the rule before use — exactly as the sequential
+   runner does — so stale or mismatched plans degrade to a full
+   parallel recompute on the plan's fallback backend, never to a wrong
+   answer. *)
+let delta_rules_define pool cutoff (plan : Delta_eval.program_plan) block st
+    ~env rules =
+  let fallback = plan.Delta_eval.pp_fallback in
+  List.map
+    (fun (r : Program.rule) ->
+      let rp =
+        match
+          Option.bind block (fun bp -> Delta_eval.rule_plan_for bp r.target)
+        with
+        | Some rp
+          when rp.Delta_eval.rp_vars = r.vars
+               && Formula.equal rp.Delta_eval.rp_body r.body ->
+            Some rp
+        | _ -> None
+      in
+      match rp with
+      | Some rp -> (r.target, Par_delta.define pool ~cutoff st ~env ~fallback rp)
+      | None ->
+          let rel =
+            match fallback with
+            | `Tuple -> Par_eval.define pool ~cutoff st ~vars:r.vars ~env r.body
+            | `Bulk -> Par_bulk.define pool ~cutoff st ~vars:r.vars ~env r.body
+          in
+          (r.target, rel))
+    rules
+
 let step s req =
-  {
-    s with
-    inner =
-      Runner.step_with
-        ~rules_define:(rules_define s.backend s.pool s.cutoff)
-        s.inner req;
-  }
+  let rules_define =
+    match s.backend with
+    | (`Tuple | `Bulk) as b -> rules_define b s.pool s.cutoff
+    | `Delta ->
+        let plan, block = Runner.delta_block_for (Runner.program s.inner) req in
+        delta_rules_define s.pool s.cutoff plan block
+  in
+  { s with inner = Runner.step_with ~rules_define s.inner req }
 
 let run s reqs = List.fold_left step s reqs
 
-let query s =
+let query_fallback s =
   match s.backend with
+  | (`Tuple | `Bulk) as b -> b
+  | `Delta ->
+      (* queries have no frame (nothing is incrementally maintained for
+         them); evaluate on the plan's full-recompute backend *)
+      (Runner.delta_plan (Runner.program s.inner)).Delta_eval.pp_fallback
+
+let query s =
+  match query_fallback s with
   | `Tuple -> Runner.query s.inner
   | `Bulk ->
       Par_bulk.holds s.pool (Runner.structure s.inner)
@@ -90,10 +131,12 @@ let dyn pool ?cutoff ?(backend = `Tuple) (p : Program.t) =
     match backend with
     | `Tuple -> "[par]"
     | `Bulk -> "[par-bulk]"
+    | `Delta -> "[par-delta]"
     | `Auto -> (
         match Runner.resolve_backend p backend with
         | `Tuple -> "[par-auto:tuple]"
-        | `Bulk -> "[par-auto:bulk]")
+        | `Bulk -> "[par-auto:bulk]"
+        | `Delta -> "[par-auto:delta]")
   in
   Dyn.of_fun ~name:(p.name ^ suffix)
     ~create:(fun size -> init pool ?cutoff ~backend p ~size)

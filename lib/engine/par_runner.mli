@@ -41,8 +41,11 @@ val structure : state -> Structure.t
 val input : state -> Structure.t
 val program : state -> Dynfo.Program.t
 val pool : state -> Pool.t
-val backend : state -> [ `Tuple | `Bulk ]
-(** The concrete backend in use — [`Auto] is resolved at {!init}. *)
+val backend : state -> [ `Tuple | `Bulk | `Delta ]
+(** The concrete backend in use — [`Auto] is resolved at {!init}. Under
+    [`Delta] each update rule's dirty frontier is chunked over the pool
+    by {!Par_delta.define}; unframed rules, temporaries and over-budget
+    frontiers recompute on the plan's fallback backend. *)
 
 val step : state -> Dynfo.Request.t -> state
 val run : state -> Dynfo.Request.t list -> state

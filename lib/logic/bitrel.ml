@@ -96,8 +96,13 @@ let equal a b =
   && (* tail bits are kept zero, so word equality is member equality *)
   a.words = b.words
 
-let iter_codes f t =
-  for w = 0 to Array.length t.words - 1 do
+let check_words t ~word_lo ~word_hi =
+  if word_lo < 0 || word_hi > Array.length t.words || word_lo > word_hi then
+    invalid_arg "Bitrel: word range out of bounds"
+
+let iter_codes_between f t ~word_lo ~word_hi =
+  check_words t ~word_lo ~word_hi;
+  for w = word_lo to word_hi - 1 do
     let word = ref t.words.(w) in
     while !word <> 0 do
       let bit = !word land - !word in
@@ -107,6 +112,9 @@ let iter_codes f t =
       word := !word lxor bit
     done
   done
+
+let iter_codes f t =
+  iter_codes_between f t ~word_lo:0 ~word_hi:(Array.length t.words)
 
 let iter_members f t =
   iter_codes (fun c -> f (Tuple.decode ~size:t.size ~arity:t.arity c)) t
@@ -128,10 +136,6 @@ let to_relation t =
 let check_compat a b =
   if a.size <> b.size || a.arity <> b.arity then
     invalid_arg "Bitrel: size/arity mismatch"
-
-let check_words t ~word_lo ~word_hi =
-  if word_lo < 0 || word_hi > Array.length t.words || word_lo > word_hi then
-    invalid_arg "Bitrel: word range out of bounds"
 
 type op = [ `Union | `Inter | `Diff | `Implies | `Iff ]
 

@@ -79,6 +79,13 @@ val equal : t -> t -> bool
 val iter_codes : (int -> unit) -> t -> unit
 (** Visit the encoded index of every member, in increasing order. *)
 
+val iter_codes_between : (int -> unit) -> t -> word_lo:int -> word_hi:int -> unit
+(** {!iter_codes} restricted to the members whose bits fall in the words
+    [\[word_lo, word_hi)] — the chunk-addressable form the parallel
+    engine uses to split a dirty-frontier mask across domains (distinct
+    word ranges partition the members). Raises [Invalid_argument] on a
+    range outside [\[0, word_count t\]]. *)
+
 val iter_members : (Tuple.t -> unit) -> t -> unit
 (** Visit every member as a decoded (freshly allocated) tuple. *)
 

@@ -1,0 +1,273 @@
+(* Incremental (delta) evaluation of update rules.
+
+   A rule [R(x̄) <- B] whose body admits a *frame decomposition*
+
+       B  ≡  (R(x̄) ∧ A) ∨ C
+
+   (the target atom, applied to the rule's own tuple variables in order,
+   as a conjunct of one disjunct) satisfies a per-step identity that
+   needs no assumptions about the request or the program's history:
+
+   - for x̄ ∈ R   : new value = A ∨ C — the tuple *leaves* iff ¬(A ∨ C);
+   - for x̄ ∉ R   : new value = C     — the tuple *enters* iff C.
+
+   So any upper bound ("support") of ¬(A ∨ C) over the current members,
+   together with an upper bound of C over the non-members, is a sound
+   dirty frontier: tuples outside it keep their old value. The static
+   analysis (Dynfo_analysis.Support) computes those bounds as [sup]
+   values; this module materialises them as a Bitrel dirty mask,
+   re-evaluates the *full* body only on the frontier with Eval.tester,
+   and splices the flips into the persistent old relation. When the
+   frontier exceeds [cutoff () * tuple-space] the rule falls back to a
+   full recompute on the plan's fallback backend. *)
+
+type pin = { coord : int; value : Formula.term }
+
+type anchor = {
+  a_rel : string;
+  a_coords : (int * int) list; (* (member position, target coordinate) *)
+  a_checks : (int * Formula.term) list; (* member position = closed term *)
+}
+
+type slab = {
+  s_guards : Formula.t list; (* closed: no free tuple variables *)
+  s_pins : pin list;
+  s_anchor : anchor option;
+}
+
+type sup = Top | Slabs of slab list
+
+type frame = { f_out : sup; f_in : sup }
+
+type rule_plan = {
+  rp_target : string;
+  rp_vars : string list;
+  rp_body : Formula.t;
+  rp_frame : frame option; (* [None]: always recompute in full *)
+}
+
+type block_plan = rule_plan list
+
+type program_plan = {
+  pp_ins : (string * block_plan) list;
+  pp_del : (string * block_plan) list;
+  pp_set : (string * block_plan) list;
+  pp_fallback : [ `Tuple | `Bulk ];
+}
+
+let conservative_plan =
+  { pp_ins = []; pp_del = []; pp_set = []; pp_fallback = `Tuple }
+
+let block_for plan (kind : [ `Ins | `Del | `Set ]) name =
+  let blocks =
+    match kind with
+    | `Ins -> plan.pp_ins
+    | `Del -> plan.pp_del
+    | `Set -> plan.pp_set
+  in
+  List.assoc_opt name blocks
+
+let rule_plan_for (bp : block_plan) target =
+  List.find_opt (fun rp -> rp.rp_target = target) bp
+
+(* --- cutoff --------------------------------------------------------------- *)
+
+let default_cutoff = 0.25
+
+let cutoff_fraction = ref default_cutoff
+
+let set_cutoff f =
+  if not (f >= 0. && f <= 1.) then
+    invalid_arg "Delta_eval.set_cutoff: fraction outside [0, 1]";
+  cutoff_fraction := f
+
+let cutoff () = !cutoff_fraction
+
+(* --- frontier construction ------------------------------------------------ *)
+
+exception Over_budget
+
+(* [size^arity] or [None] when it overflows (then the mask cannot be
+   allocated and the rule recomputes in full, like the bulk backend
+   refusing the space) *)
+let space_opt ~size ~arity =
+  let rec go acc i =
+    if i = 0 then Some acc
+    else if acc > max_int / size then None
+    else go (acc * size) (i - 1)
+  in
+  go 1 arity
+
+let ipow n k =
+  let rec go acc i = if i = 0 then acc else go (acc * n) (i - 1) in
+  go 1 k
+
+(* Runtime value of a pin/check/guard term: update parameters from [env],
+   then structure constants — the same resolution order as Eval (tuple
+   variables never appear: the planner only emits closed terms). *)
+let term_value st env (t : Formula.term) =
+  match t with
+  | Formula.Var x -> (
+      match List.assoc_opt x env with
+      | Some v -> v
+      | None -> (
+          match Structure.const st x with
+          | v -> v
+          | exception Invalid_argument _ -> raise (Eval.Unbound_variable x)))
+  | Formula.Num i -> i
+  | Formula.Min -> 0
+  | Formula.Max -> Structure.size st - 1
+
+(* Extend a concrete pin assignment; [None] when inconsistent (two pins
+   on one coordinate disagree) or a value falls outside the universe
+   (the slab is empty at this step). *)
+let add_pin ~size acc coord v =
+  if v < 0 || v >= size then None
+  else
+    match List.assoc_opt coord acc with
+    | Some v' -> if v = v' then Some acc else None
+    | None -> Some ((coord, v) :: acc)
+
+let resolve_pins st env ~size pins =
+  List.fold_left
+    (fun acc { coord; value } ->
+      match acc with
+      | None -> None
+      | Some acc -> add_pin ~size acc coord (term_value st env value))
+    (Some []) pins
+
+(* Emit the concrete coordinate assignments of one slab, spending frontier
+   budget as it goes ([Over_budget] aborts the whole mask). Guards are
+   evaluated first: a false guard makes the slab empty for this step. *)
+let resolve_slab st env ~size ~arity ~spend emit slab =
+  if List.for_all (fun g -> Eval.holds st ~env g) slab.s_guards then
+    match resolve_pins st env ~size slab.s_pins with
+    | None -> ()
+    | Some pins -> (
+        match slab.s_anchor with
+        | None ->
+            spend (ipow size (arity - List.length pins));
+            emit pins
+        | Some a ->
+            let r =
+              match Structure.rel st a.a_rel with
+              | r -> r
+              | exception Invalid_argument _ ->
+                  (* anchor relation not in this structure (planner bug or
+                     a temp that is not declared yet): recomputing in full
+                     is always sound *)
+                  raise Over_budget
+            in
+            let checks =
+              List.map (fun (j, t) -> (j, term_value st env t)) a.a_checks
+            in
+            Eval.add_work (Relation.cardinal r);
+            Relation.iter
+              (fun q ->
+                if List.for_all (fun (j, v) -> q.(j) = v) checks then
+                  let member_pins =
+                    List.fold_left
+                      (fun acc (j, coord) ->
+                        match acc with
+                        | None -> None
+                        | Some acc -> add_pin ~size acc coord q.(j))
+                      (Some pins) a.a_coords
+                  in
+                  match member_pins with
+                  | None -> ()
+                  | Some pins ->
+                      spend (ipow size (arity - List.length pins));
+                      emit pins)
+              r)
+
+type frontier = [ `Full | `Mask of Bitrel.t ]
+
+(* Build the dirty mask for a framed rule, or decide [`Full].
+   [base] is the target's pre-state value. A [Top] side is bounded by the
+   relation itself: frontier-out ⊆ members, frontier-in ⊆ complement. *)
+let frontier st ~env ~base (plan : rule_plan) : frontier =
+  match plan.rp_frame with
+  | None -> `Full
+  | Some { f_out; f_in } -> (
+      let size = Structure.size st in
+      let arity = List.length plan.rp_vars in
+      match space_opt ~size ~arity with
+      | None -> `Full
+      | Some space -> (
+          let budget =
+            int_of_float (!cutoff_fraction *. float_of_int space)
+          in
+          let card = Relation.cardinal base in
+          let est_out = match f_out with Top -> card | Slabs _ -> 0 in
+          let est_in = match f_in with Top -> space - card | Slabs _ -> 0 in
+          try
+            if est_out + est_in >= budget then raise Over_budget;
+            let spent = ref (est_out + est_in) in
+            let spend k =
+              spent := !spent + k;
+              if !spent >= budget then raise Over_budget
+            in
+            let mask = Bitrel.create ~size ~arity in
+            let install pins =
+              Eval.add_work (Bitrel.set_slab mask pins)
+            in
+            (* the in-side first: its [Top] case fills the complement of
+               [base] by clearing member bits, which must not erase
+               out-side installs *)
+            (match f_in with
+             | Top ->
+                 Bitrel.fill_range mask ~lo:0 ~hi:space;
+                 Relation.iter (fun q -> Bitrel.remove mask q) base;
+                 Eval.add_work (Bitrel.word_count mask + card)
+             | Slabs slabs ->
+                 List.iter
+                   (resolve_slab st env ~size ~arity ~spend install)
+                   slabs);
+            (match f_out with
+             | Top ->
+                 Relation.iter (fun q -> Bitrel.add mask q) base;
+                 Eval.add_work card
+             | Slabs slabs ->
+                 List.iter
+                   (resolve_slab st env ~size ~arity ~spend install)
+                   slabs);
+            Eval.add_work (Bitrel.word_count mask);
+            if Bitrel.popcount mask >= budget then `Full else `Mask mask
+          with Over_budget -> `Full))
+
+(* --- evaluation ----------------------------------------------------------- *)
+
+let full_define (fallback : [ `Tuple | `Bulk ]) st ~vars ~env f =
+  match fallback with
+  | `Tuple -> Eval.define st ~vars ~env f
+  | `Bulk -> Bulk_eval.define st ~vars ~env f
+
+(* Re-evaluate the full body on every frontier tuple and splice the flips
+   into the (persistent) old value. [test] must be a tester for
+   [plan.rp_body] over [plan.rp_vars]. *)
+let splice ~test ~base mask =
+  let size = Bitrel.size mask in
+  let arity = Bitrel.arity mask in
+  let out = ref base in
+  Bitrel.iter_codes
+    (fun code ->
+      let tup = Tuple.decode ~size ~arity code in
+      let now = test tup in
+      if now <> Relation.mem_unchecked base tup then
+        out := (if now then Relation.add !out tup else Relation.remove !out tup))
+    mask;
+  !out
+
+let define ?(fallback = `Tuple) st ?(env = []) (plan : rule_plan) =
+  match plan.rp_frame with
+  | None -> full_define fallback st ~vars:plan.rp_vars ~env plan.rp_body
+  | Some _ -> (
+      (* compile the body before touching guards or the mask: the delta
+         path must surface the same compile-time errors (unknown
+         relations, arity mismatches, unbound variables) as a full
+         evaluation, even when the frontier turns out to be empty *)
+      let test = Eval.tester st ~vars:plan.rp_vars ~env plan.rp_body in
+      let base = Structure.rel st plan.rp_target in
+      match frontier st ~env ~base plan with
+      | `Full -> full_define fallback st ~vars:plan.rp_vars ~env plan.rp_body
+      | `Mask mask -> splice ~test ~base mask)

@@ -1,0 +1,163 @@
+(** Incremental (delta) evaluation of update rules: re-evaluate a rule
+    body only on the {e dirty frontier} — the tuples whose value can
+    actually change this step — and splice the flips into the old value.
+
+    The soundness device is the {b frame decomposition}. When a rule
+    [R(x̄) <- B] syntactically contains its own target as a conjunct of
+    one disjunct,
+
+    {v B  ≡  (R(x̄) ∧ A) ∨ C v}
+
+    then, whatever the request did, the new value at a current member is
+    [A ∨ C] and at a non-member is [C] — a per-step identity with no
+    history assumptions. Hence
+
+    - frontier-out = members satisfying [¬(A ∨ C)] ⊆ members ∩ any upper
+      bound of [¬(A ∨ C)];
+    - frontier-in = non-members satisfying [C] ⊆ complement ∩ any upper
+      bound of [C].
+
+    The upper bounds arrive as {!sup} values computed statically by
+    [Dynfo_analysis.Support] (this library cannot see programs or
+    requests, so plans speak in relation names and closed terms): a
+    {!slab} constrains some target coordinates to closed terms
+    ({e pins}, e.g. [x = a] for an update parameter [a]), conditions the
+    whole slab on closed subformulas ({e guards}, e.g. [¬F(a,b)] — a
+    runtime switch that often empties the frontier entirely), and may
+    enumerate the members of another — typically small or temporary —
+    relation ({e anchor}, e.g. the [New(x,y)] replacement-edge temp of
+    reach_u's delete block: this is how deltas chain from a temp to the
+    rules consuming it). [Top] means unbounded; it is still capped by
+    the member set (out side) or its complement (in side).
+
+    The frontier is materialised as a {!Bitrel} dirty mask (slab fills
+    dedupe overlapping patterns for free); if its size reaches
+    [cutoff () * size^arity] the rule recomputes in full on the plan's
+    fallback backend — the [--delta-cutoff] threshold. Frontier tuples
+    are re-tested with the {e full} body via {!Eval.tester}, so the
+    support analysis only ever has to be an upper bound, never exact.
+    Work accounting: mask words and anchor scans are charged via
+    {!Eval.add_work}, frontier re-tests charge atomic evaluations as
+    usual — mixed units, like the tuple/bulk comparison of E20. *)
+
+(** {1 Plans}
+
+    Produced by [Dynfo_analysis.Support] and injected into the runner
+    ([Dynfo.Runner.set_delta_planner]); interpreted here. *)
+
+type pin = { coord : int; value : Formula.term }
+(** Target coordinate [coord] must equal the runtime value of [value] —
+    a closed term: an update parameter (via the environment), a
+    structure constant, or a literal. *)
+
+type anchor = {
+  a_rel : string;  (** relation whose members seed the slab *)
+  a_coords : (int * int) list;
+      (** (member position [j], target coordinate [i]): coordinate [i]
+          is pinned to component [j] of each member *)
+  a_checks : (int * Formula.term) list;
+      (** member position [j] must equal the closed term's value for the
+          member to contribute *)
+}
+
+type slab = {
+  s_guards : Formula.t list;
+      (** closed subformulas (no free tuple variables); all must hold at
+          this step, else the slab is empty *)
+  s_pins : pin list;
+  s_anchor : anchor option;
+}
+
+type sup = Top | Slabs of slab list
+(** An upper bound on where a formula can hold over the rule's tuple
+    space: the union of the slabs, or no bound at all. [Slabs []] is the
+    empty bound (the formula can hold nowhere). *)
+
+type frame = { f_out : sup; f_in : sup }
+(** [f_out] bounds [¬(A ∨ C)] (members that may leave), [f_in] bounds
+    [C] (non-members that may enter). *)
+
+type rule_plan = {
+  rp_target : string;
+  rp_vars : string list;
+  rp_body : Formula.t;
+  rp_frame : frame option;  (** [None]: always recompute in full *)
+}
+
+type block_plan = rule_plan list
+
+type program_plan = {
+  pp_ins : (string * block_plan) list;
+  pp_del : (string * block_plan) list;
+  pp_set : (string * block_plan) list;
+  pp_fallback : [ `Tuple | `Bulk ];
+      (** backend for full recomputes: unframed rules, temporaries,
+          over-budget frontiers, queries *)
+}
+
+val conservative_plan : program_plan
+(** No block plans, fallback [`Tuple]: the delta backend degenerates to
+    tuple-at-a-time evaluation. The default until an analysis planner is
+    installed. *)
+
+val block_for :
+  program_plan -> [ `Ins | `Del | `Set ] -> string -> block_plan option
+
+val rule_plan_for : block_plan -> string -> rule_plan option
+
+(** {1 Cutoff} *)
+
+val default_cutoff : float
+
+val set_cutoff : float -> unit
+(** Set the frontier budget as a fraction of the tuple space
+    ([Invalid_argument] outside [\[0, 1\]]). [0.] forces every rule to
+    full recompute; [1.] never falls back on size grounds. *)
+
+val cutoff : unit -> float
+
+(** {1 Evaluation} *)
+
+type frontier = [ `Full | `Mask of Bitrel.t ]
+
+val frontier :
+  Structure.t ->
+  env:(string * int) list ->
+  base:Relation.t ->
+  rule_plan ->
+  frontier
+(** Resolve the plan's supports at this step (evaluate guards, pins and
+    anchors against [st]/[env]) and build the dirty mask over the tuple
+    space of the rule; [`Full] when the rule has no frame, the estimated
+    or actual frontier reaches the budget, or the tuple space overflows.
+    [base] must be the target's pre-state value. *)
+
+val splice :
+  test:(Tuple.t -> bool) -> base:Relation.t -> Bitrel.t -> Relation.t
+(** Re-test every mask member with [test] (a {!Eval.tester} of the full
+    rule body) and apply the flips to [base]. The parallel engine calls
+    this sequentially under its cutoff; above it, it partitions the mask
+    words across lanes itself. *)
+
+val full_define :
+  [ `Tuple | `Bulk ] ->
+  Structure.t ->
+  vars:string list ->
+  env:(string * int) list ->
+  Formula.t ->
+  Relation.t
+(** The fallback: {!Eval.define} or {!Bulk_eval.define}. *)
+
+val define :
+  ?fallback:[ `Tuple | `Bulk ] ->
+  Structure.t ->
+  ?env:(string * int) list ->
+  rule_plan ->
+  Relation.t
+(** Evaluate one rule: frontier + splice when the frame admits it, full
+    recompute otherwise. Equal to
+    [full_define fallback st ~vars:rp_vars ~env rp_body] by the frame
+    identity — the lockstep tests assert exactly that, structure-wide.
+    Compile-time errors of the body (unknown relation, arity, unbound
+    variable) are raised exactly as a full evaluation would raise them,
+    even when the frontier is empty. *)

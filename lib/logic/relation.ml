@@ -66,6 +66,14 @@ let diff a b =
   check_same a b;
   { a with tuples = Tset.diff a.tuples b.tuples }
 
+let symmetric_diff a b =
+  check_same a b;
+  {
+    a with
+    tuples =
+      Tset.union (Tset.diff a.tuples b.tuples) (Tset.diff b.tuples a.tuples);
+  }
+
 let equal a b = a.arity = b.arity && Tset.equal a.tuples b.tuples
 let subset a b = a.arity = b.arity && Tset.subset a.tuples b.tuples
 

@@ -53,6 +53,13 @@ val inter : t -> t -> t
 
 val diff : t -> t -> t
 
+val symmetric_diff : t -> t -> t
+(** Tuples in exactly one of the two relations —
+    [(a \ b) ∪ (b \ a)]. The delta backend's correctness property is
+    phrased with it: every tuple of
+    [symmetric_diff old_value new_value] must lie inside the computed
+    dirty frontier. Raises [Invalid_argument] on arity mismatch. *)
+
 val equal : t -> t -> bool
 
 val subset : t -> t -> bool

@@ -49,15 +49,18 @@ Randomized cross-checking of all implementations of a problem:
 
   $ dynfo_cli check parity --length 100 --seed 3
   checking parity at n=16 over 100 requests (seed 3): ok (100 checkpoints, 3 implementations)
+    tuple work/step: total 2682, mean 26.8, max 35
 
   $ dynfo_cli check reach_u -n 6 --length 60 --seed 1
   checking reach_u at n=6 over 60 requests (seed 1): ok (60 checkpoints, 3 implementations)
+    tuple work/step: total 502462, mean 8374.4, max 19758
 
 The set-at-a-time bitset backend joins the comparison under --backend
 bulk (one extra implementation), and runs the same scripts:
 
   $ dynfo_cli check reach_u -n 6 --length 60 --seed 1 --backend bulk
   checking reach_u at n=6 over 60 requests (seed 1): ok (60 checkpoints, 4 implementations)
+    bulk work/step: total 397562, mean 6626.0, max 11831
 
   $ dynfo_cli run reach_u -n 6 --script script.txt --backend bulk
   set s 0              query = true
@@ -67,6 +70,31 @@ bulk (one extra implementation), and runs the same scripts:
   ins E (2,3)          query = true
   del E (1,2)          query = false
   ins E (1,3)          query = true
+
+The incremental delta backend re-evaluates only the dirty frontier the
+static support analysis derives, and does measurably less work per
+step than the full backends above:
+
+  $ dynfo_cli check reach_u -n 6 --length 60 --seed 1 --backend delta
+  checking reach_u at n=6 over 60 requests (seed 1): ok (60 checkpoints, 4 implementations)
+    delta work/step: total 202604, mean 3376.7, max 10113
+
+  $ dynfo_cli run reach_u -n 6 --script script.txt --backend delta
+  set s 0              query = true
+  set t 3              query = false
+  ins E (0,1)          query = false
+  ins E (1,2)          query = false
+  ins E (2,3)          query = true
+  del E (1,2)          query = false
+  ins E (1,3)          query = true
+
+  $ dynfo_cli analyze --support parity
+  parity-fo: delta-eligible
+    on_ins M / rule M                frame out=bounded in=bounded
+    on_ins M / rule b                frame out=guarded in=guarded
+    on_del M / rule M                frame out=bounded in=bounded
+    on_del M / rule b                frame out=guarded in=guarded
+  
 
 check needs a problem or --all:
 
@@ -94,7 +122,7 @@ Static analysis of a single program prints diagnostics and cost metrics:
     query                            0     0     0      3      2      n^0    n^0
     max: tuple space n^3, quantifier rank 2, alternation depth 1, work n^5 (n^5 optimized); total formula size 170
     dataflow: 7 dependency edge(s), 6 hazard(s), 0 dead relation(s)
-    advice: --backend bulk (cutoff 2048) — work n^5 at or above the n^5 dense threshold with BIT-free bodies: set-at-a-time bitset kernels amortize the enumeration
+    advice: --backend delta (cutoff 2048) — every update rule carries a frame with bounded/guarded supports: incremental frontier evaluation, falling back to bulk past the --delta-cutoff (work n^5 at or above the n^5 dense threshold with BIT-free bodies: set-at-a-time bitset kernels amortize the enumeration)
 
 The whole registry is clean under --strict (exit 0):
 
@@ -120,7 +148,7 @@ The whole registry is clean under --strict (exit 0):
 JSON output for tooling:
 
   $ dynfo_cli analyze parity --json
-  [{"version": 2, "program": "parity-fo", "diagnostics": [], "metrics": {"program": "parity-fo", "rule_count": 4, "max_tuple_exponent": 1, "max_quantifier_rank": 0, "max_alternation_depth": 0, "max_work_exponent": 1, "max_opt_work_exponent": 1, "total_formula_size": 26, "rules": [{"path": "on_ins M / rule M", "target": "M", "tuple_exponent": 1, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 3, "width": 2, "work_exponent": 1, "opt_quantifier_rank": 0, "opt_work_exponent": 1}, {"path": "on_ins M / rule b", "target": "b", "tuple_exponent": 0, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 9, "width": 1, "work_exponent": 0, "opt_quantifier_rank": 0, "opt_work_exponent": 0}, {"path": "on_del M / rule M", "target": "M", "tuple_exponent": 1, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 4, "width": 2, "work_exponent": 1, "opt_quantifier_rank": 0, "opt_work_exponent": 1}, {"path": "on_del M / rule b", "target": "b", "tuple_exponent": 0, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 9, "width": 1, "work_exponent": 0, "opt_quantifier_rank": 0, "opt_work_exponent": 0}], "queries": [{"path": "query", "target": "query", "tuple_exponent": 0, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 1, "width": 0, "work_exponent": 0, "opt_quantifier_rank": 0, "opt_work_exponent": 0}]}, "dataflow": {"program": "parity-fo", "rules": [{"path": "on_ins M / rule M", "target": "M", "temp": false, "reads": ["M"]}, {"path": "on_ins M / rule b", "target": "b", "temp": false, "reads": ["b", "M"]}, {"path": "on_del M / rule M", "target": "M", "temp": false, "reads": ["M"]}, {"path": "on_del M / rule b", "target": "b", "temp": false, "reads": ["b", "M"]}], "edges": [["M", "M"], ["b", "b"], ["b", "M"]], "query_reads": ["b"], "live": ["M", "b"], "dead_relations": [], "dead_rules": [], "hazards": [{"block": "on_ins M", "relation": "M", "writer": "on_ins M / rule M", "readers": ["on_ins M / rule M", "on_ins M / rule b"]}, {"block": "on_ins M", "relation": "b", "writer": "on_ins M / rule b", "readers": ["on_ins M / rule b"]}, {"block": "on_del M", "relation": "M", "writer": "on_del M / rule M", "readers": ["on_del M / rule M", "on_del M / rule b"]}, {"block": "on_del M", "relation": "b", "writer": "on_del M / rule b", "readers": ["on_del M / rule b"]}]}, "advice": {"program": "parity-fo", "backend": "tuple", "par_cutoff": 2048, "max_work_exponent": 1, "bit_fraction": 0.000, "reason": "work n^1 below the n^5 dense threshold: per-tuple short-circuit evaluation is cheaper than materializing bitsets"}}]
+  [{"version": 2, "program": "parity-fo", "diagnostics": [], "metrics": {"program": "parity-fo", "rule_count": 4, "max_tuple_exponent": 1, "max_quantifier_rank": 0, "max_alternation_depth": 0, "max_work_exponent": 1, "max_opt_work_exponent": 1, "total_formula_size": 26, "rules": [{"path": "on_ins M / rule M", "target": "M", "tuple_exponent": 1, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 3, "width": 2, "work_exponent": 1, "opt_quantifier_rank": 0, "opt_work_exponent": 1}, {"path": "on_ins M / rule b", "target": "b", "tuple_exponent": 0, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 9, "width": 1, "work_exponent": 0, "opt_quantifier_rank": 0, "opt_work_exponent": 0}, {"path": "on_del M / rule M", "target": "M", "tuple_exponent": 1, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 4, "width": 2, "work_exponent": 1, "opt_quantifier_rank": 0, "opt_work_exponent": 1}, {"path": "on_del M / rule b", "target": "b", "tuple_exponent": 0, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 9, "width": 1, "work_exponent": 0, "opt_quantifier_rank": 0, "opt_work_exponent": 0}], "queries": [{"path": "query", "target": "query", "tuple_exponent": 0, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 1, "width": 0, "work_exponent": 0, "opt_quantifier_rank": 0, "opt_work_exponent": 0}]}, "dataflow": {"program": "parity-fo", "rules": [{"path": "on_ins M / rule M", "target": "M", "temp": false, "reads": ["M"]}, {"path": "on_ins M / rule b", "target": "b", "temp": false, "reads": ["b", "M"]}, {"path": "on_del M / rule M", "target": "M", "temp": false, "reads": ["M"]}, {"path": "on_del M / rule b", "target": "b", "temp": false, "reads": ["b", "M"]}], "edges": [["M", "M"], ["b", "b"], ["b", "M"]], "query_reads": ["b"], "live": ["M", "b"], "dead_relations": [], "dead_rules": [], "hazards": [{"block": "on_ins M", "relation": "M", "writer": "on_ins M / rule M", "readers": ["on_ins M / rule M", "on_ins M / rule b"]}, {"block": "on_ins M", "relation": "b", "writer": "on_ins M / rule b", "readers": ["on_ins M / rule b"]}, {"block": "on_del M", "relation": "M", "writer": "on_del M / rule M", "readers": ["on_del M / rule M", "on_del M / rule b"]}, {"block": "on_del M", "relation": "b", "writer": "on_del M / rule b", "readers": ["on_del M / rule b"]}]}, "advice": {"program": "parity-fo", "backend": "delta", "fallback": "tuple", "par_cutoff": 2048, "max_work_exponent": 1, "bit_fraction": 0.000, "reason": "every update rule carries a frame with bounded/guarded supports: incremental frontier evaluation, falling back to tuple past the --delta-cutoff (work n^1 below the n^5 dense threshold: per-tuple short-circuit evaluation is cheaper than materializing bitsets)"}}]
 
 Naming no problem is an error:
 
@@ -131,10 +159,10 @@ The advisor recommends a backend per program (--advise), and the
 dependency graph renders as DOT (--graph):
 
   $ dynfo_cli analyze --advise reach_u
-  reach_u-fo: --backend bulk, parallel cutoff 2048 — work n^5 at or above the n^5 dense threshold with BIT-free bodies: set-at-a-time bitset kernels amortize the enumeration
+  reach_u-fo: --backend delta, parallel cutoff 2048 — every update rule carries a frame with bounded/guarded supports: incremental frontier evaluation, falling back to bulk past the --delta-cutoff (work n^5 at or above the n^5 dense threshold with BIT-free bodies: set-at-a-time bitset kernels amortize the enumeration)
 
   $ dynfo_cli analyze --advise mult
-  mult-fo: --backend tuple, parallel cutoff 2048 — BIT-heavy bodies (32% of atoms): word-parallel kernels degrade to per-bit probes, short-circuiting tuple evaluation wins
+  mult-fo: --backend delta, parallel cutoff 2048 — every update rule carries a frame with bounded/guarded supports: incremental frontier evaluation, falling back to tuple past the --delta-cutoff (BIT-heavy bodies (32% of atoms): word-parallel kernels degrade to per-bit probes, short-circuiting tuple evaluation wins)
 
   $ dynfo_cli analyze --graph reach_u
   digraph "reach_u-fo" {

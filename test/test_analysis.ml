@@ -467,33 +467,41 @@ let test_dataflow_dead_relation () =
 (* --- advisor and the auto backend ------------------------------------------ *)
 
 let test_advisor_choices () =
-  let adv name =
-    (Advisor.of_program (Registry.find name).program).Advisor.backend
-  in
-  check tb "reach_u -> bulk (n^5, BIT-free)" true (adv "reach_u" = `Bulk);
-  check tb "mult -> tuple (BIT-heavy)" true (adv "mult" = `Tuple);
-  check tb "parity -> tuple (n^1)" true (adv "parity" = `Tuple);
+  let adv name = Advisor.of_program (Registry.find name).program in
+  (* delta-eligible programs get `Delta, with the old tuple/bulk
+     heuristic preserved as the fallback backend *)
+  check tb "reach_u -> delta" true ((adv "reach_u").Advisor.backend = `Delta);
+  check tb "reach_u fallback bulk (n^5, BIT-free)" true
+    ((adv "reach_u").Advisor.fallback = `Bulk);
+  check tb "mult -> delta" true ((adv "mult").Advisor.backend = `Delta);
+  check tb "mult fallback tuple (BIT-heavy)" true
+    ((adv "mult").Advisor.fallback = `Tuple);
+  check tb "parity fallback tuple (n^1)" true
+    ((adv "parity").Advisor.fallback = `Tuple);
+  (* pad_reach_a's rules carry no frame: the old heuristic survives *)
+  check tb "pad_reach_a -> tuple (not delta-eligible)" true
+    ((adv "pad_reach_a").Advisor.backend = `Tuple);
   let a = Advisor.of_program (Registry.find "mult").program in
   check tb "mult BIT fraction measured" true
     (a.Advisor.bit_fraction > 0.05)
 
 let test_auto_backend_resolution () =
   Advisor.install ();
-  check tb "runner resolves reach_u to bulk" true
-    (Runner.resolve_backend reach_u `Auto = `Bulk);
-  check tb "runner resolves parity to tuple" true
-    (Runner.resolve_backend parity `Auto = `Tuple);
+  check tb "runner resolves reach_u to delta" true
+    (Runner.resolve_backend reach_u `Auto = `Delta);
+  check tb "runner resolves parity to delta" true
+    (Runner.resolve_backend parity `Auto = `Delta);
   let d = Dyn.of_program ~backend:`Auto reach_u in
   check tb "dyn name records resolution" true
-    (String.length d.Dyn.name >= 11
-    && String.sub d.Dyn.name (String.length d.Dyn.name - 11) 11
-       = "[auto:bulk]");
+    (String.length d.Dyn.name >= 12
+    && String.sub d.Dyn.name (String.length d.Dyn.name - 12) 12
+       = "[auto:delta]");
   Dynfo_engine.Pool.with_pool ~lanes:2 (fun pool ->
       let s =
         Dynfo_engine.Par_runner.init pool ~backend:`Auto reach_u ~size:5
       in
       check tb "parallel runner resolves at init" true
-        (Dynfo_engine.Par_runner.backend s = `Bulk))
+        (Dynfo_engine.Par_runner.backend s = `Delta))
 
 let test_auto_matches_tuple () =
   Advisor.install ();

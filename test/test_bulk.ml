@@ -99,7 +99,34 @@ let test_bitrel_zero_arity () =
   check tb "set boolean" true (Bitrel.mem t [||]);
   let f = Bitrel.full ~size:5 ~arity:0 in
   check tb "full boolean" true (Bitrel.equal t f);
-  check ti "one bit" 1 (Bitrel.length t)
+  check ti "one bit" 1 (Bitrel.length t);
+  (* the set-bit iterator sees exactly the one code of the one-bit space *)
+  let codes = ref [] in
+  Bitrel.iter_codes (fun c -> codes := c :: !codes) t;
+  check tb "iter_codes on nullary" true (!codes = [ 0 ]);
+  Bitrel.remove t [||];
+  codes := [];
+  Bitrel.iter_codes (fun c -> codes := c :: !codes) t;
+  check tb "iter_codes on cleared nullary" true (!codes = [])
+
+let test_bulk_zero_arity () =
+  (* nullary definitions (parity's b) evaluate to a 0-ary relation that
+     is either the empty set or the singleton [||] *)
+  let v = Vocab.make ~rels:[ ("M", 1); ("b", 0) ] ~consts:[] in
+  let st = ref (Structure.create ~size:5 v) in
+  st := Structure.add_tuple !st "M" [| 3 |];
+  List.iter
+    (fun src ->
+      let f = Parser.parse src in
+      let seq = Eval.define !st ~vars:[] f in
+      let bulk = Bulk_eval.define !st ~vars:[] f in
+      check tb (src ^ " bulk == tuple (nullary)") true
+        (Relation.equal seq bulk))
+    [ "b()"; "~b()"; "ex x (M(x))"; "b() | all x (~M(x))" ];
+  st := Structure.add_tuple !st "b" [||];
+  let f = Parser.parse "b() & ex x (M(x))" in
+  check tb "nullary true" true
+    (Relation.mem (Bulk_eval.define !st ~vars:[] f) [||])
 
 (* --- random-formula equivalence ------------------------------------------ *)
 
@@ -349,6 +376,8 @@ let () =
           QCheck_alcotest.to_alcotest bulk_matches_eval_env;
           Alcotest.test_case "error parity with Eval" `Quick
             test_bulk_error_parity;
+          Alcotest.test_case "zero-arity definitions" `Quick
+            test_bulk_zero_arity;
           Alcotest.test_case "bulk work is counted" `Quick
             test_bulk_work_is_counted;
         ] );
