@@ -506,6 +506,128 @@ let () =
       close_out oc;
       Printf.printf "  wrote %s (%d rows)\n" path (List.length !e22_rows));
 
+  (* E23: the serving daemon — updates/sec and latency percentiles
+     through the full wire path (JSON protocol over a Unix socket,
+     per-session worker thread, batch = one evaluation tick), across
+     all four backends and batch sizes 1/16/256. The batch column is
+     where the serving layer's amortisation shows: one validation pass,
+     one [`Auto] resolution and one round of delta tester rebinds per
+     tick instead of per request, plus one protocol round trip per
+     batch. Latencies are client-observed round trips on a loopback
+     socket; on a 1-core host the server worker and the client share
+     the core, so absolute numbers are conservative — the cross-backend
+     and cross-batch ratios are the signal. Every run's final answer is
+     cross-checked against an offline sequential replay of the same
+     request list. *)
+  Printf.printf
+    "\n== E23: serving daemon — throughput/latency by backend and batch ==\n";
+  let e23_rows = ref [] in
+  let e23_mismatches = ref 0 in
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dynfo_bench_%d.sock" (Unix.getpid ()))
+  in
+  let server_thread =
+    Thread.create
+      (fun () ->
+        ignore
+          (Dynfo_server.Server.run
+             {
+               Dynfo_server.Server.addr = `Unix sock;
+               lanes = Some 1;
+               find_program =
+                 (fun name ->
+                   match Registry.find name with
+                   | e -> Some e.Registry.program
+                   | exception Not_found -> None);
+             }))
+      ()
+  in
+  let rec connect tries =
+    match Dynfo_server.Client.connect (`Unix sock) with
+    | c -> c
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+      when tries > 0 ->
+        Thread.delay 0.05;
+        connect (tries - 1)
+  in
+  let client = connect 100 in
+  Printf.printf "  %-10s %8s %6s %10s %10s %10s %12s %10s\n" "program"
+    "backend" "batch" "upd/s" "p50(us)" "p99(us)" "step-p99(us)" "work";
+  List.iter
+    (fun (name, size, length) ->
+      let e = reg name in
+      let rng = Random.State.make [| 42; size |] in
+      let reqs = e.workload rng ~size ~length in
+      let offline =
+        Runner.query (Runner.run (Runner.init e.program ~size) reqs)
+      in
+      List.iter
+        (fun backend ->
+          List.iter
+            (fun batch ->
+              let session =
+                Dynfo_server.Client.create client ~backend ~program:name ~size
+                  ()
+              in
+              let r =
+                Dynfo_server.Loadgen.drive client ~session ~batch reqs
+              in
+              Dynfo_server.Client.destroy client ~session;
+              if r.Dynfo_server.Loadgen.lg_final <> offline then begin
+                incr e23_mismatches;
+                Printf.printf
+                  "  MISMATCH: %s backend=%s batch=%d served %b, offline %b\n"
+                  name
+                  (Dynfo_server.Wire.backend_to_string backend)
+                  batch r.Dynfo_server.Loadgen.lg_final offline
+              end;
+              let open Dynfo_server.Loadgen in
+              Printf.printf
+                "  %-10s %8s %6d %10.0f %10.1f %10.1f %12.1f %10d\n" name
+                (Dynfo_server.Wire.backend_to_string backend)
+                batch r.lg_ups r.lg_p50_us r.lg_p99_us r.lg_step_p99_us
+                r.lg_work;
+              e23_rows := (name, size, backend, batch, r) :: !e23_rows)
+            [ 1; 16; 256 ])
+        [ `Tuple; `Bulk; `Delta; `Auto ])
+    [ ("parity", 64, 256); ("reach_u", 8, 256) ];
+  Dynfo_server.Client.shutdown client;
+  Dynfo_server.Client.close client;
+  Thread.join server_thread;
+  if !e23_mismatches > 0 then
+    Printf.printf "  E23: %d served/offline answer mismatches!\n"
+      !e23_mismatches
+  else Printf.printf "  (every served answer matches the offline replay)\n";
+  (match
+     if Array.exists (( = ) "--json") Sys.argv then Some "BENCH_serve.json"
+     else Sys.getenv_opt "BENCH_SERVE_JSON"
+   with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc "[\n";
+      let rows = List.rev !e23_rows in
+      List.iteri
+        (fun i (name, size, backend, batch, r) ->
+          let open Dynfo_server.Loadgen in
+          Printf.fprintf oc
+            "  {\"experiment\": \"E23\", \"program\": %S, \"n\": %d, \
+             \"backend\": %S, \"batch\": %d, \"updates\": %d, \
+             \"updates_per_s\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f, \
+             \"max_us\": %.1f, \"step_p99_us\": %.1f, \"work\": %d, \
+             \"final\": %b}%s\n"
+            name size
+            (Dynfo_server.Wire.backend_to_string backend)
+            batch r.lg_updates r.lg_ups r.lg_p50_us r.lg_p99_us r.lg_max_us
+            r.lg_step_p99_us r.lg_work r.lg_final
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      output_string oc "]\n";
+      close_out oc;
+      Printf.printf "  wrote %s (%d rows)\n" path (List.length rows));
+
   (* E13: REACH_d through the bfo reduction + transfer theorem *)
   Printf.printf "\n== E13: REACH_d via bfo reduction (Example 2.1 + Prop 5.3) ==\n";
   header ();

@@ -620,6 +620,198 @@ let optimize_cmd =
         (const run $ all_arg $ json_arg $ verify_arg $ show_arg
        $ length_arg $ seed_arg $ prog_arg))
 
+(* --- serve / client / loadgen --------------------------------------------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/dynfo.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path for the serving protocol.")
+
+let tcp_conv =
+  let parse s =
+    match String.rindex_opt s ':' with
+    | Some i -> (
+        let host = String.sub s 0 i in
+        let host = if host = "" then "127.0.0.1" else host in
+        match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+        | Some port when port >= 0 -> Ok (host, port)
+        | _ -> Error (`Msg (Printf.sprintf "invalid port in %S" s)))
+    | None -> Error (`Msg (Printf.sprintf "expected HOST:PORT, got %S" s))
+  in
+  let print ppf (h, p) = Format.fprintf ppf "%s:%d" h p in
+  Arg.conv (parse, print)
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some tcp_conv) None
+    & info [ "tcp" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Listen on (resp. connect to) TCP instead of the Unix socket; \
+           port 0 lets the kernel pick.")
+
+let addr_of socket tcp =
+  match tcp with Some (h, p) -> `Tcp (h, p) | None -> `Unix socket
+
+let find_program name =
+  match Registry.find name with
+  | e -> Some e.Registry.program
+  | exception Not_found -> None
+
+let serve_cmd =
+  let run socket tcp domains delta_cutoff =
+    Dynfo_logic.Delta_eval.set_cutoff delta_cutoff;
+    let addr = addr_of socket tcp in
+    let server =
+      Dynfo_server.Server.start
+        { addr; lanes = lanes_of_domains domains; find_program }
+    in
+    (match addr with
+    | `Unix path -> Printf.printf "dynfo serve: listening on %s\n%!" path
+    | `Tcp (host, _) ->
+        Printf.printf "dynfo serve: listening on %s:%d\n%!" host
+          (Option.value ~default:0 (Dynfo_server.Server.port server)));
+    Dynfo_server.Server.serve server
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the serving daemon: many live sessions (one runner each), \
+          newline-delimited JSON commands over a Unix or TCP socket, \
+          update batches coalesced into single evaluation ticks, \
+          snapshot/restore to disk. Stop it with the $(b,shutdown) \
+          command (e.g. via $(b,dynfo_cli client)).")
+    Term.(const run $ socket_arg $ tcp_arg $ domains_arg $ delta_cutoff_arg)
+
+let client_cmd =
+  let run socket tcp script =
+    let client = Dynfo_server.Client.connect (addr_of socket tcp) in
+    let lines =
+      read_lines script
+      |> List.filter (fun l ->
+             let l = String.trim l in
+             l <> "" && l.[0] <> '#')
+    in
+    List.iter
+      (fun line -> print_endline (Dynfo_server.Client.raw_call client line))
+      lines;
+    Dynfo_server.Client.close client
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Drive a running daemon with raw protocol lines (one JSON \
+          command per line, from $(b,--script) or stdin), printing each \
+          response line — the scripting face of the wire protocol.")
+    Term.(const run $ socket_arg $ tcp_arg $ script_arg)
+
+let engine_conv =
+  let parse = function
+    | "seq" -> Ok `Seq
+    | "par" -> Ok `Par
+    | s ->
+        Error (`Msg (Printf.sprintf "invalid engine %S, expected seq or par" s))
+  in
+  let print ppf e =
+    Format.pp_print_string ppf (match e with `Seq -> "seq" | `Par -> "par")
+  in
+  Arg.conv (parse, print)
+
+let loadgen_cmd =
+  let batch_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "batch" ] ~docv:"B"
+          ~doc:"Requests per update call — the server-side tick size.")
+  in
+  let length_arg =
+    Arg.(
+      value & opt int 512
+      & info [ "length" ] ~docv:"L" ~doc:"Number of random requests.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")
+  in
+  let engine_arg =
+    Arg.(
+      value
+      & opt engine_conv `Seq
+      & info [ "engine" ] ~docv:"E"
+          ~doc:"Session engine: $(b,seq) or $(b,par) (the domain pool).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the result as one JSON object.")
+  in
+  let verify_arg =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:
+            "Replay the same workload offline on the sequential tuple \
+             runner and fail (exit 1) unless the final query answers \
+             match.")
+  in
+  let run (e : Registry.entry) socket tcp size_opt length seed batch backend
+      engine json verify =
+    let size = Option.value ~default:e.default_size size_opt in
+    let rng = Random.State.make [| seed |] in
+    let reqs = e.workload rng ~size ~length in
+    let client = Dynfo_server.Client.connect (addr_of socket tcp) in
+    let session =
+      Dynfo_server.Client.create client ~backend ~engine ~program:e.name ~size
+        ()
+    in
+    let r = Dynfo_server.Loadgen.drive client ~session ~batch reqs in
+    let stats = Dynfo_server.Client.stats client ~session in
+    Dynfo_server.Client.destroy client ~session;
+    Dynfo_server.Client.close client;
+    let open Dynfo_server.Loadgen in
+    if json then
+      Printf.printf
+        "{\"program\": %S, \"n\": %d, \"backend\": %S, \"engine\": %S, \
+         \"batch\": %d, \"updates\": %d, \"calls\": %d, \"wall_s\": %.6f, \
+         \"updates_per_s\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f, \
+         \"max_us\": %.1f, \"step_p99_us\": %.1f, \"work\": %d, \
+         \"ticks\": %d, \"final\": %b}\n"
+        e.name size
+        (Dynfo_server.Wire.backend_to_string backend)
+        (Dynfo_server.Wire.engine_to_string engine)
+        batch r.lg_updates r.lg_calls r.lg_wall_s r.lg_ups r.lg_p50_us
+        r.lg_p99_us r.lg_max_us r.lg_step_p99_us r.lg_work stats.ticks
+        r.lg_final
+    else
+      Format.printf "%s n=%d backend=%s batch=%d: %a (%d server ticks)@."
+        e.name size
+        (Dynfo_server.Wire.backend_to_string backend)
+        batch pp_result r stats.ticks;
+    if verify then begin
+      let final =
+        Runner.query (Runner.run (Runner.init e.program ~size) reqs)
+      in
+      if final <> r.lg_final then begin
+        Printf.eprintf
+          "loadgen: served answer %b disagrees with offline replay %b\n"
+          r.lg_final final;
+        exit 1
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive a running daemon with a random workload in fixed-size \
+          batches and report updates/sec and latency percentiles; \
+          $(b,--verify) cross-checks the served answer against an \
+          offline replay.")
+    Term.(
+      const run $ problem_arg $ socket_arg $ tcp_arg $ size_arg $ length_arg
+      $ seed_arg $ batch_arg $ backend_arg $ engine_arg $ json_arg
+      $ verify_arg)
+
 let () =
   Dynfo_analysis.Advisor.install ();
   let doc = "Dyn-FO: dynamic first-order programs from Patnaik & Immerman" in
@@ -628,4 +820,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; stats_cmd; analyze_cmd; optimize_cmd; run_cmd;
-            check_cmd ]))
+            check_cmd; serve_cmd; client_cmd; loadgen_cmd ]))

@@ -15,6 +15,12 @@ let valid vocab ~size = function
       && Tuple.in_universe ~size tup
   | Set (name, a) -> Vocab.mem_const vocab name && 0 <= a && a < size
 
+(* Batches: an explicit list of requests applied as one evaluation tick
+   (Runner.step_batch). Tuples never contain ';', so the textual form is
+   the ';'-joined singleton forms. *)
+
+let valid_batch vocab ~size reqs = List.for_all (valid vocab ~size) reqs
+
 let pp ppf = function
   | Ins (name, tup) -> Format.fprintf ppf "ins %s %a" name Tuple.pp tup
   | Del (name, tup) -> Format.fprintf ppf "del %s %a" name Tuple.pp tup
@@ -48,3 +54,10 @@ let parse line =
         | "ins" -> ins name comps
         | _ -> del name comps)
   | _ -> fail ()
+
+let batch_to_string reqs = String.concat "; " (List.map to_string reqs)
+
+let parse_batch line =
+  String.split_on_char ';' line
+  |> List.filter_map (fun s ->
+         if String.trim s = "" then None else Some (parse s))

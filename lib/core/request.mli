@@ -25,3 +25,23 @@ val parse : string -> t
 (** Inverse of {!pp}: accepts ["ins R (1,2)"], ["del E (0,3)"],
     ["set s 4"]. Raises [Failure] on malformed input. Used by the CLI to
     read request scripts. *)
+
+(** {1 Batches}
+
+    A batch is an explicit list of requests applied as {e one evaluation
+    tick} ([Runner.step_batch]): the serving layer's unit of coalescing.
+    Semantically a batch is the sequential composition of its singletons
+    — the oracle tests assert exactly that — applied atomically (an
+    invalid member rejects the whole batch before anything runs). *)
+
+val valid_batch : Dynfo_logic.Vocab.t -> size:int -> t list -> bool
+(** Every member {!valid}. *)
+
+val batch_to_string : t list -> string
+(** The [';']-joined singleton forms — ["ins E (0,1); del E (2,3)"].
+    Unambiguous: tuples never contain [';']. *)
+
+val parse_batch : string -> t list
+(** Inverse of {!batch_to_string}; skips empty segments, so a trailing
+    [';'] and the empty string are fine (the latter is the empty batch).
+    Raises [Failure] on a malformed member. *)

@@ -127,14 +127,9 @@ let apply_update_with ~rules_define st (u : Program.update) (args : int list)
   List.fold_left (fun acc (name, rel) -> Structure.with_rel acc name rel) st
     new_rels
 
-let step_with ~rules_define s req =
+let step_with_unchecked ~rules_define s req =
   let apply_update = apply_update_with ~rules_define in
   let p = s.program in
-  let size = Structure.size s.structure in
-  if not (Request.valid p.input_vocab ~size req) then
-    invalid_arg
-      (Printf.sprintf "Runner.step: invalid request %s for program %s"
-         (Request.to_string req) p.name);
   let structure =
     match req with
     | Request.Ins (name, tup) ->
@@ -170,15 +165,51 @@ let step_with ~rules_define s req =
   in
   { s with structure }
 
-let step ?(backend = `Tuple) s req =
+let validate_request ~who s req =
+  let p = s.program in
+  let size = Structure.size s.structure in
+  if not (Request.valid p.input_vocab ~size req) then
+    invalid_arg
+      (Printf.sprintf "%s: invalid request %s for program %s" who
+         (Request.to_string req) p.name)
+
+let step_with ~rules_define s req =
+  validate_request ~who:"Runner.step" s req;
+  step_with_unchecked ~rules_define s req
+
+let step_unchecked ?(backend = `Tuple) s req =
   match resolve_backend s.program backend with
   | (`Tuple | `Bulk) as backend ->
-      step_with ~rules_define:(rules_define_for backend) s req
+      step_with_unchecked ~rules_define:(rules_define_for backend) s req
   | `Delta ->
       let plan, block = delta_block_for s.program req in
-      step_with ~rules_define:(delta_rules_define plan block) s req
+      step_with_unchecked ~rules_define:(delta_rules_define plan block) s req
+
+let step ?backend s req =
+  validate_request ~who:"Runner.step" s req;
+  step_unchecked ?backend s req
 
 let run ?backend s reqs = List.fold_left (step ?backend) s reqs
+
+(* One evaluation tick over an explicit request list: the serving
+   layer's coalescing unit. Semantically the sequential composition of
+   the singleton steps — the qcheck oracle asserts state equality
+   against {!run} on every registry program and backend — with the
+   per-request overheads amortised batch-wide: validation happens once
+   up front (which also makes the batch atomic: an invalid member
+   rejects it before anything runs), [`Auto] resolves once, and the
+   delta backend's memoized rule testers ([Delta_eval]) are compiled at
+   most once under the batch's first step. *)
+let step_batch ?(backend = `Tuple) s reqs =
+  List.iter (validate_request ~who:"Runner.step_batch" s) reqs;
+  let backend = (resolve_backend s.program backend :> backend) in
+  List.fold_left (step_unchecked ~backend) s reqs
+
+let restore (p : Program.t) st =
+  (* the snapshot must expose the whole combined vocabulary, exactly as
+     [init]'s output does *)
+  ignore (Structure.restrict st (Program.vocab p));
+  { program = p; structure = st }
 
 (* Queries have no frame (there is no previous value of a sentence to be
    incremental against), so [`Delta] queries on the plan's fallback. *)
@@ -210,6 +241,9 @@ let query_named ?(backend = `Tuple) s name args =
       holds_for backend s.structure ~env:(List.combine vars args) body
 
 let step_work ?backend s req = Eval.with_work (fun () -> step ?backend s req)
+
+let step_batch_work ?backend s reqs =
+  Eval.with_work (fun () -> step_batch ?backend s reqs)
 
 let run_work ?backend s reqs =
   let s, rev =

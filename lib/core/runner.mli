@@ -100,6 +100,23 @@ val step_with :
 
 val run : ?backend:backend -> state -> Request.t list -> state
 
+val step_batch : ?backend:backend -> state -> Request.t list -> state
+(** Apply an explicit batch as {e one evaluation tick} — the serving
+    layer's coalescing unit. Guaranteed equal to
+    [run ?backend s reqs] (the qcheck oracle asserts state equality on
+    every registry program and backend), but atomic — every request is
+    validated before anything runs, so an [Invalid_argument] leaves the
+    state untouched — and amortised: validation and [`Auto] resolution
+    happen once per batch, and the delta backend's memoized testers
+    ([Dynfo_logic.Delta_eval]) compile at most once under the batch's
+    first step and only rebind thereafter. *)
+
+val restore : Program.t -> Structure.t -> state
+(** Adopt a deserialized combined structure (snapshot restore) as the
+    current state. Raises [Invalid_argument] if the structure does not
+    expose the program's whole input+aux vocabulary — the same check
+    {!init} applies to [f_n(empty)]. *)
+
 val query : ?backend:backend -> state -> bool
 (** Evaluate the program's boolean query sentence. *)
 
@@ -111,6 +128,9 @@ val step_work : ?backend:backend -> state -> Request.t -> state * int
 (** Like {!step} but also returns the work the update performed — atomic
     FO evaluations under [`Tuple], machine words under [`Bulk], a mix of
     both under [`Delta] (see {!Dynfo_logic.Eval.work}). *)
+
+val step_batch_work : ?backend:backend -> state -> Request.t list -> state * int
+(** {!step_batch} plus the work of the whole tick. *)
 
 val run_work :
   ?backend:backend -> state -> Request.t list -> state * int list

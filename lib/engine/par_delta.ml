@@ -30,6 +30,10 @@ let define pool ?(cutoff = Par_eval.default_cutoff) st ~env
       let base = Structure.rel st plan.rp_target in
       match Delta_eval.frontier st ~env ~base plan with
       | `Full -> full ()
+      | `Tuples tups ->
+          (* the mask-free fast path: a handful of concrete tuples at
+             most — never worth fanning out *)
+          Delta_eval.splice_tuples ~test ~base tups
       | `Mask mask ->
           if Pool.lanes pool = 1 || Bitrel.popcount mask < cutoff then
             Delta_eval.splice ~test ~base mask

@@ -13,6 +13,12 @@ let init pool ?(cutoff = Par_eval.default_cutoff) ?(backend = `Tuple) p ~size
   let backend = Runner.resolve_backend p backend in
   { pool; cutoff; backend; inner = Runner.init p ~size }
 
+let wrap pool ?(cutoff = Par_eval.default_cutoff) ?(backend = `Tuple) inner =
+  let backend = Runner.resolve_backend (Runner.program inner) backend in
+  { pool; cutoff; backend; inner }
+
+let inner s = s.inner
+
 let structure s = Runner.structure s.inner
 let input s = Runner.input s.inner
 let program s = Runner.program s.inner
@@ -105,6 +111,21 @@ let step s req =
   { s with inner = Runner.step_with ~rules_define s.inner req }
 
 let run s reqs = List.fold_left step s reqs
+
+(* Batch = one evaluation tick, with the same atomicity contract as
+   [Runner.step_batch]: all requests validated before anything runs. *)
+let step_batch s reqs =
+  let p = Runner.program s.inner in
+  let size = Structure.size (Runner.structure s.inner) in
+  List.iter
+    (fun req ->
+      if not (Request.valid p.input_vocab ~size req) then
+        invalid_arg
+          (Printf.sprintf
+             "Par_runner.step_batch: invalid request %s for program %s"
+             (Request.to_string req) p.name))
+    reqs;
+  List.fold_left step s reqs
 
 let query_fallback s =
   match s.backend with

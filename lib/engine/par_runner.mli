@@ -47,8 +47,29 @@ val backend : state -> [ `Tuple | `Bulk | `Delta ]
     by {!Par_delta.define}; unframed rules, temporaries and over-budget
     frontiers recompute on the plan's fallback backend. *)
 
+val wrap :
+  Pool.t ->
+  ?cutoff:int ->
+  ?backend:Dynfo.Runner.backend ->
+  Dynfo.Runner.state ->
+  state
+(** Adopt an existing sequential state (e.g. one rebuilt by
+    [Dynfo.Runner.restore] from a snapshot) instead of initialising a
+    fresh one. Same borrowing rules as {!init}. *)
+
+val inner : state -> Dynfo.Runner.state
+(** The underlying sequential state — what the serving layer snapshots. *)
+
 val step : state -> Dynfo.Request.t -> state
+
 val run : state -> Dynfo.Request.t list -> state
+
+val step_batch : state -> Dynfo.Request.t list -> state
+(** One evaluation tick over an explicit batch, with
+    [Dynfo.Runner.step_batch]'s contract: equal to {!run} on the same
+    list, but every request is validated up front, so an invalid member
+    rejects the whole batch with the state untouched. *)
+
 val query : state -> bool
 val query_named : state -> string -> int list -> bool
 

@@ -363,6 +363,43 @@ let project op ~block ~src ~dst ~word_lo ~word_hi =
       dst.words.(w) <- !acc
     done
 
+(* --- serialization -------------------------------------------------------- *)
+
+(* Words are 63-bit native ints; on the wire each becomes an 8-byte
+   little-endian int64. A word with bit 62 set is a negative OCaml int,
+   so the int64 is its sign extension — bits 63 and 62 always agree,
+   which is exactly what [of_bytes] validates. The format is tied to
+   [bits_per_word] and rejects loads on a host with a different word
+   size — snapshots are restart artifacts, not an interchange format. *)
+let to_bytes t =
+  let b = Bytes.create (Array.length t.words * 8) in
+  Array.iteri
+    (fun i w -> Bytes.set_int64_le b (i * 8) (Int64.of_int w))
+    t.words;
+  Bytes.unsafe_to_string b
+
+let of_bytes ~size ~arity s =
+  if bpw <> 63 then
+    invalid_arg "Bitrel.of_bytes: host word size is not 63 bits";
+  let t = create ~size ~arity in
+  let wc = Array.length t.words in
+  if String.length s <> wc * 8 then
+    invalid_arg
+      (Printf.sprintf "Bitrel.of_bytes: expected %d bytes, got %d" (wc * 8)
+         (String.length s));
+  for i = 0 to wc - 1 do
+    let w64 = String.get_int64_le s (i * 8) in
+    (* [Int64.to_int] truncates to 63 bits; a slab written by [to_bytes]
+       always sign-extends, so anything else is corruption *)
+    let w = Int64.to_int w64 in
+    if Int64.of_int w <> w64 then
+      invalid_arg "Bitrel.of_bytes: word outside the 63-bit range";
+    t.words.(i) <- w
+  done;
+  if wc > 0 && t.words.(wc - 1) land lnot (tail_mask t) <> 0 then
+    invalid_arg "Bitrel.of_bytes: nonzero bits past the tuple space";
+  t
+
 let pp ppf t =
   Format.fprintf ppf "{%a}"
     (Format.pp_print_list

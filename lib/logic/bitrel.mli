@@ -166,4 +166,21 @@ val project : [ `Or | `And ] -> block:int -> src:t -> dst:t -> word_lo:int -> wo
     [src] and [dst] to share the universe size and
     [length src = block * length dst]. *)
 
+(** {1 Serialization}
+
+    The dense half of the snapshot format ([Dynfo_server.Snapshot]): a
+    relation's slab dumped as raw words, 8 bytes little-endian each —
+    the sign extension of a 63-bit native word (a word with bit 62 set
+    is a negative OCaml int). *)
+
+val to_bytes : t -> string
+(** [word_count t * 8] bytes; the exact slab contents. *)
+
+val of_bytes : size:int -> arity:int -> string -> t
+(** Inverse of {!to_bytes} given the (externally stored) dimensions.
+    Raises [Invalid_argument] on a length mismatch, a word that is not
+    a sign-extended 63-bit value, nonzero bits past the tuple space, or
+    a host whose word size is not 63 bits — a corrupted or foreign slab
+    never loads silently. *)
+
 val pp : Format.formatter -> t -> unit

@@ -180,9 +180,41 @@ let resolve_slab st env ~size ~arity ~spend emit slab =
                       emit pins)
               r)
 
-type frontier = [ `Full | `Mask of Bitrel.t ]
+type frontier = [ `Full | `Mask of Bitrel.t | `Tuples of Tuple.t list ]
 
-(* Build the dirty mask for a framed rule, or decide [`Full].
+(* --- the mask-free fast path ---------------------------------------------- *)
+
+(* A sup whose slabs are all anchorless and fully pinned (one pin per
+   target coordinate) can dirty at most one concrete tuple per slab —
+   the single-tuple-frontier shape of plain ins/del maintenance rules
+   and of 0-ary (boolean) targets. For those the Bitrel mask is pure
+   overhead: the word clears/fills/popcounts cost O(space/63) per step
+   while the frontier is O(1). Resolve the pins directly instead. *)
+let fully_pinned ~arity = function
+  | Top -> false
+  | Slabs slabs ->
+      List.for_all
+        (fun s -> s.s_anchor = None && List.length s.s_pins = arity)
+        slabs
+
+(* The one tuple a fully pinned slab can dirty this step, if its guards
+   hold and its pins resolve consistently inside the universe. *)
+let slab_tuple st env ~size slab =
+  if List.for_all (fun g -> Eval.holds st ~env g) slab.s_guards then
+    match resolve_pins st env ~size slab.s_pins with
+    | None -> None
+    | Some pins ->
+        (* pins have distinct coordinates in [0, arity) and cover all of
+           them, so the assoc lookups are total *)
+        Some (Array.init (List.length pins) (fun i -> List.assoc i pins))
+  else None
+
+let fast_hits_c = Atomic.make 0
+let fast_hits () = Atomic.get fast_hits_c
+
+(* Build the dirty mask for a framed rule, or decide [`Full] — or, when
+   both sides are fully pinned, resolve the frontier to its concrete
+   tuples with no mask at all ([`Tuples]).
    [base] is the target's pre-state value. A [Top] side is bounded by the
    relation itself: frontier-out ⊆ members, frontier-in ⊆ complement. *)
 let frontier st ~env ~base (plan : rule_plan) : frontier =
@@ -197,6 +229,30 @@ let frontier st ~env ~base (plan : rule_plan) : frontier =
           let budget =
             int_of_float (!cutoff_fraction *. float_of_int space)
           in
+          if fully_pinned ~arity f_out && fully_pinned ~arity f_in then begin
+            let slabs_of = function Top -> [] | Slabs s -> s in
+            let tups =
+              List.fold_left
+                (fun acc slab ->
+                  match slab_tuple st env ~size slab with
+                  | Some t
+                    when not
+                           (List.exists (fun u -> Tuple.compare u t = 0) acc)
+                    ->
+                      t :: acc
+                  | _ -> acc)
+                []
+                (slabs_of f_in @ slabs_of f_out)
+            in
+            (* same budget discipline as the mask path: --delta-cutoff 0
+               still forces a full recompute *)
+            if List.length tups >= budget then `Full
+            else begin
+              Atomic.incr fast_hits_c;
+              `Tuples (List.rev tups)
+            end
+          end
+          else
           let card = Relation.cardinal base in
           let est_out = match f_out with Top -> card | Slabs _ -> 0 in
           let est_in = match f_in with Top -> space - card | Slabs _ -> 0 in
@@ -258,16 +314,86 @@ let splice ~test ~base mask =
     mask;
   !out
 
+let splice_tuples ~test ~base tups =
+  List.fold_left
+    (fun out tup ->
+      let now = test tup in
+      if now <> Relation.mem_unchecked base tup then
+        if now then Relation.add out tup else Relation.remove out tup
+      else out)
+    base tups
+
+(* --- memoized testers ------------------------------------------------------ *)
+
+(* Compiled rule-body testers, cached across steps keyed by the physical
+   plan record (plans are memoized per program by the analysis planner)
+   and the universe size, and rebound to each step's structure
+   ({!Eval.rebind}). The lock is held for the whole evaluation of a rule
+   — a compiled tester owns a mutable slot array, and the serving daemon
+   evaluates concurrent sessions from systhreads that may interleave at
+   any allocation point. Bounded like the planner's cache: eviction only
+   costs a recompile. *)
+let memo_limit = 128
+
+let memo : (rule_plan * int * Eval.compiled) list ref = ref []
+let memo_lock = Mutex.create ()
+let memo_hits_c = Atomic.make 0
+let memo_misses_c = Atomic.make 0
+let memo_hits () = Atomic.get memo_hits_c
+let memo_misses () = Atomic.get memo_misses_c
+
+let memo_insert entry =
+  let rest =
+    if List.length !memo >= memo_limit then
+      List.filteri (fun i _ -> i < memo_limit - 1) !memo
+    else !memo
+  in
+  memo := entry :: rest
+
+let memo_compile st ~env (plan : rule_plan) size =
+  Atomic.incr memo_misses_c;
+  let c = Eval.compile_tester st ~vars:plan.rp_vars ~env plan.rp_body in
+  memo :=
+    List.filter (fun (p, s, _) -> not (p == plan && s = size)) !memo;
+  memo_insert (plan, size, c);
+  c
+
+(* must be called with [memo_lock] held *)
+let memo_tester st ~env (plan : rule_plan) =
+  let size = Structure.size st in
+  let c =
+    match
+      List.find_opt (fun (p, s, _) -> p == plan && s = size) !memo
+    with
+    | None -> memo_compile st ~env plan size
+    | Some (_, _, c) -> (
+        match Eval.rebind c st ~env with
+        | () ->
+            Atomic.incr memo_hits_c;
+            c
+        | exception Invalid_argument _ ->
+            (* the same plan record reused under different parameter
+               names (hand-built plans): recompile — a genuine missing
+               symbol re-raises out of [rebind] above, exactly as a
+               fresh compilation would *)
+            memo_compile st ~env plan size)
+  in
+  Eval.test_compiled c
+
 let define ?(fallback = `Tuple) st ?(env = []) (plan : rule_plan) =
   match plan.rp_frame with
   | None -> full_define fallback st ~vars:plan.rp_vars ~env plan.rp_body
-  | Some _ -> (
-      (* compile the body before touching guards or the mask: the delta
-         path must surface the same compile-time errors (unknown
-         relations, arity mismatches, unbound variables) as a full
-         evaluation, even when the frontier turns out to be empty *)
-      let test = Eval.tester st ~vars:plan.rp_vars ~env plan.rp_body in
-      let base = Structure.rel st plan.rp_target in
-      match frontier st ~env ~base plan with
-      | `Full -> full_define fallback st ~vars:plan.rp_vars ~env plan.rp_body
-      | `Mask mask -> splice ~test ~base mask)
+  | Some _ ->
+      Mutex.protect memo_lock (fun () ->
+          (* bind the body's tester before touching guards or the mask:
+             the delta path must surface the same compile-time errors
+             (unknown relations, arity mismatches, unbound variables) as
+             a full evaluation, even when the frontier turns out to be
+             empty *)
+          let test = memo_tester st ~env plan in
+          let base = Structure.rel st plan.rp_target in
+          match frontier st ~env ~base plan with
+          | `Full ->
+              full_define fallback st ~vars:plan.rp_vars ~env plan.rp_body
+          | `Tuples tups -> splice_tuples ~test ~base tups
+          | `Mask mask -> splice ~test ~base mask)

@@ -118,7 +118,15 @@ val cutoff : unit -> float
 
 (** {1 Evaluation} *)
 
-type frontier = [ `Full | `Mask of Bitrel.t ]
+type frontier = [ `Full | `Mask of Bitrel.t | `Tuples of Tuple.t list ]
+(** [`Tuples] is the mask-free fast path: when {e every} slab on both
+    sides of the frame is anchorless and fully pinned (one pin per
+    target coordinate — the single-tuple-frontier shape of plain
+    ins/del maintenance rules and of 0-ary targets), the frontier is
+    resolved to its concrete tuples directly and no {!Bitrel} is
+    allocated: the per-step mask fills/popcounts, which cost
+    O(space/word-size) even for a one-tuple frontier, disappear
+    entirely. *)
 
 val frontier :
   Structure.t ->
@@ -128,9 +136,15 @@ val frontier :
   frontier
 (** Resolve the plan's supports at this step (evaluate guards, pins and
     anchors against [st]/[env]) and build the dirty mask over the tuple
-    space of the rule; [`Full] when the rule has no frame, the estimated
-    or actual frontier reaches the budget, or the tuple space overflows.
-    [base] must be the target's pre-state value. *)
+    space of the rule; [`Tuples] when the fast path applies (still
+    subject to the budget: a zero cutoff forces [`Full]); [`Full] when
+    the rule has no frame, the estimated or actual frontier reaches the
+    budget, or the tuple space overflows. [base] must be the target's
+    pre-state value. *)
+
+val fast_hits : unit -> int
+(** Process-lifetime count of [`Tuples] frontiers taken — how often the
+    mask-free fast path fired (tests and benches assert it does). *)
 
 val splice :
   test:(Tuple.t -> bool) -> base:Relation.t -> Bitrel.t -> Relation.t
@@ -138,6 +152,19 @@ val splice :
     rule body) and apply the flips to [base]. The parallel engine calls
     this sequentially under its cutoff; above it, it partitions the mask
     words across lanes itself. *)
+
+val splice_tuples :
+  test:(Tuple.t -> bool) -> base:Relation.t -> Tuple.t list -> Relation.t
+(** {!splice} over an explicit (fast-path) frontier. *)
+
+val memo_hits : unit -> int
+
+val memo_misses : unit -> int
+(** {!define} compiles each framed rule's body tester once per
+    (plan, universe size) and {e rebinds} it to the step's structure
+    thereafter ({!Eval.compile_tester}/{!Eval.rebind}) — compilation is
+    amortised across the steps of a run and the requests of a batch.
+    These counters expose the cache behaviour for tests and benches. *)
 
 val full_define :
   [ `Tuple | `Bulk ] ->

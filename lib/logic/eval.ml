@@ -36,21 +36,53 @@ let add_work k =
   let c = my_counter () in
   c := !c + k
 
+(* Symbol resolution for the compiler. Resolving through ref cells (one
+   per atom occurrence) costs one extra load per test but lets
+   {!compile_tester} repoint a compiled closure at a later step's
+   structure ({!rebind}) instead of recompiling — relations and
+   constants are the only step-varying inputs; the universe size is
+   fixed for the life of a run. *)
+type bound = {
+  b_size : int;
+  b_rel : string -> Relation.t ref;  (* raises [Unknown_relation] *)
+  b_const : string -> int ref;  (* raises [Unbound_variable] *)
+}
+
+let unknown_relation st name =
+  (* same message shape as {!Vocab.Unknown_symbol} *)
+  Unknown_relation
+    (Printf.sprintf "unknown relation symbol %S in vocabulary %s" name
+       (Vocab.to_string (Structure.vocab st)))
+
+let bound_of_structure st =
+  {
+    b_size = Structure.size st;
+    b_rel =
+      (fun name ->
+        match Structure.rel st name with
+        | r -> ref r
+        | exception Invalid_argument _ -> raise (unknown_relation st name));
+    b_const =
+      (fun x ->
+        match Structure.const st x with
+        | c -> ref c
+        | exception Invalid_argument _ -> raise (Unbound_variable x));
+  }
+
 (* Compile [f] to a closure over a slot array. [env] maps bound variable
    names to slots; [next] is the next free slot. Compilation resolves
-   relation symbols against [st] once. *)
-let compile st env next f =
-  let n = Structure.size st in
+   relation symbols through [b] once. *)
+let compile_bound b env next f =
+  let n = b.b_size in
   let work_counter = my_counter () in
   let term env (t : Formula.term) : int array -> int =
     match t with
     | Formula.Var x -> (
         match List.assoc_opt x env with
         | Some slot -> fun a -> a.(slot)
-        | None -> (
-            match Structure.const st x with
-            | c -> fun _ -> c
-            | exception Invalid_argument _ -> raise (Unbound_variable x)))
+        | None ->
+            let cref = b.b_const x in
+            fun _ -> !cref)
     | Formula.Num i -> fun _ -> i
     | Formula.Min -> fun _ -> 0
     | Formula.Max -> fun _ -> n - 1
@@ -60,17 +92,8 @@ let compile st env next f =
     | True -> fun _ -> true
     | False -> fun _ -> false
     | Rel (name, ts) ->
-        let r =
-          try Structure.rel st name
-          with Invalid_argument _ ->
-            (* same message shape as {!Vocab.Unknown_symbol} *)
-            raise
-              (Unknown_relation
-                 (Printf.sprintf "unknown relation symbol %S in vocabulary %s"
-                    name
-                    (Vocab.to_string (Structure.vocab st))))
-        in
-        let arity = Relation.arity r in
+        let rref = b.b_rel name in
+        let arity = Relation.arity !rref in
         if List.length ts <> arity then
           raise
             (Arity_error
@@ -85,7 +108,7 @@ let compile st env next f =
           done;
           (* arity was checked at compile time, [buf] has the right
              length by construction *)
-          Relation.mem_unchecked r buf
+          Relation.mem_unchecked !rref buf
     | Eq (x, y) ->
         let gx = term env x and gy = term env y in
         fun a ->
@@ -167,6 +190,8 @@ let compile st env next f =
         loop 0
   in
   go env f
+
+let compile st env next f = compile_bound (bound_of_structure st) env next f
 
 let prepare st env f =
   let next = ref 0 in
@@ -255,3 +280,100 @@ let tester st ~vars ?(env = []) f =
       invalid_arg "Eval.tester: tuple arity mismatch";
     Array.blit tup 0 a 0 arity;
     fn a
+
+(* --- rebindable testers --------------------------------------------------- *)
+
+type compiled = {
+  c_size : int;
+  c_arity : int;
+  c_env_names : string list;  (* order-sensitive: slots follow the vars *)
+  c_rels : (string, Relation.t ref) Hashtbl.t;
+  c_consts : (string, int ref) Hashtbl.t;
+  c_env_slots : int array;
+  c_arr : int array;
+  c_fn : int array -> bool;
+}
+
+let compile_tester st ~vars ?(env = []) f =
+  let rels = Hashtbl.create 8 in
+  let consts = Hashtbl.create 4 in
+  let b0 = bound_of_structure st in
+  (* intern: one shared ref per symbol, so a rebind repoints every
+     occurrence at once *)
+  let b =
+    {
+      b0 with
+      b_rel =
+        (fun name ->
+          match Hashtbl.find_opt rels name with
+          | Some r -> r
+          | None ->
+              let r = b0.b_rel name in
+              Hashtbl.add rels name r;
+              r);
+      b_const =
+        (fun x ->
+          match Hashtbl.find_opt consts x with
+          | Some r -> r
+          | None ->
+              let r = b0.b_const x in
+              Hashtbl.add consts x r;
+              r);
+    }
+  in
+  let arity = List.length vars in
+  let next = ref 0 in
+  let var_slots =
+    List.map
+      (fun x ->
+        let s = !next in
+        incr next;
+        (x, s))
+      vars
+  in
+  let env_slots =
+    List.map
+      (fun (x, _) ->
+        let s = !next in
+        incr next;
+        (x, s))
+      env
+  in
+  let fn = compile_bound b (var_slots @ env_slots) next f in
+  let a = Array.make (max 1 !next) 0 in
+  List.iter2 (fun (_, s) (_, v) -> a.(s) <- v) env_slots env;
+  {
+    c_size = b.b_size;
+    c_arity = arity;
+    c_env_names = List.map fst env;
+    c_rels = rels;
+    c_consts = consts;
+    c_env_slots = Array.of_list (List.map snd env_slots);
+    c_arr = a;
+    c_fn = fn;
+  }
+
+let rebind c st ~env =
+  if Structure.size st <> c.c_size then
+    invalid_arg "Eval.rebind: universe size differs from compile time";
+  if List.map fst env <> c.c_env_names then
+    invalid_arg "Eval.rebind: environment names differ from compile time";
+  Hashtbl.iter
+    (fun name rref ->
+      match Structure.rel st name with
+      | r -> rref := r
+      | exception Invalid_argument _ -> raise (unknown_relation st name))
+    c.c_rels;
+  Hashtbl.iter
+    (fun x cref ->
+      match Structure.const st x with
+      | v -> cref := v
+      | exception Invalid_argument _ -> raise (Unbound_variable x))
+    c.c_consts;
+  List.iteri (fun i (_, v) -> c.c_arr.(c.c_env_slots.(i)) <- v) env
+
+let test_compiled c tup =
+  if Array.length tup <> c.c_arity then
+    invalid_arg "Eval.test_compiled: tuple arity mismatch";
+  Array.blit tup 0 c.c_arr 0 c.c_arity;
+  c.c_fn c.c_arr

@@ -67,6 +67,44 @@ val tester :
     its own compiled closure and slot array; the returned closure is not
     safe to share between domains. *)
 
+(** {1 Rebindable testers}
+
+    A {!tester} resolves relation and constant symbols at compile time,
+    so it is pinned to one step's structure. A {!compiled} tester
+    resolves them through ref cells instead: {!rebind} repoints it at a
+    later structure of the {e same universe size} in O(symbols) — no
+    recompilation. This is how the delta backend amortises tester
+    compilation across the steps of a run (and across the requests of a
+    batch): compile once per rule, rebind per step.
+
+    Work attribution caveat: the compiled closure charges the domain
+    that compiled it (see the header comment), so cached testers must
+    stay on their compiling domain — the parallel engine keeps compiling
+    per-lane testers for exactly this reason. *)
+
+type compiled
+
+val compile_tester :
+  Structure.t ->
+  vars:string list ->
+  ?env:(string * int) list ->
+  Formula.t ->
+  compiled
+(** Like {!tester}, but rebindable. Raises the same compile-time errors
+    ({!Unknown_relation}, {!Arity_error}, {!Unbound_variable}). *)
+
+val rebind : compiled -> Structure.t -> env:(string * int) list -> unit
+(** Repoint every relation and constant symbol at [st] and reload the
+    environment values. Raises [Invalid_argument] when [st]'s size or
+    the environment's names (order-sensitive) differ from compile time,
+    and {!Unknown_relation} / {!Unbound_variable} when a symbol the
+    formula uses is missing from [st] — the same error a fresh
+    compilation against [st] would raise. *)
+
+val test_compiled : compiled -> Tuple.t -> bool
+(** Membership test under the latest {!rebind}. Raises
+    [Invalid_argument] on tuple arity mismatch. *)
+
 val work : unit -> int
 (** Atomic evaluations performed since the last {!reset_work}, summed
     across all domains. *)

@@ -1,0 +1,90 @@
+(** Client side of the {!Wire} protocol.
+
+    Two interfaces over one connection: synchronous {!call} (send one
+    command, wait for its reply — what the CLI subcommands use) and the
+    raw pipelined {!send}/{!recv} pair (queue many commands before
+    reading any reply, matching responses by id — what the load
+    generator uses to keep the server's coalescing queue non-empty).
+    A connection is not thread-safe; open one per driving thread. *)
+
+open Dynfo
+
+type t
+
+val connect : [ `Unix of string | `Tcp of string * int ] -> t
+(** Raises [Unix.Unix_error] if the server is not there. *)
+
+val close : t -> unit
+
+(** {1 Pipelined interface} *)
+
+val send : t -> Wire.cmd -> int
+(** Write one command (buffered — {!flush} before waiting) and return
+    its id. Responses to a connection come back in submission order. *)
+
+val flush : t -> unit
+
+val recv : t -> Wire.resp
+(** Next response line. Raises [Failure] on EOF or garbage. *)
+
+val raw_call : t -> string -> string
+(** Send a raw protocol line verbatim and return the raw response line —
+    the [dynfo_cli client] scripting mode. Raises [Failure] on EOF. *)
+
+(** {1 Synchronous calls} *)
+
+val call : t -> Wire.cmd -> (string * Json.t) list
+(** [send] + [flush] + [recv]; returns the payload fields of an [ok]
+    response. Raises [Failure] with the server's message otherwise. *)
+
+val hello : t -> string * int
+(** Server name and protocol version. *)
+
+val create :
+  t ->
+  ?session:string ->
+  ?backend:Runner.backend ->
+  ?engine:[ `Seq | `Par ] ->
+  program:string ->
+  size:int ->
+  unit ->
+  string
+(** Create a session; returns its id. [backend] defaults to [`Auto],
+    [engine] to [`Seq]. *)
+
+val destroy : t -> session:string -> unit
+
+val update : t -> session:string -> Request.t list -> int * int
+(** Apply a batch as one tick; [(applied, tick_work)]. *)
+
+val query : t -> session:string -> ?name:string -> int list -> bool
+
+val snapshot : t -> session:string -> path:string -> int
+(** Returns the snapshot's byte size. *)
+
+val restore :
+  t ->
+  ?session:string ->
+  ?backend:Runner.backend ->
+  ?engine:[ `Seq | `Par ] ->
+  path:string ->
+  unit ->
+  string * int
+(** Create a session from a snapshot file (server-side path); returns
+    the new session id and its restored step counter. *)
+
+type stats = {
+  steps : int;
+  ticks : int;
+  coalesced : int;
+  work : int;
+  queries : int;
+}
+
+val stats : t -> session:string -> stats
+
+val list_sessions : t -> (string * string) list
+(** [(session id, program name)] pairs. *)
+
+val shutdown : t -> unit
+(** Ask the server to stop (it still replies first). *)

@@ -1,0 +1,72 @@
+type result = {
+  lg_updates : int;
+  lg_calls : int;
+  lg_wall_s : float;
+  lg_ups : float;
+  lg_p50_us : float;
+  lg_p99_us : float;
+  lg_max_us : float;
+  lg_step_p99_us : float;
+  lg_work : int;
+  lg_final : bool;
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let idx = int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) idx))
+
+let chunks ~batch reqs =
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | r :: rest ->
+        if k = batch then go (List.rev cur :: acc) [ r ] 1 rest
+        else go acc (r :: cur) (k + 1) rest
+  in
+  go [] [] 0 reqs
+
+let drive client ~session ~batch reqs =
+  if batch <= 0 then invalid_arg "Loadgen.drive: batch must be positive";
+  let batches = chunks ~batch reqs in
+  let lat = ref [] in
+  let step_lat = ref [] in
+  let updates = ref 0 in
+  let work = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun b ->
+      let s = Unix.gettimeofday () in
+      let applied, w = Client.update client ~session b in
+      let us = (Unix.gettimeofday () -. s) *. 1e6 in
+      lat := us :: !lat;
+      step_lat := (us /. float_of_int applied) :: !step_lat;
+      updates := !updates + applied;
+      work := !work + w)
+    batches;
+  let lg_final = Client.query client ~session [] in
+  let wall = Unix.gettimeofday () -. t0 in
+  let arr = Array.of_list !lat in
+  Array.sort compare arr;
+  let steps = Array.of_list !step_lat in
+  Array.sort compare steps;
+  {
+    lg_updates = !updates;
+    lg_calls = Array.length arr;
+    lg_wall_s = wall;
+    lg_ups = (if wall > 0. then float_of_int !updates /. wall else 0.);
+    lg_p50_us = percentile arr 50.;
+    lg_p99_us = percentile arr 99.;
+    lg_max_us = percentile arr 100.;
+    lg_step_p99_us = percentile steps 99.;
+    lg_work = !work;
+    lg_final;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "%d updates in %d calls, %.3fs wall — %.0f updates/s; call latency p50 \
+     %.1fus p99 %.1fus max %.1fus; per-step p99 %.1fus; work %d; final %b"
+    r.lg_updates r.lg_calls r.lg_wall_s r.lg_ups r.lg_p50_us r.lg_p99_us
+    r.lg_max_us r.lg_step_p99_us r.lg_work r.lg_final

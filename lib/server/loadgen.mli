@@ -1,0 +1,32 @@
+(** A load generator for the serving daemon: drive one session with a
+    request sequence chopped into fixed-size batches, measuring
+    throughput and latency from the client side.
+
+    Each batch is one synchronous [update] round trip — one evaluation
+    tick on the server — so the batch size is exactly the tick size and
+    results are comparable across backends. The final program query
+    answer is returned so callers can verify the serving path against
+    an offline [Runner.run] replay of the same sequence (the CI smoke
+    and the E23 bench both do). *)
+
+open Dynfo
+
+type result = {
+  lg_updates : int;  (** singleton requests applied *)
+  lg_calls : int;  (** update round trips *)
+  lg_wall_s : float;
+  lg_ups : float;  (** updates per second *)
+  lg_p50_us : float;  (** per-call round-trip latency percentiles, µs *)
+  lg_p99_us : float;
+  lg_max_us : float;
+  lg_step_p99_us : float;  (** p99 of call latency ÷ that call's batch size *)
+  lg_work : int;  (** total server-reported work *)
+  lg_final : bool;  (** the program query after the last tick *)
+}
+
+val drive :
+  Client.t -> session:string -> batch:int -> Request.t list -> result
+(** Raises [Invalid_argument] if [batch <= 0]; a trailing partial batch
+    is sent as-is. Raises [Failure] if the server rejects an update. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,284 @@
+open Dynfo_logic
+open Dynfo
+module Par_runner = Dynfo_engine.Par_runner
+
+(* One live session: a runner instance plus a dedicated worker thread
+   draining a FIFO job queue. Connection threads submit jobs and block
+   on a per-call ivar; the worker coalesces every run of consecutive
+   update jobs into a single [Runner.step_batch] tick, which is where
+   the serving layer's batching win comes from — a burst of clients
+   pays for one validation pass, one [`Auto] resolution and one round
+   of delta tester rebinds instead of one each. *)
+
+(* The PR-1 domain pool is not reentrant and must be driven by one
+   caller at a time, but all [`Par] sessions of a server share one
+   pool — so every call into [Par_runner] anywhere in the process takes
+   this lock. Sequential sessions never touch it. *)
+let par_lock = Mutex.create ()
+
+type runner = Seq of Runner.state | Par of Par_runner.state
+
+type stats = {
+  st_steps : int;  (** singleton requests applied *)
+  st_ticks : int;  (** evaluation ticks (a batch is one tick) *)
+  st_coalesced : int;  (** update jobs merged into another job's tick *)
+  st_work : int;  (** cumulative work charge over all ticks *)
+  st_queries : int;
+}
+
+type job =
+  | J_update of Request.t list * ((int * int, exn) result -> unit)
+  | J_query of string option * int list * ((bool, exn) result -> unit)
+  | J_snapshot of string * ((int, exn) result -> unit)
+
+type t = {
+  id : string;
+  name : string;  (* the external (registry) name the program was found by *)
+  program : Program.t;
+  backend : Runner.backend;  (* as requested, e.g. [`Auto] *)
+  resolved : [ `Tuple | `Bulk | `Delta ];
+  engine : [ `Seq | `Par ];
+  lock : Mutex.t;
+  cond : Condition.t;
+  mutable queue : job list;  (* newest first; worker reverses *)
+  mutable closing : bool;
+  mutable runner : runner;
+  mutable steps : int;
+  mutable ticks : int;
+  mutable coalesced : int;
+  mutable work : int;
+  mutable queries : int;
+  mutable worker : Thread.t option;
+}
+
+let id t = t.id
+let program t = t.program
+let name t = t.name
+let backend t = t.backend
+let resolved t = t.resolved
+let engine t = t.engine
+
+let inner_state t =
+  match t.runner with Seq s -> s | Par s -> Par_runner.inner s
+
+let structure t = Mutex.protect t.lock (fun () -> Runner.structure (inner_state t))
+
+let size t = Structure.size (structure t)
+
+let stats t =
+  Mutex.protect t.lock (fun () ->
+      {
+        st_steps = t.steps;
+        st_ticks = t.ticks;
+        st_coalesced = t.coalesced;
+        st_work = t.work;
+        st_queries = t.queries;
+      })
+
+(* --- the worker ------------------------------------------------------------ *)
+
+let apply_tick t reqs =
+  let backend = (t.resolved :> Runner.backend) in
+  match t.runner with
+  | Seq s ->
+      let s, w = Runner.step_batch_work ~backend s reqs in
+      (Seq s, w)
+  | Par s ->
+      Mutex.protect par_lock (fun () ->
+          let s, w = Eval.with_work (fun () -> Par_runner.step_batch s reqs) in
+          (Par s, w))
+
+let run_query t name args =
+  match t.runner with
+  | Seq s -> (
+      let backend = (t.resolved :> Runner.backend) in
+      match name with
+      | None -> Runner.query ~backend s
+      | Some n -> Runner.query_named ~backend s n args)
+  | Par s ->
+      Mutex.protect par_lock (fun () ->
+          match name with
+          | None -> Par_runner.query s
+          | Some n -> Par_runner.query_named s n args)
+
+(* A maximal run of leading update jobs, validated per job: invalid
+   jobs are answered with their error immediately and contribute
+   nothing; the valid remainder forms one batch. *)
+let rec split_updates acc = function
+  | J_update (reqs, reply) :: rest -> split_updates ((reqs, reply) :: acc) rest
+  | rest -> (List.rev acc, rest)
+
+let process_updates t updates =
+  let p = t.program in
+  let size = Structure.size (Runner.structure (inner_state t)) in
+  let valid, invalid =
+    List.partition
+      (fun (reqs, _) -> Request.valid_batch p.input_vocab ~size reqs)
+      updates
+  in
+  List.iter
+    (fun (reqs, reply) ->
+      reply
+        (Error
+           (Invalid_argument
+              (Printf.sprintf "invalid request in batch [%s] for program %s"
+                 (Request.batch_to_string reqs) p.name))))
+    invalid;
+  match valid with
+  | [] -> ()
+  | _ -> (
+      let batch = List.concat_map fst valid in
+      match apply_tick t batch with
+      | runner, w ->
+          Mutex.protect t.lock (fun () ->
+              t.runner <- runner;
+              t.steps <- t.steps + List.length batch;
+              t.ticks <- t.ticks + 1;
+              t.coalesced <- t.coalesced + List.length valid - 1;
+              t.work <- t.work + w);
+          List.iter
+            (fun (reqs, reply) -> reply (Ok (List.length reqs, w)))
+            valid
+      | exception e -> List.iter (fun (_, reply) -> reply (Error e)) valid)
+
+let process_job t = function
+  | J_update _ -> assert false (* handled by [process_updates] *)
+  | J_query (name, args, reply) -> (
+      match run_query t name args with
+      | r ->
+          Mutex.protect t.lock (fun () -> t.queries <- t.queries + 1);
+          reply (Ok r)
+      | exception e -> reply (Error e))
+  | J_snapshot (path, reply) -> (
+      let st = Runner.structure (inner_state t) in
+      let steps = Mutex.protect t.lock (fun () -> t.steps) in
+      match Snapshot.save ~path ~program:t.name ~steps st with
+      | bytes -> reply (Ok bytes)
+      | exception e -> reply (Error e))
+
+let rec process t jobs =
+  match jobs with
+  | [] -> ()
+  | J_update _ :: _ ->
+      let updates, rest = split_updates [] jobs in
+      process_updates t updates;
+      process t rest
+  | job :: rest ->
+      process_job t job;
+      process t rest
+
+let rec worker_loop t =
+  Mutex.lock t.lock;
+  while t.queue = [] && not t.closing do
+    Condition.wait t.cond t.lock
+  done;
+  let jobs = List.rev t.queue in
+  t.queue <- [];
+  let stop = jobs = [] && t.closing in
+  Mutex.unlock t.lock;
+  if not stop then begin
+    process t jobs;
+    worker_loop t
+  end
+
+(* --- construction ---------------------------------------------------------- *)
+
+let spawn t =
+  t.worker <- Some (Thread.create worker_loop t);
+  t
+
+let make ~id ~name ?pool ~backend (p : Program.t) runner_of =
+  let resolved = Runner.resolve_backend p backend in
+  let engine, runner = runner_of ~resolved pool in
+  spawn
+    {
+      id;
+      name;
+      program = p;
+      backend;
+      resolved;
+      engine;
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      queue = [];
+      closing = false;
+      runner;
+      steps = 0;
+      ticks = 0;
+      coalesced = 0;
+      work = 0;
+      queries = 0;
+      worker = None;
+    }
+
+let create ~id ~name ?pool ~backend (p : Program.t) ~size =
+  make ~id ~name ?pool ~backend p (fun ~resolved pool ->
+      match pool with
+      | None -> (`Seq, Seq (Runner.init p ~size))
+      | Some pool ->
+          ( `Par,
+            Par
+              (Par_runner.init pool ~backend:(resolved :> Runner.backend) p
+                 ~size) ))
+
+let of_state ~id ~name ?pool ~backend ~steps inner =
+  let t =
+    make ~id ~name ?pool ~backend (Runner.program inner) (fun ~resolved pool ->
+        match pool with
+        | None -> (`Seq, Seq inner)
+        | Some pool ->
+            ( `Par,
+              Par
+                (Par_runner.wrap pool ~backend:(resolved :> Runner.backend)
+                   inner) ))
+  in
+  t.steps <- steps;
+  t
+
+(* --- submission ------------------------------------------------------------ *)
+
+let submit t job =
+  Mutex.protect t.lock (fun () ->
+      if t.closing then
+        invalid_arg (Printf.sprintf "Session.submit: session %s is closed" t.id);
+      t.queue <- job t.queue;
+      Condition.signal t.cond)
+
+(* Block the calling (connection) thread until the worker replies. *)
+let sync fill =
+  let m = Mutex.create () in
+  let c = Condition.create () in
+  let slot = ref None in
+  fill (fun r ->
+      Mutex.protect m (fun () ->
+          slot := Some r;
+          Condition.signal c));
+  let r =
+    Mutex.protect m (fun () ->
+        while !slot = None do
+          Condition.wait c m
+        done;
+        Option.get !slot)
+  in
+  match r with Ok v -> v | Error e -> raise e
+
+let update t reqs =
+  sync (fun reply -> submit t (fun q -> J_update (reqs, reply) :: q))
+
+let query t ?name args =
+  sync (fun reply -> submit t (fun q -> J_query (name, args, reply) :: q))
+
+let snapshot t ~path =
+  sync (fun reply -> submit t (fun q -> J_snapshot (path, reply) :: q))
+
+let close t =
+  let join =
+    Mutex.protect t.lock (fun () ->
+        if t.closing then None
+        else begin
+          t.closing <- true;
+          Condition.signal t.cond;
+          t.worker
+        end)
+  in
+  Option.iter Thread.join join

@@ -1,0 +1,236 @@
+open Dynfo_logic
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+(* Format (all integers int64 little-endian):
+
+     magic                  10 bytes, "DYNFOSNAP1"
+     program name           str        (i64 length + bytes)
+     universe size          i64
+     step counter           i64
+     constant count         i64
+     per constant:          name str, value i64
+     relation count         i64
+     per relation:          name str, arity i64, tag i64,
+                            tag 0 (sparse): tuple count i64,
+                              then count*arity component i64s
+                            tag 1 (dense): Bitrel.to_bytes slab as str
+     checksum               8 bytes — FNV-1a 64 of everything above
+
+   Per relation the writer picks whichever of the two encodings is
+   smaller: sparse is linear in the tuples stored, dense in the tuple
+   space n^arity — a near-full high-arity relation dumps as a bitset
+   slab, a sparse edge set as its tuple list. The checksum is verified
+   before anything is decoded, so a truncated or bit-flipped file is
+   rejected as [Corrupt] rather than half-loaded. *)
+
+let magic = "DYNFOSNAP1"
+
+(* --- FNV-1a 64 ------------------------------------------------------------- *)
+
+let fnv64 s =
+  let prime = 0x100000001b3L in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  !h
+
+(* --- writer ---------------------------------------------------------------- *)
+
+let add_i64 buf i = Buffer.add_int64_le buf (Int64.of_int i)
+
+let add_str buf s =
+  add_i64 buf (String.length s);
+  Buffer.add_string buf s
+
+(* n^arity if it fits in [int], else [None] (then dense is impossible
+   anyway: [Bitrel.create] would refuse the tuple space). *)
+let space_opt ~size ~arity =
+  let rec go acc i =
+    if i = 0 then Some acc
+    else if acc > max_int / size then None
+    else go (acc * size) (i - 1)
+  in
+  go 1 arity
+
+let add_relation buf ~size name rel =
+  let arity = Relation.arity rel in
+  let card = Relation.cardinal rel in
+  let sparse_bytes = 8 + (card * arity * 8) in
+  let dense_bytes =
+    match space_opt ~size ~arity with
+    | Some space -> Some (8 + (space + 62) / 63 * 8)
+    | None -> None
+  in
+  add_str buf name;
+  add_i64 buf arity;
+  match dense_bytes with
+  | Some d when d < sparse_bytes ->
+      add_i64 buf 1;
+      add_str buf (Bitrel.to_bytes (Bitrel.of_relation ~size rel))
+  | _ ->
+      add_i64 buf 0;
+      add_i64 buf card;
+      Relation.iter (fun tup -> Array.iter (add_i64 buf) tup) rel
+
+let encode ~program ~steps st =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  add_str buf program;
+  let size = Structure.size st in
+  add_i64 buf size;
+  add_i64 buf steps;
+  let v = Structure.vocab st in
+  let consts = Vocab.constants v in
+  add_i64 buf (List.length consts);
+  List.iter
+    (fun c ->
+      add_str buf c;
+      add_i64 buf (Structure.const st c))
+    consts;
+  let rels = Vocab.relations v in
+  add_i64 buf (List.length rels);
+  List.iter
+    (fun (sym : Vocab.sym) ->
+      add_relation buf ~size sym.name (Structure.rel st sym.name))
+    rels;
+  let body = Buffer.contents buf in
+  let tail = Bytes.create 8 in
+  Bytes.set_int64_le tail 0 (fnv64 body);
+  body ^ Bytes.to_string tail
+
+(* --- reader ---------------------------------------------------------------- *)
+
+type loaded = {
+  snap_program : string;
+  snap_steps : int;
+  snap_structure : Structure.t;
+}
+
+type cursor = { data : string; mutable pos : int }
+
+let take c n what =
+  if n < 0 || c.pos + n > String.length c.data then
+    corrupt "truncated snapshot: %s at offset %d" what c.pos;
+  let s = String.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let read_i64 c what =
+  if c.pos + 8 > String.length c.data then
+    corrupt "truncated snapshot: %s at offset %d" what c.pos;
+  let v = String.get_int64_le c.data c.pos in
+  c.pos <- c.pos + 8;
+  let i = Int64.to_int v in
+  if Int64.of_int i <> v then corrupt "%s out of range (%Ld)" what v;
+  i
+
+let read_str c what =
+  let n = read_i64 c (what ^ " length") in
+  if n < 0 then corrupt "negative %s length" what;
+  take c n what
+
+let read_relation c ~size =
+  let name = read_str c "relation name" in
+  let arity = read_i64 c "relation arity" in
+  if arity < 0 then corrupt "negative arity for relation %S" name;
+  let rel =
+    match read_i64 c "relation encoding tag" with
+    | 0 ->
+        let count = read_i64 c "tuple count" in
+        if count < 0 then corrupt "negative tuple count for relation %S" name;
+        let read_tuple () =
+          Array.init arity (fun _ ->
+              let v = read_i64 c "tuple component" in
+              if v < 0 || v >= size then
+                corrupt "component %d outside universe of size %d in relation %S"
+                  v size name;
+              v)
+        in
+        let tuples = List.init count (fun _ -> read_tuple ()) in
+        Relation.of_list ~arity tuples
+    | 1 -> (
+        let slab = read_str c "dense slab" in
+        match Bitrel.of_bytes ~size ~arity slab with
+        | b -> Bitrel.to_relation b
+        | exception Invalid_argument msg ->
+            corrupt "bad dense slab for relation %S: %s" name msg)
+    | tag -> corrupt "unknown encoding tag %d for relation %S" tag name
+  in
+  (name, rel)
+
+let decode data =
+  let len = String.length data in
+  if len < String.length magic + 8 then corrupt "file too short";
+  if not (String.starts_with ~prefix:magic data) then
+    corrupt "bad magic (not a dynfo snapshot)";
+  let body = String.sub data 0 (len - 8) in
+  let stored = String.get_int64_le data (len - 8) in
+  let actual = fnv64 body in
+  if stored <> actual then
+    corrupt "checksum mismatch (stored %Lx, computed %Lx)" stored actual;
+  let c = { data = body; pos = String.length magic } in
+  let snap_program = read_str c "program name" in
+  let size = read_i64 c "universe size" in
+  if size <= 0 then corrupt "non-positive universe size %d" size;
+  let snap_steps = read_i64 c "step counter" in
+  if snap_steps < 0 then corrupt "negative step counter";
+  let n_consts = read_i64 c "constant count" in
+  if n_consts < 0 then corrupt "negative constant count";
+  let consts =
+    List.init n_consts (fun _ ->
+        let name = read_str c "constant name" in
+        let v = read_i64 c "constant value" in
+        if v < 0 || v >= size then
+          corrupt "constant %S outside universe of size %d" name size;
+        (name, v))
+  in
+  let n_rels = read_i64 c "relation count" in
+  if n_rels < 0 then corrupt "negative relation count";
+  let rels = List.init n_rels (fun _ -> read_relation c ~size) in
+  if c.pos <> String.length body then
+    corrupt "trailing bytes after relation table";
+  let vocab =
+    match
+      Vocab.make
+        ~rels:(List.map (fun (n, r) -> (n, Relation.arity r)) rels)
+        ~consts:(List.map fst consts)
+    with
+    | v -> v
+    | exception Invalid_argument msg -> corrupt "bad vocabulary: %s" msg
+  in
+  let st = Structure.create ~size vocab in
+  let st =
+    List.fold_left (fun st (name, rel) -> Structure.with_rel st name rel) st rels
+  in
+  let st =
+    List.fold_left (fun st (name, v) -> Structure.with_const st name v) st consts
+  in
+  { snap_program; snap_steps; snap_structure = st }
+
+(* --- files ----------------------------------------------------------------- *)
+
+let save ~path ~program ~steps st =
+  let data = encode ~program ~steps st in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc data);
+  Sys.rename tmp path;
+  String.length data
+
+let load ~path =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg -> corrupt "cannot open snapshot: %s" msg
+  in
+  let data =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  decode data

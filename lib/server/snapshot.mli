@@ -1,0 +1,47 @@
+(** Session snapshots: the combined structure of a running session
+    serialized to a single self-verifying binary file.
+
+    A snapshot records the program's {e name} (the program itself is
+    code, looked up again at restore time), the universe size, the
+    session's step counter, every constant, and every relation of the
+    combined input+auxiliary structure. Relations are stored in
+    whichever of two encodings is smaller — a length-prefixed tuple
+    list, or the raw {!Dynfo_logic.Bitrel} slab ([to_bytes]) for dense
+    high-population relations — so snapshot size tracks
+    [min(population, tuple space)] per relation.
+
+    Integrity: the file ends with an FNV-1a 64 checksum over everything
+    before it, verified {e before} decoding starts; decoding itself
+    bounds-checks every length, component and constant against the
+    stored universe. A truncated, bit-flipped or foreign file raises
+    {!Corrupt} — it never half-loads. *)
+
+open Dynfo_logic
+
+exception Corrupt of string
+(** Raised by {!decode}/{!load} on any malformed input, with a message
+    naming the first offending field. *)
+
+val encode : program:string -> steps:int -> Structure.t -> string
+(** Serialize. [program] is the registry name used to find the update
+    code again at restore; [steps] is the session's request counter. *)
+
+type loaded = {
+  snap_program : string;
+  snap_steps : int;
+  snap_structure : Structure.t;
+}
+
+val decode : string -> loaded
+(** Inverse of {!encode}. Raises {!Corrupt}. The caller turns
+    [snap_program] back into a {!Dynfo.Program.t} and rebuilds a runner
+    with [Dynfo.Runner.restore] (which re-checks that the structure
+    covers the program's vocabulary). *)
+
+val save : path:string -> program:string -> steps:int -> Structure.t -> int
+(** {!encode} to a file, atomically (write to [path ^ ".tmp"], then
+    rename). Returns the byte size written. *)
+
+val load : path:string -> loaded
+(** {!decode} a file. Raises {!Corrupt} on unreadable or malformed
+    files. *)

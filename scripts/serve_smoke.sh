@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# CI smoke for the serving daemon: start `dynfo serve` in the
+# background, drive the whole protocol surface over one connection
+# (create, batched update, query, snapshot, restore, stats, list),
+# then load-generate every backend with an offline --verify replay,
+# and finally assert the daemon shuts down cleanly and unlinks its
+# socket. Uses the already-built binary so concurrent invocations do
+# not fight over the dune build lock; override with DYNFO=... .
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DYNFO=${DYNFO:-_build/install/default/bin/dynfo_cli}
+TMP=$(mktemp -d)
+SOCK="$TMP/serve.sock"
+SNAP="$TMP/smoke.snap"
+LOG="$TMP/serve.log"
+SERVE_PID=
+
+cleanup() {
+  [[ -n "$SERVE_PID" ]] && kill "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+"$DYNFO" serve --socket "$SOCK" >"$LOG" 2>&1 &
+SERVE_PID=$!
+
+for _ in $(seq 1 100); do [[ -S "$SOCK" ]] && break; sleep 0.1; done
+[[ -S "$SOCK" ]] || {
+  echo "serve_smoke: daemon never bound $SOCK" >&2
+  cat "$LOG" >&2
+  exit 1
+}
+
+# The whole session lifecycle over one connection. A multi-element reqs
+# array is one evaluation tick; the restored session must answer like
+# the original.
+RESP=$("$DYNFO" client --socket "$SOCK" <<EOF
+{"id":1,"op":"create","session":"smoke","program":"reach_u","size":8,"backend":"delta"}
+{"id":2,"op":"update","session":"smoke","reqs":["ins E (0,1)","ins E (1,2)","ins E (2,3)"]}
+{"id":3,"op":"query","session":"smoke","args":[]}
+{"id":4,"op":"snapshot","session":"smoke","path":"$SNAP"}
+{"id":5,"op":"restore","session":"smoke2","path":"$SNAP","backend":"bulk"}
+{"id":6,"op":"query","session":"smoke2","args":[]}
+{"id":7,"op":"stats","session":"smoke"}
+{"id":8,"op":"list"}
+EOF
+)
+echo "$RESP"
+if echo "$RESP" | grep -q '"ok":false'; then
+  echo "serve_smoke: protocol error" >&2
+  exit 1
+fi
+echo "$RESP" | grep -q '"applied":3' || {
+  echo "serve_smoke: 3-request batch not applied as one call" >&2
+  exit 1
+}
+orig=$(echo "$RESP" | sed -n 's/.*"id":3.*"result":\(true\|false\).*/\1/p')
+rest=$(echo "$RESP" | sed -n 's/.*"id":6.*"result":\(true\|false\).*/\1/p')
+[[ -n "$orig" && "$orig" == "$rest" ]] || {
+  echo "serve_smoke: restored session answers $rest, original $orig" >&2
+  exit 1
+}
+
+# Load-generate every backend. --verify replays the workload offline on
+# the sequential runner and exits 1 unless the served answer matches;
+# on top of that, require nonzero throughput and no dropped updates.
+for backend in tuple bulk delta auto; do
+  OUT=$("$DYNFO" loadgen reach_u --socket "$SOCK" --backend "$backend" \
+    --length 256 --batch 16 --json --verify)
+  echo "$OUT"
+  echo "$OUT" | grep -q '"updates": 256' || {
+    echo "serve_smoke: loadgen dropped updates on $backend" >&2
+    exit 1
+  }
+  ups=$(echo "$OUT" | sed -n 's/.*"updates_per_s": \([0-9.]*\).*/\1/p')
+  [[ -n "$ups" && "$ups" != "0.0" ]] || {
+    echo "serve_smoke: zero throughput on $backend" >&2
+    exit 1
+  }
+done
+
+# Clean shutdown: the daemon replies first, then exits and unlinks.
+echo '{"id":99,"op":"shutdown"}' | "$DYNFO" client --socket "$SOCK" \
+  | grep -q '"ok":true'
+for _ in $(seq 1 100); do kill -0 "$SERVE_PID" 2>/dev/null || break; sleep 0.1; done
+if kill -0 "$SERVE_PID" 2>/dev/null; then
+  echo "serve_smoke: daemon still running after shutdown" >&2
+  exit 1
+fi
+[[ ! -e "$SOCK" ]] || {
+  echo "serve_smoke: socket not unlinked on shutdown" >&2
+  exit 1
+}
+SERVE_PID=
+echo "serve_smoke: OK"

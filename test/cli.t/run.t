@@ -77,7 +77,7 @@ step than the full backends above:
 
   $ dynfo_cli check reach_u -n 6 --length 60 --seed 1 --backend delta
   checking reach_u at n=6 over 60 requests (seed 1): ok (60 checkpoints, 4 implementations)
-    delta work/step: total 202604, mean 3376.7, max 10113
+    delta work/step: total 202255, mean 3370.9, max 10108
 
   $ dynfo_cli run reach_u -n 6 --script script.txt --backend delta
   set s 0              query = true

@@ -174,6 +174,15 @@ let frontier_sound =
       let full = Eval.define st ~vars:rule.vars ~env rule.body in
       (match Delta_eval.frontier st ~env ~base plan with
       | `Full -> ()
+      | `Tuples tups ->
+          Relation.iter
+            (fun t ->
+              if not (List.exists (fun u -> Tuple.compare u t = 0) tups) then
+                QCheck.Test.fail_reportf
+                  "flipped tuple %s outside fast-path frontier for %s"
+                  (Tuple.to_string t)
+                  (Formula.to_string rule.body))
+            (Relation.symmetric_diff base full)
       | `Mask mask ->
           Relation.iter
             (fun t ->
@@ -461,6 +470,38 @@ let test_support_reports () =
   check tb "reach_u F-del chained via New" true
     (List.exists (fun (_, temp) -> temp = "New") r.S.sr_temp_chains)
 
+(* --- single-tuple fast path + tester memoization --------------------------- *)
+
+(* The mask-free frontier fast path and the (plan, size) tester memo are
+   the serving layer's wall-clock win. Assert both actually fire on
+   showcase workloads — and that taking them changes nothing: the delta
+   run must still land on the very structure the tuple backend builds. *)
+let test_fast_path_and_memo () =
+  Dynfo_analysis.Advisor.install ();
+  let fast0 = Delta_eval.fast_hits () in
+  let hits0 = Delta_eval.memo_hits () in
+  let misses0 = Delta_eval.memo_misses () in
+  List.iter
+    (fun (name, size, length) ->
+      let e = Registry.find name in
+      let rng = Random.State.make [| 11 |] in
+      let reqs = e.workload rng ~size ~length in
+      let s_t = Runner.run ~backend:`Tuple (Runner.init e.program ~size) reqs in
+      let s_d = Runner.run ~backend:`Delta (Runner.init e.program ~size) reqs in
+      check tb (name ^ ": answers agree") (Runner.query s_t) (Runner.query s_d);
+      check tb
+        (name ^ ": structures agree")
+        true
+        (Structure.equal (Runner.structure s_t) (Runner.structure s_d)))
+    [ ("reach_u", 8, 80); ("parity", 32, 80) ];
+  check tb "single-tuple fast path fired" true
+    (Delta_eval.fast_hits () > fast0);
+  check tb "compiled testers were rebound, not recompiled" true
+    (Delta_eval.memo_hits () > hits0);
+  (* compiles are keyed (plan, size): two programs at one size each can
+     only add a handful of entries, however many steps ran *)
+  check tb "bounded compiles" true (Delta_eval.memo_misses () - misses0 <= 32)
+
 let () =
   Alcotest.run "delta"
     [
@@ -479,6 +520,8 @@ let () =
           Alcotest.test_case "zero-arity rules" `Quick test_delta_zero_arity;
           Alcotest.test_case "unframed plans fall back" `Quick
             test_unframed_plan_falls_back;
+          Alcotest.test_case "fast path and tester memo fire" `Quick
+            test_fast_path_and_memo;
         ] );
       ( "registry",
         [
