@@ -442,6 +442,7 @@ let () =
   Printf.printf
     "\n== E22: delta backend — per-step work, tuple vs bulk vs delta ==\n";
   Dynfo_analysis.Advisor.install ();
+  Dynfo_analysis.Commute.install ();
   Printf.printf "  %-14s %4s %10s %10s %10s %9s %9s %9s %9s\n" "program" "n"
     "t-work" "b-work" "d-work" "t-us" "b-us" "d-us" "fallback";
   let e22_rows = ref [] in
@@ -627,6 +628,209 @@ let () =
       output_string oc "]\n";
       close_out oc;
       Printf.printf "  wrote %s (%d rows)\n" path (List.length rows));
+
+  (* E24a: the µs calibration behind the advisor's wall-clock frontier
+     cutoff ([Advisor.of_program ~size]). The per-step delta cost is
+     modeled as rules·mask_build_us + frontier·retest_us and the full
+     recompute as space·full_tuple_us; measuring delta steps at two
+     universe sizes of the same program (same rule count, different
+     frontier estimate) gives two equations in the two delta unknowns,
+     and a tuple-backend run gives the third constant. The fitted
+     values are compared against the checked-in table
+     (lib/analysis/calibration.ml) that ships with the advisor. *)
+  Printf.printf
+    "\n== E24a: delta calibration — µs constants behind the advisor \
+     cutoff ==\n";
+  let per_step_us backend (e : Registry.entry) ~size ~length =
+    let rng = Random.State.make [| 24; size |] in
+    let reqs = e.workload rng ~size ~length in
+    let st = Runner.init e.program ~size in
+    ignore (Runner.run ~backend st reqs);
+    (* second run: planner, testers and memo tables are warm *)
+    let t0 = monotonic_ns () in
+    ignore (Runner.run ~backend st reqs);
+    let t1 = monotonic_ns () in
+    Int64.to_float (Int64.sub t1 t0) /. 1e3 /. float (List.length reqs)
+  in
+  let e_cal = reg "reach_u" in
+  let cal_point n =
+    let rules, frontier, _ =
+      Dynfo_analysis.Advisor.delta_estimates e_cal.program ~size:n
+    in
+    (float rules, float frontier, per_step_us `Delta e_cal ~size:n ~length:(8 * n))
+  in
+  let ra, fa, ta = cal_point 8 in
+  let rb, fb, tb = cal_point 16 in
+  let det = (ra *. fb) -. (rb *. fa) in
+  let default = Dynfo_analysis.Calibration.default in
+  let cal_mask, cal_retest =
+    if Float.abs det < 1e-9 then
+      (default.mask_build_us, default.retest_us)
+    else
+      ( Float.max 0.01 (((ta *. fb) -. (tb *. fa)) /. det),
+        Float.max 0.01 (((ra *. tb) -. (rb *. ta)) /. det) )
+  in
+  let cal_full =
+    let _, _, space =
+      Dynfo_analysis.Advisor.delta_estimates e_cal.program ~size:16
+    in
+    Float.max 0.001 (per_step_us `Tuple e_cal ~size:16 ~length:128 /. float space)
+  in
+  Printf.printf
+    "  measured: mask_build %.2f us/rule, retest %.2f us/tuple, full \
+     %.3f us/tuple\n"
+    cal_mask cal_retest cal_full;
+  Printf.printf "  checked-in: %s\n"
+    (Format.asprintf "%a" Dynfo_analysis.Calibration.pp_json default);
+
+  (* E24: commute-aware serving — the statically verified commutation
+     laws ([analyze --commute]) exploited by the session queue. Requests
+     of ops with a verified redundant-request no-op law that provably do
+     not change the input are elided; back-to-back duplicates of
+     verified-idempotent ops are deduped before the tick; the batch
+     planner groups transposable requests so the delta backend pays one
+     dirty-mask build per group. FIFO mode pushes the identical workload
+     through the same wire path under the null oracle — the measurable
+     baseline. Workloads get seeded back-to-back duplicates injected
+     (~25%) to model retry/at-least-once submitters, and a second
+     connection issues program queries throughout (each answered
+     individually, exercising the worker's hoist bookkeeping). Every
+     run's final answer is cross-checked against an offline sequential
+     replay of the same duplicate-injected request list. 1-core caveat:
+     client, query thread and server worker share the core, so absolute
+     upd/s is conservative — the fifo/commute ratio is the signal. *)
+  Printf.printf
+    "\n== E24: commute-aware serving — fifo vs commute coalescing ==\n";
+  let e24_rows = ref [] in
+  let e24_mismatches = ref 0 in
+  let sock24 =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dynfo_bench_e24_%d.sock" (Unix.getpid ()))
+  in
+  let server24 =
+    Thread.create
+      (fun () ->
+        ignore
+          (Dynfo_server.Server.run
+             {
+               Dynfo_server.Server.addr = `Unix sock24;
+               lanes = Some 1;
+               find_program =
+                 (fun name ->
+                   match Registry.find name with
+                   | e -> Some e.Registry.program
+                   | exception Not_found -> None);
+             }))
+      ()
+  in
+  let rec connect24 tries =
+    match Dynfo_server.Client.connect (`Unix sock24) with
+    | c -> c
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+      when tries > 0 ->
+        Thread.delay 0.05;
+        connect24 (tries - 1)
+  in
+  let client24 = connect24 100 in
+  let inject_dups rng reqs =
+    List.concat_map
+      (fun r -> if Random.State.float rng 1.0 < 0.25 then [ r; r ] else [ r ])
+      reqs
+  in
+  Printf.printf "  %-10s %8s %10s %13s %7s %7s %8s %8s\n" "program" "mode"
+    "upd/s" "step-p99(us)" "groups" "elided" "deduped" "hoisted";
+  List.iter
+    (fun (name, size, length) ->
+      let e = reg name in
+      let rng = Random.State.make [| 24; size |] in
+      let reqs = inject_dups rng (e.workload rng ~size ~length) in
+      let offline =
+        Runner.query (Runner.run (Runner.init e.program ~size) reqs)
+      in
+      List.iter
+        (fun coalesce ->
+          let session =
+            Dynfo_server.Client.create client24 ~backend:`Tuple ~coalesce
+              ~program:name ~size ()
+          in
+          let stop = Atomic.make false in
+          let qthread =
+            Thread.create
+              (fun () ->
+                let qc = connect24 100 in
+                while not (Atomic.get stop) do
+                  ignore (Dynfo_server.Client.query qc ~session []);
+                  Thread.yield ()
+                done;
+                Dynfo_server.Client.close qc)
+              ()
+          in
+          let r = Dynfo_server.Loadgen.drive client24 ~session ~batch:16 reqs in
+          Atomic.set stop true;
+          Thread.join qthread;
+          let stats = Dynfo_server.Client.stats client24 ~session in
+          Dynfo_server.Client.destroy client24 ~session;
+          if r.Dynfo_server.Loadgen.lg_final <> offline then begin
+            incr e24_mismatches;
+            Printf.printf
+              "  MISMATCH: %s coalesce=%s served %b, offline %b\n" name
+              (Dynfo_server.Wire.coalesce_to_string coalesce)
+              r.Dynfo_server.Loadgen.lg_final offline
+          end;
+          let open Dynfo_server.Loadgen in
+          Printf.printf "  %-10s %8s %10.0f %13.1f %7d %7d %8d %8d\n" name
+            (Dynfo_server.Wire.coalesce_to_string coalesce)
+            r.lg_ups r.lg_step_p99_us stats.Dynfo_server.Client.groups
+            stats.Dynfo_server.Client.elided stats.Dynfo_server.Client.deduped
+            stats.Dynfo_server.Client.hoisted;
+          e24_rows := (name, size, coalesce, r, stats) :: !e24_rows)
+        [ `Fifo; `Commute ])
+    [ ("parity", 64, 384); ("reach_u", 8, 192); ("matching", 8, 192) ];
+  Dynfo_server.Client.shutdown client24;
+  Dynfo_server.Client.close client24;
+  Thread.join server24;
+  if !e24_mismatches > 0 then
+    Printf.printf "  E24: %d served/offline answer mismatches!\n"
+      !e24_mismatches
+  else Printf.printf "  (every served answer matches the offline replay)\n";
+  (match
+     if Array.exists (( = ) "--json") Sys.argv then Some "BENCH_commute.json"
+     else Sys.getenv_opt "BENCH_COMMUTE_JSON"
+   with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc "[\n";
+      Printf.fprintf oc
+        "  {\"experiment\": \"E24-calibration\", \"measured\": \
+         {\"mask_build_us\": %.2f, \"retest_us\": %.2f, \"full_tuple_us\": \
+         %.3f}, \"checked_in\": %s},\n"
+        cal_mask cal_retest cal_full
+        (Format.asprintf "%a" Dynfo_analysis.Calibration.pp_json default);
+      let rows = List.rev !e24_rows in
+      List.iteri
+        (fun i (name, size, coalesce, r, stats) ->
+          let open Dynfo_server.Loadgen in
+          Printf.fprintf oc
+            "  {\"experiment\": \"E24\", \"program\": %S, \"n\": %d, \
+             \"coalesce\": %S, \"batch\": 16, \"updates\": %d, \
+             \"updates_per_s\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f, \
+             \"step_p99_us\": %.1f, \"work\": %d, \"groups\": %d, \
+             \"elided\": %d, \"deduped\": %d, \"hoisted\": %d, \"final\": \
+             %b}%s\n"
+            name size
+            (Dynfo_server.Wire.coalesce_to_string coalesce)
+            r.lg_updates r.lg_ups r.lg_p50_us r.lg_p99_us r.lg_step_p99_us
+            r.lg_work stats.Dynfo_server.Client.groups
+            stats.Dynfo_server.Client.elided
+            stats.Dynfo_server.Client.deduped
+            stats.Dynfo_server.Client.hoisted r.lg_final
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      output_string oc "]\n";
+      close_out oc;
+      Printf.printf "  wrote %s (%d rows)\n" path (List.length rows + 1));
 
   (* E13: REACH_d through the bfo reduction + transfer theorem *)
   Printf.printf "\n== E13: REACH_d via bfo reduction (Example 2.1 + Prop 5.3) ==\n";

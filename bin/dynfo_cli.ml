@@ -194,6 +194,17 @@ let analyze_cmd =
             "Print the delta backend's static support analysis: per-rule \
              frame decompositions, frontier bounds and temp chains.")
   in
+  let commute_arg =
+    Arg.(
+      value & flag
+      & info [ "commute" ]
+          ~doc:
+            "Print the update-commutativity matrix: per-op-pair \
+             Commute/Conflict/Unknown verdicts (model-checked), the \
+             verified idempotence and redundant-no-op laws, and exact \
+             write sets. With $(b,--strict), fail if any Commute verdict \
+             or believed law lacks model-checker confirmation.")
+  in
   let prog_arg =
     Arg.(
       value
@@ -201,7 +212,7 @@ let analyze_cmd =
       & info [] ~docv:"PROBLEM"
           ~doc:"Problem to analyze (or $(b,--all) for the whole registry).")
   in
-  let run all json strict graph advise support entry_opt =
+  let run all json strict graph advise support commute entry_opt =
     let entries =
       match (entry_opt, all) with
       | Some e, _ -> Some [ e ]
@@ -210,6 +221,46 @@ let analyze_cmd =
     in
     match entries with
     | None -> `Error (true, "name a PROBLEM or pass --all")
+    | Some entries when commute ->
+        let module C = Dynfo_analysis.Commute in
+        let matrices =
+          List.map
+            (fun (e : Registry.entry) -> C.matrix_of e.program)
+            entries
+        in
+        (if json then
+           Format.printf "[%a]@."
+             (Format.pp_print_list
+                ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@\n ")
+                C.pp_json)
+             matrices
+         else List.iter (fun m -> Format.printf "%a@." C.pp m) matrices);
+        if strict then begin
+          let law_bad (l : C.law) = l.law_holds && l.law_checks = 0 in
+          let unconfirmed (m : C.matrix) =
+            List.exists
+              (fun (c : C.cell) ->
+                c.c_verdict = C.Commute
+                && (c.c_checks = 0 || c.c_domain = None))
+              m.m_cells
+            || List.exists
+                 (fun (r : C.op_report) ->
+                   law_bad r.or_idempotent || law_bad r.or_nop)
+                 m.m_ops
+          in
+          let bad = List.filter unconfirmed matrices in
+          if bad <> [] then begin
+            List.iter
+              (fun (m : C.matrix) ->
+                Format.eprintf
+                  "%s: Commute verdict or law without model-checker \
+                   confirmation@."
+                  m.m_program)
+              bad;
+            exit 1
+          end
+        end;
+        `Ok ()
     | Some entries when support ->
         List.iter
           (fun (e : Registry.entry) ->
@@ -285,7 +336,7 @@ let analyze_cmd =
     Term.(
       ret
         (const run $ all_arg $ json_arg $ strict_arg $ graph_arg
-       $ advise_arg $ support_arg $ prog_arg))
+       $ advise_arg $ support_arg $ commute_arg $ prog_arg))
 
 (* --- run ----------------------------------------------------------------- *)
 
@@ -406,6 +457,11 @@ let check_cmd =
     | Harness.Ok n ->
         Printf.printf "ok (%d checkpoints, %d implementations)\n" n
           (List.length impls);
+        let open Dynfo_logic in
+        let fh0 = Delta_eval.fast_hits ()
+        and mh0 = Delta_eval.memo_hits ()
+        and mm0 = Delta_eval.memo_misses ()
+        and mb0 = Delta_eval.mask_builds () in
         let _, works =
           Runner.run_work ~backend (Runner.init e.program ~size) reqs
         in
@@ -418,6 +474,21 @@ let check_cmd =
           total
           (float total /. float steps)
           mx;
+        (match Runner.resolve_backend e.program backend with
+        | `Delta ->
+            Printf.printf
+              "  delta counters: fast hits %d, memo hits %d, memo misses \
+               %d, mask builds %d\n"
+              (Delta_eval.fast_hits () - fh0)
+              (Delta_eval.memo_hits () - mh0)
+              (Delta_eval.memo_misses () - mm0)
+              (Delta_eval.mask_builds () - mb0)
+        | `Tuple | `Bulk -> ());
+        let groups = Runner.plan_groups e.program reqs in
+        Printf.printf
+          "  commute plan: %d group(s) over %d requests (max run %d)\n"
+          (List.length groups) (List.length reqs)
+          (List.fold_left (fun m g -> max m (List.length g)) 0 groups);
         true
     | m ->
         Format.printf "%a@." Harness.pp_outcome m;
@@ -719,6 +790,20 @@ let engine_conv =
   in
   Arg.conv (parse, print)
 
+let coalesce_conv =
+  let parse = function
+    | "fifo" -> Ok `Fifo
+    | "commute" -> Ok `Commute
+    | s ->
+        Error
+          (`Msg (Printf.sprintf "invalid mode %S, expected fifo or commute" s))
+  in
+  let print ppf c =
+    Format.pp_print_string ppf
+      (match c with `Fifo -> "fifo" | `Commute -> "commute")
+  in
+  Arg.conv (parse, print)
+
 let loadgen_cmd =
   let batch_arg =
     Arg.(
@@ -755,15 +840,25 @@ let loadgen_cmd =
              runner and fail (exit 1) unless the final query answers \
              match.")
   in
+  let coalesce_arg =
+    Arg.(
+      value
+      & opt coalesce_conv `Commute
+      & info [ "coalesce" ] ~docv:"MODE"
+          ~doc:
+            "Session queue discipline: $(b,commute) (the default — drain \
+             exploiting the model-checked commutation laws) or $(b,fifo) \
+             (strict arrival order, the measurable baseline).")
+  in
   let run (e : Registry.entry) socket tcp size_opt length seed batch backend
-      engine json verify =
+      engine coalesce json verify =
     let size = Option.value ~default:e.default_size size_opt in
     let rng = Random.State.make [| seed |] in
     let reqs = e.workload rng ~size ~length in
     let client = Dynfo_server.Client.connect (addr_of socket tcp) in
     let session =
-      Dynfo_server.Client.create client ~backend ~engine ~program:e.name ~size
-        ()
+      Dynfo_server.Client.create client ~backend ~engine ~coalesce
+        ~program:e.name ~size ()
     in
     let r = Dynfo_server.Loadgen.drive client ~session ~batch reqs in
     let stats = Dynfo_server.Client.stats client ~session in
@@ -773,21 +868,26 @@ let loadgen_cmd =
     if json then
       Printf.printf
         "{\"program\": %S, \"n\": %d, \"backend\": %S, \"engine\": %S, \
-         \"batch\": %d, \"updates\": %d, \"calls\": %d, \"wall_s\": %.6f, \
-         \"updates_per_s\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f, \
-         \"max_us\": %.1f, \"step_p99_us\": %.1f, \"work\": %d, \
-         \"ticks\": %d, \"final\": %b}\n"
+         \"coalesce\": %S, \"batch\": %d, \"updates\": %d, \"calls\": %d, \
+         \"wall_s\": %.6f, \"updates_per_s\": %.1f, \"p50_us\": %.1f, \
+         \"p99_us\": %.1f, \"max_us\": %.1f, \"step_p99_us\": %.1f, \
+         \"work\": %d, \"ticks\": %d, \"groups\": %d, \"elided\": %d, \
+         \"deduped\": %d, \"hoisted\": %d, \"final\": %b}\n"
         e.name size
         (Dynfo_server.Wire.backend_to_string backend)
         (Dynfo_server.Wire.engine_to_string engine)
+        (Dynfo_server.Wire.coalesce_to_string coalesce)
         batch r.lg_updates r.lg_calls r.lg_wall_s r.lg_ups r.lg_p50_us
         r.lg_p99_us r.lg_max_us r.lg_step_p99_us r.lg_work stats.ticks
-        r.lg_final
+        stats.groups stats.elided stats.deduped stats.hoisted r.lg_final
     else
-      Format.printf "%s n=%d backend=%s batch=%d: %a (%d server ticks)@."
+      Format.printf
+        "%s n=%d backend=%s coalesce=%s batch=%d: %a (%d server ticks, %d \
+         groups, %d elided, %d deduped)@."
         e.name size
         (Dynfo_server.Wire.backend_to_string backend)
-        batch pp_result r stats.ticks;
+        (Dynfo_server.Wire.coalesce_to_string coalesce)
+        batch pp_result r stats.ticks stats.groups stats.elided stats.deduped;
     if verify then begin
       let final =
         Runner.query (Runner.run (Runner.init e.program ~size) reqs)
@@ -809,11 +909,12 @@ let loadgen_cmd =
           offline replay.")
     Term.(
       const run $ problem_arg $ socket_arg $ tcp_arg $ size_arg $ length_arg
-      $ seed_arg $ batch_arg $ backend_arg $ engine_arg $ json_arg
-      $ verify_arg)
+      $ seed_arg $ batch_arg $ backend_arg $ engine_arg $ coalesce_arg
+      $ json_arg $ verify_arg)
 
 let () =
   Dynfo_analysis.Advisor.install ();
+  Dynfo_analysis.Commute.install ();
   let doc = "Dyn-FO: dynamic first-order programs from Patnaik & Immerman" in
   let info = Cmd.info "dynfo_cli" ~version:"1.0.0" ~doc in
   exit

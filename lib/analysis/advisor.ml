@@ -41,7 +41,55 @@ let atom_counts (p : Program.t) =
   List.iter (fun (_, _, body) -> count body) p.queries;
   (!atoms, !bits)
 
-let of_program ?(par_cutoff = default_par_cutoff) (p : Program.t) =
+let pow b e =
+  let r = ref 1 in
+  for _ = 1 to e do
+    r := !r * b
+  done;
+  !r
+
+(* Static per-step estimates for the worst (largest tuple-space) update
+   block at a concrete universe size: framed-rule count, frontier upper
+   bound in tuples (pinned anchorless slabs are single cells, anchored
+   slabs scan at most the universe, partial pins leave the unpinned
+   coordinates free) and the full-recompute tuple space. *)
+let delta_estimates (p : Program.t) ~size =
+  let plan = Support.plan p in
+  let open Delta_eval in
+  let est_block b =
+    List.fold_left
+      (fun (rules, frontier, space) (rp : rule_plan) ->
+        let arity = List.length rp.rp_vars in
+        let sp = pow size arity in
+        let est_sup = function
+          | Top -> sp
+          | Slabs slabs ->
+              List.fold_left
+                (fun acc (s : slab) ->
+                  acc
+                  +
+                  match s.s_anchor with
+                  | Some _ -> size
+                  | None -> pow size (arity - List.length s.s_pins))
+                0 slabs
+        in
+        match rp.rp_frame with
+        | Some f ->
+            ( rules + 1,
+              frontier + min sp (est_sup f.f_out + est_sup f.f_in),
+              space + sp )
+        | None -> (rules + 1, frontier + sp, space + sp))
+      (0, 0, 0) b
+  in
+  List.fold_left
+    (fun ((_, _, sp) as acc) (_, b) ->
+      let (_, _, sp') as est = est_block b in
+      if sp' > sp then est else acc)
+    (0, 0, 0)
+    (plan.pp_ins @ plan.pp_del @ plan.pp_set)
+
+let of_program ?(par_cutoff = default_par_cutoff) ?size
+    ?(calibration = Calibration.default) (p : Program.t) =
   let m = Metrics.of_program p in
   let atoms, bits = atom_counts p in
   let bit_fraction = if atoms = 0 then 0. else float bits /. float atoms in
@@ -74,14 +122,40 @@ let of_program ?(par_cutoff = default_par_cutoff) (p : Program.t) =
      full backends; temporaries and over-budget steps recompute on
      [full_backend], so delta never does asymptotically more work. *)
   let backend, reason =
-    if Support.eligible p then
-      ( `Delta,
+    if Support.eligible p then begin
+      let delta_reason =
         Printf.sprintf
           "every update rule carries a frame with bounded/guarded \
            supports: incremental frontier evaluation, falling back to \
            %s past the --delta-cutoff (%s)"
           (match full_backend with `Tuple -> "tuple" | `Bulk -> "bulk")
-          full_reason )
+          full_reason
+      in
+      match size with
+      | None -> (`Delta, delta_reason)
+      | Some n ->
+          (* the wall-clock guard (E24 calibration): at a concrete
+             universe size, keep the incremental backend only while its
+             estimated frontier stays below the µs break-even against a
+             full recompute of the worst block *)
+          let rules, frontier, space = delta_estimates p ~size:n in
+          let threshold =
+            Calibration.break_even ~c:calibration ~rules ~space ()
+          in
+          if float_of_int frontier <= threshold then
+            ( `Delta,
+              Printf.sprintf
+                "%s; frontier ≈ %d tuple(s) at n=%d, under the %.0f-tuple \
+                 break-even"
+                delta_reason frontier n threshold )
+          else
+            ( full_backend,
+              Printf.sprintf
+                "delta-eligible, but at n=%d the estimated frontier (%d \
+                 tuples) exceeds the µs break-even (%.0f) against a full \
+                 recompute of %d tuples: %s"
+                n frontier threshold space full_reason )
+    end
     else (full_backend, full_reason)
   in
   {

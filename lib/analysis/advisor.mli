@@ -38,7 +38,29 @@ val default_par_cutoff : int
 (** Mirrors [Dynfo_engine.Par_eval.default_cutoff] (the engine is not a
     dependency of this library). *)
 
-val of_program : ?par_cutoff:int -> Dynfo.Program.t -> advice
+val delta_estimates : Dynfo.Program.t -> size:int -> int * int * int
+(** [(rules, frontier, space)] static per-step estimates for the worst
+    (largest tuple-space) update block at a concrete universe size:
+    framed-rule count, frontier upper bound in tuples (a pinned
+    anchorless slab is a single cell, an anchored slab scans at most
+    the universe, partial pins leave the unpinned coordinates free) and
+    the full-recompute tuple space. The bench's E24 calibration pass
+    fits {!Calibration.t} against these. *)
+
+val of_program :
+  ?par_cutoff:int ->
+  ?size:int ->
+  ?calibration:Calibration.t ->
+  Dynfo.Program.t ->
+  advice
+(** [size] arms the wall-clock-aware cutoff (E24): at that concrete
+    universe size the advisor estimates the worst block's per-step
+    frontier from the {!Support} plan and keeps [`Delta] only while it
+    stays below {!Calibration.break_even} — a tiny universe's fixed
+    mask overhead, or an anchored frontier approaching the tuple
+    space, flips the advice back to the full backend. Without [size]
+    the recommendation is purely static (delta-eligibility), as
+    before. *)
 
 val choose : Dynfo.Program.t -> [ `Tuple | `Bulk | `Delta ]
 (** [(of_program p).backend]. *)

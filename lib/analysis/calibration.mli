@@ -1,0 +1,23 @@
+(** The µs calibration table behind {!Advisor}'s wall-clock-aware
+    frontier cutoff (E24). The constants are measured by the bench's
+    calibration pass and checked in; {!break_even} turns them into the
+    largest frontier size at which the incremental backend still beats
+    a full recompute for a given per-step tuple space. *)
+
+type t = {
+  mask_build_us : float;
+      (** fixed per-framed-rule per-step cost (support resolution +
+          dirty-mask / fast-path construction) *)
+  retest_us : float;  (** per frontier-tuple full-body re-test *)
+  full_tuple_us : float;  (** per-tuple cost of a full recompute *)
+}
+
+val default : t
+(** The checked-in table (CI reference machine, 1 core). *)
+
+val break_even : ?c:t -> rules:int -> space:int -> unit -> float
+(** Break-even frontier size in tuples for a step evaluating [rules]
+    framed rules over a combined tuple space of [space]; negative when
+    the fixed overhead alone exceeds the full recompute. *)
+
+val pp_json : Format.formatter -> t -> unit

@@ -1,0 +1,856 @@
+open Dynfo_logic
+open Dynfo
+
+(* Static update-commutativity analysis, following the PR-4 "verified
+   rewrite" discipline: every static claim is model-checked before it is
+   trusted. Three layers produce a *candidate* verdict per pair of
+   update operations — (1) syntactic independence on the Dataflow
+   read/write sets, (2) disjoint fully-pinned frames under the
+   distinct-argument side condition — and layer (3), a bounded
+   model-checking harness in the style of Rewrite's verifier, is the
+   only thing that can promote a candidate to [Commute]: exhaustive over
+   synthetic structures while the budget lasts, seeded sampling beyond,
+   and a reachable-state fallback (random request prefixes from the
+   initial state) for laws that hold on every state the serving layer
+   can actually be in but not on arbitrary auxiliary contents. Anything
+   unconfirmed degrades to [Unknown], which every consumer treats as
+   [Conflict]. *)
+
+(* --- operations ------------------------------------------------------------ *)
+
+type op = { op_kind : [ `Ins | `Del | `Set ]; op_rel : string; op_arity : int }
+
+let op_name o =
+  Printf.sprintf "%s %s" (Program.kind_string o.op_kind) o.op_rel
+
+let same_op a b = a.op_kind = b.op_kind && a.op_rel = b.op_rel
+
+(* The input address an op mutates: ins/del share their relation,
+   set owns its constant. The distinct-argument side condition applies
+   exactly to pairs sharing an address. *)
+let addr o =
+  match o.op_kind with
+  | `Ins | `Del -> `R o.op_rel
+  | `Set -> `C o.op_rel
+
+let ops_of (p : Program.t) =
+  List.concat_map
+    (fun (s : Vocab.sym) ->
+      [
+        { op_kind = `Ins; op_rel = s.name; op_arity = s.arity };
+        { op_kind = `Del; op_rel = s.name; op_arity = s.arity };
+      ])
+    (Vocab.relations p.input_vocab)
+  @ List.map
+      (fun c -> { op_kind = `Set; op_rel = c; op_arity = 1 })
+      (Vocab.constants p.input_vocab)
+
+let block_of (p : Program.t) o =
+  let table =
+    match o.op_kind with
+    | `Ins -> p.on_ins
+    | `Del -> p.on_del
+    | `Set -> p.on_set
+  in
+  List.assoc_opt o.op_rel table
+
+let request_of o args =
+  match o.op_kind with
+  | `Ins -> Request.ins o.op_rel args
+  | `Del -> Request.del o.op_rel args
+  | `Set -> Request.set o.op_rel (List.hd args)
+
+(* --- read/write sets (layer 1) --------------------------------------------- *)
+
+let dedup xs =
+  List.rev (List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] xs)
+
+(* Everything a step for this op can change: its own input relation or
+   constant (explicit rule or default maintenance) plus every rule
+   target of its block. Temporaries are discarded after the update and
+   never escape. This set is exact, which is what makes the
+   query-invisibility check purely static. *)
+let writes_of p o =
+  let targets =
+    match block_of p o with
+    | None -> []
+    | Some (u : Program.update) ->
+        List.map (fun (r : Program.rule) -> r.target) u.rules
+  in
+  dedup (o.op_rel :: targets)
+
+(* Relations a block reads, temporaries expanded (a rule consuming a
+   temp is charged the pre-state relations the temp's definition read —
+   the same expansion Dataflow performs), plus every structure constant
+   a body mentions. Over-approximating is fine: reads only ever make
+   layer 1 more conservative, and layer 3 re-adjudicates everything. *)
+let reads_of_update vocab (u : Program.update) =
+  let expand env names =
+    List.concat_map
+      (fun n ->
+        match List.assoc_opt n env with Some rs -> rs | None -> [ n ])
+      names
+  in
+  let atom_names body = List.map fst (Formula.rel_atoms body) in
+  let env =
+    List.fold_left
+      (fun env (t : Program.rule) ->
+        (t.target, dedup (expand env (atom_names t.body))) :: env)
+      [] u.temps
+  in
+  let rel_reads =
+    List.concat_map snd env
+    @ List.concat_map
+        (fun (r : Program.rule) -> expand env (atom_names r.body))
+        u.rules
+  in
+  let const_reads =
+    List.concat_map
+      (fun (r : Program.rule) ->
+        List.filter
+          (fun x ->
+            (not (List.mem x u.params))
+            && (not (List.mem x r.vars))
+            && Vocab.mem_const vocab x)
+          (Formula.free_vars r.body))
+      (u.temps @ u.rules)
+  in
+  dedup (rel_reads @ const_reads)
+
+let reads_of p o =
+  match block_of p o with
+  | None -> []
+  | Some u -> reads_of_update (Program.vocab p) u
+
+let disjoint a b = not (List.exists (fun x -> List.mem x b) a)
+
+(* Layer 1: the ops touch entirely separate parts of the structure —
+   neither writes anything the other reads or writes. Never fires on
+   pairs sharing an input address (both write it). *)
+let syntactic_independent (w1, r1) (w2, r2) =
+  disjoint w1 (r2 @ w2) && disjoint w2 r1
+
+(* --- frame-based argument (layer 2) ---------------------------------------- *)
+
+(* A rule writes only the cell pinned to the op's own parameter tuple
+   when its support plan is anchorless and fully pinned with pin i =
+   Var params.(i). Under the distinct-argument side condition two such
+   writes to the same relation land on different cells. *)
+let self_pinned_rule params (r : Program.rule) =
+  let plan = Support.plan_rule r in
+  let arity = List.length r.vars in
+  (* the whole parameter tuple must address the cell — a prefix (or a
+     0-ary target) would let distinct requests collide on one cell *)
+  arity = List.length params
+  &&
+  let pins_ok slabs =
+    List.for_all
+      (fun (s : Delta_eval.slab) ->
+        s.s_anchor = None
+        && List.length s.s_pins = arity
+        && List.for_all
+             (fun (pin : Delta_eval.pin) ->
+               match (pin.value, List.nth_opt params pin.coord) with
+               | Formula.Var x, Some param -> x = param
+               | _ -> false)
+             s.s_pins)
+      slabs
+  in
+  match plan.Delta_eval.rp_frame with
+  | Some { f_out = Slabs out; f_in = Slabs inn } -> pins_ok out && pins_ok inn
+  | _ -> false
+
+(* Does [o] write relation [t] only at the cell addressed by its own
+   parameters? Default maintenance of the input relation qualifies by
+   construction; an explicit rule must have a self-pinned support. *)
+let self_pinned p o t =
+  match block_of p o with
+  | None -> t = o.op_rel
+  | Some (u : Program.update) -> (
+      match
+        List.find_opt (fun (r : Program.rule) -> r.target = t) u.rules
+      with
+      | None -> t = o.op_rel (* default maintenance *)
+      | Some r -> self_pinned_rule u.params r)
+
+(* Reads excluding each shared target's frame self-atom: for a rule
+   [T(x̄) <- (T(x̄) ∧ A) ∨ C] over a shared [T], the read of [T] through
+   the frame atom is cell-local (the new value at x̄ depends on the old
+   value at the same x̄), so under disjoint written cells it cannot
+   observe the other op's write; only [A]'s and [C]'s reads remain
+   external. Unframed rules and temporaries keep their full read sets. *)
+let external_reads p o shared =
+  match block_of p o with
+  | None -> []
+  | Some (u : Program.update) ->
+      let vocab = Program.vocab p in
+      let rules' =
+        List.map
+          (fun (r : Program.rule) ->
+            if List.mem r.target shared then
+              match
+                Support.find_frame ~target:r.target ~vars:r.vars r.body
+              with
+              | Some (a, c) -> { r with body = Formula.And (a, c) }
+              | None -> r
+            else r)
+          u.rules
+      in
+      reads_of_update vocab { u with rules = rules' }
+
+let frame_independent p o1 o2 (w1, w2) =
+  let shared = List.filter (fun t -> List.mem t w2) w1 in
+  let shared_ok =
+    List.for_all
+      (fun t ->
+        (* distinctness only bites when both ops update the same input
+           address, so colliding parameter tuples are ruled out *)
+        addr o1 = addr o2 && self_pinned p o1 t && self_pinned p o2 t)
+      shared
+  in
+  shared_ok
+  && disjoint w1 (external_reads p o2 shared)
+  && disjoint w2 (external_reads p o1 shared)
+
+(* --- the bounded model checker (layer 3) ------------------------------------ *)
+
+type domain = Synthetic | Reachable
+
+type law = { law_holds : bool; law_domain : domain; law_checks : int }
+
+let pow b e =
+  let r = ref 1 in
+  for _ = 1 to e do
+    r := !r * b
+  done;
+  !r
+
+let decode_tuple ~size ~arity idx =
+  let t = Array.make arity 0 in
+  let rest = ref idx in
+  for i = 0 to arity - 1 do
+    t.(i) <- !rest mod size;
+    rest := !rest / size
+  done;
+  t
+
+type mc_result = {
+  mc_checks : int;
+  mc_exhaustive_upto : int;
+  mc_cex : (int * int list list) option;  (** size, offending arguments *)
+}
+
+(* Drive a property over synthetic structures — the full combined
+   vocabulary with arbitrary auxiliary contents, a strict superset of
+   the reachable states, exactly as Rewrite.verify_block samples them:
+   exhaustive bit-pattern enumeration while [bits] and the budget allow,
+   seeded random densities beyond. [arities] describes the argument
+   tuples (one per request involved); [pre] filters argument/state
+   combinations the property does not speak about (the side
+   conditions). *)
+let run_synthetic ~max_size ~budget ~samples (p : Program.t) ~arities ~pre
+    ~check =
+  let vocab = Program.vocab p in
+  let rels =
+    List.map (fun (s : Vocab.sym) -> (s.name, s.arity)) (Vocab.relations vocab)
+  in
+  let consts = Vocab.constants vocab in
+  let checks = ref 0 in
+  let cex = ref None in
+  let test size st argss =
+    if !cex = None && pre st argss then begin
+      incr checks;
+      if not (check st argss) then cex := Some (size, argss)
+    end
+  in
+  let all_args size =
+    (* cartesian product of the argument tuple spaces *)
+    List.fold_left
+      (fun acc arity ->
+        List.concat_map
+          (fun prefix ->
+            List.init (pow size arity) (fun i ->
+                prefix @ [ Array.to_list (decode_tuple ~size ~arity i) ]))
+          acc)
+      [ [] ] arities
+  in
+  let exhaustive_upto = ref 0 in
+  for size = 1 to max_size do
+    if !cex = None then begin
+      let bits = List.fold_left (fun acc (_, a) -> acc + pow size a) 0 rels in
+      let args = all_args size in
+      let combos = pow size (List.length consts) * List.length args in
+      if bits <= 16 && (1 lsl bits) * combos <= budget then begin
+        for pattern = 0 to (1 lsl bits) - 1 do
+          let base = ref (Structure.create ~size vocab) in
+          let bit = ref 0 in
+          List.iter
+            (fun (name, arity) ->
+              for i = 0 to pow size arity - 1 do
+                if (pattern lsr !bit) land 1 = 1 then
+                  base :=
+                    Structure.add_tuple !base name (decode_tuple ~size ~arity i);
+                incr bit
+              done)
+            rels;
+          for ci = 0 to pow size (List.length consts) - 1 do
+            let rest = ref ci in
+            let st =
+              List.fold_left
+                (fun st c ->
+                  let v = !rest mod size in
+                  rest := !rest / size;
+                  Structure.with_const st c v)
+                !base consts
+            in
+            List.iter (test size st) args
+          done
+        done;
+        if !exhaustive_upto = size - 1 then exhaustive_upto := size
+      end
+      else begin
+        let rng = Random.State.make [| 0xC033; size; bits |] in
+        for _ = 1 to samples do
+          let st = ref (Structure.create ~size vocab) in
+          List.iter
+            (fun (name, arity) ->
+              let density =
+                match Random.State.int rng 3 with
+                | 0 -> 0.15
+                | 1 -> 0.5
+                | _ -> 0.85
+              in
+              for i = 0 to pow size arity - 1 do
+                if Random.State.float rng 1.0 < density then
+                  st :=
+                    Structure.add_tuple !st name (decode_tuple ~size ~arity i)
+              done)
+            rels;
+          let st =
+            List.fold_left
+              (fun st c -> Structure.with_const st c (Random.State.int rng size))
+              !st consts
+          in
+          (* several argument draws per sampled structure *)
+          for _ = 1 to 4 do
+            let argss =
+              List.map
+                (fun arity ->
+                  List.init arity (fun _ -> Random.State.int rng size))
+                arities
+            in
+            test size st argss
+          done
+        done
+      end
+    end
+  done;
+  { mc_checks = !checks; mc_exhaustive_upto = !exhaustive_upto; mc_cex = !cex }
+
+(* Reachable states: random request prefixes from the initial state,
+   seeded. This is the domain the serving layer actually inhabits —
+   sessions start at f_n(empty) and apply valid requests — so laws that
+   a synthetic structure with inconsistent auxiliaries refutes can still
+   be sound for serving when they survive here. *)
+let workload_spec (p : Program.t) =
+  let rels =
+    List.map
+      (fun (s : Vocab.sym) -> (s.name, s.arity))
+      (Vocab.relations p.input_vocab)
+  in
+  Workload.spec ~consts:(Vocab.constants p.input_vocab) rels
+
+let reachable_states ~max_size (p : Program.t) =
+  let spec = workload_spec p in
+  List.concat_map
+    (fun size ->
+      List.concat_map
+        (fun seed ->
+          let reqs =
+            Workload.generate
+              (Random.State.make [| 0xBEA7; size; seed |])
+              ~size ~length:32 spec
+          in
+          let prefixes = [ 0; 6; 16; 32 ] in
+          let _, _, states =
+            List.fold_left
+              (fun (s, i, acc) req ->
+                let s = Runner.step s req in
+                let i = i + 1 in
+                (s, i, if List.mem i prefixes then (size, s) :: acc else acc))
+              (Runner.init p ~size, 0, [ (size, Runner.init p ~size) ])
+              reqs
+          in
+          states)
+        [ 1; 2; 3 ])
+    (List.init max_size (fun i -> i + 1))
+
+let run_reachable states ~arities ~pre ~check =
+  let checks = ref 0 in
+  let cex = ref None in
+  let rng = Random.State.make [| 0x5EED |] in
+  List.iter
+    (fun (size, s) ->
+      if !cex = None then begin
+        let st = Runner.structure s in
+        let total = pow size (List.fold_left ( + ) 0 arities) in
+        let argss_list =
+          if total <= 128 then
+            List.fold_left
+              (fun acc arity ->
+                List.concat_map
+                  (fun prefix ->
+                    List.init (pow size arity) (fun i ->
+                        prefix @ [ Array.to_list (decode_tuple ~size ~arity i) ]))
+                  acc)
+              [ [] ] arities
+          else
+            List.init 64 (fun _ ->
+                List.map
+                  (fun arity ->
+                    List.init arity (fun _ -> Random.State.int rng size))
+                  arities)
+        in
+        List.iter
+          (fun argss ->
+            if !cex = None && pre st argss then begin
+              incr checks;
+              if not (check st argss) then cex := Some (size, argss)
+            end)
+          argss_list
+      end)
+    states;
+  { mc_checks = !checks; mc_exhaustive_upto = 0; mc_cex = !cex }
+
+(* --- the properties --------------------------------------------------------- *)
+
+let step_t = Runner.step ~backend:`Tuple
+let step_b = Runner.step ~backend:`Bulk
+
+let commute_check p o1 o2 =
+  let count = ref 0 in
+  fun st argss ->
+    match argss with
+    | [ a1; a2 ] ->
+        incr count;
+        let r1 = request_of o1 a1 and r2 = request_of o2 a2 in
+        let s0 = Runner.restore p st in
+        let s12 = step_t (step_t s0 r1) r2 in
+        let s21 = step_t (step_t s0 r2) r1 in
+        Structure.equal (Runner.structure s12) (Runner.structure s21)
+        && (* cross-check the bulk evaluator on a cadence — same
+              semantics, different code path *)
+        (!count land 7 <> 0
+        ||
+        let b12 = step_b (step_b s0 r1) r2 in
+        let b21 = step_b (step_b s0 r2) r1 in
+        Structure.equal (Runner.structure b12) (Runner.structure b21)
+        && Structure.equal (Runner.structure b12) (Runner.structure s12))
+    | _ -> assert false
+
+(* the side condition: arguments must differ when both requests address
+   the same input relation or constant *)
+let commute_pre o1 o2 _st argss =
+  match argss with
+  | [ a1; a2 ] -> addr o1 <> addr o2 || a1 <> a2
+  | _ -> assert false
+
+let idempotent_check p o st argss =
+  match argss with
+  | [ a ] ->
+      let r = request_of o a in
+      let s1 = step_t (Runner.restore p st) r in
+      let s2 = step_t s1 r in
+      Structure.equal (Runner.structure s1) (Runner.structure s2)
+  | _ -> assert false
+
+(* a request that does not change the input: the op's block must be the
+   identity on the whole structure (the paper's no-op property) *)
+let nop_pre o st argss =
+  match argss with
+  | [ a ] -> (
+      match o.op_kind with
+      | `Ins -> Structure.mem st o.op_rel (Array.of_list a)
+      | `Del -> not (Structure.mem st o.op_rel (Array.of_list a))
+      | `Set -> Structure.const st o.op_rel = List.hd a)
+  | _ -> assert false
+
+let nop_check p o st argss =
+  match argss with
+  | [ a ] ->
+      let s1 = step_t (Runner.restore p st) (request_of o a) in
+      Structure.equal st (Runner.structure s1)
+  | _ -> assert false
+
+(* --- verdicts --------------------------------------------------------------- *)
+
+type verdict = Commute | Conflict | Unknown
+
+type source = Syntactic | Frames | Mc_only
+
+type cell = {
+  c_left : op;
+  c_right : op;
+  c_verdict : verdict;
+  c_source : source;
+  c_domain : domain option;  (** [Some] exactly on [Commute] *)
+  c_checks : int;
+  c_exhaustive_upto : int;
+  c_reason : string;
+}
+
+type op_report = {
+  or_op : op;
+  or_writes : string list;
+  or_reads : string list;
+  or_idempotent : law;
+  or_nop : law;
+}
+
+type matrix = {
+  m_program : string;
+  m_ops : op_report list;
+  m_cells : cell list;  (** unordered pairs, diagonal included *)
+}
+
+let pp_args argss =
+  String.concat "; "
+    (List.map
+       (fun a -> "(" ^ String.concat "," (List.map string_of_int a) ^ ")")
+       argss)
+
+(* Phase A (synthetic, strongest) then phase B (reachable, the domain
+   serving actually needs) — a law is only believed when one of them
+   confirms it with at least one check. *)
+let verify_law ~max_size ~budget ~samples p states ~arities ~pre ~check =
+  let a = run_synthetic ~max_size ~budget ~samples p ~arities ~pre ~check in
+  match a.mc_cex with
+  | None when a.mc_checks > 0 ->
+      (Some Synthetic, a, { law_holds = true; law_domain = Synthetic; law_checks = a.mc_checks })
+  | _ -> (
+      let b = run_reachable (Lazy.force states) ~arities ~pre ~check in
+      match b.mc_cex with
+      | None when b.mc_checks > 0 ->
+          ( Some Reachable,
+            { b with mc_exhaustive_upto = a.mc_exhaustive_upto },
+            { law_holds = true; law_domain = Reachable; law_checks = b.mc_checks } )
+      | _ ->
+          let r =
+            if b.mc_cex <> None then b
+            else { a with mc_checks = a.mc_checks + b.mc_checks }
+          in
+          (None, r, { law_holds = false; law_domain = Synthetic; law_checks = r.mc_checks }))
+
+let analyze ?(max_size = 4) ?(budget = 20_000) ?(samples = 48)
+    (p : Program.t) =
+  let ops = ops_of p in
+  let states = lazy (reachable_states ~max_size p) in
+  let rw = List.map (fun o -> (o, (writes_of p o, reads_of p o))) ops in
+  let law_of ~arities ~pre ~check =
+    let _, _, law =
+      verify_law ~max_size ~budget ~samples p states ~arities ~pre ~check
+    in
+    law
+  in
+  let op_reports =
+    List.map
+      (fun o ->
+        let w, r = List.assq o rw in
+        {
+          or_op = o;
+          or_writes = w;
+          or_reads = r;
+          or_idempotent =
+            law_of ~arities:[ o.op_arity ]
+              ~pre:(fun _ _ -> true)
+              ~check:(idempotent_check p o);
+          or_nop =
+            law_of ~arities:[ o.op_arity ] ~pre:(nop_pre o)
+              ~check:(nop_check p o);
+        })
+      ops
+  in
+  let cell_of o1 o2 =
+    let (w1, r1) = List.assq o1 rw and (w2, r2) = List.assq o2 rw in
+    match (o1.op_kind, o2.op_kind) with
+    | `Set, `Set when o1.op_rel = o2.op_rel ->
+        (* distinct values by the side condition: last writer wins and
+           the final constant differs between the two orders *)
+        {
+          c_left = o1;
+          c_right = o2;
+          c_verdict = Conflict;
+          c_source = Syntactic;
+          c_domain = None;
+          c_checks = 0;
+          c_exhaustive_upto = 0;
+          c_reason =
+            Printf.sprintf "last-writer-wins on constant %s" o1.op_rel;
+        }
+    | _ ->
+        let source =
+          if syntactic_independent (w1, r1) (w2, r2) then Syntactic
+          else if frame_independent p o1 o2 (w1, w2) then Frames
+          else Mc_only
+        in
+        let domain, mc, _ =
+          verify_law ~max_size ~budget ~samples p states
+            ~arities:[ o1.op_arity; o2.op_arity ]
+            ~pre:(commute_pre o1 o2)
+            ~check:(commute_check p o1 o2)
+        in
+        let static_reason =
+          match source with
+          | Syntactic -> "disjoint read/write sets"
+          | Frames -> "disjoint self-pinned frames under distinct arguments"
+          | Mc_only -> "no static independence proof"
+        in
+        let verdict, reason =
+          match (domain, mc.mc_cex) with
+          | Some Synthetic, _ ->
+              ( Commute,
+                Printf.sprintf
+                  "%s; confirmed on synthetic structures (%d checks, \
+                   exhaustive to n=%d)"
+                  static_reason mc.mc_checks mc.mc_exhaustive_upto )
+          | Some Reachable, _ ->
+              ( Commute,
+                Printf.sprintf
+                  "%s; synthetic counterexample has unreachable auxiliaries \
+                   — confirmed on reachable states only (%d checks)"
+                  static_reason mc.mc_checks )
+          | None, Some (n, argss) ->
+              ( Conflict,
+                Printf.sprintf "refuted at n=%d, args %s" n (pp_args argss) )
+          | None, None ->
+              (Unknown, "no state/argument combination admissible — unverified")
+        in
+        {
+          c_left = o1;
+          c_right = o2;
+          c_verdict = verdict;
+          c_source = source;
+          c_domain = domain;
+          c_checks = mc.mc_checks;
+          c_exhaustive_upto = mc.mc_exhaustive_upto;
+          c_reason = reason;
+        }
+  in
+  let rec pairs = function
+    | [] -> []
+    | o :: rest -> List.map (cell_of o) (o :: rest) @ pairs rest
+  in
+  { m_program = p.name; m_ops = op_reports; m_cells = pairs ops }
+
+(* --- lookups ---------------------------------------------------------------- *)
+
+let find_cell m o1 o2 =
+  List.find_opt
+    (fun c ->
+      (same_op c.c_left o1 && same_op c.c_right o2)
+      || (same_op c.c_left o2 && same_op c.c_right o1))
+    m.m_cells
+
+let verdict m o1 o2 =
+  match find_cell m o1 o2 with Some c -> c.c_verdict | None -> Unknown
+
+let op_report m o =
+  List.find_opt (fun r -> same_op r.or_op o) m.m_ops
+
+(* --- memoized analysis ------------------------------------------------------ *)
+
+let cache_limit = 32
+let cache : (Program.t * matrix) list ref = ref []
+let cache_lock = Mutex.create ()
+
+let matrix_of (p : Program.t) =
+  Mutex.protect cache_lock (fun () ->
+      match List.find_opt (fun (q, _) -> q == p) !cache with
+      | Some (_, m) -> m
+      | None ->
+          let m = analyze p in
+          let rest =
+            if List.length !cache >= cache_limit then
+              List.filteri (fun i _ -> i < cache_limit - 1) !cache
+            else !cache
+          in
+          cache := (p, m) :: rest;
+          m)
+
+(* --- the runner oracle ------------------------------------------------------ *)
+
+let op_of_request (p : Program.t) = function
+  | Request.Ins (n, t) ->
+      { op_kind = `Ins; op_rel = n; op_arity = Array.length t }
+  | Request.Del (n, t) ->
+      { op_kind = `Del; op_rel = n; op_arity = Array.length t }
+  | Request.Set (n, _) ->
+      ignore p;
+      { op_kind = `Set; op_rel = n; op_arity = 1 }
+
+let query_reads (p : Program.t) =
+  let vocab = Program.vocab p in
+  let reads params f =
+    dedup
+      (List.map fst (Formula.rel_atoms f)
+      @ List.filter
+          (fun x -> (not (List.mem x params)) && Vocab.mem_const vocab x)
+          (Formula.free_vars f))
+  in
+  (None, reads [] p.query)
+  :: List.map (fun (n, vars, body) -> (Some n, reads vars body)) p.queries
+
+let oracle_of (p : Program.t) : Runner.commute_oracle =
+  let m = matrix_of p in
+  let qreads = query_reads p in
+  let writes = List.map (fun r -> (r.or_op, r.or_writes)) m.m_ops in
+  let commutes r1 r2 =
+    verdict m (op_of_request p r1) (op_of_request p r2) = Commute
+  in
+  let args_equal r1 r2 =
+    match (r1, r2) with
+    | Request.Ins (_, a), Request.Ins (_, b)
+    | Request.Ins (_, a), Request.Del (_, b)
+    | Request.Del (_, a), Request.Ins (_, b)
+    | Request.Del (_, a), Request.Del (_, b) ->
+        Tuple.compare a b = 0
+    | Request.Set (_, a), Request.Set (_, b) -> a = b
+    | _ -> false
+  in
+  let law_of pick r =
+    match op_report m (op_of_request p r) with
+    | Some rep -> (pick rep).law_holds
+    | None -> false
+  in
+  {
+    co_swap =
+      (fun r1 r2 ->
+        if r1 = r2 then true
+        else if
+          addr (op_of_request p r1) = addr (op_of_request p r2)
+          && args_equal r1 r2
+        then false (* the side condition excludes equal arguments *)
+        else commutes r1 r2);
+    co_elidable = law_of (fun rep -> rep.or_nop);
+    co_dedupe = law_of (fun rep -> rep.or_idempotent);
+    co_invisible =
+      (fun r qname ->
+        match
+          ( List.assoc_opt (op_of_request p r) writes,
+            List.assoc_opt qname qreads )
+        with
+        | Some w, Some reads -> disjoint w reads
+        | _ -> false);
+  }
+
+let install () = Runner.set_commute_oracle oracle_of
+
+(* --- rendering -------------------------------------------------------------- *)
+
+let verdict_string = function
+  | Commute -> "commute"
+  | Conflict -> "conflict"
+  | Unknown -> "unknown"
+
+let verdict_char = function Commute -> 'C' | Conflict -> 'X' | Unknown -> '?'
+
+let source_string = function
+  | Syntactic -> "syntactic"
+  | Frames -> "frames"
+  | Mc_only -> "mc-only"
+
+let domain_string = function
+  | Synthetic -> "synthetic"
+  | Reachable -> "reachable"
+
+let pp_law ppf (what, l) =
+  if l.law_holds then
+    Format.fprintf ppf "%s (%s, %d checks)" what
+      (domain_string l.law_domain)
+      l.law_checks
+  else Format.fprintf ppf "not %s" what
+
+let pp ppf m =
+  let names = List.map (fun r -> op_name r.or_op) m.m_ops in
+  let width =
+    List.fold_left (fun acc n -> max acc (String.length n)) 7 names
+  in
+  Format.fprintf ppf
+    "%s: %d op(s) — C commute / X conflict / ? unknown@." m.m_program
+    (List.length m.m_ops);
+  Format.fprintf ppf "  %*s" width "";
+  List.iter (fun n -> Format.fprintf ppf "  %-*s" width n) names;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun r1 ->
+      Format.fprintf ppf "  %-*s" width (op_name r1.or_op);
+      List.iter
+        (fun r2 ->
+          Format.fprintf ppf "  %-*s" width
+            (String.make 1 (verdict_char (verdict m r1.or_op r2.or_op))))
+        m.m_ops;
+      Format.fprintf ppf "@.")
+    m.m_ops;
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %s: writes %s; %a; %a@." (op_name r.or_op)
+        (String.concat "," r.or_writes)
+        pp_law ("idempotent", r.or_idempotent)
+        pp_law ("no-op on redundant requests", r.or_nop))
+    m.m_ops;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "  (%s, %s): %s [%s] — %s@." (op_name c.c_left)
+        (op_name c.c_right)
+        (verdict_string c.c_verdict)
+        (source_string c.c_source)
+        c.c_reason)
+    m.m_cells
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let pp_strings ppf xs =
+  Format.fprintf ppf "[%s]"
+    (String.concat ", " (List.map (fun s -> "\"" ^ json_escape s ^ "\"") xs))
+
+let pp_law_json ppf l =
+  Format.fprintf ppf
+    "{\"holds\": %b, \"domain\": \"%s\", \"checks\": %d}" l.law_holds
+    (domain_string l.law_domain)
+    l.law_checks
+
+let pp_json ppf m =
+  let sep ppf () = Format.pp_print_string ppf ", " in
+  Format.fprintf ppf
+    "{\"version\": %d, \"program\": \"%s\", \"ops\": [%a], \"cells\": [%a]}"
+    Report.version m.m_program
+    (Format.pp_print_list ~pp_sep:sep (fun ppf r ->
+         Format.fprintf ppf
+           "{\"op\": \"%s\", \"arity\": %d, \"writes\": %a, \"reads\": %a, \
+            \"idempotent\": %a, \"nop\": %a}"
+           (op_name r.or_op) r.or_op.op_arity pp_strings r.or_writes
+           pp_strings r.or_reads pp_law_json r.or_idempotent pp_law_json
+           r.or_nop))
+    m.m_ops
+    (Format.pp_print_list ~pp_sep:sep (fun ppf c ->
+         Format.fprintf ppf
+           "{\"left\": \"%s\", \"right\": \"%s\", \"verdict\": \"%s\", \
+            \"source\": \"%s\", \"domain\": %s, \"checks\": %d, \
+            \"exhaustive_upto\": %d, \"reason\": \"%s\"}"
+           (op_name c.c_left) (op_name c.c_right)
+           (verdict_string c.c_verdict)
+           (source_string c.c_source)
+           (match c.c_domain with
+           | Some d -> "\"" ^ domain_string d ^ "\""
+           | None -> "null")
+           c.c_checks c.c_exhaustive_upto (json_escape c.c_reason)))
+    m.m_cells

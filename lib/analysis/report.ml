@@ -6,7 +6,7 @@ type t = {
   advice : Advisor.advice;
 }
 
-let version = 2
+let version = 3
 
 let of_program p =
   {

@@ -38,6 +38,33 @@ let resolve_backend (p : Program.t) (b : backend) =
   | `Auto -> !auto_chooser p
   | (`Tuple | `Bulk | `Delta) as b -> b
 
+(* Third instance of the injection pattern: the per-program commutation
+   oracle behind the batch planner and the serving layer's coalescing.
+   Every field must answer [false] unless the corresponding law was
+   verified for the program — the default oracle trusts nothing, so
+   [step_batch] degenerates to in-order evaluation until
+   [Dynfo_analysis.Commute.install] swaps in the verified matrix. *)
+type commute_oracle = {
+  co_swap : Request.t -> Request.t -> bool;
+  co_elidable : Request.t -> bool;
+  co_dedupe : Request.t -> bool;
+  co_invisible : Request.t -> string option -> bool;
+}
+
+let null_oracle =
+  {
+    co_swap = (fun _ _ -> false);
+    co_elidable = (fun _ -> false);
+    co_dedupe = (fun _ -> false);
+    co_invisible = (fun _ _ -> false);
+  }
+
+let commute_oracle_ref : (Program.t -> commute_oracle) ref =
+  ref (fun _ -> null_oracle)
+
+let set_commute_oracle f = commute_oracle_ref := f
+let commute_oracle p = !commute_oracle_ref p
+
 let seq_rules_define st ~env rules =
   List.map
     (fun (r : Program.rule) ->
@@ -191,6 +218,53 @@ let step ?backend s req =
 
 let run ?backend s reqs = List.fold_left (step ?backend) s reqs
 
+(* --- commute-aware batch planning ------------------------------------------ *)
+
+(* Does [req] change nothing about the input part of the state? Only
+   consulted for ops whose redundant-request no-op law the oracle
+   verified, so skipping the update block entirely is state-preserving. *)
+let redundant st = function
+  | Request.Ins (name, tup) -> Structure.mem st name tup
+  | Request.Del (name, tup) -> not (Structure.mem st name tup)
+  | Request.Set (name, v) -> Structure.const st name = v
+
+let op_key = function
+  | Request.Ins (n, _) -> (`Ins, n)
+  | Request.Del (n, _) -> (`Del, n)
+  | Request.Set (n, _) -> (`Set, n)
+
+(* Greedy stable grouping: each request joins the most recent group of
+   its own operation it can reach by commuting (pairwise, as judged by
+   [swap]) past every request of the newer groups in between; otherwise
+   it opens a new group at the tail. Requests only ever move earlier,
+   the displaced ones keep their relative order, and every adjacent
+   transposition is oracle-approved — so the concatenation of the groups
+   is equivalent to the original sequence. With the null oracle only the
+   newest group is ever joined, i.e. the plan degenerates to the maximal
+   same-operation runs of the request list, in order. *)
+let plan_groups_with swap reqs =
+  let place groups r =
+    let key = op_key r in
+    let rec go newer = function
+      | (k, members) :: older when k = key ->
+          Some (List.rev_append newer ((k, r :: members) :: older))
+      | (k, members) :: older when List.for_all (fun r' -> swap r' r) members
+        ->
+          go ((k, members) :: newer) older
+      | _ -> None
+    in
+    match go [] groups with
+    | Some groups -> groups
+    | None -> (key, [ r ]) :: groups
+  in
+  List.fold_left place [] reqs
+  |> List.rev_map (fun (_, members) -> List.rev members)
+
+let plan_groups p reqs =
+  plan_groups_with (!commute_oracle_ref p).co_swap reqs
+
+type batch_info = { bi_groups : int; bi_elided : int }
+
 (* One evaluation tick over an explicit request list: the serving
    layer's coalescing unit. Semantically the sequential composition of
    the singleton steps — the qcheck oracle asserts state equality
@@ -199,11 +273,41 @@ let run ?backend s reqs = List.fold_left (step ?backend) s reqs
    up front (which also makes the batch atomic: an invalid member
    rejects it before anything runs), [`Auto] resolves once, and the
    delta backend's memoized rule testers ([Delta_eval]) are compiled at
-   most once under the batch's first step. *)
-let step_batch ?(backend = `Tuple) s reqs =
+   most once under the batch's first step.
+
+   With a commute oracle installed the batch is first reordered into
+   same-operation groups (sound by the oracle's pairwise swap verdicts),
+   so the delta backend performs one block-plan lookup per group instead
+   of per request; and requests that do not change the input (insert of
+   a present tuple, delete of an absent one, set to the current value)
+   are skipped entirely for ops whose no-op law the oracle verified. *)
+let step_batch_info ?(backend = `Tuple) ?oracle s reqs =
   List.iter (validate_request ~who:"Runner.step_batch" s) reqs;
-  let backend = (resolve_backend s.program backend :> backend) in
-  List.fold_left (step_unchecked ~backend) s reqs
+  let backend = resolve_backend s.program backend in
+  let oracle =
+    match oracle with Some o -> o | None -> !commute_oracle_ref s.program
+  in
+  let groups = plan_groups_with oracle.co_swap reqs in
+  let step_group (s, elided) group =
+    let rules_define =
+      match backend with
+      | (`Tuple | `Bulk) as b -> rules_define_for b
+      | `Delta ->
+          let plan, block = delta_block_for s.program (List.hd group) in
+          delta_rules_define plan block
+    in
+    List.fold_left
+      (fun (s, elided) req ->
+        if oracle.co_elidable req && redundant s.structure req then
+          (s, elided + 1)
+        else (step_with_unchecked ~rules_define s req, elided))
+      (s, elided) group
+  in
+  let s, elided = List.fold_left step_group (s, 0) groups in
+  (s, { bi_groups = List.length groups; bi_elided = elided })
+
+let step_batch ?backend ?oracle s reqs =
+  fst (step_batch_info ?backend ?oracle s reqs)
 
 let restore (p : Program.t) st =
   (* the snapshot must expose the whole combined vocabulary, exactly as
@@ -244,6 +348,12 @@ let step_work ?backend s req = Eval.with_work (fun () -> step ?backend s req)
 
 let step_batch_work ?backend s reqs =
   Eval.with_work (fun () -> step_batch ?backend s reqs)
+
+let step_batch_full ?backend ?oracle s reqs =
+  let (s, info), w =
+    Eval.with_work (fun () -> step_batch_info ?backend ?oracle s reqs)
+  in
+  (s, w, info)
 
 let run_work ?backend s reqs =
   let s, rev =

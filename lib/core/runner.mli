@@ -59,6 +59,52 @@ val resolve_backend : Program.t -> backend -> [ `Tuple | `Bulk | `Delta ]
 (** Resolve [`Auto] for a program via the installed chooser; the
     identity on concrete backends. *)
 
+type commute_oracle = {
+  co_swap : Request.t -> Request.t -> bool;
+      (** May these two adjacent requests be transposed without changing
+          the final structure? Must only answer [true] on a verified
+          [Commute] verdict for the pair of operations (under the
+          argument side conditions). *)
+  co_elidable : Request.t -> bool;
+      (** Does the request's op carry a verified redundant-request no-op
+          law, so that a request which does not change the input
+          (insert of a present tuple, delete of an absent one, set to
+          the current value) may skip its update block entirely? *)
+  co_dedupe : Request.t -> bool;
+      (** Is the op verified idempotent ([r; r ≡ r]), so back-to-back
+          identical queued requests may be collapsed to one? *)
+  co_invisible : Request.t -> string option -> bool;
+      (** Does the request leave the named query (or the program query,
+          [None]) unaffected — i.e. does its op write no relation or
+          constant the query formula reads? The serving layer uses this
+          to let updates overtake pending queries. *)
+}
+(** The per-program commutation facts the batch planner and the serving
+    layer may exploit. Every answer must be backed by a verified law:
+    the conservative {!null_oracle} (all [false]) is always sound. *)
+
+val null_oracle : commute_oracle
+(** Trusts nothing; {!step_batch} degenerates to in-order evaluation. *)
+
+val set_commute_oracle : (Program.t -> commute_oracle) -> unit
+(** Install the per-program oracle (the same injection pattern as
+    {!set_auto_chooser}: the core library cannot depend on the analysis
+    layer, so [Dynfo_analysis.Commute.install] calls this with its
+    model-checked matrix). Oracles should memoize: the runner asks on
+    every batch. *)
+
+val commute_oracle : Program.t -> commute_oracle
+(** The installed oracle's verdict set for a program ({!null_oracle}
+    until one is installed). *)
+
+val plan_groups : Program.t -> Request.t list -> Request.t list list
+(** The commute-aware batch plan: the request list reordered into
+    same-operation groups, each request joining the most recent group of
+    its op it can reach by oracle-approved adjacent transpositions.
+    Concatenating the groups is equivalent to the original sequence;
+    with the null oracle this is exactly the maximal same-op runs, in
+    order. *)
+
 val init : Program.t -> size:int -> state
 (** [f_n(empty)] — the initial state for universe [{0..size-1}]. *)
 
@@ -100,7 +146,8 @@ val step_with :
 
 val run : ?backend:backend -> state -> Request.t list -> state
 
-val step_batch : ?backend:backend -> state -> Request.t list -> state
+val step_batch :
+  ?backend:backend -> ?oracle:commute_oracle -> state -> Request.t list -> state
 (** Apply an explicit batch as {e one evaluation tick} — the serving
     layer's coalescing unit. Guaranteed equal to
     [run ?backend s reqs] (the qcheck oracle asserts state equality on
@@ -109,7 +156,30 @@ val step_batch : ?backend:backend -> state -> Request.t list -> state
     state untouched — and amortised: validation and [`Auto] resolution
     happen once per batch, and the delta backend's memoized testers
     ([Dynfo_logic.Delta_eval]) compile at most once under the batch's
-    first step and only rebind thereafter. *)
+    first step and only rebind thereafter.
+
+    With a commute oracle installed ({!set_commute_oracle}) the batch is
+    additionally planned via {!plan_groups} — the delta backend then
+    pays one block-plan lookup per {e group} instead of per contiguous
+    same-op run — and input-preserving requests of ops with a verified
+    no-op law are elided outright. Both transformations preserve the
+    [run] equivalence by the oracle's verified laws. *)
+
+type batch_info = {
+  bi_groups : int;  (** groups the batch planner produced *)
+  bi_elided : int;  (** requests skipped by the verified no-op law *)
+}
+
+val step_batch_full :
+  ?backend:backend ->
+  ?oracle:commute_oracle ->
+  state ->
+  Request.t list ->
+  state * int * batch_info
+(** {!step_batch} plus the tick's work charge and planning counters —
+    what the serving layer records per tick. [oracle] overrides the
+    installed oracle for this batch (the serving layer's FIFO mode
+    passes {!null_oracle} to keep a measurable baseline). *)
 
 val restore : Program.t -> Structure.t -> state
 (** Adopt a deserialized combined structure (snapshot restore) as the

@@ -211,6 +211,8 @@ let slab_tuple st env ~size slab =
 
 let fast_hits_c = Atomic.make 0
 let fast_hits () = Atomic.get fast_hits_c
+let mask_builds_c = Atomic.make 0
+let mask_builds () = Atomic.get mask_builds_c
 
 (* Build the dirty mask for a framed rule, or decide [`Full] — or, when
    both sides are fully pinned, resolve the frontier to its concrete
@@ -263,6 +265,7 @@ let frontier st ~env ~base (plan : rule_plan) : frontier =
               spent := !spent + k;
               if !spent >= budget then raise Over_budget
             in
+            Atomic.incr mask_builds_c;
             let mask = Bitrel.create ~size ~arity in
             let install pins =
               Eval.add_work (Bitrel.set_slab mask pins)

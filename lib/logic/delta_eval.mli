@@ -146,6 +146,11 @@ val fast_hits : unit -> int
 (** Process-lifetime count of [`Tuples] frontiers taken — how often the
     mask-free fast path fired (tests and benches assert it does). *)
 
+val mask_builds : unit -> int
+(** Process-lifetime count of {!Bitrel} dirty masks allocated — each is a
+    full frontier construction the fast path and batch grouping try to
+    avoid; surfaced in [dynfo serve] stats and [check] output. *)
+
 val splice :
   test:(Tuple.t -> bool) -> base:Relation.t -> Bitrel.t -> Relation.t
 (** Re-test every mask member with [test] (a {!Eval.tester} of the full

@@ -75,9 +75,10 @@ let hello t =
   let fields = call t Wire.Hello in
   (str_field fields "server", int_field fields "version")
 
-let create t ?session ?(backend = `Auto) ?(engine = `Seq) ~program ~size () =
+let create t ?session ?(backend = `Auto) ?(engine = `Seq)
+    ?(coalesce = `Commute) ~program ~size () =
   let fields =
-    call t (Wire.Create { session; program; size; backend; engine })
+    call t (Wire.Create { session; program; size; backend; engine; coalesce })
   in
   str_field fields "session"
 
@@ -93,8 +94,11 @@ let query t ~session ?name args =
 let snapshot t ~session ~path =
   int_field (call t (Wire.Snapshot { session; path })) "bytes"
 
-let restore t ?session ?(backend = `Auto) ?(engine = `Seq) ~path () =
-  let fields = call t (Wire.Restore { session; path; backend; engine }) in
+let restore t ?session ?(backend = `Auto) ?(engine = `Seq)
+    ?(coalesce = `Commute) ~path () =
+  let fields =
+    call t (Wire.Restore { session; path; backend; engine; coalesce })
+  in
   (str_field fields "session", int_field fields "steps")
 
 type stats = {
@@ -103,16 +107,34 @@ type stats = {
   coalesced : int;
   work : int;
   queries : int;
+  groups : int;
+  elided : int;
+  deduped : int;
+  hoisted : int;
+  delta_fast_hits : int;
+  delta_memo_hits : int;
+  delta_memo_misses : int;
+  delta_mask_builds : int;
 }
 
 let stats t ~session =
   let fields = call t (Wire.Stats { session }) in
+  (* the commute/delta counters are absent from older servers *)
+  let opt k = Option.value ~default:0 (Option.bind (List.assoc_opt k fields) Json.to_int) in
   {
     steps = int_field fields "steps";
     ticks = int_field fields "ticks";
     coalesced = int_field fields "coalesced";
     work = int_field fields "work";
     queries = int_field fields "queries";
+    groups = opt "groups";
+    elided = opt "elided";
+    deduped = opt "deduped";
+    hoisted = opt "hoisted";
+    delta_fast_hits = opt "delta_fast_hits";
+    delta_memo_hits = opt "delta_memo_hits";
+    delta_memo_misses = opt "delta_memo_misses";
+    delta_mask_builds = opt "delta_mask_builds";
   }
 
 let list_sessions t =

@@ -45,12 +45,14 @@ val create :
   ?session:string ->
   ?backend:Runner.backend ->
   ?engine:[ `Seq | `Par ] ->
+  ?coalesce:[ `Fifo | `Commute ] ->
   program:string ->
   size:int ->
   unit ->
   string
 (** Create a session; returns its id. [backend] defaults to [`Auto],
-    [engine] to [`Seq]. *)
+    [engine] to [`Seq], [coalesce] to [`Commute] (the commute-aware
+    drain; pass [`Fifo] for the strict baseline). *)
 
 val destroy : t -> session:string -> unit
 
@@ -67,6 +69,7 @@ val restore :
   ?session:string ->
   ?backend:Runner.backend ->
   ?engine:[ `Seq | `Par ] ->
+  ?coalesce:[ `Fifo | `Commute ] ->
   path:string ->
   unit ->
   string * int
@@ -79,6 +82,14 @@ type stats = {
   coalesced : int;
   work : int;
   queries : int;
+  groups : int;  (** commute-planner groups across all ticks *)
+  elided : int;  (** requests skipped by the verified no-op law *)
+  deduped : int;  (** identical back-to-back requests collapsed *)
+  hoisted : int;  (** update jobs that overtook pending queries *)
+  delta_fast_hits : int;  (** process-wide {!Dynfo_logic.Delta_eval} counters *)
+  delta_memo_hits : int;
+  delta_memo_misses : int;
+  delta_mask_builds : int;
 }
 
 val stats : t -> session:string -> stats

@@ -141,6 +141,7 @@ let session_fields s =
       Json.Str
         (Wire.backend_to_string ((Session.resolved s) :> Runner.backend)) );
     ("engine", Json.Str (Wire.engine_to_string (Session.engine s)));
+    ("coalesce", Json.Str (Wire.coalesce_to_string (Session.coalesce s)));
   ]
 
 (* --- dispatch -------------------------------------------------------------- *)
@@ -159,10 +160,10 @@ let dispatch t (cmd : Wire.cmd) : (string * Json.t) list =
   match cmd with
   | Hello ->
       [ ("server", Json.Str "dynfo"); ("version", Json.Int Wire.version) ]
-  | Create { session; program; size; backend; engine } ->
+  | Create { session; program; size; backend; engine; coalesce } ->
       let p = find_program t program in
       create_session t ~session ~engine (fun ?pool id ->
-          Session.create ~id ~name:program ?pool ~backend p ~size)
+          Session.create ~id ~name:program ?pool ~backend ~coalesce p ~size)
   | Attach { session } ->
       let s = lookup t session in
       let st = Session.stats s in
@@ -189,14 +190,14 @@ let dispatch t (cmd : Wire.cmd) : (string * Json.t) list =
       let s = lookup t session in
       let bytes = Session.snapshot s ~path in
       [ ("path", Json.Str path); ("bytes", Json.Int bytes) ]
-  | Restore { session; path; backend; engine } ->
+  | Restore { session; path; backend; engine; coalesce } ->
       let loaded = Snapshot.load ~path in
       let p = find_program t loaded.Snapshot.snap_program in
       let inner = Runner.restore p loaded.Snapshot.snap_structure in
       let steps = loaded.Snapshot.snap_steps in
       create_session t ~session ~engine (fun ?pool id ->
           Session.of_state ~id ~name:loaded.Snapshot.snap_program ?pool
-            ~backend ~steps inner)
+            ~backend ~coalesce ~steps inner)
       @ [ ("steps", Json.Int steps) ]
   | Stats { session } ->
       let s = lookup t session in
@@ -207,6 +208,16 @@ let dispatch t (cmd : Wire.cmd) : (string * Json.t) list =
         ("coalesced", Json.Int st.st_coalesced);
         ("work", Json.Int st.st_work);
         ("queries", Json.Int st.st_queries);
+        ("groups", Json.Int st.st_groups);
+        ("elided", Json.Int st.st_elided);
+        ("deduped", Json.Int st.st_deduped);
+        ("hoisted", Json.Int st.st_hoisted);
+        (* process-wide delta-evaluator counters (satellite of E24):
+           coalescing effectiveness without a debugger *)
+        ("delta_fast_hits", Json.Int (Dynfo_logic.Delta_eval.fast_hits ()));
+        ("delta_memo_hits", Json.Int (Dynfo_logic.Delta_eval.memo_hits ()));
+        ("delta_memo_misses", Json.Int (Dynfo_logic.Delta_eval.memo_misses ()));
+        ("delta_mask_builds", Json.Int (Dynfo_logic.Delta_eval.mask_builds ()));
       ]
   | List_sessions ->
       let rows =

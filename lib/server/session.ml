@@ -8,7 +8,21 @@ module Par_runner = Dynfo_engine.Par_runner
    update jobs into a single [Runner.step_batch] tick, which is where
    the serving layer's batching win comes from — a burst of clients
    pays for one validation pass, one [`Auto] resolution and one round
-   of delta tester rebinds instead of one each. *)
+   of delta tester rebinds instead of one each.
+
+   In the default [`Commute] coalescing mode the drain additionally
+   consults the model-checked commute oracle ([Dynfo_analysis.Commute]
+   installs it; the conservative null oracle makes every decision below
+   a no-op): an update job may overtake pending queries when every one
+   of its requests is verified invisible to every pending query's
+   formula, so non-adjacent update jobs still merge into one tick;
+   back-to-back identical requests of verified-idempotent ops are
+   deduplicated before stepping; and the tick itself runs under the
+   oracle ([Runner.step_batch]'s planner groups commuting requests and
+   elides verified no-ops). Submitters are always answered
+   individually, with their original request counts. [`Fifo] restores
+   the strictly order-preserving drain (and passes the null oracle to
+   the runner) — the measurable baseline for bench E24. *)
 
 (* The PR-1 domain pool is not reentrant and must be driven by one
    caller at a time, but all [`Par] sessions of a server share one
@@ -24,6 +38,10 @@ type stats = {
   st_coalesced : int;  (** update jobs merged into another job's tick *)
   st_work : int;  (** cumulative work charge over all ticks *)
   st_queries : int;
+  st_groups : int;  (** commute-planner groups across all ticks *)
+  st_elided : int;  (** requests skipped by the verified no-op law *)
+  st_deduped : int;  (** identical back-to-back requests collapsed *)
+  st_hoisted : int;  (** update jobs that overtook pending queries *)
 }
 
 type job =
@@ -38,6 +56,7 @@ type t = {
   backend : Runner.backend;  (* as requested, e.g. [`Auto] *)
   resolved : [ `Tuple | `Bulk | `Delta ];
   engine : [ `Seq | `Par ];
+  coalesce : [ `Fifo | `Commute ];
   lock : Mutex.t;
   cond : Condition.t;
   mutable queue : job list;  (* newest first; worker reverses *)
@@ -48,6 +67,10 @@ type t = {
   mutable coalesced : int;
   mutable work : int;
   mutable queries : int;
+  mutable groups : int;
+  mutable elided : int;
+  mutable deduped : int;
+  mutable hoisted : int;
   mutable worker : Thread.t option;
 }
 
@@ -57,6 +80,7 @@ let name t = t.name
 let backend t = t.backend
 let resolved t = t.resolved
 let engine t = t.engine
+let coalesce t = t.coalesce
 
 let inner_state t =
   match t.runner with Seq s -> s | Par s -> Par_runner.inner s
@@ -73,6 +97,10 @@ let stats t =
         st_coalesced = t.coalesced;
         st_work = t.work;
         st_queries = t.queries;
+        st_groups = t.groups;
+        st_elided = t.elided;
+        st_deduped = t.deduped;
+        st_hoisted = t.hoisted;
       })
 
 (* --- the worker ------------------------------------------------------------ *)
@@ -81,12 +109,17 @@ let apply_tick t reqs =
   let backend = (t.resolved :> Runner.backend) in
   match t.runner with
   | Seq s ->
-      let s, w = Runner.step_batch_work ~backend s reqs in
-      (Seq s, w)
+      let oracle =
+        match t.coalesce with
+        | `Commute -> None (* the installed oracle *)
+        | `Fifo -> Some Runner.null_oracle
+      in
+      let s, w, info = Runner.step_batch_full ~backend ?oracle s reqs in
+      (Seq s, w, info)
   | Par s ->
       Mutex.protect par_lock (fun () ->
           let s, w = Eval.with_work (fun () -> Par_runner.step_batch s reqs) in
-          (Par s, w))
+          (Par s, w, { Runner.bi_groups = 0; bi_elided = 0 }))
 
 let run_query t name args =
   match t.runner with
@@ -108,6 +141,21 @@ let rec split_updates acc = function
   | J_update (reqs, reply) :: rest -> split_updates ((reqs, reply) :: acc) rest
   | rest -> (List.rev acc, rest)
 
+(* Collapse back-to-back identical requests of verified-idempotent ops:
+   [r; r ≡ r] by the oracle's law, so the second frontier evaluation is
+   pure waste. Only adjacent equal requests are touched — anything
+   subtler is the batch planner's job. *)
+let dedupe oracle batch =
+  let rec go kept dropped = function
+    | [] -> (List.rev kept, dropped)
+    | r :: rest -> (
+        match kept with
+        | prev :: _ when r = prev && oracle.Runner.co_dedupe r ->
+            go kept (dropped + 1) rest
+        | _ -> go (r :: kept) dropped rest)
+  in
+  go [] 0 batch
+
 let process_updates t updates =
   let p = t.program in
   let size = Structure.size (Runner.structure (inner_state t)) in
@@ -127,15 +175,23 @@ let process_updates t updates =
   match valid with
   | [] -> ()
   | _ -> (
-      let batch = List.concat_map fst valid in
+      let submitted = List.concat_map fst valid in
+      let batch, dropped =
+        match t.coalesce with
+        | `Commute -> dedupe (Runner.commute_oracle p) submitted
+        | `Fifo -> (submitted, 0)
+      in
       match apply_tick t batch with
-      | runner, w ->
+      | runner, w, info ->
           Mutex.protect t.lock (fun () ->
               t.runner <- runner;
-              t.steps <- t.steps + List.length batch;
+              t.steps <- t.steps + List.length submitted;
               t.ticks <- t.ticks + 1;
               t.coalesced <- t.coalesced + List.length valid - 1;
-              t.work <- t.work + w);
+              t.work <- t.work + w;
+              t.groups <- t.groups + info.Runner.bi_groups;
+              t.elided <- t.elided + info.Runner.bi_elided;
+              t.deduped <- t.deduped + dropped);
           List.iter
             (fun (reqs, reply) -> reply (Ok (List.length reqs, w)))
             valid
@@ -156,16 +212,73 @@ let process_job t = function
       | bytes -> reply (Ok bytes)
       | exception e -> reply (Error e))
 
-let rec process t jobs =
+let rec process_fifo t jobs =
   match jobs with
   | [] -> ()
   | J_update _ :: _ ->
       let updates, rest = split_updates [] jobs in
       process_updates t updates;
-      process t rest
+      process_fifo t rest
   | job :: rest ->
       process_job t job;
-      process t rest
+      process_fifo t rest
+
+(* The commute-aware drain. Updates accumulate across the whole drained
+   queue slice: an update may overtake the queries queued before it when
+   every request is verified invisible to every pending query (the
+   answers are then unchanged by construction — see DESIGN S25), so
+   non-adjacent update jobs still coalesce into one tick. A
+   non-hoistable update, or a snapshot (a barrier: it must observe
+   exactly the prefix's effects), flushes the accumulated tick and
+   answers the pending queries in order. *)
+let process_commute t jobs =
+  let oracle = Runner.commute_oracle t.program in
+  let size = Structure.size (Runner.structure (inner_state t)) in
+  let acc = ref [] (* update jobs, newest first *) in
+  let pending = ref [] (* query jobs, newest first *) in
+  let hoisted = ref 0 in
+  let flush () =
+    if !acc <> [] then process_updates t (List.rev !acc);
+    acc := [];
+    List.iter (process_job t) (List.rev !pending);
+    pending := []
+  in
+  List.iter
+    (fun job ->
+      match job with
+      | J_update (reqs, reply) ->
+          if !pending = [] then acc := (reqs, reply) :: !acc
+          else if
+            Request.valid_batch t.program.input_vocab ~size reqs
+            && List.for_all
+                 (fun r ->
+                   List.for_all
+                     (function
+                       | J_query (name, _, _) -> oracle.Runner.co_invisible r name
+                       | _ -> false)
+                     !pending)
+                 reqs
+          then begin
+            incr hoisted;
+            acc := (reqs, reply) :: !acc
+          end
+          else begin
+            flush ();
+            acc := [ (reqs, reply) ]
+          end
+      | J_query _ -> pending := job :: !pending
+      | J_snapshot _ ->
+          flush ();
+          process_job t job)
+    jobs;
+  flush ();
+  if !hoisted > 0 then
+    Mutex.protect t.lock (fun () -> t.hoisted <- t.hoisted + !hoisted)
+
+let process t jobs =
+  match t.coalesce with
+  | `Fifo -> process_fifo t jobs
+  | `Commute -> process_commute t jobs
 
 let rec worker_loop t =
   Mutex.lock t.lock;
@@ -187,9 +300,14 @@ let spawn t =
   t.worker <- Some (Thread.create worker_loop t);
   t
 
-let make ~id ~name ?pool ~backend (p : Program.t) runner_of =
+let make ~id ~name ?pool ~backend ~coalesce (p : Program.t) runner_of =
   let resolved = Runner.resolve_backend p backend in
   let engine, runner = runner_of ~resolved pool in
+  (* warm the oracle (and its model-checked matrix) before serving: the
+     analysis runs once per program, not under the first client's call *)
+  (match coalesce with
+  | `Commute -> ignore (Runner.commute_oracle p)
+  | `Fifo -> ());
   spawn
     {
       id;
@@ -198,6 +316,7 @@ let make ~id ~name ?pool ~backend (p : Program.t) runner_of =
       backend;
       resolved;
       engine;
+      coalesce;
       lock = Mutex.create ();
       cond = Condition.create ();
       queue = [];
@@ -208,11 +327,16 @@ let make ~id ~name ?pool ~backend (p : Program.t) runner_of =
       coalesced = 0;
       work = 0;
       queries = 0;
+      groups = 0;
+      elided = 0;
+      deduped = 0;
+      hoisted = 0;
       worker = None;
     }
 
-let create ~id ~name ?pool ~backend (p : Program.t) ~size =
-  make ~id ~name ?pool ~backend p (fun ~resolved pool ->
+let create ~id ~name ?pool ~backend ?(coalesce = `Commute) (p : Program.t)
+    ~size =
+  make ~id ~name ?pool ~backend ~coalesce p (fun ~resolved pool ->
       match pool with
       | None -> (`Seq, Seq (Runner.init p ~size))
       | Some pool ->
@@ -221,9 +345,10 @@ let create ~id ~name ?pool ~backend (p : Program.t) ~size =
               (Par_runner.init pool ~backend:(resolved :> Runner.backend) p
                  ~size) ))
 
-let of_state ~id ~name ?pool ~backend ~steps inner =
+let of_state ~id ~name ?pool ~backend ?(coalesce = `Commute) ~steps inner =
   let t =
-    make ~id ~name ?pool ~backend (Runner.program inner) (fun ~resolved pool ->
+    make ~id ~name ?pool ~backend ~coalesce (Runner.program inner)
+      (fun ~resolved pool ->
         match pool with
         | None -> (`Seq, Seq inner)
         | Some pool ->

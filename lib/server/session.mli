@@ -29,6 +29,10 @@ type stats = {
   st_coalesced : int;  (** update jobs that rode along in another's tick *)
   st_work : int;  (** cumulative work charge over all ticks *)
   st_queries : int;
+  st_groups : int;  (** commute-planner groups across all ticks *)
+  st_elided : int;  (** requests skipped by the verified no-op law *)
+  st_deduped : int;  (** identical back-to-back requests collapsed *)
+  st_hoisted : int;  (** update jobs that overtook pending queries *)
 }
 
 val create :
@@ -36,18 +40,22 @@ val create :
   name:string ->
   ?pool:Dynfo_engine.Pool.t ->
   backend:Runner.backend ->
+  ?coalesce:[ `Fifo | `Commute ] ->
   Program.t ->
   size:int ->
   t
 (** Fresh session over [f_n(empty)]; spawns the worker thread. [name]
     is the external (registry) name the program was found by — it is
-    what snapshots record, so a restore can find the program again. *)
+    what snapshots record, so a restore can find the program again.
+    [coalesce] (default [`Commute]) selects the drain mode; [`Commute]
+    warms the program's commutativity matrix before serving. *)
 
 val of_state :
   id:string ->
   name:string ->
   ?pool:Dynfo_engine.Pool.t ->
   backend:Runner.backend ->
+  ?coalesce:[ `Fifo | `Commute ] ->
   steps:int ->
   Runner.state ->
   t
@@ -67,6 +75,9 @@ val resolved : t -> [ `Tuple | `Bulk | `Delta ]
 (** What [`Auto] resolved to at session creation. *)
 
 val engine : t -> [ `Seq | `Par ]
+
+val coalesce : t -> [ `Fifo | `Commute ]
+(** The drain mode the session was created with. *)
 
 val structure : t -> Structure.t
 (** The combined structure as of the last completed tick. *)

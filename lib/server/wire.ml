@@ -14,6 +14,7 @@ type cmd =
       size : int;
       backend : Runner.backend;
       engine : [ `Seq | `Par ];
+      coalesce : [ `Fifo | `Commute ];
     }
   | Attach of { session : string }
   | Destroy of { session : string }
@@ -25,6 +26,7 @@ type cmd =
       path : string;
       backend : Runner.backend;
       engine : [ `Seq | `Par ];
+      coalesce : [ `Fifo | `Commute ];
     }
   | Stats of { session : string }
   | List_sessions
@@ -59,6 +61,13 @@ let engine_of_string = function
   | "par" -> Some `Par
   | _ -> None
 
+let coalesce_to_string = function `Fifo -> "fifo" | `Commute -> "commute"
+
+let coalesce_of_string = function
+  | "fifo" -> Some `Fifo
+  | "commute" -> Some `Commute
+  | _ -> None
+
 (* --- encoding -------------------------------------------------------------- *)
 
 let cmd_to_json ~id cmd =
@@ -66,7 +75,7 @@ let cmd_to_json ~id cmd =
   let sess s = ("session", Json.Str s) in
   match cmd with
   | Hello -> base "hello" []
-  | Create { session; program; size; backend; engine } ->
+  | Create { session; program; size; backend; engine; coalesce } ->
       base "create"
         ((match session with
          | Some s -> [ sess s ]
@@ -76,6 +85,7 @@ let cmd_to_json ~id cmd =
             ("size", Json.Int size);
             ("backend", Json.Str (backend_to_string backend));
             ("engine", Json.Str (engine_to_string engine));
+            ("coalesce", Json.Str (coalesce_to_string coalesce));
           ])
   | Attach { session } -> base "attach" [ sess session ]
   | Destroy { session } -> base "destroy" [ sess session ]
@@ -97,7 +107,7 @@ let cmd_to_json ~id cmd =
         | _ -> [ ("args", Json.List (List.map (fun a -> Json.Int a) args)) ])
   | Snapshot { session; path } ->
       base "snapshot" [ sess session; ("path", Json.Str path) ]
-  | Restore { session; path; backend; engine } ->
+  | Restore { session; path; backend; engine; coalesce } ->
       base "restore"
         ((match session with
          | Some s -> [ sess s ]
@@ -106,6 +116,7 @@ let cmd_to_json ~id cmd =
             ("path", Json.Str path);
             ("backend", Json.Str (backend_to_string backend));
             ("engine", Json.Str (engine_to_string engine));
+            ("coalesce", Json.Str (coalesce_to_string coalesce));
           ])
   | Stats { session } -> base "stats" [ sess session ]
   | List_sessions -> base "list" []
@@ -160,6 +171,15 @@ let engine_of j =
       | Some e -> Ok e
       | None -> Error (Printf.sprintf "unknown engine %S" s))
 
+(* optional on the wire (older clients omit it): the default drain mode *)
+let coalesce_of j =
+  match field_str j "coalesce" with
+  | None -> Ok `Commute
+  | Some s -> (
+      match coalesce_of_string s with
+      | Some c -> Ok c
+      | None -> Error (Printf.sprintf "unknown coalesce mode %S" s))
+
 let reqs_of j =
   let* l = require "reqs" (Option.bind (Json.member "reqs" j) Json.to_list) in
   let rec go acc = function
@@ -198,7 +218,17 @@ let cmd_of_json j =
         let* size = require "size" (field_int j "size") in
         let* backend = backend_of j in
         let* engine = engine_of j in
-        Ok (Create { session = field_str j "session"; program; size; backend; engine })
+        let* coalesce = coalesce_of j in
+        Ok
+          (Create
+             {
+               session = field_str j "session";
+               program;
+               size;
+               backend;
+               engine;
+               coalesce;
+             })
     | "attach" ->
         let* session = session_of j in
         Ok (Attach { session })
@@ -221,7 +251,10 @@ let cmd_of_json j =
         let* path = require "path" (field_str j "path") in
         let* backend = backend_of j in
         let* engine = engine_of j in
-        Ok (Restore { session = field_str j "session"; path; backend; engine })
+        let* coalesce = coalesce_of j in
+        Ok
+          (Restore
+             { session = field_str j "session"; path; backend; engine; coalesce })
     | "stats" ->
         let* session = session_of j in
         Ok (Stats { session })

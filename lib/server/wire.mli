@@ -35,6 +35,9 @@ type cmd =
       size : int;
       backend : Runner.backend;
       engine : [ `Seq | `Par ];
+      coalesce : [ `Fifo | `Commute ];
+          (** worker drain mode; optional on the wire, default
+              [`Commute] *)
     }
   | Attach of { session : string }
   | Destroy of { session : string }
@@ -46,6 +49,7 @@ type cmd =
       path : string;
       backend : Runner.backend;
       engine : [ `Seq | `Par ];
+      coalesce : [ `Fifo | `Commute ];
     }
   | Stats of { session : string }
   | List_sessions
@@ -63,6 +67,9 @@ val backend_of_string : string -> Runner.backend option
 
 val engine_to_string : [ `Seq | `Par ] -> string
 val engine_of_string : string -> [ `Seq | `Par ] option
+
+val coalesce_to_string : [ `Fifo | `Commute ] -> string
+val coalesce_of_string : string -> [ `Fifo | `Commute ] option
 
 val cmd_to_json : id:int -> cmd -> Json.t
 

@@ -80,6 +80,51 @@ for backend in tuple bulk delta auto; do
   }
 done
 
+# Commute coalescing: both queue disciplines must verify against the
+# offline replay, and the commute session must actually exploit its
+# verified laws (nonzero dedupe/elide on parity's all-commute matrix).
+for mode in fifo commute; do
+  OUT=$("$DYNFO" loadgen parity --socket "$SOCK" --coalesce "$mode" \
+    --length 256 --batch 16 --json --verify)
+  echo "$OUT"
+  echo "$OUT" | grep -q "\"coalesce\": \"$mode\"" || {
+    echo "serve_smoke: loadgen did not run in $mode mode" >&2
+    exit 1
+  }
+done
+echo "$OUT" | grep -q '"deduped": 0' && {
+  echo "serve_smoke: commute session deduped nothing on parity" >&2
+  exit 1
+}
+
+# A commute-mode protocol exchange: duplicate requests in one batch are
+# acknowledged in full, and stats exposes the coalescing counters.
+RESP=$("$DYNFO" client --socket "$SOCK" <<EOF
+{"id":10,"op":"create","session":"comm","program":"parity","size":8,"coalesce":"commute"}
+{"id":11,"op":"update","session":"comm","reqs":["ins M (1)","ins M (1)","ins M (2)","ins M (2)"]}
+{"id":12,"op":"query","session":"comm","args":[]}
+{"id":13,"op":"stats","session":"comm"}
+EOF
+)
+echo "$RESP"
+if echo "$RESP" | grep -q '"ok":false'; then
+  echo "serve_smoke: commute exchange protocol error" >&2
+  exit 1
+fi
+echo "$RESP" | grep -q '"applied":4' || {
+  echo "serve_smoke: duplicate batch not acknowledged in full" >&2
+  exit 1
+}
+echo "$RESP" | grep -q '"deduped":2' || {
+  echo "serve_smoke: commute stats do not show the 2 dedupes" >&2
+  exit 1
+}
+echo "$RESP" | sed -n 's/.*"id":12[^}]*"result":\(true\|false\).*/\1/p' \
+  | grep -q 'false' || {
+  echo "serve_smoke: two distinct inserts must leave parity even" >&2
+  exit 1
+}
+
 # Clean shutdown: the daemon replies first, then exits and unlinks.
 echo '{"id":99,"op":"shutdown"}' | "$DYNFO" client --socket "$SOCK" \
   | grep -q '"ok":true'

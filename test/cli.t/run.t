@@ -50,10 +50,12 @@ Randomized cross-checking of all implementations of a problem:
   $ dynfo_cli check parity --length 100 --seed 3
   checking parity at n=16 over 100 requests (seed 3): ok (100 checkpoints, 3 implementations)
     tuple work/step: total 2682, mean 26.8, max 35
+    commute plan: 17 group(s) over 100 requests (max run 14)
 
   $ dynfo_cli check reach_u -n 6 --length 60 --seed 1
   checking reach_u at n=6 over 60 requests (seed 1): ok (60 checkpoints, 3 implementations)
     tuple work/step: total 502462, mean 8374.4, max 19758
+    commute plan: 30 group(s) over 60 requests (max run 6)
 
 The set-at-a-time bitset backend joins the comparison under --backend
 bulk (one extra implementation), and runs the same scripts:
@@ -61,6 +63,7 @@ bulk (one extra implementation), and runs the same scripts:
   $ dynfo_cli check reach_u -n 6 --length 60 --seed 1 --backend bulk
   checking reach_u at n=6 over 60 requests (seed 1): ok (60 checkpoints, 4 implementations)
     bulk work/step: total 397562, mean 6626.0, max 11831
+    commute plan: 30 group(s) over 60 requests (max run 6)
 
   $ dynfo_cli run reach_u -n 6 --script script.txt --backend bulk
   set s 0              query = true
@@ -78,6 +81,8 @@ step than the full backends above:
   $ dynfo_cli check reach_u -n 6 --length 60 --seed 1 --backend delta
   checking reach_u at n=6 over 60 requests (seed 1): ok (60 checkpoints, 4 implementations)
     delta work/step: total 202255, mean 3370.9, max 10108
+    delta counters: fast hits 81, memo hits 156, memo misses 0, mask builds 75
+    commute plan: 30 group(s) over 60 requests (max run 6)
 
   $ dynfo_cli run reach_u -n 6 --script script.txt --backend delta
   set s 0              query = true
@@ -148,7 +153,23 @@ The whole registry is clean under --strict (exit 0):
 JSON output for tooling:
 
   $ dynfo_cli analyze parity --json
-  [{"version": 2, "program": "parity-fo", "diagnostics": [], "metrics": {"program": "parity-fo", "rule_count": 4, "max_tuple_exponent": 1, "max_quantifier_rank": 0, "max_alternation_depth": 0, "max_work_exponent": 1, "max_opt_work_exponent": 1, "total_formula_size": 26, "rules": [{"path": "on_ins M / rule M", "target": "M", "tuple_exponent": 1, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 3, "width": 2, "work_exponent": 1, "opt_quantifier_rank": 0, "opt_work_exponent": 1}, {"path": "on_ins M / rule b", "target": "b", "tuple_exponent": 0, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 9, "width": 1, "work_exponent": 0, "opt_quantifier_rank": 0, "opt_work_exponent": 0}, {"path": "on_del M / rule M", "target": "M", "tuple_exponent": 1, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 4, "width": 2, "work_exponent": 1, "opt_quantifier_rank": 0, "opt_work_exponent": 1}, {"path": "on_del M / rule b", "target": "b", "tuple_exponent": 0, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 9, "width": 1, "work_exponent": 0, "opt_quantifier_rank": 0, "opt_work_exponent": 0}], "queries": [{"path": "query", "target": "query", "tuple_exponent": 0, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 1, "width": 0, "work_exponent": 0, "opt_quantifier_rank": 0, "opt_work_exponent": 0}]}, "dataflow": {"program": "parity-fo", "rules": [{"path": "on_ins M / rule M", "target": "M", "temp": false, "reads": ["M"]}, {"path": "on_ins M / rule b", "target": "b", "temp": false, "reads": ["b", "M"]}, {"path": "on_del M / rule M", "target": "M", "temp": false, "reads": ["M"]}, {"path": "on_del M / rule b", "target": "b", "temp": false, "reads": ["b", "M"]}], "edges": [["M", "M"], ["b", "b"], ["b", "M"]], "query_reads": ["b"], "live": ["M", "b"], "dead_relations": [], "dead_rules": [], "hazards": [{"block": "on_ins M", "relation": "M", "writer": "on_ins M / rule M", "readers": ["on_ins M / rule M", "on_ins M / rule b"]}, {"block": "on_ins M", "relation": "b", "writer": "on_ins M / rule b", "readers": ["on_ins M / rule b"]}, {"block": "on_del M", "relation": "M", "writer": "on_del M / rule M", "readers": ["on_del M / rule M", "on_del M / rule b"]}, {"block": "on_del M", "relation": "b", "writer": "on_del M / rule b", "readers": ["on_del M / rule b"]}]}, "advice": {"program": "parity-fo", "backend": "delta", "fallback": "tuple", "par_cutoff": 2048, "max_work_exponent": 1, "bit_fraction": 0.000, "reason": "every update rule carries a frame with bounded/guarded supports: incremental frontier evaluation, falling back to tuple past the --delta-cutoff (work n^1 below the n^5 dense threshold: per-tuple short-circuit evaluation is cheaper than materializing bitsets)"}}]
+  [{"version": 3, "program": "parity-fo", "diagnostics": [], "metrics": {"program": "parity-fo", "rule_count": 4, "max_tuple_exponent": 1, "max_quantifier_rank": 0, "max_alternation_depth": 0, "max_work_exponent": 1, "max_opt_work_exponent": 1, "total_formula_size": 26, "rules": [{"path": "on_ins M / rule M", "target": "M", "tuple_exponent": 1, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 3, "width": 2, "work_exponent": 1, "opt_quantifier_rank": 0, "opt_work_exponent": 1}, {"path": "on_ins M / rule b", "target": "b", "tuple_exponent": 0, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 9, "width": 1, "work_exponent": 0, "opt_quantifier_rank": 0, "opt_work_exponent": 0}, {"path": "on_del M / rule M", "target": "M", "tuple_exponent": 1, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 4, "width": 2, "work_exponent": 1, "opt_quantifier_rank": 0, "opt_work_exponent": 1}, {"path": "on_del M / rule b", "target": "b", "tuple_exponent": 0, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 9, "width": 1, "work_exponent": 0, "opt_quantifier_rank": 0, "opt_work_exponent": 0}], "queries": [{"path": "query", "target": "query", "tuple_exponent": 0, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 1, "width": 0, "work_exponent": 0, "opt_quantifier_rank": 0, "opt_work_exponent": 0}]}, "dataflow": {"program": "parity-fo", "rules": [{"path": "on_ins M / rule M", "target": "M", "temp": false, "reads": ["M"]}, {"path": "on_ins M / rule b", "target": "b", "temp": false, "reads": ["b", "M"]}, {"path": "on_del M / rule M", "target": "M", "temp": false, "reads": ["M"]}, {"path": "on_del M / rule b", "target": "b", "temp": false, "reads": ["b", "M"]}], "edges": [["M", "M"], ["b", "b"], ["b", "M"]], "query_reads": ["b"], "live": ["M", "b"], "dead_relations": [], "dead_rules": [], "hazards": [{"block": "on_ins M", "relation": "M", "writer": "on_ins M / rule M", "readers": ["on_ins M / rule M", "on_ins M / rule b"]}, {"block": "on_ins M", "relation": "b", "writer": "on_ins M / rule b", "readers": ["on_ins M / rule b"]}, {"block": "on_del M", "relation": "M", "writer": "on_del M / rule M", "readers": ["on_del M / rule M", "on_del M / rule b"]}, {"block": "on_del M", "relation": "b", "writer": "on_del M / rule b", "readers": ["on_del M / rule b"]}]}, "advice": {"program": "parity-fo", "backend": "delta", "fallback": "tuple", "par_cutoff": 2048, "max_work_exponent": 1, "bit_fraction": 0.000, "reason": "every update rule carries a frame with bounded/guarded supports: incremental frontier evaluation, falling back to tuple past the --delta-cutoff (work n^1 below the n^5 dense threshold: per-tuple short-circuit evaluation is cheaper than materializing bitsets)"}}]
+
+The commutativity matrix: every Commute verdict is model-checked, and
+cell reasons say which evidence layer produced it:
+
+  $ dynfo_cli analyze parity --commute
+  parity-fo: 2 op(s) — C commute / X conflict / ? unknown
+             ins M    del M  
+    ins M    C        C      
+    del M    C        C      
+    ins M: writes M,b; idempotent (synthetic, 196 checks); no-op on redundant requests (synthetic, 98 checks)
+    del M: writes M,b; idempotent (synthetic, 196 checks); no-op on redundant requests (synthetic, 98 checks)
+    (ins M, ins M): commute [mc-only] — no static independence proof; confirmed on synthetic structures (496 checks, exhaustive to n=4)
+    (ins M, del M): commute [mc-only] — no static independence proof; confirmed on synthetic structures (496 checks, exhaustive to n=4)
+    (del M, del M): commute [mc-only] — no static independence proof; confirmed on synthetic structures (496 checks, exhaustive to n=4)
+  
+
 
 Naming no problem is an error:
 

@@ -106,6 +106,7 @@ let test_wire_roundtrip () =
           size = 8;
           backend = `Auto;
           engine = `Seq;
+          coalesce = `Commute;
         };
       Wire.Create
         {
@@ -114,6 +115,7 @@ let test_wire_roundtrip () =
           size = 16;
           backend = `Delta;
           engine = `Par;
+          coalesce = `Fifo;
         };
       Wire.Attach { session = "s1" };
       Wire.Destroy { session = "s1" };
@@ -127,7 +129,13 @@ let test_wire_roundtrip () =
       Wire.Query { session = "s1"; name = Some "reach"; args = [ 0; 2 ] };
       Wire.Snapshot { session = "s1"; path = "/tmp/x.snap" };
       Wire.Restore
-        { session = None; path = "/tmp/x.snap"; backend = `Bulk; engine = `Seq };
+        {
+          session = None;
+          path = "/tmp/x.snap";
+          backend = `Bulk;
+          engine = `Seq;
+          coalesce = `Commute;
+        };
       Wire.Stats { session = "s1" };
       Wire.List_sessions;
       Wire.Shutdown;
@@ -404,6 +412,106 @@ let test_session_concurrent () =
   | _ -> Alcotest.fail "closed session must reject"
   | exception Invalid_argument _ -> ()
 
+(* --- commute coalescing ----------------------------------------------------- *)
+
+(* queue-drain dedupe of identical back-to-back updates, and the batch
+   law behind it: the coalesced tick must be equivalent to the
+   submitted order, duplicates included *)
+let test_session_dedupe () =
+  Dynfo_analysis.Advisor.install ();
+  Dynfo_analysis.Commute.install ();
+  let e = Registry.find "parity" in
+  let size = 8 in
+  let batch =
+    [
+      Request.ins "M" [ 0 ]; Request.ins "M" [ 0 ]; Request.ins "M" [ 1 ];
+      Request.ins "M" [ 1 ]; Request.del "M" [ 0 ]; Request.del "M" [ 0 ];
+      Request.ins "M" [ 2 ];
+    ]
+  in
+  let sess =
+    Session.create ~id:"d" ~name:"parity" ~backend:`Tuple e.program ~size
+  in
+  let applied, _ = Session.update sess batch in
+  check ti "whole batch acknowledged" (List.length batch) applied;
+  let st = Session.stats sess in
+  check ti "steps count submitted requests" (List.length batch)
+    st.Session.st_steps;
+  check ti "back-to-back duplicates collapsed" 3 st.Session.st_deduped;
+  let offline = Runner.run (Runner.init e.program ~size) batch in
+  check tb "dedupe preserves the state" true
+    (Structure.equal (Runner.structure offline) (Session.structure sess));
+  Session.close sess;
+  (* fifo mode: the same exchange exploits no law *)
+  let fifo =
+    Session.create ~id:"f" ~name:"parity" ~backend:`Tuple ~coalesce:`Fifo
+      e.program ~size
+  in
+  ignore (Session.update fifo batch);
+  let st = Session.stats fifo in
+  check ti "fifo dedupes nothing" 0 st.Session.st_deduped;
+  check ti "fifo elides nothing" 0 st.Session.st_elided;
+  check tb "fifo reaches the same state" true
+    (Structure.equal (Runner.structure offline) (Session.structure fifo));
+  Session.close fifo
+
+(* two independent input relations feeding disjoint auxiliaries, with a
+   named query per side: updates on one side are provably invisible to
+   the other side's query, so the commute drain may let them overtake
+   pending queries — under concurrent query hammering the state must
+   still equal the offline replay and every query must be answered *)
+let two_vocab = Vocab.make ~rels:[ ("R", 1); ("S", 1) ] ~consts:[]
+let two_aux = Vocab.make ~rels:[ ("AR", 0); ("AS", 0) ] ~consts:[]
+
+let two_sub =
+  Program.make ~name:"two-sub" ~input_vocab:two_vocab ~aux_vocab:two_aux
+    ~init:(fun n -> Structure.create ~size:n (Vocab.union two_vocab two_aux))
+    ~on_ins:
+      [
+        ("R", Program.update ~params:[ "a" ] [ Program.rule_s "AR" [] "AR() | R(a)" ]);
+        ("S", Program.update ~params:[ "a" ] [ Program.rule_s "AS" [] "AS() | S(a)" ]);
+      ]
+    ~queries:[ ("qr", [], Parser.parse "AR()"); ("qs", [], Parser.parse "AS()") ]
+    ~query:(Parser.parse "AR() & AS()") ()
+
+let test_session_mixed_traffic () =
+  Dynfo_analysis.Advisor.install ();
+  Dynfo_analysis.Commute.install ();
+  let size = 8 in
+  let sess =
+    Session.create ~id:"h" ~name:"two-sub" ~backend:`Tuple two_sub ~size
+  in
+  let stop = Atomic.make false in
+  let qthreads =
+    List.map
+      (fun q ->
+        Thread.create
+          (fun () ->
+            while not (Atomic.get stop) do
+              ignore (Session.query sess ~name:q []);
+              Thread.yield ()
+            done)
+          ())
+      [ "qr"; "qs" ]
+  in
+  let reqs =
+    List.concat_map
+      (fun i -> [ Request.ins "R" [ i mod size ]; Request.ins "S" [ (i + 3) mod size ] ])
+      (List.init 40 Fun.id)
+  in
+  List.iter (fun r -> ignore (Session.update sess [ r ])) reqs;
+  Atomic.set stop true;
+  List.iter Thread.join qthreads;
+  let offline = Runner.run (Runner.init two_sub ~size) reqs in
+  check tb "mixed traffic state == offline replay" true
+    (Structure.equal (Runner.structure offline) (Session.structure sess));
+  check tb "settled answer" (Runner.query offline) (Session.query sess []);
+  let st = Session.stats sess in
+  check ti "all steps applied" (List.length reqs) st.Session.st_steps;
+  check tb "hoist counter is sane" true
+    (st.Session.st_hoisted >= 0 && st.Session.st_hoisted <= st.Session.st_steps);
+  Session.close sess
+
 (* --- end to end over a Unix socket ----------------------------------------- *)
 
 let with_server f =
@@ -536,6 +644,46 @@ let test_loadgen () =
       let offline = Runner.query (Runner.run (Runner.init e.program ~size) reqs) in
       check tb "served == offline" offline r.Loadgen.lg_final)
 
+(* fifo and commute sessions answer identically over the wire, and the
+   stats response surfaces the coalescing and delta counters *)
+let test_daemon_coalesce_modes () =
+  Dynfo_analysis.Advisor.install ();
+  Dynfo_analysis.Commute.install ();
+  with_server (fun client ->
+      let e = Registry.find "parity" in
+      let size = 16 in
+      let rng = Random.State.make [| 8 |] in
+      let base = e.workload rng ~size ~length:48 in
+      (* every request submitted twice back to back: the retrying
+         at-least-once submitter E24 models *)
+      let reqs = List.concat_map (fun r -> [ r; r ]) base in
+      let offline =
+        Runner.query (Runner.run (Runner.init e.program ~size) reqs)
+      in
+      let run coalesce =
+        let session =
+          Client.create client ~coalesce ~program:"parity" ~size ()
+        in
+        let r = Loadgen.drive client ~session ~batch:16 reqs in
+        let st = Client.stats client ~session in
+        Client.destroy client ~session;
+        check tb "served answer == offline replay" offline r.Loadgen.lg_final;
+        check ti "steps acknowledge every submitted request"
+          (List.length reqs) st.Client.steps;
+        st
+      in
+      let fifo = run `Fifo in
+      check ti "fifo exploits no law" 0 (fifo.Client.deduped + fifo.Client.elided);
+      let com = run `Commute in
+      check tb "commute dedupes the injected duplicates" true
+        (com.Client.deduped >= 48);
+      check tb "stats surface planner groups" true (com.Client.groups > 0);
+      check tb "stats surface delta counters" true
+        (com.Client.delta_fast_hits >= 0
+        && com.Client.delta_memo_hits >= 0
+        && com.Client.delta_memo_misses >= 0
+        && com.Client.delta_mask_builds >= 0))
+
 let () =
   Alcotest.run "server"
     [
@@ -564,11 +712,17 @@ let () =
         [
           Alcotest.test_case "concurrent submitters coalesce safely" `Quick
             test_session_concurrent;
+          Alcotest.test_case "queue-drain dedupe batch law" `Quick
+            test_session_dedupe;
+          Alcotest.test_case "mixed update/query traffic" `Quick
+            test_session_mixed_traffic;
         ] );
       ( "daemon",
         [
           Alcotest.test_case "end to end over a Unix socket" `Slow
             test_daemon_end_to_end;
           Alcotest.test_case "load generator" `Slow test_loadgen;
+          Alcotest.test_case "fifo vs commute coalescing" `Slow
+            test_daemon_coalesce_modes;
         ] );
     ]
