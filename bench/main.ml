@@ -631,7 +631,7 @@ let () =
 
   (* E24a: the µs calibration behind the advisor's wall-clock frontier
      cutoff ([Advisor.of_program ~size]). The per-step delta cost is
-     modeled as rules·mask_build_us + frontier·retest_us and the full
+     modeled as rules·setup_us + frontier·retest_us and the full
      recompute as space·full_tuple_us; measuring delta steps at two
      universe sizes of the same program (same rule count, different
      frontier estimate) gives two equations in the two delta unknowns,
@@ -665,7 +665,7 @@ let () =
   let default = Dynfo_analysis.Calibration.default in
   let cal_mask, cal_retest =
     if Float.abs det < 1e-9 then
-      (default.mask_build_us, default.retest_us)
+      (default.setup_us, default.retest_us)
     else
       ( Float.max 0.01 (((ta *. fb) -. (tb *. fa)) /. det),
         Float.max 0.01 (((ra *. tb) -. (rb *. ta)) /. det) )
@@ -677,11 +677,138 @@ let () =
     Float.max 0.001 (per_step_us `Tuple e_cal ~size:16 ~length:128 /. float space)
   in
   Printf.printf
-    "  measured: mask_build %.2f us/rule, retest %.2f us/tuple, full \
+    "  measured: setup %.2f us/rule, retest %.2f us/tuple, full \
      %.3f us/tuple\n"
     cal_mask cal_retest cal_full;
   Printf.printf "  checked-in: %s\n"
     (Format.asprintf "%a" Dynfo_analysis.Calibration.pp_json default);
+
+  (* E25: persistent incremental frontiers — warm per-step update
+     latency of tuple vs bulk vs delta, sized per program so the
+     asymptotics are visible (the frontier grows slower than the tuple
+     space on the programs where the advisor picks delta; dyck_2 and
+     semi_reach carry size-proportional frontiers and stay close races
+     by design).
+     Unlike E22's cold replay (fresh instance per run, queries
+     interleaved), each backend replays its workload twice from the
+     same start state and times only the second pass: the planner,
+     compiled testers, persistent masks and anchor caches are warm —
+     the steady-state serving regime the persistent-frontier state
+     targets. Before timing, every cell is lockstep-verified: tuple,
+     bulk and delta replay the same requests side by side and must
+     agree on every intermediate structure and every query answer.
+     1-core caveat: absolute µs are the reference host's; the
+     cross-backend ratios are the signal. --gate turns the headline
+     inequality (delta no slower than bulk on parity / reach_acyclic /
+     lca at these sizes) into a nonzero exit for CI. *)
+  Printf.printf
+    "\n== E25: persistent frontiers — warm per-step us, tuple vs bulk vs \
+     delta ==\n";
+  Printf.printf "  %-14s %4s %9s %9s %9s %8s %9s\n" "program" "n" "t-us"
+    "b-us" "d-us" "t/d" "verified";
+  let e25_rows = ref [] in
+  Gc.compact ();
+  List.iter
+    (fun (name, size, length) ->
+      let e = reg name in
+      let rng = Random.State.make [| 25; size |] in
+      let reqs = e.workload rng ~size ~length in
+      if reqs <> [] then begin
+        let seq = ref (Runner.init e.program ~size) in
+        let bulk = ref (Runner.init e.program ~size) in
+        let delta = ref (Runner.init e.program ~size) in
+        let verified = ref true in
+        List.iter
+          (fun r ->
+            seq := Runner.step !seq r;
+            bulk := Runner.step ~backend:`Bulk !bulk r;
+            delta := Runner.step ~backend:`Delta !delta r;
+            if
+              not
+                (Dynfo_logic.Structure.equal (Runner.structure !seq)
+                   (Runner.structure !delta)
+                && Dynfo_logic.Structure.equal (Runner.structure !seq)
+                     (Runner.structure !bulk)
+                && Runner.query !seq = Runner.query ~backend:`Delta !delta)
+            then verified := false)
+          reqs;
+        let t_us = per_step_us `Tuple e ~size ~length in
+        let b_us = per_step_us `Bulk e ~size ~length in
+        let d_us = per_step_us `Delta e ~size ~length in
+        Printf.printf "  %-14s %4d %9.2f %9.2f %9.2f %7.2fx %9s\n" name size
+          t_us b_us d_us
+          (t_us /. Float.max 0.001 d_us)
+          (if !verified then "ok" else "MISMATCH");
+        e25_rows := (name, size, t_us, b_us, d_us, !verified) :: !e25_rows
+      end)
+    [
+      ("parity", 256, 60);
+      ("parity", 1024, 60);
+      ("reach_u", 10, 40);
+      ("reach_acyclic", 12, 40);
+      ("matching", 12, 40);
+      ("lca", 12, 40);
+      ("semi_reach", 10, 40);
+      ("dyck_2", 12, 40);
+    ];
+  let e25_mismatches =
+    List.length (List.filter (fun (_, _, _, _, _, v) -> not v) !e25_rows)
+  in
+  if e25_mismatches > 0 then
+    Printf.printf "  E25: %d lockstep verification failures!\n" e25_mismatches;
+  (match
+     if Array.exists (( = ) "--json") Sys.argv then Some "BENCH_delta2.json"
+     else Sys.getenv_opt "BENCH_DELTA2_JSON"
+   with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc "[\n";
+      List.iteri
+        (fun i (name, size, t_us, b_us, d_us, verified) ->
+          Printf.fprintf oc
+            "  {\"experiment\": \"E25\", \"program\": %S, \"n\": %d, \
+             \"tuple_us\": %.3f, \"bulk_us\": %.3f, \"delta_us\": %.3f, \
+             \"speedup_vs_tuple\": %.3f, \"speedup_vs_bulk\": %.3f, \
+             \"verified\": %b}%s\n"
+            name size t_us b_us d_us
+            (t_us /. Float.max 0.001 d_us)
+            (b_us /. Float.max 0.001 d_us)
+            verified
+            (if i = List.length !e25_rows - 1 then "" else ","))
+        (List.rev !e25_rows);
+      output_string oc "]\n";
+      close_out oc;
+      Printf.printf "  wrote %s (%d rows)\n" path (List.length !e25_rows));
+  if Array.exists (( = ) "--gate") Sys.argv then begin
+    let gated = [ "parity"; "reach_acyclic"; "lca" ] in
+    (* gate at the largest smoke n per program: the asymptotic regime
+       the persistent state targets — smaller sizes are close races by
+       construction and stay informational *)
+    let largest name =
+      List.fold_left
+        (fun acc (n, sz, _, _, _, _) -> if n = name then max acc sz else acc)
+        0 !e25_rows
+    in
+    let failures =
+      List.filter
+        (fun (name, size, _, b_us, d_us, verified) ->
+          List.mem name gated
+          && size = largest name
+          && ((not verified) || d_us > b_us))
+        !e25_rows
+    in
+    List.iter
+      (fun (name, size, _, b_us, d_us, verified) ->
+        Printf.printf
+          "  E25 gate FAIL: %s n=%d delta %.2f us vs bulk %.2f us%s\n" name
+          size d_us b_us
+          (if verified then "" else " (lockstep mismatch)"))
+      failures;
+    if e25_mismatches > 0 || failures <> [] then exit 1;
+    Printf.printf "  E25 gate: delta <= bulk on %s — ok\n"
+      (String.concat ", " gated)
+  end;
 
   (* E24: commute-aware serving — the statically verified commutation
      laws ([analyze --commute]) exploited by the session queue. Requests
@@ -804,7 +931,7 @@ let () =
       output_string oc "[\n";
       Printf.fprintf oc
         "  {\"experiment\": \"E24-calibration\", \"measured\": \
-         {\"mask_build_us\": %.2f, \"retest_us\": %.2f, \"full_tuple_us\": \
+         {\"setup_us\": %.2f, \"retest_us\": %.2f, \"full_tuple_us\": \
          %.3f}, \"checked_in\": %s},\n"
         cal_mask cal_retest cal_full
         (Format.asprintf "%a" Dynfo_analysis.Calibration.pp_json default);

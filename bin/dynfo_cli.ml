@@ -461,7 +461,10 @@ let check_cmd =
         let fh0 = Delta_eval.fast_hits ()
         and mh0 = Delta_eval.memo_hits ()
         and mm0 = Delta_eval.memo_misses ()
-        and mb0 = Delta_eval.mask_builds () in
+        and mb0 = Delta_eval.mask_builds ()
+        and mr0 = Delta_eval.mask_reuse_hits ()
+        and wc0 = Delta_eval.words_cleared ()
+        and sf0 = Delta_eval.small_frontier_hits () in
         let _, works =
           Runner.run_work ~backend (Runner.init e.program ~size) reqs
         in
@@ -482,7 +485,13 @@ let check_cmd =
               (Delta_eval.fast_hits () - fh0)
               (Delta_eval.memo_hits () - mh0)
               (Delta_eval.memo_misses () - mm0)
-              (Delta_eval.mask_builds () - mb0)
+              (Delta_eval.mask_builds () - mb0);
+            Printf.printf
+              "  frontier state: small frontiers %d, mask reuses %d, words \
+               cleared %d\n"
+              (Delta_eval.small_frontier_hits () - sf0)
+              (Delta_eval.mask_reuse_hits () - mr0)
+              (Delta_eval.words_cleared () - wc0)
         | `Tuple | `Bulk -> ());
         let groups = Runner.plan_groups e.program reqs in
         Printf.printf

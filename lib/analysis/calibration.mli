@@ -2,12 +2,16 @@
     frontier cutoff (E24). The constants are measured by the bench's
     calibration pass and checked in; {!break_even} turns them into the
     largest frontier size at which the incremental backend still beats
-    a full recompute for a given per-step tuple space. *)
+    a full recompute for a given per-step tuple space. Re-fitted after
+    the persistent-frontier rewrite (E25): the old [mask_build_us]
+    constant — a fresh tester compile plus a full mask build per rule
+    per step — became [setup_us], the much smaller amortised cost of a
+    state lookup, tester rebind and dirty-word bookkeeping. *)
 
 type t = {
-  mask_build_us : float;
-      (** fixed per-framed-rule per-step cost (support resolution +
-          dirty-mask / fast-path construction) *)
+  setup_us : float;
+      (** fixed per-framed-rule per-step cost (state lookup + tester
+          rebind + support resolution + frontier bookkeeping) *)
   retest_us : float;  (** per frontier-tuple full-body re-test *)
   full_tuple_us : float;  (** per-tuple cost of a full recompute *)
 }

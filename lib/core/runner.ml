@@ -30,7 +30,14 @@ let set_auto_chooser f = auto_chooser := f
 let delta_planner : (Program.t -> Delta_eval.program_plan) ref =
   ref (fun _ -> Delta_eval.conservative_plan)
 
-let set_delta_planner f = delta_planner := f
+let set_delta_planner f =
+  delta_planner := f;
+  (* plans key the evaluator's persistent frontier state (testers, mask
+     buffers, anchor caches); a new planner makes the old plans
+     unreachable, so drop the state they pin — an advisor-driven
+     backend/planner switch must not keep stale buffers alive *)
+  Delta_eval.invalidate ()
+
 let delta_plan p = !delta_planner p
 
 let resolve_backend (p : Program.t) (b : backend) =
@@ -313,6 +320,12 @@ let restore (p : Program.t) st =
   (* the snapshot must expose the whole combined vocabulary, exactly as
      [init]'s output does *)
   ignore (Structure.restrict st (Program.vocab p));
+  (* restoring over a live process (the serving daemon's [restore]
+     command) abandons whatever history the delta evaluator's persistent
+     frontier state was tracking; reuse would be sound (state is
+     validated per step), but a restore is a lifecycle boundary — drop
+     the warm caches so they rebuild against the restored world *)
+  Delta_eval.invalidate ();
   { program = p; structure = st }
 
 (* Queries have no frame (there is no previous value of a sentence to be

@@ -1,14 +1,19 @@
 open Dynfo_logic
 
-(* Parallel delta evaluation of one framed rule: the dirty mask is built
-   sequentially (guard/pin/anchor resolution is tiny by construction —
-   it is the *bound* on the frontier), then the frontier re-tests are
-   chunked across the pool by mask-word ranges. Distinct word ranges
-   partition the frontier, so lanes share nothing but the read-only
-   pre-state; each lane compiles its own tester (compiled closures
+(* Parallel delta evaluation of one framed rule: the dirty frontier is
+   resolved sequentially against the rule's persistent state
+   (guard/pin/anchor resolution is tiny by construction — it is the
+   *bound* on the frontier), then the frontier re-tests are chunked
+   across the pool by mask-word ranges. Distinct word ranges partition
+   the frontier, so lanes share nothing but the read-only pre-state;
+   lanes other than 0 compile their own tester (compiled closures
    charge the compiling domain's work counter and own a private slot
-   array). Flips are accumulated per lane and merged into the
-   persistent base sequentially — the same splice a 1-lane run does.
+   array), lane 0 reuses the state's cached tester. The whole call runs
+   inside [Delta_eval.with_state], i.e. under the state lock — safe
+   because pool lanes never re-enter Delta_eval, and required because
+   the [`Mask_words] buffer is borrowed from the state cache. Flips are
+   accumulated per lane and merged into the persistent base
+   sequentially — the same splice a 1-lane run does.
 
    Never called with rules fanned across lanes: Par_runner evaluates
    delta rules in order, parallelism lives inside each rule, because the
@@ -23,43 +28,67 @@ let define pool ?(cutoff = Par_eval.default_cutoff) st ~env
   in
   match plan.Delta_eval.rp_frame with
   | None -> full ()
-  | Some _ -> (
-      (* compile before guards/mask: same error surface as a full
-         evaluation, even on an empty frontier *)
-      let test = Eval.tester st ~vars:plan.rp_vars ~env plan.rp_body in
-      let base = Structure.rel st plan.rp_target in
-      match Delta_eval.frontier st ~env ~base plan with
-      | `Full -> full ()
-      | `Tuples tups ->
-          (* the mask-free fast path: a handful of concrete tuples at
-             most — never worth fanning out *)
-          Delta_eval.splice_tuples ~test ~base tups
-      | `Mask mask ->
-          if Pool.lanes pool = 1 || Bitrel.popcount mask < cutoff then
-            Delta_eval.splice ~test ~base mask
-          else begin
-            let size = Bitrel.size mask in
-            let arity = Bitrel.arity mask in
+  | Some _ ->
+      Delta_eval.with_state st ~env plan (fun ~test ~base fr ->
+          (* fan the frontier words out across lanes; [words] must
+             partition the members *)
+          let fan_out words =
             let lanes = Pool.lanes pool in
             let flips = Array.make lanes [] in
-            Pool.parallel_for pool ~lo:0 ~hi:(Bitrel.word_count mask)
-              (fun ~lane word_lo word_hi ->
+            let mask, word_ranges =
+              match words with
+              | `Whole mask -> (mask, `Range (0, Bitrel.word_count mask))
+              | `Words (mask, ws) -> (mask, `List (Array.of_list ws))
+            in
+            let size = Bitrel.size mask in
+            let arity = Bitrel.arity mask in
+            let visit test acc ~word_lo ~word_hi =
+              Bitrel.iter_codes_between
+                (fun code ->
+                  let tup = Tuple.decode ~size ~arity code in
+                  let now = test tup in
+                  if now <> Relation.mem_unchecked base tup then
+                    acc := (tup, now) :: !acc)
+                mask ~word_lo ~word_hi
+            in
+            let lo, hi =
+              match word_ranges with
+              | `Range (lo, hi) -> (lo, hi)
+              | `List ws -> (0, Array.length ws)
+            in
+            Pool.parallel_for pool ~lo ~hi (fun ~lane chunk_lo chunk_hi ->
                 let test =
                   if lane = 0 then test
                   else Eval.tester st ~vars:plan.rp_vars ~env plan.rp_body
                 in
                 let acc = ref [] in
-                Bitrel.iter_codes_between
-                  (fun code ->
-                    let tup = Tuple.decode ~size ~arity code in
-                    let now = test tup in
-                    if now <> Relation.mem_unchecked base tup then
-                      acc := (tup, now) :: !acc)
-                  mask ~word_lo ~word_hi;
+                (match word_ranges with
+                | `Range _ ->
+                    visit test acc ~word_lo:chunk_lo ~word_hi:chunk_hi
+                | `List ws ->
+                    for i = chunk_lo to chunk_hi - 1 do
+                      visit test acc ~word_lo:ws.(i) ~word_hi:(ws.(i) + 1)
+                    done);
                 flips.(lane) <- List.rev_append !acc flips.(lane));
             Array.fold_left
               (List.fold_left (fun rel (tup, now) ->
                    if now then Relation.add rel tup
                    else Relation.remove rel tup))
               base flips
-          end)
+          in
+          match fr with
+          | `Full -> full ()
+          | `Tuples tups ->
+              (* the mask-free fast path: a handful of concrete tuples at
+                 most — never worth fanning out *)
+              Delta_eval.splice_tuples ~test ~base tups
+          | `Mask mask ->
+              if Pool.lanes pool = 1 || Bitrel.popcount mask < cutoff then
+                Delta_eval.splice ~test ~base mask
+              else fan_out (`Whole mask)
+          | `Mask_words (mask, words) ->
+              if
+                Pool.lanes pool = 1
+                || Bitrel.popcount_words mask words < cutoff
+              then Delta_eval.splice_words ~test ~base mask words
+              else fan_out (`Words (mask, words)))

@@ -91,6 +91,26 @@ let popword w =
 let popcount t = Array.fold_left (fun acc w -> acc + popword w) 0 t.words
 let is_empty t = Array.for_all (fun w -> w = 0) t.words
 
+let check_word t w =
+  if w < 0 || w >= Array.length t.words then
+    invalid_arg
+      (Printf.sprintf "Bitrel: word index %d outside [0, %d)" w
+         (Array.length t.words))
+
+let clear_words t ws =
+  List.iter
+    (fun w ->
+      check_word t w;
+      t.words.(w) <- 0)
+    ws
+
+let popcount_words t ws =
+  List.fold_left
+    (fun acc w ->
+      check_word t w;
+      acc + popword t.words.(w))
+    0 ws
+
 let equal a b =
   a.size = b.size && a.arity = b.arity
   && (* tail bits are kept zero, so word equality is member equality *)
@@ -204,11 +224,12 @@ let complement a =
 
 (* --- fills and reductions ------------------------------------------------ *)
 
-let fill_range t ~lo ~hi =
+let fill_range ?record t ~lo ~hi =
   if lo < 0 || hi > t.length || lo > hi then
     invalid_arg "Bitrel.fill_range: range out of bounds";
   if lo < hi then begin
     let wlo = lo / bpw and whi = (hi - 1) / bpw in
+    (match record with Some f -> f wlo (whi + 1) | None -> ());
     let mlo = -1 lsl (lo mod bpw) in
     let r = ((hi - 1) mod bpw) + 1 in
     let mhi = if r = bpw then -1 else (1 lsl r) - 1 in
@@ -220,7 +241,7 @@ let fill_range t ~lo ~hi =
     end
   end
 
-let set_slab t assignment =
+let set_slab ?record t assignment =
   let n = t.size in
   let fixed = Array.make (max 1 t.arity) (-1) in
   List.iter
@@ -243,7 +264,7 @@ let set_slab t assignment =
   let rec go i base =
     if i > lf then begin
       incr fills;
-      fill_range t ~lo:(base * block) ~hi:((base * block) + block)
+      fill_range ?record t ~lo:(base * block) ~hi:((base * block) + block)
     end
     else if fixed.(i) <> -1 then go (i + 1) ((base * n) + fixed.(i))
     else

@@ -71,6 +71,19 @@ val set_code : t -> int -> unit
 val popcount : t -> int
 (** Number of member tuples (16-bit-table population count, word-wise). *)
 
+val popcount_words : t -> int list -> int
+(** Population count restricted to the listed word indices (which must
+    be distinct for the sum to be a member count). Raises
+    [Invalid_argument] on an index outside [\[0, word_count t)]. The
+    delta backend's persistent frontier masks count only their dirty
+    words this way — O(frontier words) instead of O(space words). *)
+
+val clear_words : t -> int list -> unit
+(** Zero the listed words in place ([Invalid_argument] on an index
+    outside [\[0, word_count t)]). With the dirty-word list recorded by
+    {!set_slab}'s [record] callback, this resets a persistent mask in
+    O(words touched last step) instead of reallocating [n^k] bits. *)
+
 val is_empty : t -> bool
 
 val equal : t -> t -> bool
@@ -122,20 +135,23 @@ val complement : t -> t
 
 (** {1 Strided fills and reductions} *)
 
-val fill_range : t -> lo:int -> hi:int -> unit
+val fill_range : ?record:(int -> int -> unit) -> t -> lo:int -> hi:int -> unit
 (** Set bits [\[lo, hi)] (bit indices), word-wise. Raises
-    [Invalid_argument] on a range outside [\[0, length t)]. *)
+    [Invalid_argument] on a range outside [\[0, length t)]. [record], if
+    given, is called with the touched word range [\[word_lo, word_hi)]
+    before the bits are written — the hook persistent dirty masks use to
+    learn which words to {!clear_words} next step. *)
 
-val set_slab : t -> (int * int) list -> int
+val set_slab : ?record:(int -> int -> unit) -> t -> (int * int) list -> int
 (** [set_slab t \[(c1,v1); ...\]] sets every bit whose tuple has
     component [v_i] at coordinate [c_i] — the cylinder over the
     unconstrained coordinates. Coordinates must be distinct, in
     [\[0, arity)], with values in [\[0, size)] ([Invalid_argument]
     otherwise). Runs of unconstrained trailing coordinates are filled as
     contiguous word ranges. Returns the number of words written (the
-    work charge of the fill). This is how the bulk evaluator
-    cylindrifies an atom's stored tuples into the enclosing quantifier
-    scope. *)
+    work charge of the fill); [record] is forwarded to every underlying
+    {!fill_range}. This is how the bulk evaluator cylindrifies an
+    atom's stored tuples into the enclosing quantifier scope. *)
 
 val lift_pattern : dst:t -> pattern:t -> int
 (** Tile a pattern across a larger tuple space. [pattern] covers the

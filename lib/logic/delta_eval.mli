@@ -38,7 +38,22 @@
     support analysis only ever has to be an upper bound, never exact.
     Work accounting: mask words and anchor scans are charged via
     {!Eval.add_work}, frontier re-tests charge atomic evaluations as
-    usual — mixed units, like the tuple/bulk comparison of E20. *)
+    usual — mixed units, like the tuple/bulk comparison of E20.
+
+    {b Persistent frontier state} (E25): the per-step {e fixed} costs —
+    tester and guard compilation, anchor re-enumeration, mask
+    allocation and whole-space clears/popcounts — are amortised across
+    steps in a per-(plan, size) state cache guarded by one lock:
+    compiled testers are {!Eval.rebind}-ed, anchor contributions are
+    patched from {!Relation.symmetric_diff}, and the mask is a
+    persistent buffer whose dirty words (tracked by a word list) are
+    cleared and recounted in O(frontier) per step. Sub-{!small_limit}
+    frontiers skip the mask entirely. All reuse is sound by
+    construction — a frontier only ever has to {e contain} the flipping
+    tuples, and the full body is re-tested on each — and the stateless
+    {!frontier} builder remains the reference the qcheck equivalence
+    law compares the stateful path against. {!invalidate} drops the
+    cache (snapshot restores, planner reinstalls). *)
 
 (** {1 Plans}
 
@@ -116,17 +131,34 @@ val set_cutoff : float -> unit
 
 val cutoff : unit -> float
 
+val default_small_limit : int
+
+val set_small_limit : int -> unit
+(** Set the small-frontier threshold: the largest raw (pre-dedupe)
+    frontier, in tuples, that the stateful path resolves as an explicit
+    code list with no {!Bitrel} at all ([Invalid_argument] when
+    negative; [0] disables the path). Calibrated by the E25 bench. *)
+
+val small_limit : unit -> int
+
 (** {1 Evaluation} *)
 
-type frontier = [ `Full | `Mask of Bitrel.t | `Tuples of Tuple.t list ]
-(** [`Tuples] is the mask-free fast path: when {e every} slab on both
-    sides of the frame is anchorless and fully pinned (one pin per
-    target coordinate — the single-tuple-frontier shape of plain
-    ins/del maintenance rules and of 0-ary targets), the frontier is
-    resolved to its concrete tuples directly and no {!Bitrel} is
-    allocated: the per-step mask fills/popcounts, which cost
-    O(space/word-size) even for a one-tuple frontier, disappear
-    entirely. *)
+type frontier =
+  [ `Full
+  | `Mask of Bitrel.t
+  | `Mask_words of Bitrel.t * int list
+  | `Tuples of Tuple.t list ]
+(** [`Tuples] is the mask-free fast path: when the frontier resolves to
+    at most {!small_limit} concrete tuples — in particular the
+    single-tuple-frontier shape of plain ins/del maintenance rules and
+    0-ary targets, where every slab is anchorless and fully pinned —
+    the codes are enumerated directly and no {!Bitrel} is touched: the
+    per-step mask fills/popcounts, which cost O(space/word-size) even
+    for a one-tuple frontier, disappear entirely. [`Mask_words] is the
+    persistent-mask form returned by {!with_state}: the mask is only
+    meaningful on the listed dirty words (it is zero elsewhere) and is
+    {e borrowed} — it belongs to the state cache and is rewritten by
+    the rule's next step. *)
 
 val frontier :
   Structure.t ->
@@ -134,22 +166,72 @@ val frontier :
   base:Relation.t ->
   rule_plan ->
   frontier
-(** Resolve the plan's supports at this step (evaluate guards, pins and
-    anchors against [st]/[env]) and build the dirty mask over the tuple
-    space of the rule; [`Tuples] when the fast path applies (still
+(** The {e stateless reference} frontier builder: resolve the plan's
+    supports at this step (evaluate guards, pins and anchors against
+    [st]/[env]) and build a fresh dirty mask over the tuple space of
+    the rule; [`Tuples] when the fully-pinned fast path applies (still
     subject to the budget: a zero cutoff forces [`Full]); [`Full] when
     the rule has no frame, the estimated or actual frontier reaches the
     budget, or the tuple space overflows. [base] must be the target's
-    pre-state value. *)
+    pre-state value. Never returns [`Mask_words] and keeps no state —
+    the qcheck law holds {!with_state}'s incrementally-maintained
+    frontier equal to this one, step by step. *)
+
+val with_state :
+  Structure.t ->
+  ?env:(string * int) list ->
+  rule_plan ->
+  (test:(Tuple.t -> bool) -> base:Relation.t -> frontier -> 'a) ->
+  'a
+(** Evaluate [f] with the rule's persistent frontier state, under the
+    state lock: [test] is the cached (rebound) body tester, [base] the
+    target's pre-state value, and the frontier is maintained
+    incrementally — same emissions and budget decisions as {!frontier},
+    with the fixed per-step costs amortised. The lock is held for the
+    whole of [f] ([f] must not re-enter this module), which is how
+    {!define} and the parallel engine ([Par_delta]) both ride the same
+    state: a borrowed [`Mask_words] buffer stays valid for exactly that
+    long. Compile-time errors of the body surface before the frontier
+    is touched, as in {!define}. *)
+
+val invalidate : unit -> unit
+(** Drop every cached frontier state (testers, anchor caches, mask
+    buffers). Reuse is sound by construction, so this is about
+    lifecycle hygiene, not correctness: called when the planner is
+    re-installed ([Runner.set_delta_planner]) and when a snapshot is
+    restored over a live server, so stale programs cannot pin
+    arbitrarily large buffers. *)
+
+val cached_states : unit -> int
+(** Number of per-(plan, size) states currently cached (bounded;
+    eviction resets the whole cache). Exposed for the invalidation
+    tests. *)
 
 val fast_hits : unit -> int
-(** Process-lifetime count of [`Tuples] frontiers taken — how often the
-    mask-free fast path fired (tests and benches assert it does). *)
+(** Process-lifetime count of fully-pinned single-tuple frontiers taken
+    — how often the original mask-free fast path fired (tests and
+    benches assert it does). A subset of {!small_frontier_hits}. *)
+
+val small_frontier_hits : unit -> int
+(** Process-lifetime count of [`Tuples] frontiers resolved by the
+    stateful path — fully-pinned shapes {e and} the generalised
+    sub-{!small_limit} explicit-code-list path. *)
 
 val mask_builds : unit -> int
-(** Process-lifetime count of {!Bitrel} dirty masks allocated — each is a
-    full frontier construction the fast path and batch grouping try to
-    avoid; surfaced in [dynfo serve] stats and [check] output. *)
+(** Process-lifetime count of {!Bitrel} dirty masks allocated — a fresh
+    build per step on the stateless/[Top] path, once per rule state on
+    the persistent path; surfaced in [dynfo serve] stats and [check]
+    output. *)
+
+val mask_reuse_hits : unit -> int
+(** Process-lifetime count of steps that refilled a persistent mask
+    buffer in place instead of allocating — the tentpole counter of
+    E25. *)
+
+val words_cleared : unit -> int
+(** Cumulative number of dirty mask words zeroed by persistent-mask
+    refills — the O(frontier) replacement for reallocating and zeroing
+    [n^k] bits per step. *)
 
 val splice :
   test:(Tuple.t -> bool) -> base:Relation.t -> Bitrel.t -> Relation.t
@@ -162,10 +244,20 @@ val splice_tuples :
   test:(Tuple.t -> bool) -> base:Relation.t -> Tuple.t list -> Relation.t
 (** {!splice} over an explicit (fast-path) frontier. *)
 
+val splice_words :
+  test:(Tuple.t -> bool) ->
+  base:Relation.t ->
+  Bitrel.t ->
+  int list ->
+  Relation.t
+(** {!splice} over a [`Mask_words] frontier: only the listed words are
+    iterated (the persistent mask is zero elsewhere), so the splice is
+    O(frontier), not O(space/word-size). *)
+
 val memo_hits : unit -> int
 
 val memo_misses : unit -> int
-(** {!define} compiles each framed rule's body tester once per
+(** The state cache compiles each framed rule's body tester once per
     (plan, universe size) and {e rebinds} it to the step's structure
     thereafter ({!Eval.compile_tester}/{!Eval.rebind}) — compilation is
     amortised across the steps of a run and the requests of a batch.

@@ -115,6 +115,9 @@ type stats = {
   delta_memo_hits : int;
   delta_memo_misses : int;
   delta_mask_builds : int;
+  delta_mask_reuse_hits : int;
+  delta_words_cleared : int;
+  delta_small_frontier_hits : int;
 }
 
 let stats t ~session =
@@ -135,6 +138,9 @@ let stats t ~session =
     delta_memo_hits = opt "delta_memo_hits";
     delta_memo_misses = opt "delta_memo_misses";
     delta_mask_builds = opt "delta_mask_builds";
+    delta_mask_reuse_hits = opt "delta_mask_reuse_hits";
+    delta_words_cleared = opt "delta_words_cleared";
+    delta_small_frontier_hits = opt "delta_small_frontier_hits";
   }
 
 let list_sessions t =

@@ -90,6 +90,9 @@ type stats = {
   delta_memo_hits : int;
   delta_memo_misses : int;
   delta_mask_builds : int;
+  delta_mask_reuse_hits : int;  (** persistent masks refilled in place *)
+  delta_words_cleared : int;  (** dirty words zeroed by those refills *)
+  delta_small_frontier_hits : int;  (** mask-free explicit-code frontiers *)
 }
 
 val stats : t -> session:string -> stats

@@ -218,6 +218,12 @@ let dispatch t (cmd : Wire.cmd) : (string * Json.t) list =
         ("delta_memo_hits", Json.Int (Dynfo_logic.Delta_eval.memo_hits ()));
         ("delta_memo_misses", Json.Int (Dynfo_logic.Delta_eval.memo_misses ()));
         ("delta_mask_builds", Json.Int (Dynfo_logic.Delta_eval.mask_builds ()));
+        ( "delta_mask_reuse_hits",
+          Json.Int (Dynfo_logic.Delta_eval.mask_reuse_hits ()) );
+        ( "delta_words_cleared",
+          Json.Int (Dynfo_logic.Delta_eval.words_cleared ()) );
+        ( "delta_small_frontier_hits",
+          Json.Int (Dynfo_logic.Delta_eval.small_frontier_hits ()) );
       ]
   | List_sessions ->
       let rows =

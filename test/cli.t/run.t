@@ -80,8 +80,9 @@ step than the full backends above:
 
   $ dynfo_cli check reach_u -n 6 --length 60 --seed 1 --backend delta
   checking reach_u at n=6 over 60 requests (seed 1): ok (60 checkpoints, 4 implementations)
-    delta work/step: total 202255, mean 3370.9, max 10108
-    delta counters: fast hits 81, memo hits 156, memo misses 0, mask builds 75
+    delta work/step: total 202086, mean 3368.1, max 10105
+    delta counters: fast hits 81, memo hits 156, memo misses 0, mask builds 0
+    frontier state: small frontiers 127, mask reuses 0, words cleared 0
     commute plan: 30 group(s) over 60 requests (max run 6)
 
   $ dynfo_cli run reach_u -n 6 --script script.txt --backend delta

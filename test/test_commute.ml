@@ -294,10 +294,10 @@ let test_advisor_wall_clock_flip () =
      it — asserted with explicit tables so the checked-in constants can
      be re-measured without touching this test *)
   let stingy =
-    { Calibration.mask_build_us = 1000.; retest_us = 10.; full_tuple_us = 1e-4 }
+    { Calibration.setup_us = 1000.; retest_us = 10.; full_tuple_us = 1e-4 }
   in
   let generous =
-    { Calibration.mask_build_us = 1e-4; retest_us = 1e-4; full_tuple_us = 1000. }
+    { Calibration.setup_us = 1e-4; retest_us = 1e-4; full_tuple_us = 1000. }
   in
   let a = Advisor.of_program ~size:8 ~calibration:stingy p in
   check tb "stingy calibration flips off delta" true
@@ -318,6 +318,33 @@ let test_advisor_wall_clock_flip () =
         (float_of_int frontier <= be)
         (adv.Advisor.backend = `Delta))
     [ 2; 4; 8; 16; 32 ]
+
+(* the flip happens *at* the break-even, not merely somewhere: solve
+   for the retest constant that puts the break-even exactly on the
+   estimated frontier, keep the measured setup/full constants, and
+   nudge retest one percent to either side — the advice must flip
+   across that boundary *)
+let test_advisor_break_even_boundary () =
+  let p = find "reach_u" in
+  let n = 8 in
+  let rules, frontier, space = Advisor.delta_estimates p ~size:n in
+  let { Calibration.setup_us; full_tuple_us; _ } = Calibration.default in
+  let exact =
+    ((full_tuple_us *. float_of_int space) -. (setup_us *. float_of_int rules))
+    /. float_of_int (max 1 frontier)
+  in
+  check tb "boundary is realisable with the measured constants" true
+    (exact > 0. && frontier > 0);
+  let at scale =
+    { Calibration.setup_us; retest_us = exact *. scale; full_tuple_us }
+  in
+  let keep = Advisor.of_program ~size:n ~calibration:(at 0.99) p in
+  let drop = Advisor.of_program ~size:n ~calibration:(at 1.01) p in
+  check tb "frontier just under break-even keeps delta" true
+    (keep.Advisor.backend = `Delta);
+  check tb "frontier just past break-even flips to the fallback" true
+    (drop.Advisor.backend
+    = (drop.Advisor.fallback :> [ `Tuple | `Bulk | `Delta ]))
 
 let () =
   Alcotest.run "commute"
@@ -346,5 +373,7 @@ let () =
         [
           Alcotest.test_case "wall-clock flip" `Quick
             test_advisor_wall_clock_flip;
+          Alcotest.test_case "flip at the measured break-even" `Quick
+            test_advisor_break_even_boundary;
         ] );
     ]

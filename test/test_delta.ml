@@ -191,7 +191,10 @@ let frontier_sound =
                   "flipped tuple %s outside frontier for %s"
                   (Tuple.to_string t)
                   (Formula.to_string rule.body))
-            (Relation.symmetric_diff base full));
+            (Relation.symmetric_diff base full)
+      | `Mask_words _ ->
+          (* the stateless reference never maintains a persistent mask *)
+          QCheck.Test.fail_reportf "stateless frontier returned `Mask_words");
       true)
 
 let delta_matches_eval_and_bulk =
@@ -453,6 +456,227 @@ let test_registry_par_delta_agreement () =
             [ "parity"; "reach_u"; "reach_acyclic"; "matching"; "mult" ]))
     [ 1; 2; 4 ]
 
+(* --- persistent frontier state (E25) --------------------------------------- *)
+
+(* Canonical form of a frontier: [None] for `Full, otherwise the sorted
+   set of its tuples. [`Mask_words] borrows the persistent buffer, so
+   callers materialise inside [with_state]'s callback. *)
+let frontier_tuples ~size ~arity (fr : Delta_eval.frontier) =
+  match fr with
+  | `Full -> None
+  | `Tuples tups -> Some (List.sort_uniq Tuple.compare tups)
+  | `Mask m ->
+      let acc = ref [] in
+      Bitrel.iter_codes (fun c -> acc := Tuple.decode ~size ~arity c :: !acc) m;
+      Some (List.sort_uniq Tuple.compare !acc)
+  | `Mask_words (m, ws) ->
+      let acc = ref [] in
+      List.iter
+        (fun w ->
+          Bitrel.iter_codes_between
+            (fun c -> acc := Tuple.decode ~size ~arity c :: !acc)
+            m ~word_lo:w ~word_hi:(w + 1))
+        ws;
+      Some (List.sort_uniq Tuple.compare !acc)
+
+(* The central law of the persistent-state rewrite: after ANY history of
+   churn, budget collapses and target updates, the warm stateful
+   frontier is the same set (and the same `Full decision) as a frontier
+   built from scratch by the stateless reference. *)
+let stateful_frontier_matches_stateless =
+  QCheck.Test.make
+    ~name:"warm frontier_state == stateless frontier under churn" ~count:120
+    QCheck.(pair (int_range 2 6) (int_range 0 10000000))
+    (fun (size, seed) ->
+      let rng = Random.State.make [| seed; size; 23 |] in
+      let rule = random_framed_rule rng ~size in
+      let plan = Dynfo_analysis.Support.plan_rule rule in
+      Delta_eval.invalidate ();
+      let st = ref (random_structure rng ~size) in
+      Fun.protect
+        ~finally:(fun () -> Delta_eval.set_cutoff Delta_eval.default_cutoff)
+        (fun () ->
+          for _step = 1 to 10 do
+            (* churn every relation the supports can depend on *)
+            for _ = 1 to 1 + Random.State.int rng 5 do
+              let name, t =
+                match Random.State.int rng 3 with
+                | 0 ->
+                    ( "E",
+                      [| Random.State.int rng size; Random.State.int rng size |]
+                    )
+                | 1 -> ("U", [| Random.State.int rng size |])
+                | _ ->
+                    ( "R",
+                      [| Random.State.int rng size; Random.State.int rng size |]
+                    )
+              in
+              st :=
+                (if Random.State.bool rng then Structure.add_tuple !st name t
+                 else Structure.del_tuple !st name t)
+            done;
+            if Random.State.int rng 4 = 0 then
+              st := Structure.with_const !st "s" (Random.State.int rng size);
+            let env =
+              [
+                ("a", Random.State.int rng size);
+                ("b", Random.State.int rng size);
+              ]
+            in
+            (* collapse the budget on some steps: the `Full fallback
+               must leave the warm state able to resync afterwards *)
+            Delta_eval.set_cutoff
+              (if Random.State.int rng 4 = 0 then 0.03
+               else Delta_eval.default_cutoff);
+            let base = Structure.rel !st "R" in
+            let expect =
+              frontier_tuples ~size ~arity:2
+                (Delta_eval.frontier !st ~env ~base plan)
+            in
+            let got =
+              Delta_eval.with_state !st ~env plan (fun ~test:_ ~base:_ fr ->
+                  frontier_tuples ~size ~arity:2 fr)
+            in
+            (match (expect, got) with
+            | None, None -> ()
+            | Some a, Some b
+              when List.length a = List.length b
+                   && List.for_all2 (fun x y -> Tuple.compare x y = 0) a b ->
+                ()
+            | _ ->
+                QCheck.Test.fail_reportf
+                  "stateful frontier diverges from stateless on %s"
+                  (Formula.to_string rule.body));
+            (* push the rule's own output back into the target so the
+               next round exercises dirty-word clears and anchor patches
+               against genuine target churn *)
+            st := Structure.with_rel !st "R" (Delta_eval.define !st ~env plan)
+          done);
+      true)
+
+(* Budget-fallback -> resync across the whole registry, sequential and
+   pool-parallel: mid-run the cutoff collapses to 0 (every framed rule
+   widens to a full recompute behind the warm state's back), then
+   restores — the per-plan masks and anchor caches must catch up. *)
+let test_registry_cutoff_resync () =
+  Dynfo_analysis.Advisor.install ();
+  Fun.protect
+    ~finally:(fun () -> Delta_eval.set_cutoff Delta_eval.default_cutoff)
+    (fun () ->
+      List.iter
+        (fun lanes ->
+          Pool.with_pool ~lanes (fun pool ->
+              List.iter
+                (fun (e : Registry.entry) ->
+                  let size = min e.default_size 8 in
+                  let rng = Random.State.make [| 2033; lanes |] in
+                  let reqs = e.workload rng ~size ~length:24 in
+                  let seq = ref (Runner.init e.program ~size) in
+                  let delta = ref (Runner.init e.program ~size) in
+                  let par =
+                    ref
+                      (Par_runner.init pool ~cutoff:0 ~backend:`Delta e.program
+                         ~size)
+                  in
+                  List.iteri
+                    (fun i r ->
+                      Delta_eval.set_cutoff
+                        (if i mod 6 >= 4 then 0.0
+                         else Delta_eval.default_cutoff);
+                      seq := Runner.step !seq r;
+                      delta := Runner.step ~backend:`Delta !delta r;
+                      par := Par_runner.step !par r;
+                      if
+                        not
+                          (Structure.equal (Runner.structure !seq)
+                             (Runner.structure !delta))
+                      then
+                        Alcotest.failf
+                          "%s: delta diverges after request %d (lanes %d)"
+                          e.name i lanes;
+                      if
+                        not
+                          (Structure.equal (Runner.structure !seq)
+                             (Par_runner.structure !par))
+                      then
+                        Alcotest.failf
+                          "%s: par-delta diverges after request %d (lanes %d)"
+                          e.name i lanes)
+                    reqs)
+                Registry.all))
+        [ 1; 4 ])
+
+(* Lifecycle boundaries drop the warm caches: planner (re-)installation —
+   which is how program re-registration and advisor-driven backend
+   reconfiguration reach the evaluator — and snapshot restore onto a
+   live process. After the drop, two runners sharing the process-wide
+   cache continue in lockstep. *)
+let test_invalidation_drops_state () =
+  Dynfo_analysis.Advisor.install ();
+  let e = Registry.find "reach_u" in
+  let size = 7 in
+  let rng = Random.State.make [| 41 |] in
+  let reqs = e.workload rng ~size ~length:40 in
+  let prefix = List.filteri (fun i _ -> i < 20) reqs in
+  let suffix = List.filteri (fun i _ -> i >= 20) reqs in
+  let s = Runner.run ~backend:`Delta (Runner.init e.program ~size) prefix in
+  check tb "delta run warmed the cache" true (Delta_eval.cached_states () > 0);
+  Dynfo_analysis.Advisor.install ();
+  check ti "planner reinstall drops cached states" 0
+    (Delta_eval.cached_states ());
+  let warm = List.filteri (fun i _ -> i < 5) suffix in
+  let rest = List.filteri (fun i _ -> i >= 5) suffix in
+  let s = Runner.run ~backend:`Delta s warm in
+  check tb "cache warmed again" true (Delta_eval.cached_states () > 0);
+  let restored = Runner.restore e.program (Runner.structure s) in
+  check ti "restore drops cached states" 0 (Delta_eval.cached_states ());
+  let sa = ref s and sb = ref restored in
+  List.iter
+    (fun r ->
+      sa := Runner.step ~backend:`Delta !sa r;
+      sb := Runner.step ~backend:`Delta !sb r;
+      check tb "lockstep-continue with warm caches" true
+        (Structure.equal (Runner.structure !sa) (Runner.structure !sb)))
+    rest
+
+(* Force the persistent-mask path (small_limit 0), flip the threshold
+   mid-run (warm mask state must survive steps that bypass it through
+   the small-frontier path), and assert the new counters actually move. *)
+let test_mask_reuse_and_threshold_switch () =
+  Dynfo_analysis.Advisor.install ();
+  let e = Registry.find "reach_u" in
+  let size = 8 in
+  let rng = Random.State.make [| 43 |] in
+  let reqs = e.workload rng ~size ~length:60 in
+  let reuse0 = Delta_eval.mask_reuse_hits () in
+  let cleared0 = Delta_eval.words_cleared () in
+  let small0 = Delta_eval.small_frontier_hits () in
+  Fun.protect
+    ~finally:(fun () ->
+      Delta_eval.set_small_limit Delta_eval.default_small_limit)
+    (fun () ->
+      Delta_eval.set_small_limit 0;
+      let seq = ref (Runner.init e.program ~size) in
+      let delta = ref (Runner.init e.program ~size) in
+      List.iteri
+        (fun i r ->
+          Delta_eval.set_small_limit (if i mod 8 >= 6 then 64 else 0);
+          seq := Runner.step !seq r;
+          delta := Runner.step ~backend:`Delta !delta r;
+          if
+            not
+              (Structure.equal (Runner.structure !seq)
+                 (Runner.structure !delta))
+          then
+            Alcotest.failf "threshold switch: delta diverges after request %d" i)
+        reqs);
+  check tb "persistent mask was reused" true
+    (Delta_eval.mask_reuse_hits () > reuse0);
+  check tb "dirty words were cleared" true
+    (Delta_eval.words_cleared () > cleared0);
+  check tb "small-frontier path fired" true
+    (Delta_eval.small_frontier_hits () > small0)
+
 (* --- support analysis sanity ---------------------------------------------- *)
 
 let test_support_reports () =
@@ -536,6 +760,16 @@ let () =
             test_par_delta_define_matches;
           Alcotest.test_case "registry via harness at 1/2/4 lanes" `Slow
             test_registry_par_delta_agreement;
+        ] );
+      ( "frontier_state",
+        [
+          QCheck_alcotest.to_alcotest stateful_frontier_matches_stateless;
+          Alcotest.test_case "budget fallback -> resync, registry x lanes"
+            `Slow test_registry_cutoff_resync;
+          Alcotest.test_case "lifecycle boundaries drop cached state" `Quick
+            test_invalidation_drops_state;
+          Alcotest.test_case "mask reuse and threshold switches" `Quick
+            test_mask_reuse_and_threshold_switch;
         ] );
       ( "support",
         [ Alcotest.test_case "showcase frames" `Quick test_support_reports ] );
