@@ -205,6 +205,26 @@ let analyze_cmd =
              write sets. With $(b,--strict), fail if any Commute verdict \
              or believed law lacks model-checker confirmation.")
   in
+  let defchange_arg =
+    Arg.(
+      value & flag
+      & info [ "defchange" ]
+          ~doc:
+            "Print the definable-change analysis: per-op \
+             Absorb/Stream/Fold/Unknown batch verdicts (model-checked \
+             against the singleton-sequence fold, including the \
+             FO-definable set-change forms). With $(b,--strict), fail on \
+             any Unknown verdict — unverified means unsafe.")
+  in
+  let mc_size_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "mc-size" ] ~docv:"N"
+          ~doc:
+            "Maximum universe size the $(b,--defchange) model checker \
+             explores (0 checks nothing: every verdict degrades to \
+             Unknown).")
+  in
   let prog_arg =
     Arg.(
       value
@@ -212,7 +232,8 @@ let analyze_cmd =
       & info [] ~docv:"PROBLEM"
           ~doc:"Problem to analyze (or $(b,--all) for the whole registry).")
   in
-  let run all json strict graph advise support commute entry_opt =
+  let run all json strict graph advise support commute defchange mc_size
+      entry_opt =
     let entries =
       match (entry_opt, all) with
       | Some e, _ -> Some [ e ]
@@ -255,6 +276,41 @@ let analyze_cmd =
                 Format.eprintf
                   "%s: Commute verdict or law without model-checker \
                    confirmation@."
+                  m.m_program)
+              bad;
+            exit 1
+          end
+        end;
+        `Ok ()
+    | Some entries when defchange ->
+        let module D = Dynfo_analysis.Defchange in
+        let matrices =
+          List.map
+            (fun (e : Registry.entry) ->
+              if mc_size = 4 then D.matrix_of e.program
+              else D.analyze ~max_size:mc_size e.program)
+            entries
+        in
+        (if json then
+           Format.printf "[%a]@."
+             (Format.pp_print_list
+                ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@\n ")
+                D.pp_json)
+             matrices
+         else List.iter (fun m -> Format.printf "%a@." D.pp m) matrices);
+        if strict then begin
+          let unknown (m : D.matrix) =
+            List.exists
+              (fun (c : D.cell) -> c.d_verdict = D.Unknown)
+              m.m_cells
+          in
+          let bad = List.filter unknown matrices in
+          if bad <> [] then begin
+            List.iter
+              (fun (m : D.matrix) ->
+                Format.eprintf
+                  "%s: unverified (Unknown) batch verdict — treated as \
+                   unsafe@."
                   m.m_program)
               bad;
             exit 1
@@ -336,7 +392,8 @@ let analyze_cmd =
     Term.(
       ret
         (const run $ all_arg $ json_arg $ strict_arg $ graph_arg
-       $ advise_arg $ support_arg $ commute_arg $ prog_arg))
+       $ advise_arg $ support_arg $ commute_arg $ defchange_arg
+       $ mc_size_arg $ prog_arg))
 
 (* --- run ----------------------------------------------------------------- *)
 
@@ -924,6 +981,7 @@ let loadgen_cmd =
 let () =
   Dynfo_analysis.Advisor.install ();
   Dynfo_analysis.Commute.install ();
+  Dynfo_analysis.Defchange.install ();
   let doc = "Dyn-FO: dynamic first-order programs from Patnaik & Immerman" in
   let info = Cmd.info "dynfo_cli" ~version:"1.0.0" ~doc in
   exit

@@ -679,6 +679,16 @@ let matrix_of (p : Program.t) =
 
 (* --- the runner oracle ------------------------------------------------------ *)
 
+(* Set requests (Ins_set/Ins_def/...) are composites of many singletons;
+   the pairwise laws here are verified for singleton ops only, so the
+   oracle answers [false] for them (they are expanded before the batch
+   planner consults the oracle again — nothing is lost downstream). *)
+let is_singleton = function
+  | Request.Ins _ | Request.Del _ | Request.Set _ -> true
+  | Request.Ins_set _ | Request.Del_set _ | Request.Ins_def _
+  | Request.Del_def _ ->
+      false
+
 let op_of_request (p : Program.t) = function
   | Request.Ins (n, t) ->
       { op_kind = `Ins; op_rel = n; op_arity = Array.length t }
@@ -687,6 +697,9 @@ let op_of_request (p : Program.t) = function
   | Request.Set (n, _) ->
       ignore p;
       { op_kind = `Set; op_rel = n; op_arity = 1 }
+  | Request.Ins_set _ | Request.Del_set _ | Request.Ins_def _
+  | Request.Del_def _ ->
+      invalid_arg "Commute.op_of_request: set request (guard with is_singleton)"
 
 let query_reads (p : Program.t) =
   let vocab = Program.vocab p in
@@ -718,6 +731,8 @@ let oracle_of (p : Program.t) : Runner.commute_oracle =
     | _ -> false
   in
   let law_of pick r =
+    is_singleton r
+    &&
     match op_report m (op_of_request p r) with
     | Some rep -> (pick rep).law_holds
     | None -> false
@@ -725,7 +740,8 @@ let oracle_of (p : Program.t) : Runner.commute_oracle =
   {
     co_swap =
       (fun r1 r2 ->
-        if r1 = r2 then true
+        if not (is_singleton r1 && is_singleton r2) then false
+        else if r1 = r2 then true
         else if
           addr (op_of_request p r1) = addr (op_of_request p r2)
           && args_equal r1 r2
@@ -735,6 +751,8 @@ let oracle_of (p : Program.t) : Runner.commute_oracle =
     co_dedupe = law_of (fun rep -> rep.or_idempotent);
     co_invisible =
       (fun r qname ->
+        is_singleton r
+        &&
         match
           ( List.assoc_opt (op_of_request p r) writes,
             List.assoc_opt qname qreads )

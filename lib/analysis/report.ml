@@ -6,7 +6,7 @@ type t = {
   advice : Advisor.advice;
 }
 
-let version = 3
+let version = 4
 
 let of_program p =
   {

@@ -47,15 +47,22 @@ let static ~name ~input_vocab ~symmetric_rels ~oracle =
     {
       apply =
         (fun req ->
-          st :=
-            (match req with
+          let rec go st req =
+            match req with
             | Request.Ins (r, tup) when List.mem r symmetric_rels ->
-                Structure.add_tuple (Structure.add_tuple !st r tup) r (flip tup)
+                Structure.add_tuple (Structure.add_tuple st r tup) r (flip tup)
             | Request.Del (r, tup) when List.mem r symmetric_rels ->
-                Structure.del_tuple (Structure.del_tuple !st r tup) r (flip tup)
-            | Request.Ins (r, tup) -> Structure.add_tuple !st r tup
-            | Request.Del (r, tup) -> Structure.del_tuple !st r tup
-            | Request.Set (c, a) -> Structure.with_const !st c a));
+                Structure.del_tuple (Structure.del_tuple st r tup) r (flip tup)
+            | Request.Ins (r, tup) -> Structure.add_tuple st r tup
+            | Request.Del (r, tup) -> Structure.del_tuple st r tup
+            | Request.Set (c, a) -> Structure.with_const st c a
+            | Request.Ins_set _ | Request.Del_set _ | Request.Ins_def _
+            | Request.Del_def _ ->
+                (* set requests: fold the singleton expansion, so natives
+                   stay lockstep-comparable with batch-taking runners *)
+                List.fold_left go st (Request.expand st req)
+          in
+          st := go !st req);
       query = (fun () -> oracle !st);
     }
   in

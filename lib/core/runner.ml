@@ -72,6 +72,30 @@ let commute_oracle_ref : (Program.t -> commute_oracle) ref =
 let set_commute_oracle f = commute_oracle_ref := f
 let commute_oracle p = !commute_oracle_ref p
 
+(* Fourth instance of the injection pattern: the per-program definable-
+   change oracle behind [step_batch]'s set-at-a-time paths. Per (update
+   kind, input relation) it answers how a whole same-op group may be
+   evaluated in one tick:
+   - [`Absorb]: apply the input changes only, skip the update block —
+     licensed by a model-checked law that the block leaves nothing else
+     to maintain for this op (e.g. ops with no update block at all);
+   - [`Stream]: fold the members under one [Delta_eval] batch scope, so
+     the delta backend accumulates a single dirty mask for the group
+     instead of clearing and rebuilding per member — sound
+     unconditionally (superset frontiers re-test with the full body),
+     and model-checked against the singleton fold anyway;
+   - [`Fold]: no verified law — the existing singleton fold, bit for
+     bit. The default oracle answers [`Fold] for everything;
+     [Dynfo_analysis.Defchange.install] swaps in the verified matrix. *)
+type defchange_verdict = [ `Absorb | `Stream | `Fold ]
+
+let defchange_oracle_ref :
+    (Program.t -> [ `Ins | `Del | `Set ] -> string -> defchange_verdict) ref =
+  ref (fun _ _ _ -> `Fold)
+
+let set_defchange_oracle f = defchange_oracle_ref := f
+let defchange_verdict p kind rel = !defchange_oracle_ref p kind rel
+
 let seq_rules_define st ~env rules =
   List.map
     (fun (r : Program.rule) ->
@@ -95,7 +119,8 @@ let rules_define_for = function
    the plan's fallback backend. The plan is validated against the actual
    rule (vars + body) so a stale plan for a same-named variant of the
    program degrades to a full recompute instead of misevaluating. *)
-let delta_rules_define (plan : Delta_eval.program_plan) block st ~env rules =
+let delta_rules_define ?batch (plan : Delta_eval.program_plan) block st ~env
+    rules =
   let fallback = plan.Delta_eval.pp_fallback in
   List.map
     (fun (r : Program.rule) ->
@@ -109,7 +134,7 @@ let delta_rules_define (plan : Delta_eval.program_plan) block st ~env rules =
         | _ -> None
       in
       match rp with
-      | Some rp -> (r.target, Delta_eval.define ~fallback st ~env rp)
+      | Some rp -> (r.target, Delta_eval.define ~fallback st ~env ?batch rp)
       | None ->
           (r.target, Delta_eval.full_define fallback st ~vars:r.vars ~env r.body))
     rules
@@ -122,8 +147,14 @@ let delta_block_for (p : Program.t) req =
   let plan = !delta_planner p in
   let block =
     match req with
-    | Request.Ins (name, _) -> Delta_eval.block_for plan `Ins name
-    | Request.Del (name, _) -> Delta_eval.block_for plan `Del name
+    | Request.Ins (name, _)
+    | Request.Ins_set (name, _)
+    | Request.Ins_def (name, _, _) ->
+        Delta_eval.block_for plan `Ins name
+    | Request.Del (name, _)
+    | Request.Del_set (name, _)
+    | Request.Del_def (name, _, _) ->
+        Delta_eval.block_for plan `Del name
     | Request.Set (name, _) -> Delta_eval.block_for plan `Set name
   in
   (plan, block)
@@ -161,11 +192,20 @@ let apply_update_with ~rules_define st (u : Program.update) (args : int list)
   List.fold_left (fun acc (name, rel) -> Structure.with_rel acc name rel) st
     new_rels
 
-let step_with_unchecked ~rules_define s req =
+let rec step_with_unchecked ~rules_define s req =
   let apply_update = apply_update_with ~rules_define in
   let p = s.program in
   let structure =
     match req with
+    | Request.Ins_set _ | Request.Del_set _ | Request.Ins_def _
+    | Request.Del_def _ ->
+        (* a set request outside a batch tick: expand against the current
+           structure and fold the singleton sequence it denotes *)
+        (List.fold_left
+           (step_with_unchecked ~rules_define)
+           s
+           (Request.expand s.structure req))
+          .structure
     | Request.Ins (name, tup) ->
         let st =
           match List.assoc_opt name p.on_ins with
@@ -234,10 +274,17 @@ let redundant st = function
   | Request.Ins (name, tup) -> Structure.mem st name tup
   | Request.Del (name, tup) -> not (Structure.mem st name tup)
   | Request.Set (name, v) -> Structure.const st name = v
+  | Request.Ins_set _ | Request.Del_set _ | Request.Ins_def _
+  | Request.Del_def _ ->
+      (* set requests are expanded before elision is consulted; an
+         unexpanded one is never known-redundant *)
+      false
 
 let op_key = function
-  | Request.Ins (n, _) -> (`Ins, n)
-  | Request.Del (n, _) -> (`Del, n)
+  | Request.Ins (n, _) | Request.Ins_set (n, _) | Request.Ins_def (n, _, _) ->
+      (`Ins, n)
+  | Request.Del (n, _) | Request.Del_set (n, _) | Request.Del_def (n, _, _) ->
+      (`Del, n)
   | Request.Set (n, _) -> (`Set, n)
 
 (* Greedy stable grouping: each request joins the most recent group of
@@ -270,7 +317,31 @@ let plan_groups_with swap reqs =
 let plan_groups p reqs =
   plan_groups_with (!commute_oracle_ref p).co_swap reqs
 
-type batch_info = { bi_groups : int; bi_elided : int }
+type batch_info = {
+  bi_groups : int;
+  bi_elided : int;
+  bi_absorbed : int;
+  bi_streamed : int;
+}
+
+(* The [`Absorb] path: apply the input change only, skipping the update
+   block — exactly the runner's default maintenance, for every member of
+   a certified group at once. The Defchange analyzer model-checks THIS
+   function against the singleton fold per (program, op); keeping it a
+   first-class export means the verified law and the exploited code path
+   cannot drift apart. *)
+let absorb_apply st = function
+  | Request.Ins (name, tup) -> Structure.add_tuple st name tup
+  | Request.Del (name, tup) -> Structure.del_tuple st name tup
+  | Request.Set (name, v) -> Structure.with_const st name v
+  | (Request.Ins_set _ | Request.Del_set _ | Request.Ins_def _
+    | Request.Del_def _) as r ->
+      invalid_arg
+        (Printf.sprintf "Runner.absorb_group: unexpanded set request %s"
+           (Request.to_string r))
+
+let absorb_group s group =
+  { s with structure = List.fold_left absorb_apply s.structure group }
 
 (* One evaluation tick over an explicit request list: the serving
    layer's coalescing unit. Semantically the sequential composition of
@@ -287,34 +358,71 @@ type batch_info = { bi_groups : int; bi_elided : int }
    so the delta backend performs one block-plan lookup per group instead
    of per request; and requests that do not change the input (insert of
    a present tuple, delete of an absent one, set to the current value)
-   are skipped entirely for ops whose no-op law the oracle verified. *)
-let step_batch_info ?(backend = `Tuple) ?oracle s reqs =
+   are skipped entirely for ops whose no-op law the oracle verified.
+
+   With a defchange oracle installed each group is additionally
+   evaluated per its verified (kind, relation) verdict: [`Absorb]
+   applies the input changes only ([absorb_group]); [`Stream] folds the
+   group under one [Delta_eval] batch scope so the delta backend
+   accumulates a single dirty mask for the whole group; [`Fold] (and
+   any op the analyzer could not certify) takes the unchanged singleton
+   fold. Set requests ([Request.Ins_set] etc.) are expanded against the
+   tick's pre-state first — the "definable changes" simultaneous
+   reading — and their singletons planned like any others. *)
+let step_batch_info ?(backend = `Tuple) ?oracle ?defchange s reqs =
   List.iter (validate_request ~who:"Runner.step_batch" s) reqs;
   let backend = resolve_backend s.program backend in
   let oracle =
     match oracle with Some o -> o | None -> !commute_oracle_ref s.program
   in
-  let groups = plan_groups_with oracle.co_swap reqs in
-  let step_group (s, elided) group =
-    let rules_define =
-      match backend with
-      | (`Tuple | `Bulk) as b -> rules_define_for b
-      | `Delta ->
-          let plan, block = delta_block_for s.program (List.hd group) in
-          delta_rules_define plan block
-    in
-    List.fold_left
-      (fun (s, elided) req ->
-        if oracle.co_elidable req && redundant s.structure req then
-          (s, elided + 1)
-        else (step_with_unchecked ~rules_define s req, elided))
-      (s, elided) group
+  let verdict =
+    match defchange with
+    | Some f -> f
+    | None -> !defchange_oracle_ref s.program
   in
-  let s, elided = List.fold_left step_group (s, 0) groups in
-  (s, { bi_groups = List.length groups; bi_elided = elided })
+  let reqs = Request.expand_batch s.structure reqs in
+  let groups = plan_groups_with oracle.co_swap reqs in
+  (* one batch scope per tick: every [`Stream] group joins it, so rule
+     states shared across groups keep accumulating instead of clearing *)
+  let tick = Delta_eval.new_batch () in
+  let step_group (s, info) group =
+    let kind, rel = op_key (List.hd group) in
+    match verdict kind rel with
+    | `Absorb ->
+        ( absorb_group s group,
+          { info with bi_absorbed = info.bi_absorbed + List.length group } )
+    | (`Stream | `Fold) as v ->
+        let batch =
+          if v = `Stream && backend = `Delta then Some tick else None
+        in
+        let rules_define =
+          match backend with
+          | (`Tuple | `Bulk) as b -> rules_define_for b
+          | `Delta ->
+              let plan, block = delta_block_for s.program (List.hd group) in
+              delta_rules_define ?batch plan block
+        in
+        let info =
+          if batch = None then info
+          else
+            { info with bi_streamed = info.bi_streamed + List.length group }
+        in
+        List.fold_left
+          (fun (s, info) req ->
+            if oracle.co_elidable req && redundant s.structure req then
+              (s, { info with bi_elided = info.bi_elided + 1 })
+            else (step_with_unchecked ~rules_define s req, info))
+          (s, info) group
+  in
+  let s, info =
+    List.fold_left step_group
+      (s, { bi_groups = 0; bi_elided = 0; bi_absorbed = 0; bi_streamed = 0 })
+      groups
+  in
+  (s, { info with bi_groups = List.length groups })
 
-let step_batch ?backend ?oracle s reqs =
-  fst (step_batch_info ?backend ?oracle s reqs)
+let step_batch ?backend ?oracle ?defchange s reqs =
+  fst (step_batch_info ?backend ?oracle ?defchange s reqs)
 
 let restore (p : Program.t) st =
   (* the snapshot must expose the whole combined vocabulary, exactly as
@@ -362,9 +470,9 @@ let step_work ?backend s req = Eval.with_work (fun () -> step ?backend s req)
 let step_batch_work ?backend s reqs =
   Eval.with_work (fun () -> step_batch ?backend s reqs)
 
-let step_batch_full ?backend ?oracle s reqs =
+let step_batch_full ?backend ?oracle ?defchange s reqs =
   let (s, info), w =
-    Eval.with_work (fun () -> step_batch_info ?backend ?oracle s reqs)
+    Eval.with_work (fun () -> step_batch_info ?backend ?oracle ?defchange s reqs)
   in
   (s, w, info)
 

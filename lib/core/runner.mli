@@ -97,6 +97,44 @@ val commute_oracle : Program.t -> commute_oracle
 (** The installed oracle's verdict set for a program ({!null_oracle}
     until one is installed). *)
 
+type defchange_verdict = [ `Absorb | `Stream | `Fold ]
+(** How a whole same-op group of a batch may be evaluated in one tick
+    (the definable-change analysis's per-(program, op) classification):
+    - [`Absorb] — apply the input changes only and skip the update block
+      ({!absorb_group}); licensed by a model-checked law that the fold
+      of the op's singletons equals exactly that;
+    - [`Stream] — fold the members under one {!Dynfo_logic.Delta_eval}
+      batch scope, accumulating a single dirty mask for the group
+      (sound unconditionally: superset frontiers re-test with the full
+      rule body; model-checked against the fold anyway);
+    - [`Fold] — no verified law: the unchanged singleton fold. *)
+
+val set_defchange_oracle :
+  (Program.t -> [ `Ins | `Del | `Set ] -> string -> defchange_verdict) -> unit
+(** Install the per-program definable-change oracle (the same injection
+    pattern as {!set_commute_oracle}: [Dynfo_analysis.Defchange.install]
+    calls this with its model-checked matrix). Until then every op
+    answers [`Fold], so {!step_batch} evaluates exactly as before.
+    Oracles must answer [`Fold] for any op they did not verify. *)
+
+val defchange_verdict :
+  Program.t -> [ `Ins | `Del | `Set ] -> string -> defchange_verdict
+(** The installed oracle's verdict for one (program, op). *)
+
+val absorb_group : state -> Request.t list -> state
+(** The [`Absorb] path: apply each request's input change (insert /
+    delete / set-constant) directly, skipping update blocks — default
+    maintenance for a whole certified group. Exported so the Defchange
+    analyzer model-checks {e this} code path against the singleton fold;
+    the law and the exploitation cannot drift apart. Requests must be
+    expanded singletons ([Invalid_argument] on a set request). *)
+
+val op_key : Request.t -> [ `Ins | `Del | `Set ] * string
+(** The operation a request belongs to: its update kind and input symbol
+    (set requests map to their underlying kind — [Ins_def] to [`Ins]).
+    The batch planner groups by this key; the engines and the Defchange
+    analyzer reuse it to look verdicts up. *)
+
 val plan_groups : Program.t -> Request.t list -> Request.t list list
 (** The commute-aware batch plan: the request list reordered into
     same-operation groups, each request joining the most recent group of
@@ -147,11 +185,17 @@ val step_with :
 val run : ?backend:backend -> state -> Request.t list -> state
 
 val step_batch :
-  ?backend:backend -> ?oracle:commute_oracle -> state -> Request.t list -> state
+  ?backend:backend ->
+  ?oracle:commute_oracle ->
+  ?defchange:([ `Ins | `Del | `Set ] -> string -> defchange_verdict) ->
+  state ->
+  Request.t list ->
+  state
 (** Apply an explicit batch as {e one evaluation tick} — the serving
     layer's coalescing unit. Guaranteed equal to
-    [run ?backend s reqs] (the qcheck oracle asserts state equality on
-    every registry program and backend), but atomic — every request is
+    [run ?backend s reqs] with set requests expanded against the tick's
+    pre-state (the qcheck oracle asserts state equality on every
+    registry program and backend), but atomic — every request is
     validated before anything runs, so an [Invalid_argument] leaves the
     state untouched — and amortised: validation and [`Auto] resolution
     happen once per batch, and the delta backend's memoized testers
@@ -162,17 +206,29 @@ val step_batch :
     additionally planned via {!plan_groups} — the delta backend then
     pays one block-plan lookup per {e group} instead of per contiguous
     same-op run — and input-preserving requests of ops with a verified
-    no-op law are elided outright. Both transformations preserve the
-    [run] equivalence by the oracle's verified laws. *)
+    no-op law are elided outright. With a defchange oracle installed
+    ({!set_defchange_oracle}) each group is evaluated per its verdict:
+    [`Absorb] groups via {!absorb_group}, [`Stream] groups under one
+    {!Dynfo_logic.Delta_eval} batch scope, [`Fold] (and anything
+    uncertified) via the unchanged singleton fold. All transformations
+    preserve the [run] equivalence by the oracles' verified laws.
+    [defchange] overrides the installed oracle for this batch (the
+    analyzer's model checker forces each verdict through here so the
+    checked law exercises the exploited code path). *)
 
 type batch_info = {
   bi_groups : int;  (** groups the batch planner produced *)
   bi_elided : int;  (** requests skipped by the verified no-op law *)
+  bi_absorbed : int;  (** requests applied input-only ([`Absorb] groups) *)
+  bi_streamed : int;
+      (** requests folded under a shared delta batch scope ([`Stream]
+          groups on the delta backend) *)
 }
 
 val step_batch_full :
   ?backend:backend ->
   ?oracle:commute_oracle ->
+  ?defchange:([ `Ins | `Del | `Set ] -> string -> defchange_verdict) ->
   state ->
   Request.t list ->
   state * int * batch_info

@@ -19,7 +19,7 @@ open Dynfo_logic
    delta rules in order, parallelism lives inside each rule, because the
    pool is not reentrant. *)
 
-let define pool ?(cutoff = Par_eval.default_cutoff) st ~env
+let define pool ?(cutoff = Par_eval.default_cutoff) ?batch st ~env
     ~(fallback : [ `Tuple | `Bulk ]) (plan : Delta_eval.rule_plan) =
   let full () =
     match fallback with
@@ -29,7 +29,7 @@ let define pool ?(cutoff = Par_eval.default_cutoff) st ~env
   match plan.Delta_eval.rp_frame with
   | None -> full ()
   | Some _ ->
-      Delta_eval.with_state st ~env plan (fun ~test ~base fr ->
+      Delta_eval.with_state st ~env ?batch plan (fun ~test ~base fr ->
           (* fan the frontier words out across lanes; [words] must
              partition the members *)
           let fan_out words =

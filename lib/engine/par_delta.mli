@@ -11,6 +11,7 @@ open Dynfo_logic
 val define :
   Pool.t ->
   ?cutoff:int ->
+  ?batch:Delta_eval.batch ->
   Structure.t ->
   env:(string * int) list ->
   fallback:[ `Tuple | `Bulk ] ->
@@ -19,4 +20,6 @@ val define :
 (** Same result as [Delta_eval.define ~fallback st ~env plan] (the
     lockstep tests assert it at 1/2/4 lanes). [cutoff] is the frontier
     size (in tuples) below which the splice stays sequential — the
-    engine-wide {!Par_eval.default_cutoff} by default. *)
+    engine-wide {!Par_eval.default_cutoff} by default. [batch] joins a
+    {!Dynfo_logic.Delta_eval} batch scope: the accumulated [`Mask_words]
+    frontier is fanned across lanes exactly like a per-step one. *)

@@ -74,8 +74,8 @@ let rules_define backend pool cutoff =
    runner does — so stale or mismatched plans degrade to a full
    parallel recompute on the plan's fallback backend, never to a wrong
    answer. *)
-let delta_rules_define pool cutoff (plan : Delta_eval.program_plan) block st
-    ~env rules =
+let delta_rules_define pool cutoff ?batch (plan : Delta_eval.program_plan)
+    block st ~env rules =
   let fallback = plan.Delta_eval.pp_fallback in
   List.map
     (fun (r : Program.rule) ->
@@ -90,7 +90,8 @@ let delta_rules_define pool cutoff (plan : Delta_eval.program_plan) block st
         | _ -> None
       in
       match rp with
-      | Some rp -> (r.target, Par_delta.define pool ~cutoff st ~env ~fallback rp)
+      | Some rp ->
+          (r.target, Par_delta.define pool ~cutoff ?batch st ~env ~fallback rp)
       | None ->
           let rel =
             match fallback with
@@ -100,20 +101,28 @@ let delta_rules_define pool cutoff (plan : Delta_eval.program_plan) block st
           (r.target, rel))
     rules
 
-let step s req =
+let step_scoped ?batch s req =
   let rules_define =
     match s.backend with
     | (`Tuple | `Bulk) as b -> rules_define b s.pool s.cutoff
     | `Delta ->
         let plan, block = Runner.delta_block_for (Runner.program s.inner) req in
-        delta_rules_define s.pool s.cutoff plan block
+        delta_rules_define s.pool s.cutoff ?batch plan block
   in
   { s with inner = Runner.step_with ~rules_define s.inner req }
+
+let step s req = step_scoped s req
 
 let run s reqs = List.fold_left step s reqs
 
 (* Batch = one evaluation tick, with the same atomicity contract as
-   [Runner.step_batch]: all requests validated before anything runs. *)
+   [Runner.step_batch]: all requests validated before anything runs. Set
+   requests expand against the tick's pre-state, and each commute-planned
+   group is evaluated per its Defchange verdict, mirroring the sequential
+   runner: [`Absorb] groups apply input changes only; [`Stream] groups on
+   the delta backend fold under one batch scope, so [Par_delta] fans the
+   accumulated union mask across lanes; everything else folds singleton
+   steps unchanged. *)
 let step_batch s reqs =
   let p = Runner.program s.inner in
   let size = Structure.size (Runner.structure s.inner) in
@@ -125,7 +134,20 @@ let step_batch s reqs =
              "Par_runner.step_batch: invalid request %s for program %s"
              (Request.to_string req) p.name))
     reqs;
-  List.fold_left step s reqs
+  let reqs = Request.expand_batch (Runner.structure s.inner) reqs in
+  let groups = Runner.plan_groups p reqs in
+  let tick = Delta_eval.new_batch () in
+  let step_group s group =
+    let kind, rel = Runner.op_key (List.hd group) in
+    match Runner.defchange_verdict p kind rel with
+    | `Absorb -> { s with inner = Runner.absorb_group s.inner group }
+    | (`Stream | `Fold) as v ->
+        let batch =
+          if v = `Stream && s.backend = `Delta then Some tick else None
+        in
+        List.fold_left (fun s req -> step_scoped ?batch s req) s group
+  in
+  List.fold_left step_group s groups
 
 let query_fallback s =
   match s.backend with

@@ -252,6 +252,8 @@ let mask_reuse_hits () = Atomic.get mask_reuse_hits_c
 let words_cleared_c = Atomic.make 0
 let words_cleared () = Atomic.get words_cleared_c
 let small_frontier_hits_c = Atomic.make 0
+let batch_joins_c = Atomic.make 0
+let batch_joins () = Atomic.get batch_joins_c
 let small_frontier_hits () = Atomic.get small_frontier_hits_c
 
 (* Build the dirty mask for a framed rule, or decide [`Full] — or, when
@@ -416,6 +418,15 @@ type slab_state = {
   mutable ss_anchor : anchor_cache option;
 }
 
+(* A batch scope: requests evaluated under the same token accumulate one
+   shared dirty mask per rule state instead of clearing and rebuilding it
+   per member. Tokens are compared by physical identity and never reused,
+   so a stale token left on a state can only ever match its own (dead)
+   batch — no cross-session coordination is needed beyond [memo_lock]. *)
+type batch = unit ref
+
+let new_batch () : batch = ref ()
+
 type state = {
   s_plan : rule_plan;
   s_size : int;
@@ -428,6 +439,7 @@ type state = {
   mutable s_stamp : int array;  (* per-word epoch of the last marking *)
   mutable s_dirty : int list;
   mutable s_epoch : int;
+  mutable s_batch : batch option;  (* scope of the words in [s_dirty] *)
 }
 
 let states_limit = 256
@@ -511,6 +523,7 @@ let find_state st ~env (plan : rule_plan) =
           s_stamp = [||];
           s_dirty = [];
           s_epoch = 0;
+          s_batch = None;
         }
       in
       Hashtbl.replace states key (s :: bucket ());
@@ -649,7 +662,7 @@ let emit_cylinder ~size ~arity pins f =
 (* The stateful frontier: identical emissions and budget decisions to
    the stateless [frontier] (the qcheck equivalence law holds them to
    each other), with the fixed costs amortised across steps. *)
-let frontier_state (s : state) st ~env ~base : frontier =
+let frontier_state (s : state) ?batch st ~env ~base : frontier =
   match s.s_plan.rp_frame with
   | None -> `Full
   | Some _ -> (
@@ -729,14 +742,30 @@ let frontier_state (s : state) st ~env ~base : frontier =
                       s.s_stamp <- Array.make (Bitrel.word_count m) (-1);
                       m
                 in
-                (* clear only the words touched last step — bookkeeping
-                   below the work model's resolution (work must not
-                   depend on what the previous step left behind) *)
-                let cleared = List.length s.s_dirty in
-                Bitrel.clear_words mask s.s_dirty;
-                ignore (Atomic.fetch_and_add words_cleared_c cleared);
-                s.s_dirty <- [];
-                s.s_epoch <- s.s_epoch + 1;
+                (* Same batch scope as the previous call on this state?
+                   Then keep the accumulated words: the returned frontier
+                   is a superset of this member's own (every frontier
+                   tuple is re-tested with the full rule body, so
+                   sweeping extra words recomputes their correct value —
+                   over-approximation is unconditionally sound), and the
+                   batch pays one clear instead of one per member. *)
+                let joining =
+                  match (batch, s.s_batch) with
+                  | Some b, Some b' -> b == b'
+                  | _ -> false
+                in
+                s.s_batch <- batch;
+                if joining then Atomic.incr batch_joins_c
+                else begin
+                  (* clear only the words touched last step — bookkeeping
+                     below the work model's resolution (work must not
+                     depend on what the previous step left behind) *)
+                  let cleared = List.length s.s_dirty in
+                  Bitrel.clear_words mask s.s_dirty;
+                  ignore (Atomic.fetch_and_add words_cleared_c cleared);
+                  s.s_dirty <- [];
+                  s.s_epoch <- s.s_epoch + 1
+                end;
                 let epoch = s.s_epoch in
                 let stamp = s.s_stamp in
                 let record wlo whi =
@@ -758,7 +787,7 @@ let frontier_state (s : state) st ~env ~base : frontier =
             with Over_budget -> `Full
           end)
 
-let with_state st ?(env = []) (plan : rule_plan) f =
+let with_state st ?(env = []) ?batch (plan : rule_plan) f =
   Mutex.protect memo_lock (fun () ->
       (* bind the body's tester before touching guards or the mask: the
          delta path must surface the same compile-time errors (unknown
@@ -767,13 +796,13 @@ let with_state st ?(env = []) (plan : rule_plan) f =
       let s = find_state st ~env plan in
       let base = Structure.rel st plan.rp_target in
       f ~test:(Eval.test_compiled s.s_tester) ~base
-        (frontier_state s st ~env ~base))
+        (frontier_state s ?batch st ~env ~base))
 
-let define ?(fallback = `Tuple) st ?(env = []) (plan : rule_plan) =
+let define ?(fallback = `Tuple) st ?(env = []) ?batch (plan : rule_plan) =
   match plan.rp_frame with
   | None -> full_define fallback st ~vars:plan.rp_vars ~env plan.rp_body
   | Some _ ->
-      with_state st ~env plan (fun ~test ~base fr ->
+      with_state st ~env ?batch plan (fun ~test ~base fr ->
           match fr with
           | `Full ->
               full_define fallback st ~vars:plan.rp_vars ~env plan.rp_body

@@ -177,9 +177,35 @@ val frontier :
     the qcheck law holds {!with_state}'s incrementally-maintained
     frontier equal to this one, step by step. *)
 
+(** {1 Batch scopes}
+
+    A {!batch} token delimits one [Runner.step_batch] tick: rule
+    evaluations passed the same token {e accumulate} the persistent
+    dirty mask across the batch's members — one clear per batch instead
+    of one per member — and each member's [`Mask_words] frontier is the
+    union of every member's so far. The over-approximation is
+    unconditionally sound: every frontier tuple is re-tested with the
+    full rule body, so sweeping a superset recomputes the same values
+    (the Defchange analysis model-checks the equivalence per program
+    anyway). Tokens are compared physically and never reused; interleaved
+    evaluations under a different (or no) token simply fall back to the
+    per-step clear, so concurrent sessions sharing a rule state stay
+    correct — they only lose the amortisation. *)
+
+type batch
+
+val new_batch : unit -> batch
+(** A fresh batch scope. Create one per tick, pass it to every rule
+    evaluation of the tick, drop it. *)
+
+val batch_joins : unit -> int
+(** Process-lifetime count of mask-path evaluations that joined an open
+    batch scope (skipped the per-member clear) — the E26 counter. *)
+
 val with_state :
   Structure.t ->
   ?env:(string * int) list ->
+  ?batch:batch ->
   rule_plan ->
   (test:(Tuple.t -> bool) -> base:Relation.t -> frontier -> 'a) ->
   'a
@@ -192,7 +218,8 @@ val with_state :
     {!define} and the parallel engine ([Par_delta]) both ride the same
     state: a borrowed [`Mask_words] buffer stays valid for exactly that
     long. Compile-time errors of the body surface before the frontier
-    is touched, as in {!define}. *)
+    is touched, as in {!define}. [batch] opens/joins a batch scope (see
+    above); without it every call clears the previous step's words. *)
 
 val invalidate : unit -> unit
 (** Drop every cached frontier state (testers, anchor caches, mask
@@ -276,6 +303,7 @@ val define :
   ?fallback:[ `Tuple | `Bulk ] ->
   Structure.t ->
   ?env:(string * int) list ->
+  ?batch:batch ->
   rule_plan ->
   Relation.t
 (** Evaluate one rule: frontier + splice when the frame admits it, full

@@ -1,9 +1,12 @@
 open Dynfo_logic
 
-let apply_request st = function
+let rec apply_request st = function
   | Dynfo.Request.Ins (r, tup) -> Structure.add_tuple st r tup
   | Dynfo.Request.Del (r, tup) -> Structure.del_tuple st r tup
   | Dynfo.Request.Set (c, a) -> Structure.with_const st c a
+  | ( Dynfo.Request.Ins_set _ | Dynfo.Request.Del_set _
+    | Dynfo.Request.Ins_def _ | Dynfo.Request.Del_def _ ) as req ->
+      List.fold_left apply_request st (Dynfo.Request.expand st req)
 
 let diff_requests (i : Interpretation.t) before after =
   let ib = Interpretation.apply i before

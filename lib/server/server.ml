@@ -210,6 +210,8 @@ let dispatch t (cmd : Wire.cmd) : (string * Json.t) list =
         ("queries", Json.Int st.st_queries);
         ("groups", Json.Int st.st_groups);
         ("elided", Json.Int st.st_elided);
+        ("absorbed", Json.Int st.st_absorbed);
+        ("streamed", Json.Int st.st_streamed);
         ("deduped", Json.Int st.st_deduped);
         ("hoisted", Json.Int st.st_hoisted);
         (* process-wide delta-evaluator counters (satellite of E24):

@@ -40,6 +40,8 @@ type stats = {
   st_queries : int;
   st_groups : int;  (** commute-planner groups across all ticks *)
   st_elided : int;  (** requests skipped by the verified no-op law *)
+  st_absorbed : int;  (** requests applied input-only (Defchange [`Absorb]) *)
+  st_streamed : int;  (** requests folded under one delta batch scope *)
   st_deduped : int;  (** identical back-to-back requests collapsed *)
   st_hoisted : int;  (** update jobs that overtook pending queries *)
 }
@@ -69,6 +71,8 @@ type t = {
   mutable queries : int;
   mutable groups : int;
   mutable elided : int;
+  mutable absorbed : int;
+  mutable streamed : int;
   mutable deduped : int;
   mutable hoisted : int;
   mutable worker : Thread.t option;
@@ -99,6 +103,8 @@ let stats t =
         st_queries = t.queries;
         st_groups = t.groups;
         st_elided = t.elided;
+        st_absorbed = t.absorbed;
+        st_streamed = t.streamed;
         st_deduped = t.deduped;
         st_hoisted = t.hoisted;
       })
@@ -119,7 +125,14 @@ let apply_tick t reqs =
   | Par s ->
       Mutex.protect par_lock (fun () ->
           let s, w = Eval.with_work (fun () -> Par_runner.step_batch s reqs) in
-          (Par s, w, { Runner.bi_groups = 0; bi_elided = 0 }))
+          ( Par s,
+            w,
+            {
+              Runner.bi_groups = 0;
+              bi_elided = 0;
+              bi_absorbed = 0;
+              bi_streamed = 0;
+            } ))
 
 let run_query t name args =
   match t.runner with
@@ -191,6 +204,8 @@ let process_updates t updates =
               t.work <- t.work + w;
               t.groups <- t.groups + info.Runner.bi_groups;
               t.elided <- t.elided + info.Runner.bi_elided;
+              t.absorbed <- t.absorbed + info.Runner.bi_absorbed;
+              t.streamed <- t.streamed + info.Runner.bi_streamed;
               t.deduped <- t.deduped + dropped);
           List.iter
             (fun (reqs, reply) -> reply (Ok (List.length reqs, w)))
@@ -303,10 +318,18 @@ let spawn t =
 let make ~id ~name ?pool ~backend ~coalesce (p : Program.t) runner_of =
   let resolved = Runner.resolve_backend p backend in
   let engine, runner = runner_of ~resolved pool in
-  (* warm the oracle (and its model-checked matrix) before serving: the
-     analysis runs once per program, not under the first client's call *)
+  (* warm the oracles (and their model-checked matrices) before
+     serving: the analyses run once per program, not under the first
+     client's call. Any op hits the whole Defchange matrix. *)
   (match coalesce with
-  | `Commute -> ignore (Runner.commute_oracle p)
+  | `Commute -> (
+      ignore (Runner.commute_oracle p);
+      match Vocab.relations p.input_vocab with
+      | (s : Vocab.sym) :: _ -> ignore (Runner.defchange_verdict p `Ins s.name)
+      | [] -> (
+          match Vocab.constants p.input_vocab with
+          | c :: _ -> ignore (Runner.defchange_verdict p `Set c)
+          | [] -> ()))
   | `Fifo -> ());
   spawn
     {
@@ -329,6 +352,8 @@ let make ~id ~name ?pool ~backend ~coalesce (p : Program.t) runner_of =
       queries = 0;
       groups = 0;
       elided = 0;
+      absorbed = 0;
+      streamed = 0;
       deduped = 0;
       hoisted = 0;
       worker = None;

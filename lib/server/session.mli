@@ -31,6 +31,12 @@ type stats = {
   st_queries : int;
   st_groups : int;  (** commute-planner groups across all ticks *)
   st_elided : int;  (** requests skipped by the verified no-op law *)
+  st_absorbed : int;
+      (** requests applied input-only — whole groups absorbed in one
+          tick under a Defchange [`Absorb] verdict *)
+  st_streamed : int;
+      (** requests folded under one delta batch scope (Defchange
+          [`Stream] groups on the delta backend) *)
   st_deduped : int;  (** identical back-to-back requests collapsed *)
   st_hoisted : int;  (** update jobs that overtook pending queries *)
 }

@@ -125,6 +125,47 @@ echo "$RESP" | sed -n 's/.*"id":12[^}]*"result":\(true\|false\).*/\1/p' \
   exit 1
 }
 
+# Batch absorption over the wire: reach_u has no on_set block, so the
+# definable-change analysis certifies `Absorb for set s/t — a 2-request
+# wire batch must land input-only in exactly one evaluation tick; the
+# ins* batch then streams its 3 edges under one delta scope.
+RESP=$("$DYNFO" client --socket "$SOCK" <<EOF
+{"id":20,"op":"create","session":"abs","program":"reach_u","size":8,"backend":"delta"}
+{"id":21,"op":"stats","session":"abs"}
+{"id":22,"op":"update","session":"abs","reqs":["set s 0","set t 3"]}
+{"id":23,"op":"stats","session":"abs"}
+{"id":24,"op":"update","session":"abs","reqs":["ins* E (0,1) (1,2) (2,3)"]}
+{"id":25,"op":"query","session":"abs","args":[]}
+{"id":26,"op":"stats","session":"abs"}
+EOF
+)
+echo "$RESP"
+if echo "$RESP" | grep -q '"ok":false'; then
+  echo "serve_smoke: absorption exchange protocol error" >&2
+  exit 1
+fi
+echo "$RESP" | grep '"id":21' | grep -q '"ticks":0' || {
+  echo "serve_smoke: fresh session should have 0 ticks" >&2
+  exit 1
+}
+echo "$RESP" | grep '"id":23' | grep -q '"ticks":1' || {
+  echo "serve_smoke: set batch did not land in a single tick" >&2
+  exit 1
+}
+echo "$RESP" | grep '"id":23' | grep -q '"absorbed":2' || {
+  echo "serve_smoke: set batch was not absorbed input-only" >&2
+  exit 1
+}
+echo "$RESP" | grep '"id":26' | grep -q '"streamed":3' || {
+  echo "serve_smoke: ins* batch did not stream under one delta scope" >&2
+  exit 1
+}
+echo "$RESP" | sed -n 's/.*"id":25[^}]*"result":\(true\|false\).*/\1/p' \
+  | grep -q 'true' || {
+  echo "serve_smoke: 0->3 path with s=0 t=3 must answer true" >&2
+  exit 1
+}
+
 # Clean shutdown: the daemon replies first, then exits and unlinks.
 echo '{"id":99,"op":"shutdown"}' | "$DYNFO" client --socket "$SOCK" \
   | grep -q '"ok":true'

@@ -154,7 +154,7 @@ The whole registry is clean under --strict (exit 0):
 JSON output for tooling:
 
   $ dynfo_cli analyze parity --json
-  [{"version": 3, "program": "parity-fo", "diagnostics": [], "metrics": {"program": "parity-fo", "rule_count": 4, "max_tuple_exponent": 1, "max_quantifier_rank": 0, "max_alternation_depth": 0, "max_work_exponent": 1, "max_opt_work_exponent": 1, "total_formula_size": 26, "rules": [{"path": "on_ins M / rule M", "target": "M", "tuple_exponent": 1, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 3, "width": 2, "work_exponent": 1, "opt_quantifier_rank": 0, "opt_work_exponent": 1}, {"path": "on_ins M / rule b", "target": "b", "tuple_exponent": 0, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 9, "width": 1, "work_exponent": 0, "opt_quantifier_rank": 0, "opt_work_exponent": 0}, {"path": "on_del M / rule M", "target": "M", "tuple_exponent": 1, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 4, "width": 2, "work_exponent": 1, "opt_quantifier_rank": 0, "opt_work_exponent": 1}, {"path": "on_del M / rule b", "target": "b", "tuple_exponent": 0, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 9, "width": 1, "work_exponent": 0, "opt_quantifier_rank": 0, "opt_work_exponent": 0}], "queries": [{"path": "query", "target": "query", "tuple_exponent": 0, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 1, "width": 0, "work_exponent": 0, "opt_quantifier_rank": 0, "opt_work_exponent": 0}]}, "dataflow": {"program": "parity-fo", "rules": [{"path": "on_ins M / rule M", "target": "M", "temp": false, "reads": ["M"]}, {"path": "on_ins M / rule b", "target": "b", "temp": false, "reads": ["b", "M"]}, {"path": "on_del M / rule M", "target": "M", "temp": false, "reads": ["M"]}, {"path": "on_del M / rule b", "target": "b", "temp": false, "reads": ["b", "M"]}], "edges": [["M", "M"], ["b", "b"], ["b", "M"]], "query_reads": ["b"], "live": ["M", "b"], "dead_relations": [], "dead_rules": [], "hazards": [{"block": "on_ins M", "relation": "M", "writer": "on_ins M / rule M", "readers": ["on_ins M / rule M", "on_ins M / rule b"]}, {"block": "on_ins M", "relation": "b", "writer": "on_ins M / rule b", "readers": ["on_ins M / rule b"]}, {"block": "on_del M", "relation": "M", "writer": "on_del M / rule M", "readers": ["on_del M / rule M", "on_del M / rule b"]}, {"block": "on_del M", "relation": "b", "writer": "on_del M / rule b", "readers": ["on_del M / rule b"]}]}, "advice": {"program": "parity-fo", "backend": "delta", "fallback": "tuple", "par_cutoff": 2048, "max_work_exponent": 1, "bit_fraction": 0.000, "reason": "every update rule carries a frame with bounded/guarded supports: incremental frontier evaluation, falling back to tuple past the --delta-cutoff (work n^1 below the n^5 dense threshold: per-tuple short-circuit evaluation is cheaper than materializing bitsets)"}}]
+  [{"version": 4, "program": "parity-fo", "diagnostics": [], "metrics": {"program": "parity-fo", "rule_count": 4, "max_tuple_exponent": 1, "max_quantifier_rank": 0, "max_alternation_depth": 0, "max_work_exponent": 1, "max_opt_work_exponent": 1, "total_formula_size": 26, "rules": [{"path": "on_ins M / rule M", "target": "M", "tuple_exponent": 1, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 3, "width": 2, "work_exponent": 1, "opt_quantifier_rank": 0, "opt_work_exponent": 1}, {"path": "on_ins M / rule b", "target": "b", "tuple_exponent": 0, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 9, "width": 1, "work_exponent": 0, "opt_quantifier_rank": 0, "opt_work_exponent": 0}, {"path": "on_del M / rule M", "target": "M", "tuple_exponent": 1, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 4, "width": 2, "work_exponent": 1, "opt_quantifier_rank": 0, "opt_work_exponent": 1}, {"path": "on_del M / rule b", "target": "b", "tuple_exponent": 0, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 9, "width": 1, "work_exponent": 0, "opt_quantifier_rank": 0, "opt_work_exponent": 0}], "queries": [{"path": "query", "target": "query", "tuple_exponent": 0, "quantifier_rank": 0, "alternation_depth": 0, "formula_size": 1, "width": 0, "work_exponent": 0, "opt_quantifier_rank": 0, "opt_work_exponent": 0}]}, "dataflow": {"program": "parity-fo", "rules": [{"path": "on_ins M / rule M", "target": "M", "temp": false, "reads": ["M"]}, {"path": "on_ins M / rule b", "target": "b", "temp": false, "reads": ["b", "M"]}, {"path": "on_del M / rule M", "target": "M", "temp": false, "reads": ["M"]}, {"path": "on_del M / rule b", "target": "b", "temp": false, "reads": ["b", "M"]}], "edges": [["M", "M"], ["b", "b"], ["b", "M"]], "query_reads": ["b"], "live": ["M", "b"], "dead_relations": [], "dead_rules": [], "hazards": [{"block": "on_ins M", "relation": "M", "writer": "on_ins M / rule M", "readers": ["on_ins M / rule M", "on_ins M / rule b"]}, {"block": "on_ins M", "relation": "b", "writer": "on_ins M / rule b", "readers": ["on_ins M / rule b"]}, {"block": "on_del M", "relation": "M", "writer": "on_del M / rule M", "readers": ["on_del M / rule M", "on_del M / rule b"]}, {"block": "on_del M", "relation": "b", "writer": "on_del M / rule b", "readers": ["on_del M / rule b"]}]}, "advice": {"program": "parity-fo", "backend": "delta", "fallback": "tuple", "par_cutoff": 2048, "max_work_exponent": 1, "bit_fraction": 0.000, "reason": "every update rule carries a frame with bounded/guarded supports: incremental frontier evaluation, falling back to tuple past the --delta-cutoff (work n^1 below the n^5 dense threshold: per-tuple short-circuit evaluation is cheaper than materializing bitsets)"}}]
 
 The commutativity matrix: every Commute verdict is model-checked, and
 cell reasons say which evidence layer produced it:
@@ -171,6 +171,35 @@ cell reasons say which evidence layer produced it:
     (del M, del M): commute [mc-only] — no static independence proof; confirmed on synthetic structures (496 checks, exhaustive to n=4)
   
 
+
+
+The definable-change matrix: per-op batch verdicts (A absorb /
+S stream / F fold / ? unknown), each licensed by model-checked laws
+over whole batches:
+
+  $ dynfo_cli analyze parity --defchange
+  parity-fo: 2 op(s) — A absorb / S stream / F fold / ? unknown
+    S ins M: stream [frames] — every rule carries a slab frame — one union mask per group; absorb refuted at n=1, args (0); stream law confirmed on synthetic structures (3436 checks, exhaustive to n=4); definable-change expansion confirmed on synthetic structures (3436 checks, exhaustive to n=4)
+        not absorb; stream (synthetic, 3436 checks); definable (synthetic, 3436 checks)
+    S del M: stream [frames] — every rule carries a slab frame — one union mask per group; absorb refuted at n=1, args (0); stream law confirmed on synthetic structures (3436 checks, exhaustive to n=4); definable-change expansion confirmed on synthetic structures (3436 checks, exhaustive to n=4)
+        not absorb; stream (synthetic, 3436 checks); definable (synthetic, 3436 checks)
+  
+
+  $ dynfo_cli analyze parity --defchange --json
+  [{"version": 4, "program": "parity-fo", "cells": [{"op": "ins M", "arity": 1, "verdict": "stream", "source": "frames", "domain": "synthetic", "checks": 6876, "exhaustive_upto": 4, "absorb": {"holds": false, "domain": "synthetic", "checks": 4}, "stream": {"holds": true, "domain": "synthetic", "checks": 3436}, "definable": {"holds": true, "domain": "synthetic", "checks": 3436}, "reason": "every rule carries a slab frame — one union mask per group; absorb refuted at n=1, args (0); stream law confirmed on synthetic structures (3436 checks, exhaustive to n=4); definable-change expansion confirmed on synthetic structures (3436 checks, exhaustive to n=4)"}, {"op": "del M", "arity": 1, "verdict": "stream", "source": "frames", "domain": "synthetic", "checks": 6873, "exhaustive_upto": 4, "absorb": {"holds": false, "domain": "synthetic", "checks": 1}, "stream": {"holds": true, "domain": "synthetic", "checks": 3436}, "definable": {"holds": true, "domain": "synthetic", "checks": 3436}, "reason": "every rule carries a slab frame — one union mask per group; absorb refuted at n=1, args (0); stream law confirmed on synthetic structures (3436 checks, exhaustive to n=4); definable-change expansion confirmed on synthetic structures (3436 checks, exhaustive to n=4)"}]}]
+
+With --mc-size 0 nothing is checked, every verdict degrades to
+Unknown, and --strict treats an Unknown cell as unsafe:
+
+  $ dynfo_cli analyze parity --defchange --mc-size 0 --strict
+  parity-fo: 2 op(s) — A absorb / S stream / F fold / ? unknown
+    ? ins M: unknown [frames] — no state/argument combination checked — unverified
+        not absorb; not stream; not definable
+    ? del M: unknown [frames] — no state/argument combination checked — unverified
+        not absorb; not stream; not definable
+  
+  parity-fo: unverified (Unknown) batch verdict — treated as unsafe
+  [1]
 
 Naming no problem is an error:
 

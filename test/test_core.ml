@@ -235,7 +235,7 @@ let test_workload_symmetric_no_self_loops () =
     (List.for_all
        (function
          | Request.Ins (_, t) | Request.Del (_, t) -> t.(0) <> t.(1)
-         | Request.Set _ -> true)
+         | _ -> true)
        reqs)
 
 let test_workload_deletes_hit () =
@@ -251,7 +251,7 @@ let test_workload_deletes_hit () =
           incr dels;
           if Hashtbl.mem live (Array.to_list t) then incr hits;
           Hashtbl.remove live (Array.to_list t)
-      | Request.Set _ -> ())
+      | _ -> ())
     reqs;
   check tb "most deletes hit" true (!dels = 0 || 2 * !hits > !dels)
 
