@@ -985,6 +985,167 @@ let () =
     exit 1
   end;
 
+  (* E27: paged bitsets — dense vs paged word kernels on the delta
+     backend, from smoke sizes (where the flat dense array is the floor
+     to beat) up to n = 10^4 on the reachability-class program. The
+     dense arm forces [`Dense], the paged arm [`Paged]; the wire format
+     is representation-independent, so lockstep verification compares
+     content, not layout. Every timed cell is verified first: dense
+     and paged replay the same requests side by side and must agree on
+     every intermediate structure and every query answer; at smoke
+     sizes the tuple backend referees both. The scale cells report the
+     per-step MAX as well as the median — bounded worst-case step
+     latency at n = 10^4 is the claim the page table buys (reach_u
+     itself stays at smoke n: past the mask budget its full-recompute
+     fallback meets the n^5 scope node, a work bound no representation
+     lifts — semi_reach carries the reachability class to 10^4).
+     1-core caveat: absolute us are the reference host's; the
+     dense/paged ratio per cell is the signal. --gate turns the
+     headline (paged no slower than dense at the largest n, every cell
+     verified) into a nonzero exit for CI. *)
+  Printf.printf
+    "\n== E27: paged bitsets — dense vs paged delta, smoke to n=10^4 ==\n";
+  Printf.printf "  %-12s %6s %10s %10s %10s %10s %7s %9s\n" "program" "n"
+    "dense-us" "paged-us" "d-max-us" "p-max-us" "pages" "verified";
+  let e27_rows = ref [] in
+  let e27_repr (repr : Dynfo_logic.Bitrel.repr) f =
+    Dynfo_logic.Bitrel.set_default_repr repr;
+    Dynfo_logic.Delta_eval.invalidate ();
+    Fun.protect
+      ~finally:(fun () ->
+        Dynfo_logic.Bitrel.set_default_repr `Auto;
+        Dynfo_logic.Delta_eval.invalidate ())
+      f
+  in
+  (* timed replay under a forced representation: warm pass first
+     (planner, testers and persistent masks resident), then median and
+     max per-step us over the workload *)
+  let e27_timed repr (e : Registry.entry) ~size ~length =
+    e27_repr repr (fun () ->
+        let rng = Random.State.make [| 27; size |] in
+        let reqs = e.workload rng ~size ~length in
+        let st = ref (Runner.init e.program ~size) in
+        List.iter (fun r -> st := Runner.step ~backend:`Delta !st r) reqs;
+        let st = ref (Runner.init e.program ~size) in
+        let samples = Array.make (max 1 (List.length reqs)) 0. in
+        List.iteri
+          (fun i r ->
+            let t0 = monotonic_ns () in
+            st := Runner.step ~backend:`Delta !st r;
+            let t1 = monotonic_ns () in
+            samples.(i) <- Int64.to_float (Int64.sub t1 t0) /. 1e3)
+          reqs;
+        Array.sort compare samples;
+        ( samples.(Array.length samples / 2),
+          samples.(Array.length samples - 1) ))
+  in
+  Gc.compact ();
+  List.iter
+    (fun (name, size, length, with_tuple) ->
+      let e = reg name in
+      let rng = Random.State.make [| 27; size |] in
+      let reqs = e.workload rng ~size ~length in
+      if reqs <> [] then begin
+        let dense = ref (Runner.init e.program ~size) in
+        let paged =
+          e27_repr `Paged (fun () -> ref (Runner.init e.program ~size))
+        in
+        let tup = ref (Runner.init e.program ~size) in
+        let verified = ref true in
+        List.iter
+          (fun r ->
+            Dynfo_logic.Bitrel.set_default_repr `Dense;
+            dense := Runner.step ~backend:`Delta !dense r;
+            Dynfo_logic.Bitrel.set_default_repr `Paged;
+            paged := Runner.step ~backend:`Delta !paged r;
+            Dynfo_logic.Bitrel.set_default_repr `Auto;
+            if with_tuple then tup := Runner.step !tup r;
+            if
+              not
+                (Dynfo_logic.Structure.equal (Runner.structure !dense)
+                   (Runner.structure !paged)
+                && Runner.query ~backend:`Delta !dense
+                   = Runner.query ~backend:`Delta !paged
+                && ((not with_tuple)
+                   || Dynfo_logic.Structure.equal (Runner.structure !tup)
+                        (Runner.structure !paged)))
+            then verified := false)
+          reqs;
+        let d_us, d_max = e27_timed `Dense e ~size ~length in
+        let pa0 = Dynfo_logic.Bitrel.pages_allocated () in
+        let p_us, p_max = e27_timed `Paged e ~size ~length in
+        let pages = Dynfo_logic.Bitrel.pages_allocated () - pa0 in
+        Printf.printf "  %-12s %6d %10.2f %10.2f %10.0f %10.0f %7d %9s\n"
+          name size d_us p_us d_max p_max pages
+          (if !verified then "ok" else "MISMATCH");
+        e27_rows :=
+          (name, size, d_us, p_us, d_max, p_max, pages, !verified)
+          :: !e27_rows
+      end)
+    [
+      ("reach_u", 10, 40, true);
+      ("reach_u", 12, 40, true);
+      ("semi_reach", 128, 60, true);
+      ("semi_reach", 2000, 100, false);
+      ("semi_reach", 10000, 100, false);
+    ];
+  let e27_mismatches =
+    List.length
+      (List.filter (fun (_, _, _, _, _, _, _, v) -> not v) !e27_rows)
+  in
+  if e27_mismatches > 0 then
+    Printf.printf "  E27: %d lockstep verification failures!\n"
+      e27_mismatches;
+  (match
+     if Array.exists (( = ) "--json") Sys.argv then Some "BENCH_paged.json"
+     else Sys.getenv_opt "BENCH_PAGED_JSON"
+   with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc "[\n";
+      let rows = List.rev !e27_rows in
+      List.iteri
+        (fun i (name, size, d_us, p_us, d_max, p_max, pages, verified) ->
+          Printf.fprintf oc
+            "  {\"experiment\": \"E27\", \"program\": %S, \"n\": %d, \
+             \"dense_us\": %.3f, \"paged_us\": %.3f, \"dense_max_us\": \
+             %.1f, \"paged_max_us\": %.1f, \"pages\": %d, \"verified\": \
+             %b}%s\n"
+            name size d_us p_us d_max p_max pages verified
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      output_string oc "]\n";
+      close_out oc;
+      Printf.printf "  wrote %s (%d rows)\n" path (List.length rows));
+  if Array.exists (( = ) "--gate") Sys.argv then begin
+    (* gate at the largest n overall: that is the regime the page table
+       exists for — at smoke sizes the flat array is at worst a close
+       race and stays informational. Same 15% tolerance as E25: the
+       inequality to protect is asymptotic, not a photo finish. *)
+    let tolerance = 1.15 in
+    let largest =
+      List.fold_left (fun acc (_, sz, _, _, _, _, _, _) -> max acc sz) 0
+        !e27_rows
+    in
+    let failures =
+      List.filter
+        (fun (_, size, d_us, p_us, _, _, _, verified) ->
+          size = largest && ((not verified) || p_us > tolerance *. d_us))
+        !e27_rows
+    in
+    List.iter
+      (fun (name, size, d_us, p_us, _, _, _, verified) ->
+        Printf.printf
+          "  E27 gate FAIL: %s n=%d paged %.2f us vs dense %.2f us%s\n" name
+          size p_us d_us
+          (if verified then "" else " (lockstep mismatch)"))
+      failures;
+    if e27_mismatches > 0 || failures <> [] then exit 1;
+    Printf.printf
+      "  E27 gate: paged <= dense at n=%d, all cells verified — ok\n" largest
+  end;
+
   (* E24: commute-aware serving — the statically verified commutation
      laws ([analyze --commute]) exploited by the session queue. Requests
      of ops with a verified redundant-request no-op law that provably do

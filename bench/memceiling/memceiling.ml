@@ -1,0 +1,96 @@
+(* Memory-ceiling regression for the paged bitset representation.
+
+   An arity-3 auxiliary relation at n = 2048 occupies n^3 / 63 words
+   ~ 1.09 GB as a flat dense array, and the bulk evaluator holds the
+   relation plus at least one same-scope formula node live at once, so
+   a dense run needs > 2 GB before the first update commits. Under a
+   2 GiB address-space ceiling (scripts/paged_memceiling.sh sets
+   ulimit -v) that allocation provably cannot succeed. The paged store
+   allocates the page table (~17 MB per node) plus only the touched
+   pages, and the same program runs to completion in tens of MB.
+
+   Usage: memceiling (dense|paged) [n]
+   Exit 0 on success (paged arm also cross-checks the maintained
+   relation against a brute-force oracle); exit 2 on Out_of_memory. *)
+
+open Dynfo_logic
+open Dynfo
+
+let input_vocab = Vocab.make ~rels:[ ("E", 2) ] ~consts:[]
+let aux_vocab = Vocab.make ~rels:[ ("R", 3) ] ~consts:[]
+
+let init n =
+  Structure.create ~size:n (Vocab.union input_vocab aux_vocab)
+
+(* R accumulates the 2-paths seen so far: on each edge insertion,
+   R' = R | { (x,y,z) : E(x,y) & E(y,z) } over the pre-insert E (rule
+   bodies see the pre-state; the driver replays the last edge once
+   more so the final tick scans the complete graph). Quantifier-free
+   and equality-free: every formula node lives at the arity-3 scope —
+   the dense ceiling is one n^3 bitset per node — while each node's
+   paged residency is bounded by the edge count, not the universe (an
+   equality atom on a non-leading dimension would scatter one bit into
+   every page and defeat the point). *)
+let program =
+  Program.make ~name:"cube_paths" ~input_vocab ~aux_vocab ~init
+    ~on_ins:
+      [
+        ( "E",
+          Program.update ~params:[ "a"; "b" ]
+            [
+              Program.rule_s "R" [ "x"; "y"; "z" ]
+                "R(x, y, z) | (E(x, y) & E(y, z))";
+            ] );
+      ]
+    ~query:(Parser.parse "ex q (R(q, q, q))") ()
+
+let () =
+  let repr =
+    match if Array.length Sys.argv > 1 then Sys.argv.(1) else "" with
+    | "dense" -> `Dense
+    | "paged" -> `Paged
+    | _ ->
+        prerr_endline "usage: memceiling (dense|paged) [n]";
+        exit 64
+  in
+  let n = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 2048 in
+  Bitrel.set_default_repr repr;
+  try
+    let st = ref (Runner.init program ~size:n) in
+    (* edges over a small sub-universe so the brute-force oracle stays
+       cheap; the representation cost is set by n, not the edge count *)
+    let rng = Random.State.make [| 2048 |] in
+    let edges = ref [] in
+    for _ = 1 to 12 do
+      let a = Random.State.int rng 16 and b = Random.State.int rng 16 in
+      if not (List.mem (a, b) !edges) then edges := (a, b) :: !edges
+    done;
+    let replay =
+      match !edges with e :: _ -> List.rev (e :: !edges) | [] -> []
+    in
+    List.iter
+      (fun (a, b) ->
+        st := Runner.step ~backend:`Bulk !st (Request.ins "E" [ a; b ]))
+      replay;
+    (* oracle: every (x,y,z) with E(x,y) and E(y,z) in the final graph
+       (the duplicated last insert makes the closing tick scan the
+       complete E, so cumulative R = final-graph 2-paths) *)
+    let final = Runner.structure !st in
+    let expected = Hashtbl.create 97 in
+    List.iter
+      (fun (x, y) ->
+        List.iter
+          (fun (y', z) ->
+            if y = y' then Hashtbl.replace expected (x, y, z) ())
+          !edges)
+      !edges;
+    let got = Relation.cardinal (Structure.rel final "R") in
+    let want = Hashtbl.length expected in
+    Printf.printf
+      "memceiling %s n=%d: R has %d tuples (expected %d), pages %d, ok\n"
+      Sys.argv.(1) n got want
+      (Bitrel.pages_allocated ());
+    if got <> want then exit 1
+  with Out_of_memory ->
+    Printf.printf "memceiling %s n=%d: Out_of_memory\n" Sys.argv.(1) n;
+    exit 2

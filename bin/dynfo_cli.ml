@@ -113,6 +113,23 @@ let delta_cutoff_arg =
            $(docv) * size^arity of its tuple space, recompute the rule \
            in full on the fallback backend instead.")
 
+let bitrel_arg =
+  let repr_conv =
+    Arg.enum
+      [ ("auto", `Auto); ("dense", `Dense); ("paged", `Paged) ]
+  in
+  Arg.(
+    value
+    & opt repr_conv `Auto
+    & info [ "bitrel" ] ~docv:"R"
+        ~doc:
+          "Bitset representation for newly allocated relations: \
+           $(b,dense) is one flat word array over the whole tuple \
+           space, $(b,paged) allocates fixed 4096-code pages on first \
+           touch (untouched pages are implicitly zero), $(b,auto) \
+           (default) picks dense until the slab would pass \
+           ~16 MB.")
+
 let lanes_of_domains = function
   | 0 -> None (* Pool.create picks recommended_domain_count *)
   | d when d >= 1 -> Some d
@@ -186,6 +203,15 @@ let analyze_cmd =
             "Print only the backend advice (one line per program; a JSON \
              array with $(b,--json)).")
   in
+  let size_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "size" ] ~docv:"N"
+          ~doc:
+            "Arm the size-aware advice: the wall-clock delta cutoff and \
+             the dense-vs-paged representation plan per relation at \
+             universe size $(docv) (with $(b,--advise)).")
+  in
   let support_arg =
     Arg.(
       value & flag
@@ -232,8 +258,8 @@ let analyze_cmd =
       & info [] ~docv:"PROBLEM"
           ~doc:"Problem to analyze (or $(b,--all) for the whole registry).")
   in
-  let run all json strict graph advise support commute defchange mc_size
-      entry_opt =
+  let run all json strict graph advise size support commute defchange
+      mc_size entry_opt =
     let entries =
       match (entry_opt, all) with
       | Some e, _ -> Some [ e ]
@@ -332,22 +358,40 @@ let analyze_cmd =
           entries;
         `Ok ()
     | Some entries when advise ->
+        let module A = Dynfo_analysis.Advisor in
         let advices =
           List.map
             (fun (e : Registry.entry) ->
-              Dynfo_analysis.Advisor.of_program
-                ~par_cutoff:Dynfo_engine.Par_eval.default_cutoff e.program)
+              ( e,
+                A.of_program ?size
+                  ~par_cutoff:Dynfo_engine.Par_eval.default_cutoff e.program
+              ))
             entries
         in
         (if json then
            Format.printf "[%a]@."
              (Format.pp_print_list
                 ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@\n ")
-                Dynfo_analysis.Advisor.pp_json)
+                (fun ppf ((e : Registry.entry), a) ->
+                  match size with
+                  | None -> A.pp_json ppf a
+                  | Some n ->
+                      (* splice the repr plan into the advice object *)
+                      let s = Format.asprintf "%a" A.pp_json a in
+                      Format.fprintf ppf "%s, \"repr_plan\": %a}"
+                        (String.sub s 0 (String.length s - 1))
+                        (A.pp_repr_plan_json ~size:n)
+                        (A.repr_plan e.program ~size:n)))
              advices
          else
            List.iter
-             (fun a -> Format.printf "%a@." Dynfo_analysis.Advisor.pp a)
+             (fun ((e : Registry.entry), a) ->
+               Format.printf "%a@." A.pp a;
+               match size with
+               | None -> ()
+               | Some n ->
+                   A.pp_repr_plan ~size:n Format.std_formatter
+                     (A.repr_plan e.program ~size:n))
              advices);
         `Ok ()
     | Some entries ->
@@ -392,7 +436,7 @@ let analyze_cmd =
     Term.(
       ret
         (const run $ all_arg $ json_arg $ strict_arg $ graph_arg
-       $ advise_arg $ support_arg $ commute_arg $ defchange_arg
+       $ advise_arg $ size_arg $ support_arg $ commute_arg $ defchange_arg
        $ mc_size_arg $ prog_arg))
 
 (* --- run ----------------------------------------------------------------- *)
@@ -472,6 +516,17 @@ let run_cmd =
 (* --- check --------------------------------------------------------------- *)
 
 let check_cmd =
+  let muddle_arg =
+    Arg.(
+      value & flag
+      & info [ "muddle" ]
+          ~doc:
+            "Arm muddle-through on the work-measuring pass: a delta step \
+             that blows $(b,--delta-cutoff) hands its full recompute to \
+             a background rebuild and answers from the stale structure \
+             meanwhile; the drained result is checked against the purely \
+             sequential run (exit 1 on divergence).")
+  in
   let length_arg =
     Arg.(value & opt int 200 & info [ "length" ] ~docv:"L"
            ~doc:"Number of random requests.")
@@ -492,7 +547,7 @@ let check_cmd =
           ~doc:"Problem to check (or $(b,--all) for the whole registry).")
   in
   let check_entry pool (e : Registry.entry) ~size_opt ~length ~seed ~cutoff
-      ~backend =
+      ~backend ~muddle =
     let size = Option.value ~default:e.default_size size_opt in
     let rng = Random.State.make [| seed |] in
     let reqs = e.workload rng ~size ~length in
@@ -522,9 +577,13 @@ let check_cmd =
         and mr0 = Delta_eval.mask_reuse_hits ()
         and wc0 = Delta_eval.words_cleared ()
         and sf0 = Delta_eval.small_frontier_hits () in
-        let _, works =
-          Runner.run_work ~backend (Runner.init e.program ~size) reqs
-        in
+        let pa0 = Bitrel.pages_allocated ()
+        and sk0 = Bitrel.skip_hits ()
+        and rb0 = Runner.muddle_rebuilds () in
+        let st0 = Runner.init e.program ~size in
+        let st0 = if muddle then Runner.enable_muddle st0 else st0 in
+        let final, works = Runner.run_work ~backend st0 reqs in
+        let final = Runner.await_muddle ~backend final in
         let total = List.fold_left ( + ) 0 works in
         let steps = max 1 (List.length works) in
         let mx = List.fold_left max 0 works in
@@ -550,19 +609,44 @@ let check_cmd =
               (Delta_eval.mask_reuse_hits () - mr0)
               (Delta_eval.words_cleared () - wc0)
         | `Tuple | `Bulk -> ());
+        Printf.printf
+          "  page counters: pages allocated %d, skip hits %d, rebuilds %d\n"
+          (Bitrel.pages_allocated () - pa0)
+          (Bitrel.skip_hits () - sk0)
+          (Runner.muddle_rebuilds () - rb0);
+        let muddle_ok =
+          if not muddle then true
+          else begin
+            (* convergence law: the muddled run, once drained, equals
+               the purely sequential fold over the same requests *)
+            let seq =
+              Runner.run ~backend (Runner.init e.program ~size) reqs
+            in
+            let ok =
+              Structure.equal (Runner.structure final)
+                (Runner.structure seq)
+            in
+            Printf.printf "  muddle: %d rebuild(s), %s\n"
+              (Runner.rebuild_count final)
+              (if ok then "converged to sequential semantics"
+               else "DIVERGED from sequential semantics");
+            ok
+          end
+        in
         let groups = Runner.plan_groups e.program reqs in
         Printf.printf
           "  commute plan: %d group(s) over %d requests (max run %d)\n"
           (List.length groups) (List.length reqs)
           (List.fold_left (fun m g -> max m (List.length g)) 0 groups);
-        true
+        muddle_ok
     | m ->
         Format.printf "%a@." Harness.pp_outcome m;
         false
   in
   let run all entry_opt size_opt length seed domains cutoff backend
-      delta_cutoff =
+      delta_cutoff bitrel muddle =
     Dynfo_logic.Delta_eval.set_cutoff delta_cutoff;
+    Dynfo_logic.Bitrel.set_default_repr bitrel;
     let entries =
       match (entry_opt, all) with
       | Some e, _ -> Some [ e ]
@@ -576,7 +660,8 @@ let check_cmd =
             let ok =
               List.fold_left
                 (fun acc e ->
-                  check_entry pool e ~size_opt ~length ~seed ~cutoff ~backend
+                  check_entry pool e ~size_opt ~length ~seed ~cutoff
+                    ~backend ~muddle
                   && acc)
                 true entries
             in
@@ -595,7 +680,8 @@ let check_cmd =
     Term.(
       ret
         (const run $ all_arg $ prog_arg $ size_arg $ length_arg $ seed_arg
-       $ domains_arg $ cutoff_arg $ backend_arg $ delta_cutoff_arg))
+       $ domains_arg $ cutoff_arg $ backend_arg $ delta_cutoff_arg
+       $ bitrel_arg $ muddle_arg))
 
 (* --- optimize ------------------------------------------------------------ *)
 
@@ -798,8 +884,9 @@ let find_program name =
   | exception Not_found -> None
 
 let serve_cmd =
-  let run socket tcp domains delta_cutoff =
+  let run socket tcp domains delta_cutoff bitrel =
     Dynfo_logic.Delta_eval.set_cutoff delta_cutoff;
+    Dynfo_logic.Bitrel.set_default_repr bitrel;
     let addr = addr_of socket tcp in
     let server =
       Dynfo_server.Server.start
@@ -820,7 +907,9 @@ let serve_cmd =
           update batches coalesced into single evaluation ticks, \
           snapshot/restore to disk. Stop it with the $(b,shutdown) \
           command (e.g. via $(b,dynfo_cli client)).")
-    Term.(const run $ socket_arg $ tcp_arg $ domains_arg $ delta_cutoff_arg)
+    Term.(
+      const run $ socket_arg $ tcp_arg $ domains_arg $ delta_cutoff_arg
+      $ bitrel_arg)
 
 let client_cmd =
   let run socket tcp script =

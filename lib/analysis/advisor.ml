@@ -88,6 +88,83 @@ let delta_estimates (p : Program.t) ~size =
     (0, 0, 0)
     (plan.pp_ins @ plan.pp_del @ plan.pp_set)
 
+(* --- representation chooser ---------------------------------------------
+
+   Dense vs paged per (relation, n): the decision is the same threshold
+   {!Bitrel.auto_repr} applies at allocation time ([auto_words_limit]
+   dense words, ~16 MB), evaluated statically over every relation the
+   program declares plus the widest rule scope — the scope node is what
+   {!Bulk_eval} materializes per formula node, so it is the first
+   allocation to break the dense ceiling as [n] grows. Occupancy is a
+   runtime observation ({!Bitrel.occupancy}, the page counters surfaced
+   by [check] and the daemon's [stats]), not a static input: the static
+   chooser is deliberately conservative and only pages what dense could
+   not hold comfortably anyway. *)
+
+type repr_choice = {
+  rc_name : string;
+  rc_arity : int;
+  rc_words : int;
+  rc_repr : [ `Dense | `Paged ];
+}
+
+(* dense word count of the [size]^[arity] space, saturating at
+   [max_int] when the space itself overflows (dense allocation would
+   raise; only the paged store's implicit-zero pages are even
+   addressable there) *)
+let words_for ~size ~arity =
+  let rec go acc i =
+    if i = 0 then Some acc
+    else if acc > max_int / size then None
+    else go (acc * size) (i - 1)
+  in
+  match go 1 arity with
+  | Some sp -> (sp + Bitrel.bits_per_word - 1) / Bitrel.bits_per_word
+  | None -> max_int
+
+let repr_plan (p : Program.t) ~size =
+  let m = Metrics.of_program p in
+  let rows =
+    List.map
+      (fun (s : Vocab.sym) -> (s.Vocab.name, s.arity))
+      (Vocab.relations (Program.vocab p))
+    @ [ ("(scope)", m.Metrics.max_work_exponent) ]
+  in
+  List.map
+    (fun (name, arity) ->
+      let words = words_for ~size ~arity in
+      let repr =
+        if words = max_int then `Paged else Bitrel.auto_repr ~size ~arity
+      in
+      { rc_name = name; rc_arity = arity; rc_words = words; rc_repr = repr })
+    rows
+
+let repr_string = function `Dense -> "dense" | `Paged -> "paged"
+
+let pp_repr_plan ~size ppf plan =
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "  %s/%d at n=%d: %s (%s words)@." c.rc_name
+        c.rc_arity size
+        (repr_string c.rc_repr)
+        (if c.rc_words = max_int then "overflowing"
+         else string_of_int c.rc_words))
+    plan
+
+let pp_repr_plan_json ~size ppf plan =
+  Format.fprintf ppf "{\"size\": %d, \"relations\": [%a]}" size
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf c ->
+         Format.fprintf ppf
+           "{\"name\": \"%s\", \"arity\": %d, \"dense_words\": %s, \
+            \"repr\": \"%s\"}"
+           c.rc_name c.rc_arity
+           (if c.rc_words = max_int then "null"
+            else string_of_int c.rc_words)
+           (repr_string c.rc_repr)))
+    plan
+
 let of_program ?(par_cutoff = default_par_cutoff) ?size
     ?(calibration = Calibration.default) (p : Program.t) =
   let m = Metrics.of_program p in

@@ -62,6 +62,32 @@ val of_program :
     the recommendation is purely static (delta-eligibility), as
     before. *)
 
+type repr_choice = {
+  rc_name : string;
+      (** relation symbol, or ["(scope)"] for the widest rule scope *)
+  rc_arity : int;
+  rc_words : int;
+      (** dense word count of the [n^arity] space; [max_int] when the
+          space overflows the native integer (dense allocation would
+          raise) *)
+  rc_repr : [ `Dense | `Paged ];
+}
+
+val repr_plan : Dynfo.Program.t -> size:int -> repr_choice list
+(** Dense-vs-paged recommendation per (relation, [size]), plus one row
+    for the widest rule scope — the tuple space {!Dynfo_logic.Bulk_eval}
+    materializes per formula node, which is the first allocation to
+    break the dense ceiling as [n] grows. The threshold is exactly
+    {!Dynfo_logic.Bitrel.auto_repr}'s ({!Dynfo_logic.Bitrel.auto_words_limit}
+    dense words), so the advice and the allocator never drift. Runtime
+    occupancy (the page counters [check] and the daemon's [stats]
+    expose) refines this observationally but never changes the static
+    choice. *)
+
+val pp_repr_plan : size:int -> Format.formatter -> repr_choice list -> unit
+val pp_repr_plan_json :
+  size:int -> Format.formatter -> repr_choice list -> unit
+
 val choose : Dynfo.Program.t -> [ `Tuple | `Bulk | `Delta ]
 (** [(of_program p).backend]. *)
 

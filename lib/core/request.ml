@@ -223,21 +223,33 @@ let expand st req =
   | Ins _ | Del _ | Set _ -> [ req ]
   | Ins_set (name, tups) -> List.map (fun t -> Ins (name, t)) tups
   | Del_set (name, tups) -> List.map (fun t -> Del (name, t)) tups
+  (* the defined set is enumerated through the bulk evaluator's bitset:
+     one compiled word-kernel pass over the formula, then a bit scan of
+     the result — instead of one compiled-closure [Eval] test per tuple
+     of the space. Codes ascend in {!Tuple.encode}'s row-major order,
+     which is exactly lexicographic [Tuple.compare] order, so the
+     singleton sequence is unchanged. *)
   | Ins_def (name, vars, f) ->
-      let sel = Eval.define st ~vars f in
+      let sel = Bulk_eval.bitrel st ~vars f in
       let cur = Structure.rel st name in
-      Relation.fold
-        (fun t acc -> if Relation.mem cur t then acc else t :: acc)
-        sel []
-      |> List.sort Tuple.compare
-      |> List.map (fun t -> Ins (name, t))
+      let size = Structure.size st and arity = List.length vars in
+      let acc = ref [] in
+      Bitrel.iter_codes
+        (fun c ->
+          let t = Tuple.decode ~size ~arity c in
+          if not (Relation.mem cur t) then acc := Ins (name, t) :: !acc)
+        sel;
+      List.rev !acc
   | Del_def (name, vars, f) ->
-      let sel = Eval.define st ~vars f in
+      let sel = Bulk_eval.bitrel st ~vars f in
       let cur = Structure.rel st name in
-      Relation.fold
-        (fun t acc -> if Relation.mem cur t then t :: acc else acc)
-        sel []
-      |> List.sort Tuple.compare
-      |> List.map (fun t -> Del (name, t))
+      let size = Structure.size st and arity = List.length vars in
+      let acc = ref [] in
+      Bitrel.iter_codes
+        (fun c ->
+          let t = Tuple.decode ~size ~arity c in
+          if Relation.mem cur t then acc := Del (name, t) :: !acc)
+        sel;
+      List.rev !acc
 
 let expand_batch st reqs = List.concat_map (expand st) reqs

@@ -1,8 +1,19 @@
 open Dynfo_logic
 
+(* Chunks are rounded up to whole pages: [Bulk_eval]'s kernels always
+   fan out from word 0, so page-multiple chunk widths mean no two lanes
+   ever touch the same page of a paged destination — copy-on-write page
+   installs need no synchronisation (distinct slots of the page table).
+   On a dense destination the alignment is harmless. *)
 let pool_for pool : Bulk_eval.par_for =
  fun ~lo ~hi body ->
-  Pool.parallel_for pool ~lo ~hi (fun ~lane:_ l r -> body l r)
+  let lanes = Pool.lanes pool in
+  let chunk =
+    let c = max 1 ((hi - lo) / (max 1 (8 * lanes))) in
+    let pw = Bitrel.page_words in
+    (c + pw - 1) / pw * pw
+  in
+  Pool.parallel_for pool ~chunk ~lo ~hi (fun ~lane:_ l r -> body l r)
 
 let define pool ?(cutoff = Par_eval.default_cutoff) st ~vars ?(env = []) f =
   let n = Structure.size st in

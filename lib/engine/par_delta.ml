@@ -38,7 +38,28 @@ let define pool ?(cutoff = Par_eval.default_cutoff) ?batch st ~env
             let mask, word_ranges =
               match words with
               | `Whole mask -> (mask, `Range (0, Bitrel.word_count mask))
-              | `Words (mask, ws) -> (mask, `List (Array.of_list ws))
+              | `Words (mask, ws) ->
+                  (* group the dirty words by page: a lane's unit of
+                     work becomes one page's worth of contiguous words,
+                     so per-page state (the page-table slot, its cache
+                     lines) is only ever read by one lane at a time *)
+                  let pw = Bitrel.page_words in
+                  let sorted = List.sort_uniq compare ws in
+                  let pages =
+                    List.fold_left
+                      (fun acc w ->
+                        match acc with
+                        | (p, run) :: rest when w / pw = p ->
+                            (p, w :: run) :: rest
+                        | _ -> (w / pw, [ w ]) :: acc)
+                      [] sorted
+                  in
+                  ( mask,
+                    `List
+                      (Array.of_list
+                         (List.rev_map
+                            (fun (_, run) -> Array.of_list (List.rev run))
+                            pages)) )
             in
             let size = Bitrel.size mask in
             let arity = Bitrel.arity mask in
@@ -51,12 +72,16 @@ let define pool ?(cutoff = Par_eval.default_cutoff) ?batch st ~env
                     acc := (tup, now) :: !acc)
                 mask ~word_lo ~word_hi
             in
-            let lo, hi =
+            let lo, hi, chunk =
               match word_ranges with
-              | `Range (lo, hi) -> (lo, hi)
-              | `List ws -> (0, Array.length ws)
+              | `Range (lo, hi) ->
+                  (* page-aligned chunks, mirroring [Par_bulk.pool_for] *)
+                  let pw = Bitrel.page_words in
+                  let c = max 1 ((hi - lo) / (max 1 (8 * lanes))) in
+                  (lo, hi, Some ((c + pw - 1) / pw * pw))
+              | `List pages -> (0, Array.length pages, None)
             in
-            Pool.parallel_for pool ~lo ~hi (fun ~lane chunk_lo chunk_hi ->
+            Pool.parallel_for pool ?chunk ~lo ~hi (fun ~lane chunk_lo chunk_hi ->
                 let test =
                   if lane = 0 then test
                   else Eval.tester st ~vars:plan.rp_vars ~env plan.rp_body
@@ -65,9 +90,11 @@ let define pool ?(cutoff = Par_eval.default_cutoff) ?batch st ~env
                 (match word_ranges with
                 | `Range _ ->
                     visit test acc ~word_lo:chunk_lo ~word_hi:chunk_hi
-                | `List ws ->
+                | `List pages ->
                     for i = chunk_lo to chunk_hi - 1 do
-                      visit test acc ~word_lo:ws.(i) ~word_hi:(ws.(i) + 1)
+                      Array.iter
+                        (fun w -> visit test acc ~word_lo:w ~word_hi:(w + 1))
+                        pages.(i)
                     done);
                 flips.(lane) <- List.rev_append !acc flips.(lane));
             Array.fold_left

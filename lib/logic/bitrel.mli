@@ -21,20 +21,90 @@
 
     Invariant: the unused tail bits of the last word are always zero
     (kernels that involve complement re-mask them), so {!equal} and
-    {!popcount} can work word-wise. *)
+    {!popcount} can work word-wise.
+
+    Since PR 10 the word space has two physical representations behind
+    this one interface. The {e dense} store is the packed [int array]
+    above. The {e paged} store (DESIGN S28) splits the words into
+    fixed {!page_words}-word pages held in a flat table; untouched
+    pages are implicitly zero, saturated pages collapse to a shared
+    all-ones sentinel, and every kernel gets a skip-absent fast path —
+    so memory and work follow the pages actually touched, not the
+    [n^k] tuple space (the work-sensitive reading of Schmidt et al.).
+    Which store a fresh relation gets is decided by {!repr}: the
+    default [`Auto] stays dense below {!auto_words_limit} words and
+    pages above it. Both representations are observationally
+    identical; a qcheck harness drives random kernel sequences against
+    both and asserts equality. *)
 
 type t
 
 val bits_per_word : int
 (** Bits packed per word ([Sys.int_size]: 63 on 64-bit). *)
 
+type repr = [ `Auto | `Dense | `Paged ]
+(** Physical representation of the word space: [`Dense] one packed
+    array, [`Paged] a first-touch page table, [`Auto] dense iff the
+    slab stays under {!auto_words_limit} words. *)
+
+val page_words : int
+(** Words per page of the paged store (64, i.e. 4032 bits). *)
+
+val auto_words_limit : int
+(** The [`Auto] threshold: slabs of at most this many words are dense
+    (2^21 words = 16 MB — everything the dense-only era could touch). *)
+
+val set_default_repr : repr -> unit
+(** Set the representation {!create}/{!full}/{!of_relation}/{!of_bytes}
+    use ([`Auto] initially). The benches and the qcheck equivalence
+    harness force [`Dense]/[`Paged] through this. *)
+
+val default_repr : unit -> repr
+
+val auto_repr : size:int -> arity:int -> [ `Dense | `Paged ]
+(** What [`Auto] resolves to at these dimensions — exposed so the
+    {!Dynfo_analysis} advisor reports the same choice the kernels
+    make. *)
+
 val create : size:int -> arity:int -> t
-(** The empty relation: [size^arity] zero bits. Raises
-    [Invalid_argument] if [size <= 0], [arity < 0] or the tuple space
-    overflows [max_int]. *)
+(** The empty relation: [size^arity] zero bits, in the default
+    representation. Raises [Invalid_argument] if [size <= 0],
+    [arity < 0] or the tuple space overflows [max_int]. *)
+
+val create_repr : repr -> size:int -> arity:int -> t
+(** {!create} with an explicit representation choice. *)
 
 val full : size:int -> arity:int -> t
-(** All [size^arity] bits set. *)
+(** All [size^arity] bits set. On the paged store this is O(pages):
+    every page becomes the shared all-ones sentinel, no words are
+    allocated. *)
+
+val full_repr : repr -> size:int -> arity:int -> t
+
+val repr_of : t -> [ `Dense | `Paged ]
+
+val page_count : t -> int
+(** Pages in the table (0 for a dense relation). *)
+
+val pages_resident : t -> int
+(** Pages currently backed by an owned 64-word array — the relation's
+    real memory footprint; sentinel (all-zero / all-ones) pages are
+    free. 0 for a dense relation. *)
+
+val occupancy : t -> float
+(** [pages_resident / page_count] (1.0 for a dense relation, whose slab
+    is always fully materialized). *)
+
+val pages_allocated : unit -> int
+(** Process-wide count of owned pages allocated (first touch + copy-on-
+    write) since the last {!reset_page_counters} — the page-table
+    telemetry [check] and the daemon stats report. *)
+
+val skip_hits : unit -> int
+(** Process-wide count of page-granular kernel fast paths taken (zero /
+    all-ones pages answered without touching words). *)
+
+val reset_page_counters : unit -> unit
 
 val copy : t -> t
 

@@ -427,6 +427,13 @@ type batch = unit ref
 
 let new_batch () : batch = ref ()
 
+(* Per-word epoch of the last marking. Dense masks use a flat array —
+   O(1) probes, O(space words) memory, fine below the paged threshold.
+   A paged mask at n = 10^4 arity 2 would drag a 12.7 MB stamp array
+   behind an otherwise sparse page table, so paged masks keep their
+   epochs in a hash table sized by the words actually dirtied. *)
+type stamp = S_arr of int array | S_tbl of (int, int) Hashtbl.t
+
 type state = {
   s_plan : rule_plan;
   s_size : int;
@@ -436,7 +443,7 @@ type state = {
   s_slabs_only : bool;  (* both sides are [Slabs]: stateful path applies *)
   s_legacy_fast : bool;  (* both sides fully pinned and anchorless *)
   mutable s_mask : Bitrel.t option;  (* zero outside [s_dirty] *)
-  mutable s_stamp : int array;  (* per-word epoch of the last marking *)
+  mutable s_stamp : stamp;
   mutable s_dirty : int list;
   mutable s_epoch : int;
   mutable s_batch : batch option;  (* scope of the words in [s_dirty] *)
@@ -520,7 +527,7 @@ let find_state st ~env (plan : rule_plan) =
           s_slabs_only = (f_in <> Top && f_out <> Top);
           s_legacy_fast = fully_pinned ~arity f_out && fully_pinned ~arity f_in;
           s_mask = None;
-          s_stamp = [||];
+          s_stamp = S_arr [||];
           s_dirty = [];
           s_epoch = 0;
           s_batch = None;
@@ -739,7 +746,10 @@ let frontier_state (s : state) ?batch st ~env ~base : frontier =
                       Atomic.incr mask_builds_c;
                       let m = Bitrel.create ~size ~arity in
                       s.s_mask <- Some m;
-                      s.s_stamp <- Array.make (Bitrel.word_count m) (-1);
+                      s.s_stamp <-
+                        (match Bitrel.repr_of m with
+                        | `Dense -> S_arr (Array.make (Bitrel.word_count m) (-1))
+                        | `Paged -> S_tbl (Hashtbl.create 256));
                       m
                 in
                 (* Same batch scope as the previous call on this state?
@@ -767,11 +777,21 @@ let frontier_state (s : state) ?batch st ~env ~base : frontier =
                   s.s_epoch <- s.s_epoch + 1
                 end;
                 let epoch = s.s_epoch in
-                let stamp = s.s_stamp in
+                let seen, mark =
+                  match s.s_stamp with
+                  | S_arr a ->
+                      ((fun w -> a.(w) = epoch), fun w -> a.(w) <- epoch)
+                  | S_tbl h ->
+                      ( (fun w ->
+                          match Hashtbl.find_opt h w with
+                          | Some e -> e = epoch
+                          | None -> false),
+                        fun w -> Hashtbl.replace h w epoch )
+                in
                 let record wlo whi =
                   for w = wlo to whi - 1 do
-                    if stamp.(w) <> epoch then begin
-                      stamp.(w) <- epoch;
+                    if not (seen w) then begin
+                      mark w;
                       s.s_dirty <- w :: s.s_dirty
                     end
                   done
@@ -809,3 +829,14 @@ let define ?(fallback = `Tuple) st ?(env = []) ?batch (plan : rule_plan) =
           | `Tuples tups -> splice_tuples ~test ~base tups
           | `Mask mask -> splice ~test ~base mask
           | `Mask_words (mask, words) -> splice_words ~test ~base mask words)
+
+let try_define st ?(env = []) ?batch (plan : rule_plan) =
+  match plan.rp_frame with
+  | None -> None
+  | Some _ ->
+      with_state st ~env ?batch plan (fun ~test ~base fr ->
+          match fr with
+          | `Full -> None
+          | `Tuples tups -> Some (splice_tuples ~test ~base tups)
+          | `Mask mask -> Some (splice ~test ~base mask)
+          | `Mask_words (mask, words) -> Some (splice_words ~test ~base mask words))

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Memory-ceiling regression for the paged bitset representation.
+#
+# Runs bench/memceiling twice under a 2 GiB address-space ceiling:
+# the arity-3 program at n = 2048 needs ~1.09 GB per dense bitset and
+# the bulk evaluator holds the relation plus at least one same-scope
+# formula node live at once, so the dense arm provably cannot fit —
+# it must die with Out_of_memory (exit 2). The paged arm must run to
+# completion (exit 0), cross-checking the maintained relation against
+# a brute-force oracle. Build happens before the ulimit so the
+# ceiling only constrains the measured runs.
+set -u
+
+exe=_build/default/bench/memceiling/memceiling.exe
+dune build bench/memceiling/memceiling.exe || exit 1
+
+ulimit -v 2097152 # 2 GiB
+
+if "$exe" dense 2048; then
+  echo "FAIL: dense arm fit under the 2 GiB ceiling (no regression signal)"
+  exit 1
+fi
+echo "dense arm hit the ceiling as expected"
+
+if ! "$exe" paged 2048; then
+  echo "FAIL: paged arm did not survive the 2 GiB ceiling"
+  exit 1
+fi
+echo "memory ceiling: paged succeeds where dense cannot allocate"

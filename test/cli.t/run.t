@@ -50,11 +50,13 @@ Randomized cross-checking of all implementations of a problem:
   $ dynfo_cli check parity --length 100 --seed 3
   checking parity at n=16 over 100 requests (seed 3): ok (100 checkpoints, 3 implementations)
     tuple work/step: total 2682, mean 26.8, max 35
+    page counters: pages allocated 0, skip hits 0, rebuilds 0
     commute plan: 17 group(s) over 100 requests (max run 14)
 
   $ dynfo_cli check reach_u -n 6 --length 60 --seed 1
   checking reach_u at n=6 over 60 requests (seed 1): ok (60 checkpoints, 3 implementations)
     tuple work/step: total 502462, mean 8374.4, max 19758
+    page counters: pages allocated 0, skip hits 0, rebuilds 0
     commute plan: 30 group(s) over 60 requests (max run 6)
 
 The set-at-a-time bitset backend joins the comparison under --backend
@@ -63,6 +65,7 @@ bulk (one extra implementation), and runs the same scripts:
   $ dynfo_cli check reach_u -n 6 --length 60 --seed 1 --backend bulk
   checking reach_u at n=6 over 60 requests (seed 1): ok (60 checkpoints, 4 implementations)
     bulk work/step: total 397562, mean 6626.0, max 11831
+    page counters: pages allocated 0, skip hits 0, rebuilds 0
     commute plan: 30 group(s) over 60 requests (max run 6)
 
   $ dynfo_cli run reach_u -n 6 --script script.txt --backend bulk
@@ -83,6 +86,7 @@ step than the full backends above:
     delta work/step: total 202086, mean 3368.1, max 10105
     delta counters: fast hits 81, memo hits 156, memo misses 0, mask builds 0
     frontier state: small frontiers 127, mask reuses 0, words cleared 0
+    page counters: pages allocated 0, skip hits 0, rebuilds 0
     commute plan: 30 group(s) over 60 requests (max run 6)
 
   $ dynfo_cli run reach_u -n 6 --script script.txt --backend delta
@@ -93,6 +97,32 @@ step than the full backends above:
   ins E (2,3)          query = true
   del E (1,2)          query = false
   ins E (1,3)          query = true
+
+--bitrel paged switches newly allocated bitsets to the page-table
+store; the page counters in check's report show the residency the
+kernels actually touched (a dense run leaves them at zero, above):
+
+  $ dynfo_cli check semi_reach --backend bulk --bitrel paged | grep 'page counters'
+    page counters: pages allocated 1032, skip hits 0, rebuilds 0
+
+--muddle arms start-over-and-muddle-through: with the delta budget
+forced to zero every framed step hands its recompute to a background
+rebuild, queries answer from the stale structure meanwhile, and the
+drained result is verified against the purely sequential run:
+
+  $ dynfo_cli check semi_reach --backend delta --muddle --delta-cutoff 0 | grep -E 'muddle|rebuilds'
+    page counters: pages allocated 0, skip hits 0, rebuilds 172
+    muddle: 172 rebuild(s), converged to sequential semantics
+
+The advisor's representation chooser recommends dense or paged per
+(relation, n) with --advise --size — the same ~16 MB threshold the
+allocator's auto mode applies, plus a row for the widest rule scope:
+
+  $ dynfo_cli analyze --advise --size 10000 reach_u | tail -4
+    E/2 at n=10000: dense (1587302 words)
+    F/2 at n=10000: dense (1587302 words)
+    PV/3 at n=10000: paged (15873015874 words)
+    (scope)/5 at n=10000: paged (overflowing words)
 
   $ dynfo_cli analyze --support parity
   parity-fo: delta-eligible
